@@ -1,0 +1,135 @@
+// Shared plumbing for the paper-reproduction benchmark binaries.
+//
+// Every binary prints one experiment from DESIGN.md's index: a header naming
+// the paper artifact it regenerates, then the table/series in the same shape
+// the paper reports (schemes x {energy, response time}, or a parameter sweep).
+#ifndef HIBERNATOR_BENCH_BENCH_COMMON_H_
+#define HIBERNATOR_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.h"
+#include "src/harness/schemes.h"
+#include "src/trace/synthetic.h"
+#include "src/util/table.h"
+
+namespace hib {
+
+inline void PrintHeader(const std::string& experiment_id, const std::string& title) {
+  std::printf("==============================================================================\n");
+  std::printf("%s — %s\n", experiment_id.c_str(), title.c_str());
+  std::printf("==============================================================================\n");
+}
+
+inline OltpWorkloadParams OltpParamsFor(const OltpSetup& setup, const ArrayParams& array) {
+  OltpWorkloadParams wp;
+  wp.address_space_sectors = array.DataSectors();
+  wp.duration_ms = setup.duration_ms;
+  wp.peak_iops = setup.peak_iops;
+  wp.trough_iops = setup.trough_iops;
+  return wp;
+}
+
+inline CelloWorkloadParams CelloParamsFor(const CelloSetup& setup, const ArrayParams& array) {
+  CelloWorkloadParams wp;
+  wp.address_space_sectors = array.DataSectors();
+  wp.duration_ms = setup.duration_ms;
+  wp.peak_iops = setup.peak_iops;
+  wp.trough_iops = setup.trough_iops;
+  return wp;
+}
+
+struct ComparisonRow {
+  Scheme scheme;
+  ExperimentResult result;
+};
+
+// Runs `schemes` against a workload factory; the goal for Hibernator variants
+// is `goal_multiplier` x the Base run's mean response time (measured first).
+// The workload factory must return an identical fresh stream each call (the
+// address space may differ per scheme because PDC/MAID reshape the array).
+template <typename WorkloadFactory>
+std::vector<ComparisonRow> RunComparison(const std::vector<Scheme>& schemes,
+                                         const ArrayParams& base_array,
+                                         WorkloadFactory make_workload, double goal_multiplier,
+                                         Duration epoch_ms = HoursToMs(2.0),
+                                         const ExperimentOptions& options = {},
+                                         double* out_goal_ms = nullptr) {
+  // Calibrate the goal from a Base probe (2 simulated hours).
+  double base_resp;
+  {
+    auto workload = make_workload(base_array);
+    base_resp = MeasureBaseResponseMs(*workload, base_array, HoursToMs(2.0));
+  }
+  double goal_ms = goal_multiplier * base_resp;
+  if (out_goal_ms != nullptr) {
+    *out_goal_ms = goal_ms;
+  }
+
+  std::vector<ComparisonRow> rows;
+  for (Scheme scheme : schemes) {
+    SchemeConfig cfg;
+    cfg.scheme = scheme;
+    cfg.goal_ms = goal_ms;
+    cfg.epoch_ms = epoch_ms;
+    ArrayParams array = ArrayFor(cfg, base_array);
+    auto policy = MakePolicy(cfg);
+    auto workload = make_workload(array);
+    rows.push_back({scheme, RunExperiment(*workload, *policy, array, options)});
+  }
+  std::printf("goal: %.2f ms (%.1fx the Base mean response of %.2f ms)\n\n", goal_ms,
+              goal_multiplier, base_resp);
+  return rows;
+}
+
+// The paper's two headline charts: energy per scheme and response per scheme.
+inline void PrintEnergyAndResponseTables(const std::vector<ComparisonRow>& rows,
+                                         double goal_ms) {
+  const ExperimentResult* base = nullptr;
+  for (const auto& row : rows) {
+    if (row.scheme == Scheme::kBase) {
+      base = &row.result;
+    }
+  }
+  Table energy({"scheme", "energy (kJ)", "normalized", "savings", "active (kJ)", "idle (kJ)",
+                "standby (kJ)", "transition (kJ)"});
+  for (const auto& row : rows) {
+    const ExperimentResult& r = row.result;
+    energy.NewRow()
+        .Add(r.policy_name)
+        .Add(r.energy_total / 1000.0, 1)
+        .Add(base ? r.energy_total / base->energy_total : 1.0, 3)
+        .AddPercent(base ? r.SavingsVs(*base) : 0.0)
+        .Add(r.energy.active / 1000.0, 1)
+        .Add(r.energy.idle / 1000.0, 1)
+        .Add(r.energy.standby / 1000.0, 1)
+        .Add(r.energy.transition / 1000.0, 1);
+  }
+  std::printf("Energy consumption by scheme:\n%s\n", energy.ToString().c_str());
+
+  Table resp({"scheme", "mean resp (ms)", "p95 (ms)", "p99 (ms)", "goal met", "RPM changes",
+              "spin-downs", "migrated (GB)"});
+  for (const auto& row : rows) {
+    const ExperimentResult& r = row.result;
+    bool hibernator_family = r.policy_name.rfind("Hibernator", 0) == 0;
+    std::string met = !hibernator_family ? "n/a"
+                      : (r.mean_response_ms <= goal_ms * 1.05 ? "yes" : "NO");
+    resp.NewRow()
+        .Add(r.policy_name)
+        .Add(r.mean_response_ms, 2)
+        .Add(r.p95_response_ms, 2)
+        .Add(r.p99_response_ms, 2)
+        .Add(met)
+        .Add(r.rpm_changes)
+        .Add(r.spin_downs)
+        .Add(static_cast<double>(r.migrated_sectors) * kSectorBytes / (1 << 30), 2);
+  }
+  std::printf("Response time by scheme:\n%s\n", resp.ToString().c_str());
+}
+
+}  // namespace hib
+
+#endif  // HIBERNATOR_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,34 @@
+// E3 + E4 — reproduces the paper's headline OLTP figures: energy consumption
+// and average response time for Base/TPM/DRPM/PDC/MAID/Hibernator on the
+// 24-hour OLTP workload, with Hibernator's goal set to 2.5x the Base mean
+// response time.
+//
+// Expected shape (paper): TPM ~ Base (no idle gaps long enough); DRPM saves
+// some energy but hurts latency with constant transitions; PDC and MAID save
+// energy only by wrecking response time (lost parallelism / cache misses);
+// Hibernator saves the most energy among goal-meeting schemes and stays
+// within the response-time goal.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+
+int main() {
+  hib::PrintHeader("E3+E4 (paper Figs: OLTP energy & response time)",
+                   "Scheme comparison on the 24h OLTP workload");
+
+  hib::OltpSetup setup = hib::MakeOltpSetup();
+  std::printf("array: %d disks, width-%d RAID5 groups, 5-speed disks; epoch 2h\n",
+              setup.array.num_disks, setup.array.group_width);
+
+  double goal_multiplier = 2.5;
+  auto make_workload = [&](const hib::ArrayParams& array) {
+    return std::make_unique<hib::OltpWorkload>(hib::OltpParamsFor(setup, array));
+  };
+  double goal_ms = 0.0;
+  std::vector<hib::ComparisonRow> rows =
+      hib::RunComparison(hib::MainComparisonSchemes(), setup.array, make_workload,
+                         goal_multiplier, hib::HoursToMs(2.0), {}, &goal_ms);
+  hib::PrintEnergyAndResponseTables(rows, goal_ms);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// E8 — reproduces the paper's "how many RPM levels do multi-speed disks
+// need?" figure.  2-speed disks already capture much of the benefit; more
+// levels add finer-grained operating points with diminishing returns.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/hibernator/hibernator_policy.h"
+
+int main() {
+  hib::PrintHeader("E8 (paper Fig: number of speed levels)",
+                   "Hibernator savings vs number of RPM levels, 24h OLTP");
+
+  hib::Table table({"levels", "RPM ladder", "energy (kJ)", "savings vs 1-speed Base",
+                    "mean resp (ms)", "goal met"});
+
+  // The Base denominator uses the conventional single-speed (15k) disk.
+  hib::OltpSetup base_setup = hib::MakeOltpSetup(/*speed_levels=*/1);
+  auto make_workload = [](const hib::OltpSetup& setup, const hib::ArrayParams& array) {
+    return std::make_unique<hib::OltpWorkload>(hib::OltpParamsFor(setup, array));
+  };
+  hib::SchemeConfig base_cfg;
+  base_cfg.scheme = hib::Scheme::kBase;
+  auto base_policy = hib::MakePolicy(base_cfg);
+  auto base_workload = make_workload(base_setup, base_setup.array);
+  hib::ExperimentResult base =
+      hib::RunExperiment(*base_workload, *base_policy, base_setup.array);
+  double goal_ms = 2.5 * base.mean_response_ms;
+  std::printf("Base (single-speed): %.1f kJ, goal %.2f ms\n\n", base.energy_total / 1000.0,
+              goal_ms);
+
+  for (int levels : {2, 3, 5, 13}) {
+    hib::OltpSetup setup = hib::MakeOltpSetup(levels);
+    hib::HibernatorParams hp;
+    hp.goal_ms = goal_ms;
+    hib::HibernatorPolicy policy(hp);
+    auto workload = make_workload(setup, setup.array);
+    hib::ExperimentResult r = hib::RunExperiment(*workload, policy, setup.array);
+
+    std::string ladder;
+    for (const auto& s : setup.array.disk.speeds) {
+      ladder += (ladder.empty() ? "" : "/") + std::to_string(s.rpm / 1000) + "k";
+    }
+    table.NewRow()
+        .Add(levels)
+        .Add(ladder)
+        .Add(r.energy_total / 1000.0, 1)
+        .AddPercent(r.SavingsVs(base))
+        .Add(r.mean_response_ms, 2)
+        .Add(r.mean_response_ms <= goal_ms * 1.05 ? "yes" : "NO");
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("paper shape check: even 2 speeds capture most of the benefit; extra levels\n"
+              "refine the energy/latency trade with diminishing returns.\n");
+  return 0;
+}

@@ -1,0 +1,215 @@
+// hibersim: config-file-driven simulator front end.
+//
+//   ./hibersim <config-file>
+//   ./hibersim --print-default-config
+//
+// Everything the harness can do — array shape, disk speed levels, workload
+// (synthetic or trace file), scheme, goal, epochs, series output — from one
+// declarative key=value file, so experiments can be versioned and shared
+// without recompiling.  See --print-default-config for the full key list.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/harness/experiment.h"
+#include "src/harness/schemes.h"
+#include "src/trace/spc_reader.h"
+#include "src/trace/synthetic.h"
+#include "src/util/config.h"
+#include "src/util/table.h"
+
+namespace {
+
+constexpr const char* kDefaultConfig = R"(# hibersim configuration (defaults shown)
+
+# --- array ---------------------------------------------------------------
+array.disks = 16            # number of data disks
+array.group_width = 4       # stripe-group width (1 = no striping/parity)
+array.speed_levels = 5      # RPM levels between 3k and 15k (1 = fixed 15k)
+array.cache_mb = 128        # controller read cache
+array.data_fraction = 0.6   # logical data size / raw capacity
+
+# --- workload ------------------------------------------------------------
+workload.kind = oltp        # oltp | cello | constant | spc
+workload.hours = 24
+workload.peak_iops = 200
+workload.trough_iops = 60
+workload.seed = 42
+workload.trace_path =       # required when kind = spc
+
+# --- scheme --------------------------------------------------------------
+scheme.name = Hibernator    # Base | TPM | TPM-Adaptive | DRPM | PDC | MAID |
+                            # Hibernator | Hibernator-NoMig | Hibernator-NoBoost
+scheme.goal_multiplier = 2.5  # x the measured Base mean response
+scheme.goal_ms = 0            # absolute goal (overrides multiplier when > 0)
+scheme.epoch_hours = 2
+scheme.migration_budget_extents = 4096
+
+# --- output --------------------------------------------------------------
+output.series = false       # hourly response/speed-mix table
+output.csv = false          # emit CSV instead of aligned tables
+)";
+
+hib::Scheme SchemeByName(const std::string& name) {
+  struct Entry {
+    const char* name;
+    hib::Scheme scheme;
+  };
+  constexpr Entry kEntries[] = {
+      {"Base", hib::Scheme::kBase},
+      {"TPM", hib::Scheme::kTpm},
+      {"TPM-Adaptive", hib::Scheme::kTpmAdaptive},
+      {"DRPM", hib::Scheme::kDrpm},
+      {"PDC", hib::Scheme::kPdc},
+      {"MAID", hib::Scheme::kMaid},
+      {"Hibernator", hib::Scheme::kHibernator},
+      {"Hibernator-NoMig", hib::Scheme::kHibernatorNoMigration},
+      {"Hibernator-NoBoost", hib::Scheme::kHibernatorNoBoost},
+      {"Hibernator-UT", hib::Scheme::kHibernatorUtilThreshold},
+  };
+  for (const Entry& e : kEntries) {
+    if (name == e.name) {
+      return e.scheme;
+    }
+  }
+  std::fprintf(stderr, "unknown scheme '%s'; using Hibernator\n", name.c_str());
+  return hib::Scheme::kHibernator;
+}
+
+std::unique_ptr<hib::WorkloadSource> MakeWorkload(hib::Config& config,
+                                                  const hib::ArrayParams& array) {
+  std::string kind = config.GetString("workload.kind", "oltp");
+  std::string trace_path = config.GetString("workload.trace_path");  // touch: used for spc
+  double hours = config.GetDouble("workload.hours", 24.0);
+  auto seed = static_cast<std::uint64_t>(config.GetInt("workload.seed", 42));
+  if (kind == "oltp") {
+    hib::OltpWorkloadParams wp;
+    wp.address_space_sectors = array.DataSectors();
+    wp.duration_ms = hib::HoursToMs(hours);
+    wp.peak_iops = config.GetDouble("workload.peak_iops", 200.0);
+    wp.trough_iops = config.GetDouble("workload.trough_iops", 60.0);
+    wp.seed = seed;
+    return std::make_unique<hib::OltpWorkload>(wp);
+  }
+  if (kind == "cello") {
+    hib::CelloWorkloadParams wp;
+    wp.address_space_sectors = array.DataSectors();
+    wp.duration_ms = hib::HoursToMs(hours);
+    wp.peak_iops = config.GetDouble("workload.peak_iops", 90.0);
+    wp.trough_iops = config.GetDouble("workload.trough_iops", 4.0);
+    wp.seed = seed;
+    return std::make_unique<hib::CelloWorkload>(wp);
+  }
+  if (kind == "constant") {
+    hib::ConstantWorkloadParams wp;
+    wp.address_space_sectors = array.DataSectors();
+    wp.duration_ms = hib::HoursToMs(hours);
+    wp.iops = config.GetDouble("workload.peak_iops", 50.0);
+    wp.seed = seed;
+    return std::make_unique<hib::ConstantWorkload>(wp);
+  }
+  if (kind == "spc") {
+    const std::string& path = trace_path;
+    if (path.empty()) {
+      std::fprintf(stderr, "workload.kind = spc requires workload.trace_path\n");
+      return nullptr;
+    }
+    return std::make_unique<hib::SpcTraceReader>(path, array.DataSectors());
+  }
+  std::fprintf(stderr, "unknown workload.kind '%s'\n", kind.c_str());
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "--print-default-config") == 0) {
+    std::printf("%s", kDefaultConfig);
+    return 0;
+  }
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <config-file> | --print-default-config\n", argv[0]);
+    return 1;
+  }
+
+  hib::Config config;
+  if (!config.ParseFile(argv[1])) {
+    for (const std::string& err : config.errors()) {
+      std::fprintf(stderr, "config: %s\n", err.c_str());
+    }
+    return 1;
+  }
+
+  hib::ArrayParams array;
+  array.num_disks = static_cast<int>(config.GetInt("array.disks", 16));
+  array.group_width = static_cast<int>(config.GetInt("array.group_width", 4));
+  array.disk = hib::MakeUltrastar36Z15MultiSpeed(
+      static_cast<int>(config.GetInt("array.speed_levels", 5)));
+  array.cache_lines = static_cast<std::size_t>(config.GetInt("array.cache_mb", 128)) * 16;
+  array.data_fraction = config.GetDouble("array.data_fraction", 0.6);
+
+  hib::SchemeConfig scheme;
+  scheme.scheme = SchemeByName(config.GetString("scheme.name", "Hibernator"));
+  scheme.epoch_ms = hib::HoursToMs(config.GetDouble("scheme.epoch_hours", 2.0));
+  scheme.migration_budget_extents = config.GetInt("scheme.migration_budget_extents", 4096);
+  array = hib::ArrayFor(scheme, array);
+
+  auto workload = MakeWorkload(config, array);
+  if (!workload) {
+    return 1;
+  }
+
+  double goal_ms = config.GetDouble("scheme.goal_ms", 0.0);
+  double multiplier = config.GetDouble("scheme.goal_multiplier", 2.5);
+  if (goal_ms <= 0.0) {
+    goal_ms = multiplier * hib::MeasureBaseResponseMs(*workload, array, hib::HoursToMs(2.0));
+    workload->Reset();
+  }
+  scheme.goal_ms = goal_ms;
+
+  bool want_series = config.GetBool("output.series", false);
+  bool want_csv = config.GetBool("output.csv", false);
+
+  for (const std::string& err : config.errors()) {
+    std::fprintf(stderr, "config: %s\n", err.c_str());
+  }
+  for (const std::string& key : config.UnusedKeys()) {
+    std::fprintf(stderr, "config: unused key '%s' (typo?)\n", key.c_str());
+  }
+
+  auto policy = hib::MakePolicy(scheme);
+  hib::ExperimentOptions options;
+  options.collect_series = want_series;
+  options.sample_period_ms = hib::HoursToMs(1.0);
+  hib::ExperimentResult r = hib::RunExperiment(*workload, *policy, array, options);
+
+  hib::Table summary({"metric", "value"});
+  summary.NewRow().Add("policy").Add(r.policy_desc);
+  summary.NewRow().Add("goal (ms)").Add(goal_ms, 2);
+  summary.NewRow().Add("requests").Add(r.requests);
+  summary.NewRow().Add("energy (kJ)").Add(r.energy_total / 1000.0, 1);
+  summary.NewRow().Add("mean power (W)").Add(r.MeanPower(), 1);
+  summary.NewRow().Add("mean response (ms)").Add(r.mean_response_ms, 2);
+  summary.NewRow().Add("p95 / p99 (ms)").Add(
+      hib::FormatDouble(r.p95_response_ms, 2) + " / " + hib::FormatDouble(r.p99_response_ms, 2));
+  summary.NewRow().Add("cache hit rate").AddPercent(r.cache_hit_rate);
+  summary.NewRow().Add("RPM changes / spin-downs").Add(
+      std::to_string(r.rpm_changes) + " / " + std::to_string(r.spin_downs));
+  summary.NewRow().Add("migrated (GB)").Add(
+      static_cast<double>(r.migrated_sectors) * hib::kSectorBytes / (1 << 30), 2);
+  std::printf("%s", want_csv ? summary.ToCsv().c_str() : summary.ToString().c_str());
+
+  if (want_series) {
+    hib::Table series({"hour", "window resp (ms)", "energy so far (kJ)", "standby disks"});
+    for (const hib::SeriesPoint& p : r.series) {
+      series.NewRow()
+          .Add(p.t / hib::kMsPerHour, 1)
+          .Add(p.window_mean_response_ms, 2)
+          .Add(p.energy_so_far / 1000.0, 1)
+          .Add(p.disks_standby);
+    }
+    std::printf("\n%s", want_csv ? series.ToCsv().c_str() : series.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,525 @@
+#include "src/array/array.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/log.h"
+
+namespace hib {
+
+SectorAddr ArrayParams::DataSectors() const {
+  double raw = static_cast<double>(num_disks) * static_cast<double>(disk.TotalSectors());
+  auto sectors = static_cast<SectorAddr>(raw * data_fraction);
+  return (sectors / extent_sectors) * extent_sectors;
+}
+
+namespace {
+LayoutParams MakeLayoutParams(const ArrayParams& p) {
+  LayoutParams lp;
+  lp.num_disks = p.num_disks;
+  lp.group_width = p.group_width;
+  lp.num_extents = p.NumExtents();
+  lp.extent_sectors = p.extent_sectors;
+  lp.stripe_unit_sectors = p.stripe_unit_sectors;
+  lp.disk_capacity_sectors = p.disk.TotalSectors();
+  return lp;
+}
+}  // namespace
+
+// Tracks one logical request across its sub-I/Os.  For RAID5 small writes the
+// pre-read phase (old data + old parity) runs first; the write phase is
+// stashed in `phase2` and issued when the pre-reads drain.
+struct ArrayController::RequestContext {
+  TraceRecord record;
+  SimTime arrival = 0.0;
+  int pending = 0;
+  std::function<void(Duration)> done;
+
+  struct PendingWrite {
+    int disk_id;
+    SectorAddr sector;
+    SectorCount count;
+  };
+  std::vector<PendingWrite> phase2;
+};
+
+ArrayController::ArrayController(Simulator* sim, ArrayParams params)
+    : sim_(sim),
+      params_(params),
+      layout_(MakeLayoutParams(params)),
+      temperatures_(params.NumExtents(), params.temperature_decay),
+      cache_(params.cache_lines, params.cache_line_sectors) {
+  assert(params_.num_disks % params_.group_width == 0);
+  int total = num_disks_total();
+  disk_failed_.assign(static_cast<std::size_t>(total), false);
+  disk_rebuilding_.assign(static_cast<std::size_t>(total), false);
+  disks_.reserve(static_cast<std::size_t>(total));
+  for (int i = 0; i < total; ++i) {
+    disks_.push_back(std::make_unique<Disk>(sim_, params_.disk, i,
+                                            params_.seed + static_cast<std::uint64_t>(i)));
+  }
+}
+
+void ArrayController::Submit(const TraceRecord& record, std::function<void(Duration)> done) {
+  assert(record.lba >= 0 && record.count > 0);
+  assert(record.lba + record.count <= params_.DataSectors());
+
+  if (record.is_write) {
+    ++stats_.writes;
+  } else {
+    ++stats_.reads;
+  }
+
+  // Temperature accounting per touched extent.
+  for (SectorAddr addr = record.lba; addr < record.lba + record.count;) {
+    std::int64_t extent = addr / params_.extent_sectors;
+    SectorAddr extent_end = (extent + 1) * params_.extent_sectors;
+    temperatures_.Touch(extent);
+    addr = std::min<SectorAddr>(extent_end, record.lba + record.count);
+  }
+
+  if (!record.is_write && cache_.Lookup(record.lba, record.count)) {
+    ++stats_.cache_hits;
+    auto ctx = std::make_shared<RequestContext>();
+    ctx->record = record;
+    ctx->arrival = sim_->Now();
+    ctx->done = std::move(done);
+    ctx->pending = 1;
+    sim_->ScheduleIn(params_.cache_hit_ms, [this, ctx] {
+      if (--ctx->pending == 0) {
+        FinishLogical(ctx);
+      }
+    });
+    return;
+  }
+
+  if (record.is_write) {
+    // Keep the read cache coherent: drop overlapping lines immediately.
+    cache_.Invalidate(record.lba, record.count);
+  }
+
+  auto ctx = std::make_shared<RequestContext>();
+  ctx->record = record;
+  ctx->arrival = sim_->Now();
+  ctx->done = std::move(done);
+
+  // Split into stripe-unit-aligned pieces and plan the sub-I/Os.  The
+  // pending counter starts at 1 so completions racing the planning loop
+  // cannot finish the request early; the guard is released at the end.
+  ctx->pending = 1;
+  SectorAddr addr = record.lba;
+  SectorCount remaining = record.count;
+  while (remaining > 0) {
+    std::int64_t extent = addr / params_.extent_sectors;
+    SectorAddr offset = addr % params_.extent_sectors;
+    SectorAddr unit_end =
+        (offset / params_.stripe_unit_sectors + 1) * params_.stripe_unit_sectors;
+    SectorCount len = std::min<SectorCount>(remaining, unit_end - offset);
+    len = std::min<SectorCount>(len, params_.extent_sectors - offset);
+    StripeTarget target = layout_.Map(extent, offset);
+
+    int group = layout_.GroupOf(extent);
+    bool data_failed = disk_failed_[static_cast<std::size_t>(target.data_disk)];
+    bool parity_failed =
+        target.parity_disk >= 0 && disk_failed_[static_cast<std::size_t>(target.parity_disk)];
+
+    if (!record.is_write) {
+      int disk_id = target.data_disk;
+      if (read_router_) {
+        int routed = read_router_(extent, disk_id);
+        if (routed >= 0 && routed < num_disks_total() &&
+            !disk_failed_[static_cast<std::size_t>(routed)]) {
+          disk_id = routed;
+        }
+      }
+      if (!disk_failed_[static_cast<std::size_t>(disk_id)]) {
+        ++ctx->pending;
+        IssueRead(ctx, disk_id, target.data_sector, len);
+      } else if (layout_.group_width() == 1) {
+        ++stats_.lost_accesses;  // no redundancy to reconstruct from
+      } else if (layout_.group_width() == 2) {
+        if (parity_failed) {
+          ++stats_.lost_accesses;
+        } else {
+          ++stats_.degraded_reads;
+          ++ctx->pending;
+          IssueRead(ctx, target.parity_disk, target.parity_sector, len);
+        }
+      } else {
+        IssueDegradedRead(ctx, group, disk_id, target.data_sector, len);
+      }
+    } else if (target.parity_disk < 0) {
+      // Unprotected layout (group width 1): plain write.
+      if (data_failed) {
+        ++stats_.lost_accesses;
+      } else {
+        ctx->phase2.push_back({target.data_disk, target.data_sector, len});
+      }
+    } else if (layout_.group_width() == 2) {
+      // Mirroring: write the surviving copies, no pre-read.
+      if (!data_failed) {
+        ctx->phase2.push_back({target.data_disk, target.data_sector, len});
+      }
+      if (!parity_failed) {
+        ctx->phase2.push_back({target.parity_disk, target.parity_sector, len});
+      }
+      if (data_failed && parity_failed) {
+        ++stats_.lost_accesses;
+      }
+    } else if (data_failed && parity_failed) {
+      ++stats_.lost_accesses;  // double failure in one stripe
+    } else if (data_failed) {
+      // Reconstruct-write: the lost data unit is absorbed into parity.  Read
+      // the row's surviving data units, then write the new parity.
+      ++stats_.parity_only_writes;
+      for (int slot = 0; slot < layout_.group_width(); ++slot) {
+        int peer = layout_.GroupDisk(group, slot);
+        if (peer == target.data_disk || peer == target.parity_disk ||
+            disk_failed_[static_cast<std::size_t>(peer)]) {
+          continue;
+        }
+        ++ctx->pending;
+        IssueRead(ctx, peer, target.data_sector, len);
+      }
+      ctx->phase2.push_back({target.parity_disk, target.parity_sector, len});
+    } else if (parity_failed) {
+      // Parity lost: the data write proceeds without parity maintenance.
+      ctx->phase2.push_back({target.data_disk, target.data_sector, len});
+    } else {
+      // RAID5 small write: pre-read old data and old parity...
+      ctx->pending += 2;
+      IssueRead(ctx, target.data_disk, target.data_sector, len);
+      IssueRead(ctx, target.parity_disk, target.parity_sector, len);
+      // ...then write new data and new parity.
+      ctx->phase2.push_back({target.data_disk, target.data_sector, len});
+      ctx->phase2.push_back({target.parity_disk, target.parity_sector, len});
+    }
+
+    addr += len;
+    remaining -= len;
+  }
+
+  // Release the planning guard.
+  if (--ctx->pending == 0) {
+    IssueWritePhase(ctx);
+  }
+}
+
+void ArrayController::IssueRead(const std::shared_ptr<RequestContext>& ctx, int disk_id,
+                                SectorAddr sector, SectorCount count) {
+  ++stats_.subops;
+  DiskRequest req;
+  req.sector = sector;
+  req.count = count;
+  req.is_write = false;
+  req.on_complete = [this, ctx](SimTime) {
+    if (--ctx->pending == 0) {
+      IssueWritePhase(ctx);
+    }
+  };
+  disks_[static_cast<std::size_t>(disk_id)]->Submit(std::move(req));
+}
+
+void ArrayController::IssueWritePhase(const std::shared_ptr<RequestContext>& ctx) {
+  if (ctx->phase2.empty()) {
+    FinishLogical(ctx);
+    return;
+  }
+  ctx->pending = static_cast<int>(ctx->phase2.size());
+  std::vector<RequestContext::PendingWrite> writes;
+  writes.swap(ctx->phase2);
+  for (const auto& w : writes) {
+    ++stats_.subops;
+    DiskRequest req;
+    req.sector = w.sector;
+    req.count = w.count;
+    req.is_write = true;
+    req.on_complete = [this, ctx](SimTime) {
+      if (--ctx->pending == 0) {
+        FinishLogical(ctx);
+      }
+    };
+    disks_[static_cast<std::size_t>(w.disk_id)]->Submit(std::move(req));
+  }
+}
+
+void ArrayController::FinishLogical(const std::shared_ptr<RequestContext>& ctx) {
+  Duration response = sim_->Now() - ctx->arrival;
+  stats_.response_ms.Add(response);
+  stats_.response_pct.Add(response);
+  stats_.window_response_sum_ms += response;
+  ++stats_.window_responses;
+  stats_.total_response_sum_ms += response;
+  ++stats_.total_responses;
+
+  if (!ctx->record.is_write) {
+    cache_.Insert(ctx->record.lba, ctx->record.count);
+  }
+  if (completion_hook_) {
+    completion_hook_(ctx->record, response);
+  }
+  if (ctx->done) {
+    ctx->done(response);
+  }
+}
+
+void ArrayController::SubmitRaw(int disk_id, DiskRequest request) {
+  assert(disk_id >= 0 && disk_id < num_disks_total());
+  ++stats_.subops;
+  disks_[static_cast<std::size_t>(disk_id)]->Submit(std::move(request));
+}
+
+DiskEnergy ArrayController::TotalEnergy() const {
+  DiskEnergy total;
+  for (const auto& d : disks_) {
+    DiskEnergy e = d->MeteredEnergy();
+    total.active += e.active;
+    total.idle += e.idle;
+    total.standby += e.standby;
+    total.transition += e.transition;
+    total.active_ms += e.active_ms;
+    total.idle_ms += e.idle_ms;
+    total.standby_ms += e.standby_ms;
+    total.transition_ms += e.transition_ms;
+  }
+  return total;
+}
+
+void ArrayController::IssueDegradedRead(const std::shared_ptr<RequestContext>& ctx, int group,
+                                        int failed_disk, SectorAddr sector, SectorCount count) {
+  // Reconstruction needs every surviving unit of the row: one read per
+  // surviving disk in the group.
+  int issued = 0;
+  for (int slot = 0; slot < layout_.group_width(); ++slot) {
+    int peer = layout_.GroupDisk(group, slot);
+    if (peer == failed_disk) {
+      continue;
+    }
+    if (disk_failed_[static_cast<std::size_t>(peer)]) {
+      // Second failure in the group: the data is unrecoverable.
+      ++stats_.lost_accesses;
+      return;
+    }
+    ++issued;
+  }
+  ++stats_.degraded_reads;
+  ctx->pending += issued;
+  for (int slot = 0; slot < layout_.group_width(); ++slot) {
+    int peer = layout_.GroupDisk(group, slot);
+    if (peer != failed_disk) {
+      IssueRead(ctx, peer, sector, count);
+    }
+  }
+}
+
+void ArrayController::FailDisk(int disk_id) {
+  assert(disk_id >= 0 && disk_id < num_disks_total());
+  disk_failed_[static_cast<std::size_t>(disk_id)] = true;
+}
+
+void ArrayController::ReplaceDisk(int disk_id, std::function<void()> on_complete) {
+  assert(disk_id >= 0 && disk_id < num_disks_total());
+  if (!disk_failed_[static_cast<std::size_t>(disk_id)] ||
+      disk_rebuilding_[static_cast<std::size_t>(disk_id)]) {
+    return;
+  }
+  if (disk_id >= num_data_disks()) {
+    // Cache disks hold no primary data: replacement is immediate.
+    disk_failed_[static_cast<std::size_t>(disk_id)] = false;
+    if (on_complete) {
+      on_complete();
+    }
+    return;
+  }
+  disk_rebuilding_[static_cast<std::size_t>(disk_id)] = true;
+  int group = disk_id / layout_.group_width();
+  std::vector<std::int64_t> worklist;
+  for (std::int64_t e = 0; e < layout_.num_extents(); ++e) {
+    if (layout_.GroupOf(e) == group) {
+      worklist.push_back(e);
+    }
+  }
+  rebuild_worklist_[disk_id] = std::move(worklist);
+  rebuild_cursor_[disk_id] = 0;
+  rebuild_callback_[disk_id] = std::move(on_complete);
+  RebuildNextExtent(disk_id);
+}
+
+void ArrayController::RebuildNextExtent(int disk_id) {
+  std::vector<std::int64_t>& worklist = rebuild_worklist_[disk_id];
+  std::size_t& cursor = rebuild_cursor_[disk_id];
+  int group = disk_id / layout_.group_width();
+  // Skip extents that migrated away since the worklist was built.
+  while (cursor < worklist.size() && layout_.GroupOf(worklist[cursor]) != group) {
+    ++cursor;
+  }
+  if (cursor >= worklist.size()) {
+    FinishRebuild(disk_id);
+    return;
+  }
+  std::int64_t extent = worklist[cursor];
+  ++cursor;
+
+  SectorCount share = params_.extent_sectors / layout_.group_width();
+  SectorAddr base = layout_.Map(extent, 0).data_sector;
+  auto reads_left = std::make_shared<int>(0);
+  std::vector<int> sources;
+  for (int slot = 0; slot < layout_.group_width(); ++slot) {
+    int peer = layout_.GroupDisk(group, slot);
+    if (peer != disk_id && !disk_failed_[static_cast<std::size_t>(peer)]) {
+      sources.push_back(peer);
+    }
+  }
+  *reads_left = static_cast<int>(sources.size());
+  auto write_share = [this, disk_id, base, share] {
+    DiskRequest req;
+    req.sector = base;
+    req.count = share;
+    req.is_write = true;
+    req.background = true;
+    req.on_complete = [this, disk_id](SimTime) {
+      ++stats_.rebuilt_extents;
+      RebuildNextExtent(disk_id);
+    };
+    SubmitRaw(disk_id, std::move(req));
+  };
+  if (sources.empty()) {
+    // Nothing to reconstruct from; count the extent and move on.
+    ++stats_.rebuilt_extents;
+    RebuildNextExtent(disk_id);
+    return;
+  }
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    DiskRequest req;
+    req.sector = base + static_cast<SectorAddr>(i) * share;
+    req.count = share;
+    req.is_write = false;
+    req.background = true;
+    req.on_complete = [reads_left, write_share](SimTime) {
+      if (--*reads_left == 0) {
+        write_share();
+      }
+    };
+    SubmitRaw(sources[i], std::move(req));
+  }
+}
+
+void ArrayController::FinishRebuild(int disk_id) {
+  disk_failed_[static_cast<std::size_t>(disk_id)] = false;
+  disk_rebuilding_[static_cast<std::size_t>(disk_id)] = false;
+  rebuild_worklist_.erase(disk_id);
+  rebuild_cursor_.erase(disk_id);
+  auto cb = rebuild_callback_.find(disk_id);
+  if (cb != rebuild_callback_.end()) {
+    auto fn = std::move(cb->second);
+    rebuild_callback_.erase(cb);
+    if (fn) {
+      fn();
+    }
+  }
+}
+
+// ----------------------------------------------------------- migration -----
+
+void ArrayController::RequestMigration(std::int64_t extent, int target_group) {
+  assert(extent >= 0 && extent < layout_.num_extents());
+  assert(target_group >= 0 && target_group < layout_.num_groups());
+  migration_queue_.emplace_back(extent, target_group);
+  PumpMigrations();
+}
+
+void ArrayController::PauseMigration(bool paused) {
+  migration_paused_ = paused;
+  if (!paused) {
+    PumpMigrations();
+  }
+}
+
+void ArrayController::CancelQueuedMigrations() { migration_queue_.clear(); }
+
+void ArrayController::PumpMigrations() {
+  while (!migration_paused_ && active_migrations_ < params_.max_concurrent_migrations &&
+         !migration_queue_.empty()) {
+    auto [extent, target] = migration_queue_.front();
+    migration_queue_.pop_front();
+    if (layout_.GroupOf(extent) == target) {
+      continue;  // already there (duplicate request or racing plan)
+    }
+    StartMigration(extent, target);
+  }
+}
+
+void ArrayController::StartMigration(std::int64_t extent, int target_group) {
+  ++active_migrations_;
+  int source_group = layout_.GroupOf(extent);
+  std::vector<int> src_disks = layout_.GroupDisks(source_group);
+  std::vector<int> dst_disks = layout_.GroupDisks(target_group);
+  SectorCount share_src =
+      params_.extent_sectors / static_cast<SectorCount>(src_disks.size());
+  SectorCount share_dst =
+      params_.extent_sectors / static_cast<SectorCount>(dst_disks.size());
+  SectorAddr base = layout_.Map(extent, 0).data_sector;
+
+  // Phase 1: background reads of the extent's share on every source disk.
+  auto reads_left = std::make_shared<int>(static_cast<int>(src_disks.size()));
+  auto do_writes = [this, extent, target_group, dst_disks, share_dst, base] {
+    std::vector<int> live_dsts;
+    for (int d : dst_disks) {
+      if (!disk_failed_[static_cast<std::size_t>(d)]) {
+        live_dsts.push_back(d);
+      }
+    }
+    if (live_dsts.empty()) {
+      // Nowhere to write; abandon the move (the extent stays put).
+      --active_migrations_;
+      PumpMigrations();
+      return;
+    }
+    auto writes_left = std::make_shared<int>(static_cast<int>(live_dsts.size()));
+    for (std::size_t i = 0; i < live_dsts.size(); ++i) {
+      DiskRequest req;
+      req.sector = base + static_cast<SectorAddr>(i) * share_dst;
+      req.count = share_dst;
+      req.is_write = true;
+      req.background = true;
+      req.on_complete = [this, extent, target_group, writes_left](SimTime) {
+        if (--*writes_left == 0) {
+          layout_.SetGroup(extent, target_group);
+          ++stats_.migrations_completed;
+          stats_.migrated_sectors += params_.extent_sectors;
+          --active_migrations_;
+          PumpMigrations();
+        }
+      };
+      SubmitRaw(live_dsts[i], std::move(req));
+    }
+  };
+  // Failed disks contribute nothing (their share is reconstructable);
+  // prune them up front so the completion count matches issued requests.
+  std::vector<int> live_sources;
+  for (int d : src_disks) {
+    if (!disk_failed_[static_cast<std::size_t>(d)]) {
+      live_sources.push_back(d);
+    }
+  }
+  *reads_left = static_cast<int>(live_sources.size());
+  if (live_sources.empty()) {
+    do_writes();
+    return;
+  }
+  for (std::size_t i = 0; i < live_sources.size(); ++i) {
+    DiskRequest req;
+    req.sector = base + static_cast<SectorAddr>(i) * share_src;
+    req.count = share_src;
+    req.is_write = false;
+    req.background = true;
+    req.on_complete = [reads_left, do_writes](SimTime) {
+      if (--*reads_left == 0) {
+        do_writes();
+      }
+    };
+    SubmitRaw(live_sources[i], std::move(req));
+  }
+}
+
+}  // namespace hib

@@ -1,0 +1,71 @@
+#include "src/array/cache.h"
+
+namespace hib {
+
+LruCache::LruCache(std::size_t lines, SectorCount line_sectors)
+    : capacity_(lines), line_sectors_(line_sectors > 0 ? line_sectors : 1) {}
+
+bool LruCache::Lookup(SectorAddr lba, SectorCount count) {
+  if (capacity_ == 0 || count <= 0) {
+    ++misses_;
+    return false;
+  }
+  LineId first = FirstLine(lba);
+  LineId last = LastLine(lba, count);
+  // All lines must be resident for the request to be a hit.
+  for (LineId line = first; line <= last; ++line) {
+    if (map_.find(line) == map_.end()) {
+      ++misses_;
+      return false;
+    }
+  }
+  for (LineId line = first; line <= last; ++line) {
+    auto it = map_.find(line);
+    lru_.splice(lru_.begin(), lru_, it->second);
+  }
+  ++hits_;
+  return true;
+}
+
+void LruCache::Insert(SectorAddr lba, SectorCount count) {
+  if (capacity_ == 0 || count <= 0) {
+    return;
+  }
+  LineId first = FirstLine(lba);
+  LineId last = LastLine(lba, count);
+  for (LineId line = first; line <= last; ++line) {
+    auto it = map_.find(line);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      continue;
+    }
+    while (map_.size() >= capacity_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    lru_.push_front(line);
+    map_[line] = lru_.begin();
+  }
+}
+
+void LruCache::Invalidate(SectorAddr lba, SectorCount count) {
+  if (capacity_ == 0 || count <= 0) {
+    return;
+  }
+  LineId first = FirstLine(lba);
+  LineId last = LastLine(lba, count);
+  for (LineId line = first; line <= last; ++line) {
+    auto it = map_.find(line);
+    if (it != map_.end()) {
+      lru_.erase(it->second);
+      map_.erase(it);
+    }
+  }
+}
+
+double LruCache::HitRate() const {
+  std::int64_t total = hits_ + misses_;
+  return total > 0 ? static_cast<double>(hits_) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace hib

@@ -1,0 +1,58 @@
+// Controller-level LRU read cache.
+//
+// Real arrays carry a battery-backed controller cache; the paper's traces
+// already sit below large database/file-system caches, so this cache is kept
+// modest and identical for every policy (it affects all schemes equally).
+// Reads that fully hit are served at `cache_hit_ms`; writes invalidate any
+// overlapping lines (write-through, no allocate).
+#ifndef HIBERNATOR_SRC_ARRAY_CACHE_H_
+#define HIBERNATOR_SRC_ARRAY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/util/units.h"
+
+namespace hib {
+
+class LruCache {
+ public:
+  // `lines` == 0 disables the cache entirely.
+  LruCache(std::size_t lines, SectorCount line_sectors);
+
+  // True iff every sector of [lba, lba+count) is resident; touches LRU state.
+  bool Lookup(SectorAddr lba, SectorCount count);
+
+  // Inserts all lines covering [lba, lba+count), evicting LRU lines.
+  void Insert(SectorAddr lba, SectorCount count);
+
+  // Drops all lines overlapping [lba, lba+count).
+  void Invalidate(SectorAddr lba, SectorCount count);
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::int64_t hits() const { return hits_; }
+  std::int64_t misses() const { return misses_; }
+  double HitRate() const;
+
+ private:
+  using LineId = std::int64_t;
+  using LruList = std::list<LineId>;
+
+  LineId FirstLine(SectorAddr lba) const { return lba / line_sectors_; }
+  LineId LastLine(SectorAddr lba, SectorCount count) const {
+    return (lba + count - 1) / line_sectors_;
+  }
+
+  std::size_t capacity_;
+  SectorCount line_sectors_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<LineId, LruList::iterator> map_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace hib
+
+#endif  // HIBERNATOR_SRC_ARRAY_CACHE_H_

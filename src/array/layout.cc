@@ -1,0 +1,128 @@
+#include "src/array/layout.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace hib {
+
+LayoutManager::LayoutManager(LayoutParams params) : params_(params) {
+  assert(params_.num_disks > 0);
+  assert(params_.group_width > 0);
+  assert(params_.num_disks % params_.group_width == 0);
+  assert(params_.num_extents > 0);
+  assert(params_.disk_capacity_sectors > params_.extent_sectors);
+  assert(params_.extent_sectors % params_.stripe_unit_sectors == 0);
+  num_groups_ = params_.num_disks / params_.group_width;
+  extent_group_.resize(static_cast<std::size_t>(params_.num_extents));
+  extents_per_group_.assign(static_cast<std::size_t>(num_groups_), 0);
+  ResetRoundRobin();
+}
+
+void LayoutManager::ResetRoundRobin() {
+  std::fill(extents_per_group_.begin(), extents_per_group_.end(), 0);
+  for (std::int64_t e = 0; e < params_.num_extents; ++e) {
+    int g = static_cast<int>(e % num_groups_);
+    extent_group_[static_cast<std::size_t>(e)] = g;
+    ++extents_per_group_[static_cast<std::size_t>(g)];
+  }
+}
+
+void LayoutManager::SetGroup(std::int64_t extent, int group) {
+  assert(group >= 0 && group < num_groups_);
+  auto idx = static_cast<std::size_t>(extent);
+  int old_group = extent_group_[idx];
+  if (old_group == group) {
+    return;
+  }
+  --extents_per_group_[static_cast<std::size_t>(old_group)];
+  ++extents_per_group_[static_cast<std::size_t>(group)];
+  extent_group_[idx] = static_cast<std::int32_t>(group);
+}
+
+std::vector<int> LayoutManager::GroupDisks(int group) const {
+  std::vector<int> disks(static_cast<std::size_t>(params_.group_width));
+  std::iota(disks.begin(), disks.end(), group * params_.group_width);
+  return disks;
+}
+
+StripeTarget LayoutManager::Map(std::int64_t extent, SectorAddr offset_in_extent) const {
+  assert(offset_in_extent >= 0 && offset_in_extent < params_.extent_sectors);
+  int group = GroupOf(extent);
+  int width = params_.group_width;
+  StripeTarget t;
+
+  // Physical placement: hash the extent onto the disk surface so different
+  // extents land on different cylinders (seek distances stay realistic).
+  SectorAddr usable = params_.disk_capacity_sectors - params_.extent_sectors;
+  SectorAddr base = static_cast<SectorAddr>(
+      (static_cast<unsigned long long>(extent) * 2654435761ULL) %
+      static_cast<unsigned long long>(usable));
+
+  if (width == 1) {
+    t.data_disk = GroupDisk(group, 0);
+    t.parity_disk = -1;
+    t.data_sector = base + offset_in_extent;
+    return t;
+  }
+
+  std::int64_t unit = offset_in_extent / params_.stripe_unit_sectors;
+  SectorAddr within_unit = offset_in_extent % params_.stripe_unit_sectors;
+
+  if (width == 2) {
+    // Mirroring: data on slot 0, mirror ("parity") on slot 1.
+    t.data_disk = GroupDisk(group, static_cast<int>(unit % 2));
+    t.parity_disk = GroupDisk(group, static_cast<int>((unit + 1) % 2));
+    t.data_sector = base + unit * params_.stripe_unit_sectors + within_unit;
+    t.parity_sector = t.data_sector;
+    return t;
+  }
+
+  // Left-symmetric RAID5 with `width - 1` data units per row.
+  int data_per_row = width - 1;
+  std::int64_t row = unit / data_per_row;
+  int pos = static_cast<int>(unit % data_per_row);
+  int parity_slot = static_cast<int>((width - 1 - (row % width)) % width);
+  int data_slot = (parity_slot + 1 + pos) % width;
+  t.data_disk = GroupDisk(group, data_slot);
+  t.parity_disk = GroupDisk(group, parity_slot);
+  SectorAddr row_sector = base + row * params_.stripe_unit_sectors;
+  t.data_sector = row_sector + within_unit;
+  t.parity_sector = row_sector + within_unit;
+  return t;
+}
+
+TemperatureTracker::TemperatureTracker(std::int64_t num_extents, double decay)
+    : decay_(decay),
+      temperature_(static_cast<std::size_t>(num_extents), 0.0f),
+      window_(static_cast<std::size_t>(num_extents), 0.0f) {}
+
+void TemperatureTracker::Touch(std::int64_t extent, double weight) {
+  window_[static_cast<std::size_t>(extent)] += static_cast<float>(weight);
+}
+
+void TemperatureTracker::EndEpoch() {
+  for (std::size_t i = 0; i < temperature_.size(); ++i) {
+    temperature_[i] = static_cast<float>(decay_ * temperature_[i]) + window_[i];
+    window_[i] = 0.0f;
+  }
+}
+
+std::vector<std::int64_t> TemperatureTracker::SortedHottestFirst() const {
+  std::vector<std::int64_t> order(temperature_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](std::int64_t a, std::int64_t b) {
+    return TemperatureOf(a) > TemperatureOf(b);
+  });
+  return order;
+}
+
+double TemperatureTracker::TotalTemperature() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < temperature_.size(); ++i) {
+    total += temperature_[i] + window_[i];
+  }
+  return total;
+}
+
+}  // namespace hib

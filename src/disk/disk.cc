@@ -1,0 +1,323 @@
+#include "src/disk/disk.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <utility>
+
+#include "src/util/log.h"
+
+namespace hib {
+
+const char* DiskPowerStateName(DiskPowerState state) {
+  switch (state) {
+    case DiskPowerState::kIdle:
+      return "IDLE";
+    case DiskPowerState::kBusy:
+      return "BUSY";
+    case DiskPowerState::kChangingRpm:
+      return "CHANGING_RPM";
+    case DiskPowerState::kSpinningDown:
+      return "SPINNING_DOWN";
+    case DiskPowerState::kStandby:
+      return "STANDBY";
+    case DiskPowerState::kSpinningUp:
+      return "SPINNING_UP";
+  }
+  return "?";
+}
+
+Disk::Disk(Simulator* sim, DiskParams params, int id, std::uint64_t seed)
+    : sim_(sim),
+      params_(std::move(params)),
+      id_(id),
+      rng_(seed, static_cast<std::uint64_t>(id) * 2 + 1),
+      level_(params_.num_speeds() - 1),
+      target_level_(level_) {
+  assert(params_.Validate().empty());
+  current_power_ = StatePower(DiskPowerState::kIdle);
+  last_account_ = sim_->Now();
+  last_activity_ = sim_->Now();
+}
+
+Watts Disk::StatePower(DiskPowerState state) const {
+  const SpeedLevel& lvl = params_.speeds[static_cast<std::size_t>(level_)];
+  switch (state) {
+    case DiskPowerState::kIdle:
+      return lvl.idle_power;
+    case DiskPowerState::kBusy:
+      return lvl.active_power;
+    case DiskPowerState::kStandby:
+      return params_.standby_power;
+    case DiskPowerState::kChangingRpm:
+    case DiskPowerState::kSpinningDown:
+    case DiskPowerState::kSpinningUp:
+      return transition_power_;
+  }
+  return 0.0;
+}
+
+void Disk::AccountToNow() {
+  SimTime now = sim_->Now();
+  Duration dt = now - last_account_;
+  if (dt <= 0.0) {
+    last_account_ = now;
+    return;
+  }
+  Joules joules = EnergyOf(current_power_, dt);
+  switch (state_) {
+    case DiskPowerState::kBusy:
+      energy_.active += joules;
+      energy_.active_ms += dt;
+      break;
+    case DiskPowerState::kIdle:
+      energy_.idle += joules;
+      energy_.idle_ms += dt;
+      break;
+    case DiskPowerState::kStandby:
+      energy_.standby += joules;
+      energy_.standby_ms += dt;
+      break;
+    case DiskPowerState::kChangingRpm:
+    case DiskPowerState::kSpinningDown:
+    case DiskPowerState::kSpinningUp:
+      energy_.transition += joules;
+      energy_.transition_ms += dt;
+      break;
+  }
+  last_account_ = now;
+}
+
+void Disk::EnterState(DiskPowerState next) {
+  AccountToNow();
+  state_ = next;
+  current_power_ = StatePower(next);
+}
+
+DiskEnergy Disk::MeteredEnergy() const {
+  // Fold in the time since the last state change without mutating state.
+  DiskEnergy snapshot = energy_;
+  Duration dt = sim_->Now() - last_account_;
+  if (dt > 0.0) {
+    Joules joules = EnergyOf(current_power_, dt);
+    switch (state_) {
+      case DiskPowerState::kBusy:
+        snapshot.active += joules;
+        snapshot.active_ms += dt;
+        break;
+      case DiskPowerState::kIdle:
+        snapshot.idle += joules;
+        snapshot.idle_ms += dt;
+        break;
+      case DiskPowerState::kStandby:
+        snapshot.standby += joules;
+        snapshot.standby_ms += dt;
+        break;
+      default:
+        snapshot.transition += joules;
+        snapshot.transition_ms += dt;
+        break;
+    }
+  }
+  return snapshot;
+}
+
+void Disk::Submit(DiskRequest request) {
+  request.arrival = sim_->Now();
+  last_activity_ = sim_->Now();
+  ++stats_.window_arrivals;
+  if (!request.background) {
+    if (stats_.window_prev_arrival >= 0.0) {
+      double gap = sim_->Now() - stats_.window_prev_arrival;
+      stats_.window_gap_sum_ms += gap;
+      stats_.window_gap_sq_ms2 += gap * gap;
+      ++stats_.window_gaps;
+    }
+    stats_.window_prev_arrival = sim_->Now();
+  }
+  if (request.background) {
+    background_.push_back(std::move(request));
+  } else {
+    foreground_.push_back(std::move(request));
+  }
+  if (state_ == DiskPowerState::kStandby) {
+    BeginSpinUp();
+    return;
+  }
+  MaybeStartWork();
+}
+
+void Disk::SetTargetRpm(int rpm) {
+  int level = params_.LevelOf(rpm);
+  assert(level >= 0 && "unsupported RPM level");
+  if (level == target_level_) {
+    return;
+  }
+  target_level_ = level;
+  if (state_ == DiskPowerState::kIdle && level_ != target_level_) {
+    BeginRpmChange();
+  }
+  // Busy: picked up in FinishService.  Standby / spinning up: the spin-up
+  // (or the next one) targets target_level_.  Changing RPM: chained in
+  // FinishRpmChange.
+}
+
+bool Disk::SpinDown() {
+  if (!FullyIdle()) {
+    return false;
+  }
+  transition_power_ =
+      params_.spin_down_ms > 0.0
+          ? params_.spin_down_energy / MsToSeconds(params_.spin_down_ms)
+          : 0.0;
+  EnterState(DiskPowerState::kSpinningDown);
+  ++stats_.spin_downs;
+  sim_->ScheduleIn(params_.spin_down_ms, [this] { FinishSpinDown(); });
+  return true;
+}
+
+void Disk::FinishSpinDown() {
+  EnterState(DiskPowerState::kStandby);
+  // A request may have arrived while the platters wound down.
+  if (QueueDepth() > 0) {
+    BeginSpinUp();
+  }
+}
+
+void Disk::SpinUp() {
+  if (state_ == DiskPowerState::kStandby) {
+    BeginSpinUp();
+  }
+}
+
+void Disk::BeginSpinUp() {
+  assert(state_ == DiskPowerState::kStandby);
+  int rpm = params_.speeds[static_cast<std::size_t>(target_level_)].rpm;
+  Duration t = params_.SpinUpTime(rpm);
+  Joules e = params_.SpinUpEnergy(rpm);
+  transition_power_ = t > 0.0 ? e / MsToSeconds(t) : 0.0;
+  EnterState(DiskPowerState::kSpinningUp);
+  ++stats_.spin_ups;
+  sim_->ScheduleIn(t, [this] { FinishSpinUp(); });
+}
+
+void Disk::FinishSpinUp() {
+  level_ = target_level_;
+  EnterState(DiskPowerState::kIdle);
+  MaybeStartWork();
+}
+
+void Disk::BeginRpmChange() {
+  assert(state_ == DiskPowerState::kIdle);
+  assert(level_ != target_level_);
+  int from = params_.speeds[static_cast<std::size_t>(level_)].rpm;
+  int to = params_.speeds[static_cast<std::size_t>(target_level_)].rpm;
+  Duration t = params_.RpmTransitionTime(from, to);
+  Joules e = params_.RpmTransitionEnergy(from, to);
+  transition_power_ = t > 0.0 ? e / MsToSeconds(t) : 0.0;
+  EnterState(DiskPowerState::kChangingRpm);
+  ++stats_.rpm_changes;
+  int destination = target_level_;
+  sim_->ScheduleIn(t, [this, destination] {
+    level_ = destination;
+    FinishRpmChange();
+  });
+}
+
+void Disk::FinishRpmChange() {
+  EnterState(DiskPowerState::kIdle);
+  if (level_ != target_level_) {
+    // The target moved again while we were transitioning.
+    BeginRpmChange();
+    return;
+  }
+  MaybeStartWork();
+}
+
+void Disk::MaybeStartWork() {
+  if (state_ != DiskPowerState::kIdle) {
+    return;
+  }
+  if (level_ != target_level_) {
+    BeginRpmChange();
+    return;
+  }
+  if (foreground_.empty() && background_.empty()) {
+    return;
+  }
+  StartService();
+}
+
+void Disk::StartService() {
+  assert(state_ == DiskPowerState::kIdle);
+  bool from_fg = !foreground_.empty();
+  DiskRequest req = from_fg ? std::move(foreground_.front()) : std::move(background_.front());
+  if (from_fg) {
+    foreground_.pop_front();
+  } else {
+    background_.pop_front();
+  }
+
+  const SpeedLevel& lvl = params_.speeds[static_cast<std::size_t>(level_)];
+  std::int64_t cylinder = req.sector / params_.SectorsPerCylinder();
+  if (cylinder >= params_.num_cylinders) {
+    cylinder = params_.num_cylinders - 1;
+  }
+  Duration seek;
+  Duration rotation;
+  if (req.sector == next_sequential_sector_) {
+    // Sequential continuation: the head is already in position and the media
+    // streams under it — no seek, no rotational latency.  This is what makes
+    // large sequential runs cheap even at low RPM.
+    seek = 0.0;
+    rotation = 0.0;
+  } else {
+    seek = params_.seek.SeekTime(std::llabs(cylinder - head_cylinder_), params_.num_cylinders);
+    rotation = rng_.NextDouble() * lvl.RevolutionMs();
+  }
+  Duration transfer = params_.TransferTime(req.count, lvl.rpm);
+  Duration settle = req.is_write ? params_.write_settle_ms : 0.0;
+  Duration service = seek + rotation + transfer + settle;
+
+  head_cylinder_ = cylinder;
+  next_sequential_sector_ = req.sector + req.count;
+  EnterState(DiskPowerState::kBusy);
+  stats_.service_time_ms.Add(service);
+  stats_.window_busy_ms += service;
+
+  SimTime done = sim_->Now() + service;
+  sim_->ScheduleIn(service, [this, done, r = std::move(req)]() mutable {
+    FinishService(done, std::move(r));
+  });
+}
+
+void Disk::FinishService(SimTime completion_time, DiskRequest request) {
+  last_activity_ = completion_time;
+  ++stats_.requests_completed;
+  if (request.background) {
+    ++stats_.background_completed;
+  } else {
+    ++stats_.foreground_completed;
+    stats_.response_time_ms.Add(completion_time - request.arrival);
+    stats_.window_response_sum_ms += completion_time - request.arrival;
+    ++stats_.window_completions;
+  }
+  if (request.is_write) {
+    stats_.sectors_written += request.count;
+  } else {
+    stats_.sectors_read += request.count;
+  }
+  EnterState(DiskPowerState::kIdle);
+  if (request.on_complete) {
+    request.on_complete(completion_time);
+  }
+  MaybeStartWork();
+}
+
+Duration Disk::ExpectedServiceTime(SectorCount count, int level) const {
+  const SpeedLevel& lvl = params_.speeds[static_cast<std::size_t>(level)];
+  // Average seek (1/3 stroke) + half-revolution latency + transfer.
+  return params_.seek.average_ms + 0.5 * lvl.RevolutionMs() +
+         params_.TransferTime(count, lvl.rpm);
+}
+
+}  // namespace hib

@@ -1,0 +1,151 @@
+#include "src/disk/disk_params.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace hib {
+
+Duration SeekModel::SeekTime(std::int64_t distance, std::int64_t num_cylinders) const {
+  if (distance <= 0) {
+    return 0.0;
+  }
+  if (num_cylinders < 2) {
+    return single_cyl_ms;
+  }
+  // DiskSim-style blend: sqrt growth out to the 1/3-stroke "average" point,
+  // linear growth from there to full stroke.
+  double avg_dist = static_cast<double>(num_cylinders) / 3.0;
+  double d = static_cast<double>(distance);
+  if (d <= avg_dist) {
+    double frac = std::sqrt(d / avg_dist);
+    return single_cyl_ms + (average_ms - single_cyl_ms) * frac;
+  }
+  double full = static_cast<double>(num_cylinders - 1);
+  double frac = (d - avg_dist) / std::max(1.0, full - avg_dist);
+  frac = std::min(frac, 1.0);
+  return average_ms + (full_stroke_ms - average_ms) * frac;
+}
+
+int DiskParams::LevelOf(int rpm) const {
+  for (int i = 0; i < num_speeds(); ++i) {
+    if (speeds[static_cast<std::size_t>(i)].rpm == rpm) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+Duration DiskParams::TransferTime(SectorCount count, int rpm) const {
+  if (count <= 0) {
+    return 0.0;
+  }
+  double rev_ms = 60.0 * kMsPerSecond / static_cast<double>(rpm);
+  return static_cast<double>(count) / static_cast<double>(sectors_per_track) * rev_ms;
+}
+
+Duration DiskParams::RpmTransitionTime(int from_rpm, int to_rpm) const {
+  if (from_rpm == to_rpm) {
+    return 0.0;
+  }
+  double swing = static_cast<double>(max_rpm() - min_rpm());
+  if (swing <= 0.0) {
+    return 0.0;
+  }
+  double delta = std::abs(static_cast<double>(to_rpm - from_rpm));
+  return rpm_full_swing_ms * delta / swing;
+}
+
+Joules DiskParams::RpmTransitionEnergy(int from_rpm, int to_rpm) const {
+  Duration t = RpmTransitionTime(from_rpm, to_rpm);
+  int hi = std::max(from_rpm, to_rpm);
+  int level = LevelOf(hi);
+  Watts p = level >= 0 ? speeds[static_cast<std::size_t>(level)].active_power
+                       : speeds.back().active_power;
+  return EnergyOf(p, t);
+}
+
+Duration DiskParams::SpinUpTime(int rpm) const {
+  return spin_up_full_ms * static_cast<double>(rpm) / static_cast<double>(max_rpm());
+}
+
+Joules DiskParams::SpinUpEnergy(int rpm) const {
+  // Kinetic energy scales with rpm^2; drag during ramp roughly follows suit.
+  double frac = static_cast<double>(rpm) / static_cast<double>(max_rpm());
+  return spin_up_full_energy * frac * frac;
+}
+
+std::string DiskParams::Validate() const {
+  std::ostringstream err;
+  if (speeds.empty()) {
+    err << "no speed levels; ";
+  }
+  for (std::size_t i = 1; i < speeds.size(); ++i) {
+    if (speeds[i].rpm <= speeds[i - 1].rpm) {
+      err << "speeds not strictly ascending at index " << i << "; ";
+    }
+  }
+  for (const auto& s : speeds) {
+    if (s.rpm <= 0 || s.idle_power <= 0.0 || s.active_power < s.idle_power) {
+      err << "bad speed level rpm=" << s.rpm << "; ";
+    }
+  }
+  if (num_cylinders <= 0 || tracks_per_cylinder <= 0 || sectors_per_track <= 0) {
+    err << "bad geometry; ";
+  }
+  if (seek.single_cyl_ms < 0 || seek.average_ms < seek.single_cyl_ms ||
+      seek.full_stroke_ms < seek.average_ms) {
+    err << "seek curve not monotone; ";
+  }
+  if (standby_power < 0 || spin_down_ms < 0 || spin_up_full_ms < 0) {
+    err << "bad standby parameters; ";
+  }
+  return err.str();
+}
+
+Watts IdlePowerAtRpm(int rpm, int max_rpm, Watts idle_at_max, Watts electronics) {
+  double frac = static_cast<double>(rpm) / static_cast<double>(max_rpm);
+  return electronics + (idle_at_max - electronics) * std::pow(frac, 2.8);
+}
+
+Watts ActivePowerAtRpm(int rpm, int max_rpm, Watts idle_at_max, Watts active_extra,
+                       Watts electronics) {
+  return IdlePowerAtRpm(rpm, max_rpm, idle_at_max, electronics) + active_extra;
+}
+
+DiskParams MakeUltrastar36Z15MultiSpeed(int num_levels) {
+  DiskParams p;
+  p.model_name = "IBM Ultrastar 36Z15 (multi-speed)";
+  p.num_cylinders = 15110;
+  p.tracks_per_cylinder = 8;
+  p.sectors_per_track = 600;  // ~36.7 GB total
+  p.seek = SeekModel{0.6, 3.4, 6.5};
+  p.write_settle_ms = 0.3;
+  p.standby_power = 1.5;
+  p.spin_down_ms = 1500.0;
+  p.spin_down_energy = 13.0;
+  p.spin_up_full_ms = 10900.0;
+  p.spin_up_full_energy = 135.0;
+  p.rpm_full_swing_ms = 8000.0;
+
+  constexpr int kMinRpm = 3000;
+  constexpr int kMaxRpm = 15000;
+  constexpr Watts kIdleAtMax = 10.2;
+  if (num_levels < 1) {
+    num_levels = 1;
+  }
+  p.speeds.clear();
+  if (num_levels == 1) {
+    p.speeds.push_back(
+        SpeedLevel{kMaxRpm, kIdleAtMax, ActivePowerAtRpm(kMaxRpm, kMaxRpm, kIdleAtMax)});
+  } else {
+    for (int i = 0; i < num_levels; ++i) {
+      int rpm = kMinRpm + (kMaxRpm - kMinRpm) * i / (num_levels - 1);
+      p.speeds.push_back(SpeedLevel{rpm, IdlePowerAtRpm(rpm, kMaxRpm, kIdleAtMax),
+                                    ActivePowerAtRpm(rpm, kMaxRpm, kIdleAtMax)});
+    }
+  }
+  return p;
+}
+
+}  // namespace hib

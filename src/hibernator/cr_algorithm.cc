@@ -1,0 +1,213 @@
+#include "src/hibernator/cr_algorithm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace hib {
+
+Watts DiskPowerAt(const DiskParams& disk, const SpeedServiceModel& service, int level,
+                  double lambda_per_ms) {
+  const SpeedLevel& lvl = disk.speeds[static_cast<std::size_t>(level)];
+  double rho = std::min(1.0, Mg1Model::Utilization(lambda_per_ms, service.Level(level).mean_ms));
+  return lvl.idle_power + (lvl.active_power - lvl.idle_power) * rho;
+}
+
+namespace {
+
+struct SearchState {
+  const CrInput* input;
+  int num_groups;
+  int num_levels;
+  double total_weight;
+  // Indexed [group][level].
+  std::vector<std::vector<double>> response;   // per-disk mean response (ms)
+  std::vector<std::vector<double>> power;      // group power (W, width included)
+  std::vector<std::vector<double>> trans_w;    // amortized transition power (W)
+  std::vector<int> order;                      // groups sorted by lambda desc
+  // Suffix lower bounds over `order` positions.
+  std::vector<double> min_rest_power;          // sum of min-over-level power
+  std::vector<double> min_rest_resp;           // sum of min-over-level weighted response
+
+  std::vector<int> current;  // level per order position
+  std::vector<int> best;
+  double best_power = std::numeric_limits<double>::infinity();
+  double best_resp_sum = 0.0;
+  std::int64_t evaluated = 0;
+
+  void Dfs(int pos, int cap, double resp_sum, double power_sum);
+};
+
+void SearchState::Dfs(int pos, int cap, double resp_sum, double power_sum) {
+  if (pos == num_groups) {
+    ++evaluated;
+    double goal_sum = input->goal_ms * total_weight;
+    if (resp_sum <= goal_sum + 1e-9 && power_sum < best_power) {
+      best_power = power_sum;
+      best_resp_sum = resp_sum;
+      best = current;
+    }
+    return;
+  }
+  // Admissible prunes: even the best-case completion cannot beat the record
+  // or satisfy the goal.
+  if (power_sum + min_rest_power[static_cast<std::size_t>(pos)] >= best_power) {
+    return;
+  }
+  if (resp_sum + min_rest_resp[static_cast<std::size_t>(pos)] >
+      input->goal_ms * total_weight + 1e-9) {
+    return;
+  }
+  int g = order[static_cast<std::size_t>(pos)];
+  double w = input->group_lambda_per_ms[static_cast<std::size_t>(g)];
+  for (int k = cap; k >= 0; --k) {
+    double r = response[static_cast<std::size_t>(g)][static_cast<std::size_t>(k)];
+    if (!std::isfinite(r) && w > 0.0) {
+      continue;  // this speed cannot even keep up with the load
+    }
+    double contrib = w > 0.0 ? w * r : 0.0;
+    int next_cap = input->exhaustive ? num_levels - 1 : k;
+    current[static_cast<std::size_t>(pos)] = k;
+    Dfs(pos + 1, next_cap,
+        resp_sum + contrib,
+        power_sum + power[static_cast<std::size_t>(g)][static_cast<std::size_t>(k)] +
+            trans_w[static_cast<std::size_t>(g)][static_cast<std::size_t>(k)]);
+  }
+}
+
+}  // namespace
+
+CrResult SolveCr(const CrInput& input) {
+  assert(input.disk != nullptr);
+  const int num_groups = static_cast<int>(input.group_lambda_per_ms.size());
+  const int num_levels = input.service.num_levels();
+  assert(num_levels == input.disk->num_speeds());
+  assert(input.current_levels.empty() ||
+         static_cast<int>(input.current_levels.size()) == num_groups);
+  assert(input.group_width > 0);
+  assert(num_groups > 0);
+
+  SearchState s;
+  s.input = &input;
+  s.num_groups = num_groups;
+  s.num_levels = num_levels;
+  s.total_weight = std::accumulate(input.group_lambda_per_ms.begin(),
+                                   input.group_lambda_per_ms.end(), 0.0);
+
+  double epoch_s = MsToSeconds(input.epoch_ms);
+  s.response.assign(static_cast<std::size_t>(num_groups),
+                    std::vector<double>(static_cast<std::size_t>(num_levels)));
+  s.power = s.response;
+  s.trans_w = s.response;
+  for (int g = 0; g < num_groups; ++g) {
+    double lambda = input.group_lambda_per_ms[static_cast<std::size_t>(g)];
+    double arrival_scv = input.group_arrival_scv.empty()
+                             ? 1.0
+                             : input.group_arrival_scv[static_cast<std::size_t>(g)];
+    double bias = input.group_response_bias.empty()
+                      ? 1.0
+                      : input.group_response_bias[static_cast<std::size_t>(g)];
+    int from_level = input.current_levels.empty()
+                         ? num_levels - 1
+                         : input.current_levels[static_cast<std::size_t>(g)];
+    int from_rpm = input.disk->speeds[static_cast<std::size_t>(from_level)].rpm;
+    for (int k = 0; k < num_levels; ++k) {
+      const auto& lvl = input.service.Level(k);
+      // Steady-state response at this speed, plus the epoch-averaged cost of
+      // getting there: requests arriving during the RPM transition stall for
+      // the remainder of it (the disk cannot serve while the spindle moves),
+      // so a request's expected extra delay is P(arrive in transition) *
+      // T/2 = T^2 / (2 * epoch).  This term is what makes fine-grained speed
+      // changes (DRPM-style) unattractive and coarse epochs cheap — the
+      // paper's central trade-off — and it also steers CR toward gradual
+      // one-level steps when epochs are short.
+      int to_rpm_k = input.disk->speeds[static_cast<std::size_t>(k)].rpm;
+      Duration trans_ms = input.disk->RpmTransitionTime(from_rpm, to_rpm_k);
+      double transition_delay =
+          input.epoch_ms > 0.0 ? trans_ms * trans_ms / (2.0 * input.epoch_ms) : 0.0;
+      s.response[static_cast<std::size_t>(g)][static_cast<std::size_t>(k)] =
+          bias * Mg1Model::Gg1ResponseTime(lambda, lvl.mean_ms, lvl.scv, arrival_scv) +
+          transition_delay;
+      s.power[static_cast<std::size_t>(g)][static_cast<std::size_t>(k)] =
+          static_cast<double>(input.group_width) *
+          DiskPowerAt(*input.disk, input.service, k, lambda);
+      int to_rpm = input.disk->speeds[static_cast<std::size_t>(k)].rpm;
+      Joules trans = static_cast<double>(input.group_width) *
+                     input.disk->RpmTransitionEnergy(from_rpm, to_rpm);
+      s.trans_w[static_cast<std::size_t>(g)][static_cast<std::size_t>(k)] =
+          epoch_s > 0.0 ? trans / epoch_s : 0.0;
+    }
+  }
+
+  // Hotter groups first; monotone non-increasing levels along this order.
+  s.order.resize(static_cast<std::size_t>(num_groups));
+  std::iota(s.order.begin(), s.order.end(), 0);
+  std::stable_sort(s.order.begin(), s.order.end(), [&](int a, int b) {
+    return input.group_lambda_per_ms[static_cast<std::size_t>(a)] >
+           input.group_lambda_per_ms[static_cast<std::size_t>(b)];
+  });
+
+  // Suffix lower bounds (ignore monotonicity: still admissible).
+  s.min_rest_power.assign(static_cast<std::size_t>(num_groups) + 1, 0.0);
+  s.min_rest_resp.assign(static_cast<std::size_t>(num_groups) + 1, 0.0);
+  for (int pos = num_groups - 1; pos >= 0; --pos) {
+    int g = s.order[static_cast<std::size_t>(pos)];
+    double w = input.group_lambda_per_ms[static_cast<std::size_t>(g)];
+    double min_p = std::numeric_limits<double>::infinity();
+    double min_r = std::numeric_limits<double>::infinity();
+    for (int k = 0; k < num_levels; ++k) {
+      min_p = std::min(min_p,
+                       s.power[static_cast<std::size_t>(g)][static_cast<std::size_t>(k)] +
+                           s.trans_w[static_cast<std::size_t>(g)][static_cast<std::size_t>(k)]);
+      double r = s.response[static_cast<std::size_t>(g)][static_cast<std::size_t>(k)];
+      if (std::isfinite(r)) {
+        min_r = std::min(min_r, w > 0.0 ? w * r : 0.0);
+      }
+    }
+    if (!std::isfinite(min_r)) {
+      min_r = w > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+    }
+    s.min_rest_power[static_cast<std::size_t>(pos)] =
+        s.min_rest_power[static_cast<std::size_t>(pos) + 1] + min_p;
+    s.min_rest_resp[static_cast<std::size_t>(pos)] =
+        s.min_rest_resp[static_cast<std::size_t>(pos) + 1] + min_r;
+  }
+
+  s.current.assign(static_cast<std::size_t>(num_groups), num_levels - 1);
+  s.Dfs(0, num_levels - 1, 0.0, 0.0);
+
+  CrResult result;
+  result.candidates_evaluated = s.evaluated;
+  result.levels.assign(static_cast<std::size_t>(num_groups), num_levels - 1);
+  if (!s.best.empty()) {
+    result.feasible = true;
+    for (int pos = 0; pos < num_groups; ++pos) {
+      result.levels[static_cast<std::size_t>(s.order[static_cast<std::size_t>(pos)])] =
+          s.best[static_cast<std::size_t>(pos)];
+    }
+    result.predicted_response_ms =
+        s.total_weight > 0.0 ? s.best_resp_sum / s.total_weight : 0.0;
+    result.predicted_power = s.best_power;
+  } else {
+    // Infeasible even at full speed: run everything flat out.
+    result.feasible = false;
+    double resp_sum = 0.0;
+    double power_sum = 0.0;
+    for (int g = 0; g < num_groups; ++g) {
+      double w = input.group_lambda_per_ms[static_cast<std::size_t>(g)];
+      double r = s.response[static_cast<std::size_t>(g)][static_cast<std::size_t>(num_levels) - 1];
+      if (w > 0.0 && std::isfinite(r)) {
+        resp_sum += w * r;
+      }
+      power_sum +=
+          s.power[static_cast<std::size_t>(g)][static_cast<std::size_t>(num_levels) - 1];
+    }
+    result.predicted_response_ms = s.total_weight > 0.0 ? resp_sum / s.total_weight : 0.0;
+    result.predicted_power = power_sum;
+  }
+  return result;
+}
+
+}  // namespace hib

@@ -1,0 +1,71 @@
+// CR: the Coarse-grained Response-time-based speed-setting algorithm — the
+// analytical heart of Hibernator.
+//
+// Once per epoch, CR chooses an RPM level for every stripe group so that the
+// array's predicted request-weighted mean response time stays within the
+// performance goal while total power (including RPM-transition energy
+// amortized over the epoch) is minimized.
+//
+// Inputs are per-group *observed* per-disk arrival rates from the previous
+// epoch; per-level service times come from the analytic M/G/1 model
+// (src/queueing/mg1.h).  Hotter groups always deserve faster speeds (a
+// standard exchange argument), so CR sorts groups by load and searches only
+// monotone level assignments — C(G+K-1, K-1) candidates instead of K^G — with
+// an admissible lower-bound prune.  Tests cross-check the result against
+// exhaustive enumeration on small instances.
+#ifndef HIBERNATOR_SRC_HIBERNATOR_CR_ALGORITHM_H_
+#define HIBERNATOR_SRC_HIBERNATOR_CR_ALGORITHM_H_
+
+#include <vector>
+
+#include "src/disk/disk_params.h"
+#include "src/queueing/mg1.h"
+#include "src/util/units.h"
+
+namespace hib {
+
+struct CrInput {
+  // Per-level service-time statistics for the current request mix.
+  SpeedServiceModel service;
+  // Observed per-disk arrival rate (requests/ms) in each group.
+  std::vector<double> group_lambda_per_ms;
+  // Observed squared coefficient of variation of interarrival times per
+  // group (1 = Poisson).  Empty means Poisson everywhere.  Bursty groups
+  // queue much worse than M/G/1 predicts (G/G/1 Allen-Cunneen correction).
+  std::vector<double> group_arrival_scv;
+  // Multiplicative correction per group learned online by the policy from
+  // (measured response / predicted response); batch arrivals and other
+  // effects outside the renewal model land here.  Empty = 1.0 everywhere.
+  std::vector<double> group_response_bias;
+  int group_width = 4;
+  // Constraint: request-weighted mean per-sub-op response time (ms).
+  Duration goal_ms = 20.0;
+  // Amortization horizon for transition energy.
+  Duration epoch_ms = HoursToMs(2.0);
+  // Current level of each group (transition-cost accounting).
+  std::vector<int> current_levels;
+  // Disk model (power + transition energies).
+  const DiskParams* disk = nullptr;
+  // When true, search all K^G assignments instead of monotone ones (test /
+  // validation mode; exponential, keep G*K tiny).
+  bool exhaustive = false;
+};
+
+struct CrResult {
+  std::vector<int> levels;            // chosen level per group (input order)
+  Duration predicted_response_ms = 0; // request-weighted mean sub-op response
+  Watts predicted_power = 0.0;        // including amortized transition power
+  bool feasible = false;              // false => fell back to all-full-speed
+  std::int64_t candidates_evaluated = 0;
+};
+
+// Mean electrical power of one disk at `level` carrying `lambda_per_ms`
+// arrivals (linear idle/active blend by utilization).
+Watts DiskPowerAt(const DiskParams& disk, const SpeedServiceModel& service, int level,
+                  double lambda_per_ms);
+
+CrResult SolveCr(const CrInput& input);
+
+}  // namespace hib
+
+#endif  // HIBERNATOR_SRC_HIBERNATOR_CR_ALGORITHM_H_

@@ -1,0 +1,147 @@
+// The Hibernator energy-management policy: the paper's full system.
+//
+// Combines, per the abstract, (1) multi-speed disks, (2) a coarse-grained
+// epoch scheme that decides which disks spin at which speeds (the CR
+// algorithm, src/hibernator/cr_algorithm.h), (3) automatic migration of the
+// right data to appropriate-speed disks (temperature-sorted multi-tier
+// layout, rate-limited background moves), and (4) automatic performance
+// boosts when the response-time goal is at risk (the credit account,
+// src/hibernator/perf_guarantee.h).
+//
+// Epoch cycle:
+//   - fold the access-temperature window, read per-group arrival rates;
+//   - calibrate the sub-op <-> logical response scale from live measurements;
+//   - run CR to pick each group's RPM level (skipped while boosted);
+//   - apply speeds (no data moves: a group changes speed in place);
+//   - plan migrations toward the temperature-sorted target layout, hottest
+//     mismatches first, bounded by the per-epoch budget.
+//
+// Guarantee cycle (fine-grained): feed completed-request response times into
+// the credit account; boost to full speed on deficit, restore the saved
+// configuration once credit recovers.
+#ifndef HIBERNATOR_SRC_HIBERNATOR_HIBERNATOR_POLICY_H_
+#define HIBERNATOR_SRC_HIBERNATOR_HIBERNATOR_POLICY_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hibernator/cr_algorithm.h"
+#include "src/hibernator/perf_guarantee.h"
+#include "src/policy/policy.h"
+#include "src/util/stats.h"
+
+namespace hib {
+
+struct HibernatorParams {
+  // Average logical response-time goal (ms).  Required.
+  Duration goal_ms = 20.0;
+  Duration epoch_ms = HoursToMs(2.0);
+  std::int64_t migration_budget_extents = 4096;
+  Duration guarantee_check_ms = 1000.0;
+  // The credit cap must comfortably exceed the one-shot response-time cost of
+  // an epoch reconfiguration (requests stall while a group's spindle moves),
+  // or the guarantee will boost on every slow-down and thrash.
+  double credit_cap_requests = 500000.0;
+  // Groups change speed one at a time, this far apart, so only a small slice
+  // of the array is unavailable at any instant.
+  Duration stagger_ms = SecondsToMs(120.0);
+  bool enable_migration = true;
+  bool enable_boost = true;
+  // How aggressively banked response-time credit is spent: each epoch CR may
+  // exceed the base goal by spend_fraction * credit / expected_requests,
+  // capped at spend_cap_goal_multiple x goal.  This is what lets a nearly
+  // idle night run slow (its few requests individually exceed the goal)
+  // repaid by the daytime surplus — the long-term *average* stays bounded,
+  // with the boost as the hard floor.
+  double credit_spend_fraction = 0.5;
+  double credit_spend_cap_goal_multiple = 4.0;
+  // When true, CR plans each epoch against max(last epoch's load, the load
+  // observed one history period ago) — anticipating diurnal ramps instead of
+  // reacting one epoch late.
+  bool use_history_prediction = false;
+  Duration history_period_ms = HoursToMs(24.0);
+  // false selects the naive utilization-threshold speed setter (ablation).
+  bool use_cr = true;
+  double threshold_target_utilization = 0.5;  // used only when !use_cr
+  // Assumed mix for the analytic service model; the live scale factor
+  // corrects residual error each epoch.
+  double model_request_sectors = 12.0;
+  double model_write_fraction = 0.35;
+};
+
+// Elementwise max of two load vectors; `b` may be empty (returns `a`).
+std::vector<double> MaxElementwise(const std::vector<double>& a, const std::vector<double>& b);
+
+class HibernatorPolicy : public PowerPolicy {
+ public:
+  explicit HibernatorPolicy(HibernatorParams params) : params_(params) {}
+
+  std::string Name() const override { return params_.use_cr ? "Hibernator" : "Hibernator-UT"; }
+  std::string Describe() const override;
+
+  void Attach(Simulator* sim, ArrayController* array) override;
+  void Finish() override;
+
+  // --- introspection (reports, tests) ------------------------------------
+  int epochs_completed() const { return epochs_completed_; }
+  int boosts() const { return boosts_; }
+  Duration boosted_ms() const { return boosted_ms_total_; }
+  bool boosted() const { return boosted_; }
+  double credit_ms() const { return guarantee_ ? guarantee_->credit_ms() : 0.0; }
+  const std::vector<int>& group_levels() const { return group_levels_; }
+  Duration last_predicted_response_ms() const { return last_predicted_response_ms_; }
+  std::int64_t migrations_requested() const { return migrations_requested_; }
+
+ private:
+  void EpochTick();
+  void GuaranteeTick();
+  // Applies a level assignment.  Staggered mode spaces the per-group speed
+  // changes `stagger_ms` apart (slow-downs are never urgent); immediate mode
+  // switches everything now (boosts are).
+  void ApplyLevels(const std::vector<int>& levels, bool immediate);
+  void ApplyGroupLevel(int group, int level);
+  void BoostAllFull();
+  std::vector<double> MeasureGroupLambdas() const;
+  std::vector<double> MeasureGroupArrivalScvs() const;
+  // Updates the per-group measured/predicted response bias from the closing
+  // window and returns the smoothed biases for the next CR solve.
+  std::vector<double> UpdateGroupBiases(const std::vector<double>& lambdas,
+                                        const std::vector<double>& scvs);
+  double MeasureResponseScale() const;
+  Duration EffectiveGoalMs(std::int64_t expected_requests) const;
+  void PlanMigrations();
+  std::vector<int> SolveUtilizationThreshold(const std::vector<double>& lambdas) const;
+
+  HibernatorParams params_;
+  Simulator* sim_ = nullptr;
+  ArrayController* array_ = nullptr;
+  SpeedServiceModel service_model_;
+  std::unique_ptr<PerfGuarantee> guarantee_;
+
+  std::vector<int> group_levels_;  // current assignment
+  std::vector<Ewma> group_bias_;   // learned response-model correction per group
+  // Bumped on every reconfiguration; staggered speed-change events from a
+  // superseded assignment check it and drop themselves.
+  std::uint64_t config_generation_ = 0;
+  bool boosted_ = false;
+  SimTime boost_started_ = 0.0;
+
+  // Deltas for the guarantee window.
+  double seen_response_sum_ms_ = 0.0;
+  std::int64_t seen_responses_ = 0;
+
+  // Per-epoch history of measured group loads (most recent at the back).
+  std::deque<std::vector<double>> lambda_history_;
+  int epochs_completed_ = 0;
+  int boosts_ = 0;
+  Duration boosted_ms_total_ = 0.0;
+  Duration last_predicted_response_ms_ = 0.0;
+  std::int64_t migrations_requested_ = 0;
+  double last_scale_ = 2.0;
+};
+
+}  // namespace hib
+
+#endif  // HIBERNATOR_SRC_HIBERNATOR_HIBERNATOR_POLICY_H_

@@ -1,0 +1,29 @@
+#include "src/hibernator/perf_guarantee.h"
+
+#include <algorithm>
+
+namespace hib {
+
+PerfGuarantee::PerfGuarantee(PerfGuaranteeParams params) : params_(params) {
+  cap_ms_ = params_.goal_ms * params_.credit_cap_requests;
+  resume_threshold_ms_ = params_.goal_ms * params_.resume_credit_requests;
+  boost_threshold_ms_ = params_.goal_ms * params_.boost_margin_requests;
+}
+
+void PerfGuarantee::Observe(double sum_ms, std::int64_t count) {
+  if (count <= 0) {
+    return;
+  }
+  credit_ms_ += params_.goal_ms * static_cast<double>(count) - sum_ms;
+  credit_ms_ = std::min(credit_ms_, cap_ms_);
+}
+
+void PerfGuarantee::set_goal_ms(Duration goal_ms) {
+  params_.goal_ms = goal_ms;
+  cap_ms_ = params_.goal_ms * params_.credit_cap_requests;
+  resume_threshold_ms_ = params_.goal_ms * params_.resume_credit_requests;
+  boost_threshold_ms_ = params_.goal_ms * params_.boost_margin_requests;
+  credit_ms_ = std::min(credit_ms_, cap_ms_);
+}
+
+}  // namespace hib

@@ -1,0 +1,65 @@
+// Hibernator's performance guarantee: a response-time credit account.
+//
+// Every completed request earns (goal - response) milliseconds of credit;
+// fast requests build savings, slow requests spend them.  When the account
+// goes negative the array's long-run average response time is about to miss
+// the goal, so the policy "boosts" — every disk to full speed, migration
+// paused — until enough credit accumulates to resume saving energy.  A cap
+// on the account keeps a long quiet night from banking unlimited slack that
+// a busy day could then squander in one sustained violation.
+#ifndef HIBERNATOR_SRC_HIBERNATOR_PERF_GUARANTEE_H_
+#define HIBERNATOR_SRC_HIBERNATOR_PERF_GUARANTEE_H_
+
+#include <cstdint>
+
+#include "src/util/units.h"
+
+namespace hib {
+
+struct PerfGuaranteeParams {
+  Duration goal_ms = 20.0;
+  // Credit ceiling expressed in requests' worth of full goal slack.
+  double credit_cap_requests = 500000.0;
+  // Resume saving once this many requests' worth of credit is rebuilt.  Kept
+  // small and absolute (not a fraction of the cap): its only job is to stop
+  // boost/resume flapping, and re-slowing is already deferred to the next
+  // epoch boundary.
+  double resume_credit_requests = 2000.0;
+  // Boost while credit is still slightly positive ("risk that performance
+  // goals might not be met"), so the repayment capacity of full-speed
+  // operation is never outrun by a deficit accrued between checks.
+  double boost_margin_requests = 1000.0;
+};
+
+class PerfGuarantee {
+ public:
+  explicit PerfGuarantee(PerfGuaranteeParams params);
+
+  // Feeds one observation window: `sum_ms` total response time over `count`
+  // completed requests.
+  void Observe(double sum_ms, std::int64_t count);
+
+  // True when the account is at risk (below the boost margin): run at full
+  // speed until CanResume().
+  bool ShouldBoost() const { return credit_ms_ < boost_threshold_ms_; }
+
+  // True once enough credit is banked to leave boost mode.
+  bool CanResume() const { return credit_ms_ >= resume_threshold_ms_; }
+
+  double credit_ms() const { return credit_ms_; }
+  double cap_ms() const { return cap_ms_; }
+  Duration goal_ms() const { return params_.goal_ms; }
+
+  void set_goal_ms(Duration goal_ms);
+
+ private:
+  PerfGuaranteeParams params_;
+  double cap_ms_;
+  double resume_threshold_ms_;
+  double boost_threshold_ms_;
+  double credit_ms_ = 0.0;
+};
+
+}  // namespace hib
+
+#endif  // HIBERNATOR_SRC_HIBERNATOR_PERF_GUARANTEE_H_

@@ -1,0 +1,44 @@
+#include "src/policy/drpm.h"
+
+#include <sstream>
+
+namespace hib {
+
+std::string DrpmPolicy::Describe() const {
+  std::ostringstream out;
+  out << "DRPM(period=" << params_.control_period_ms / kMsPerSecond
+      << "s, up_q=" << params_.queue_up_watermark << ", low_util=" << params_.utilization_low
+      << ")";
+  return out.str();
+}
+
+void DrpmPolicy::Attach(Simulator* sim, ArrayController* array) {
+  sim_ = sim;
+  array_ = array;
+  sim_->SchedulePeriodic(params_.control_period_ms, params_.control_period_ms,
+                         [this] { ControlTick(); });
+}
+
+void DrpmPolicy::ControlTick() {
+  for (int i = 0; i < array_->num_data_disks(); ++i) {
+    Disk& disk = array_->disk(i);
+    const DiskParams& dp = disk.params();
+    DiskStats& st = disk.stats();
+    double utilization = st.window_busy_ms / params_.control_period_ms;
+    std::size_t depth = disk.ForegroundQueueDepth();
+    st.ResetWindow();
+
+    if (depth >= params_.queue_up_watermark) {
+      disk.SetTargetRpm(dp.max_rpm());
+      continue;
+    }
+    int level = dp.LevelOf(disk.target_rpm());
+    if (utilization > params_.utilization_high && level < dp.num_speeds() - 1) {
+      disk.SetTargetRpm(dp.speeds[static_cast<std::size_t>(level + 1)].rpm);
+    } else if (depth == 0 && utilization < params_.utilization_low && level > 0) {
+      disk.SetTargetRpm(dp.speeds[static_cast<std::size_t>(level - 1)].rpm);
+    }
+  }
+}
+
+}  // namespace hib

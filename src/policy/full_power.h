@@ -1,0 +1,26 @@
+// Base / FPM: every disk spins at full speed for the whole run.  This is the
+// paper's energy baseline and also defines the baseline response time that
+// the other schemes' performance goals are expressed against.
+#ifndef HIBERNATOR_SRC_POLICY_FULL_POWER_H_
+#define HIBERNATOR_SRC_POLICY_FULL_POWER_H_
+
+#include "src/policy/policy.h"
+
+namespace hib {
+
+class FullPowerPolicy : public PowerPolicy {
+ public:
+  std::string Name() const override { return "Base"; }
+
+  void Attach(Simulator* /*sim*/, ArrayController* array) override {
+    // Disks start at their top level; pin them there explicitly in case the
+    // array was handed a previously reconfigured state.
+    for (int i = 0; i < array->num_disks_total(); ++i) {
+      array->disk(i).SetTargetRpm(array->disk(i).params().max_rpm());
+    }
+  }
+};
+
+}  // namespace hib
+
+#endif  // HIBERNATOR_SRC_POLICY_FULL_POWER_H_

@@ -1,0 +1,51 @@
+// PDC: Popular Data Concentration (Pinheiro & Bianchini, ICS 2004).
+//
+// Periodically migrates the most popular data onto the first disks of the
+// array (disk 0 holds the hottest extents, disk 1 the next-hottest, ...) so
+// the trailing disks go cold and a TPM-style threshold can spin them down.
+// PDC assumes an unstriped layout (each extent lives on exactly one disk), so
+// the array must be configured with group_width == 1.
+//
+// The paper's critique, which this implementation reproduces: concentrating
+// the load destroys the array's parallelism, so the leading disks saturate
+// and response time balloons for data-center workloads.
+#ifndef HIBERNATOR_SRC_POLICY_PDC_H_
+#define HIBERNATOR_SRC_POLICY_PDC_H_
+
+#include <string>
+
+#include "src/policy/policy.h"
+
+namespace hib {
+
+struct PdcParams {
+  Duration reorg_period_ms = HoursToMs(1.0);
+  // At most this many extents migrate per reorganization pass.
+  std::int64_t migration_budget_extents = 2048;
+  // TPM spin-down threshold for the cold disks; <= 0 = break-even.
+  Duration idle_threshold_ms = -1.0;
+  Duration poll_period_ms = 1000.0;
+};
+
+class PdcPolicy : public PowerPolicy {
+ public:
+  explicit PdcPolicy(PdcParams params = {}) : params_(params) {}
+
+  std::string Name() const override { return "PDC"; }
+  std::string Describe() const override;
+
+  void Attach(Simulator* sim, ArrayController* array) override;
+
+ private:
+  void Reorganize();
+  void Poll();
+
+  PdcParams params_;
+  Duration threshold_ms_ = 0.0;
+  Simulator* sim_ = nullptr;
+  ArrayController* array_ = nullptr;
+};
+
+}  // namespace hib
+
+#endif  // HIBERNATOR_SRC_POLICY_PDC_H_

@@ -1,0 +1,41 @@
+#include "src/policy/tpm.h"
+
+#include <sstream>
+
+namespace hib {
+
+Duration TpmBreakEvenMs(const DiskParams& disk) {
+  Watts saved = disk.speeds.back().idle_power - disk.standby_power;
+  if (saved <= 0.0) {
+    return 1e15;  // standby never pays off
+  }
+  Joules cycle = disk.spin_down_energy + disk.spin_up_full_energy;
+  return SecondsToMs(cycle / saved) + disk.spin_down_ms + disk.spin_up_full_ms;
+}
+
+std::string TpmPolicy::Describe() const {
+  std::ostringstream out;
+  out << "TPM(threshold=" << threshold_ms_ / kMsPerSecond << "s)";
+  return out.str();
+}
+
+void TpmPolicy::Attach(Simulator* sim, ArrayController* array) {
+  sim_ = sim;
+  array_ = array;
+  threshold_ms_ = params_.idle_threshold_ms > 0.0 ? params_.idle_threshold_ms
+                                                  : TpmBreakEvenMs(array->params().disk);
+  sim_->SchedulePeriodic(params_.poll_period_ms, params_.poll_period_ms, [this] { Poll(); });
+}
+
+void TpmPolicy::Poll() {
+  int first = params_.first_disk >= 0 ? params_.first_disk : 0;
+  int last = params_.last_disk >= 0 ? params_.last_disk : array_->num_data_disks();
+  for (int i = first; i < last; ++i) {
+    Disk& disk = array_->disk(i);
+    if (disk.FullyIdle() && sim_->Now() - disk.last_activity() >= threshold_ms_) {
+      disk.SpinDown();
+    }
+  }
+}
+
+}  // namespace hib

@@ -1,0 +1,75 @@
+#include "src/queueing/mg1.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hib {
+
+double Mg1Model::Utilization(double lambda_per_ms, double mean_service_ms) {
+  return lambda_per_ms * mean_service_ms;
+}
+
+Duration Mg1Model::ResponseTime(double lambda_per_ms, double mean_service_ms, double scv) {
+  return mean_service_ms + WaitTime(lambda_per_ms, mean_service_ms, scv);
+}
+
+Duration Mg1Model::WaitTime(double lambda_per_ms, double mean_service_ms, double scv) {
+  double rho = Utilization(lambda_per_ms, mean_service_ms);
+  if (rho >= 1.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (rho <= 0.0) {
+    return 0.0;
+  }
+  // P-K: W = lambda * E[S^2] / (2 (1 - rho)), with E[S^2] = S^2 (1 + c2).
+  return lambda_per_ms * mean_service_ms * mean_service_ms * (1.0 + scv) / (2.0 * (1.0 - rho));
+}
+
+Duration Mg1Model::Gg1ResponseTime(double lambda_per_ms, double mean_service_ms, double scv,
+                                   double arrival_scv) {
+  double wait = WaitTime(lambda_per_ms, mean_service_ms, scv);
+  double factor = (arrival_scv + scv) / (1.0 + scv);
+  return mean_service_ms + wait * std::max(0.0, factor);
+}
+
+double Mg1Model::MaxArrivalRate(Duration target_ms, double mean_service_ms, double scv) {
+  if (target_ms <= mean_service_ms) {
+    return 0.0;
+  }
+  // Solve S + lambda S^2 (1+c2) / (2 (1 - lambda S)) = target for lambda.
+  // Let a = S^2 (1+c2) / 2, T = target - S:
+  //   lambda a = T (1 - lambda S)  =>  lambda = T / (a + T S)
+  double t = target_ms - mean_service_ms;
+  double a = mean_service_ms * mean_service_ms * (1.0 + scv) / 2.0;
+  return t / (a + t * mean_service_ms);
+}
+
+SpeedServiceModel SpeedServiceModel::FromDisk(const DiskParams& disk,
+                                              double mean_request_sectors,
+                                              double write_fraction) {
+  SpeedServiceModel model;
+  model.levels.reserve(disk.speeds.size());
+  for (const SpeedLevel& lvl : disk.speeds) {
+    PerLevel entry;
+    entry.rpm = lvl.rpm;
+    Duration rev = lvl.RevolutionMs();
+    Duration seek_mean = disk.seek.average_ms;
+    Duration rot_mean = 0.5 * rev;
+    Duration xfer = disk.TransferTime(static_cast<SectorCount>(mean_request_sectors), lvl.rpm);
+    Duration settle = write_fraction * disk.write_settle_ms;
+    entry.mean_ms = seek_mean + rot_mean + xfer + settle;
+
+    // Variance: uniform rotational latency contributes rev^2/12; seek spread
+    // is approximated as 40% of the mean seek (matches the 3-point curve's
+    // dispersion for random access).
+    double var = rev * rev / 12.0;
+    double seek_sd = 0.4 * seek_mean;
+    var += seek_sd * seek_sd;
+    entry.scv = entry.mean_ms > 0.0 ? var / (entry.mean_ms * entry.mean_ms) : 0.0;
+    model.levels.push_back(entry);
+  }
+  return model;
+}
+
+}  // namespace hib

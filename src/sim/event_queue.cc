@@ -1,0 +1,53 @@
+#include "src/sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hib {
+
+EventId EventQueue::Schedule(SimTime when, EventCallback cb) {
+  EventId id = next_id_++;
+  heap_.push_back(Entry{when, id, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later);
+  pending_.insert(id);
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    return false;
+  }
+  pending_.erase(it);
+  cancelled_.insert(id);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::DropCancelledHead() {
+  while (!heap_.empty() && cancelled_.count(heap_.front().id) > 0) {
+    cancelled_.erase(heap_.front().id);
+    std::pop_heap(heap_.begin(), heap_.end(), Later);
+    heap_.pop_back();
+  }
+}
+
+SimTime EventQueue::NextTime() {
+  DropCancelledHead();
+  assert(!heap_.empty());
+  return heap_.front().time;
+}
+
+EventQueue::Fired EventQueue::PopNext() {
+  DropCancelledHead();
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later);
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  pending_.erase(e.id);
+  --live_count_;
+  return Fired{e.time, e.id, std::move(e.callback)};
+}
+
+}  // namespace hib

@@ -1,0 +1,69 @@
+// Priority queue of timed events for the discrete-event simulator.
+//
+// Events at the same timestamp fire in insertion order (a monotonically
+// increasing sequence number breaks ties), which keeps simulations
+// deterministic regardless of heap internals.
+#ifndef HIBERNATOR_SRC_SIM_EVENT_QUEUE_H_
+#define HIBERNATOR_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace hib {
+
+using EventCallback = std::function<void()>;
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  // Schedules `cb` at absolute time `when`; returns an id usable with Cancel.
+  EventId Schedule(SimTime when, EventCallback cb);
+
+  // Cancels a pending event; returns false if it already fired or was
+  // cancelled.  Cancellation is lazy: the entry is skipped on pop.
+  bool Cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+
+  // Time of the earliest pending (non-cancelled) event; only valid when !empty().
+  SimTime NextTime();
+
+  // Pops and returns the earliest event.  Only valid when !empty().
+  struct Fired {
+    SimTime time;
+    EventId id;
+    EventCallback callback;
+  };
+  Fired PopNext();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    EventCallback callback;
+  };
+  // Min-heap on (time, id).
+  static bool Later(const Entry& a, const Entry& b) {
+    if (a.time != b.time) {
+      return a.time > b.time;
+    }
+    return a.id > b.id;
+  }
+
+  void DropCancelledHead();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> pending_;    // scheduled, not yet fired or cancelled
+  std::unordered_set<EventId> cancelled_;  // cancelled, not yet removed from heap_
+  EventId next_id_ = 0;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace hib
+
+#endif  // HIBERNATOR_SRC_SIM_EVENT_QUEUE_H_

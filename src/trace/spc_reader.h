@@ -1,0 +1,66 @@
+// Reader for SPC-1-style ASCII block traces, so genuine traces (Cello99
+// exports, UMass/SPC traces, Microsoft production traces converted to this
+// form) can replace the synthetic generators.
+//
+// Line format (comma separated, one request per line):
+//
+//   asu,lba,size_bytes,opcode,timestamp
+//
+//   asu        integer application storage unit id (mapped to an address
+//              offset: each ASU gets a contiguous slice of the space)
+//   lba        sector address within the ASU
+//   size_bytes request size in bytes (rounded up to whole sectors)
+//   opcode     "r"/"R" for reads, "w"/"W" for writes
+//   timestamp  seconds from trace start (float, nondecreasing)
+//
+// Blank lines and lines starting with '#' are skipped.
+#ifndef HIBERNATOR_SRC_TRACE_SPC_READER_H_
+#define HIBERNATOR_SRC_TRACE_SPC_READER_H_
+
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace hib {
+
+class SpcTraceReader : public WorkloadSource {
+ public:
+  // Reads from a file on disk.  `asu_slice_sectors` is the address-space
+  // slice reserved per ASU; LBAs beyond a slice wrap within it.
+  SpcTraceReader(std::string path, SectorAddr address_space_sectors, int max_asus = 8);
+
+  // Reads from an in-memory string (tests).
+  static std::unique_ptr<SpcTraceReader> FromString(std::string contents,
+                                                    SectorAddr address_space_sectors,
+                                                    int max_asus = 8);
+
+  bool Next(TraceRecord* out) override;
+  void Reset() override;
+  SectorAddr AddressSpaceSectors() const override { return address_space_sectors_; }
+
+  // Number of malformed lines skipped so far.
+  std::int64_t parse_errors() const { return parse_errors_; }
+
+ private:
+  SpcTraceReader(SectorAddr address_space_sectors, int max_asus);
+  void OpenStream();
+  bool ParseLine(const std::string& line, TraceRecord* out);
+
+  std::string path_;           // empty when reading from memory
+  std::string memory_buffer_;  // used when path_ is empty
+  std::unique_ptr<std::istream> stream_;
+  SectorAddr address_space_sectors_;
+  int max_asus_;
+  SectorAddr asu_slice_sectors_;
+  std::int64_t parse_errors_ = 0;
+  SimTime last_time_ = 0.0;
+};
+
+}  // namespace hib
+
+#endif  // HIBERNATOR_SRC_TRACE_SPC_READER_H_

@@ -1,0 +1,68 @@
+// Trace records and the streaming workload-source interface.
+//
+// The paper's evaluation replays block-level traces (an OLTP/TPC-C trace and
+// HP's Cello99 trace) against the simulated array.  We reproduce those with
+// parameterized synthetic generators (src/trace/synthetic.h) and provide an
+// SPC-style ASCII trace reader (src/trace/spc_reader.h) so real traces can be
+// dropped in.  All sources stream records in nondecreasing time order, so a
+// multi-day trace never has to be materialized in memory.
+#ifndef HIBERNATOR_SRC_TRACE_TRACE_H_
+#define HIBERNATOR_SRC_TRACE_TRACE_H_
+
+#include <cstdint>
+
+#include "src/util/stats.h"
+#include "src/util/units.h"
+
+namespace hib {
+
+// One logical I/O against the array's address space.
+struct TraceRecord {
+  SimTime time = 0.0;      // arrival time, ms from trace start
+  SectorAddr lba = 0;      // logical sector address within the array
+  SectorCount count = 8;   // sectors (8 = 4 KB)
+  bool is_write = false;
+  int stream = 0;          // originating stream/ASU, informational
+};
+
+// Pull-based trace source.  Next() returns false at end-of-trace.
+// Timestamps are nondecreasing.
+class WorkloadSource {
+ public:
+  virtual ~WorkloadSource() = default;
+
+  virtual bool Next(TraceRecord* out) = 0;
+
+  // Rewinds to the beginning (re-seeding any internal randomness so the
+  // replay is identical).
+  virtual void Reset() = 0;
+
+  // Size of the logical address space this source draws LBAs from.
+  virtual SectorAddr AddressSpaceSectors() const = 0;
+
+  // Trace duration when known in advance (generators), else 0.  The harness
+  // uses this to bound the replay horizon exactly.
+  virtual Duration DurationHint() const { return 0.0; }
+};
+
+// Summary statistics of a trace, as reported in the paper's workload table.
+struct TraceSummary {
+  std::int64_t records = 0;
+  Duration duration_ms = 0.0;
+  double read_fraction = 0.0;
+  RunningStats size_sectors;
+  RunningStats interarrival_ms;
+
+  double Iops() const {
+    return duration_ms > 0.0 ? static_cast<double>(records) / MsToSeconds(duration_ms) : 0.0;
+  }
+  double MeanSizeKb() const { return size_sectors.mean() * kSectorBytes / 1024.0; }
+};
+
+// Drains `source` (consuming it; call Reset() afterwards to reuse) and
+// summarizes it.  `max_records` caps the scan for very long traces.
+TraceSummary Summarize(WorkloadSource& source, std::int64_t max_records = -1);
+
+}  // namespace hib
+
+#endif  // HIBERNATOR_SRC_TRACE_TRACE_H_

@@ -1,0 +1,131 @@
+#include "src/util/config.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace hib {
+
+namespace {
+std::string Trim(const std::string& s) {
+  std::size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  std::size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+}  // namespace
+
+bool Config::ParseString(const std::string& contents) {
+  std::istringstream in(contents);
+  std::string line;
+  int line_no = 0;
+  bool ok = true;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    std::string trimmed = Trim(line);
+    if (trimmed.empty()) {
+      continue;
+    }
+    std::size_t eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      errors_.push_back("line " + std::to_string(line_no) + ": missing '='");
+      ok = false;
+      continue;
+    }
+    std::string key = Trim(trimmed.substr(0, eq));
+    std::string value = Trim(trimmed.substr(eq + 1));
+    if (key.empty()) {
+      errors_.push_back("line " + std::to_string(line_no) + ": empty key");
+      ok = false;
+      continue;
+    }
+    values_[key] = value;
+  }
+  return ok;
+}
+
+bool Config::ParseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    errors_.push_back("cannot open " + path);
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseString(buffer.str());
+}
+
+bool Config::Has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Config::GetString(const std::string& key, const std::string& def) const {
+  read_[key] = true;
+  auto it = values_.find(key);
+  return it != values_.end() ? it->second : def;
+}
+
+double Config::GetDouble(const std::string& key, double def) {
+  read_[key] = true;
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    errors_.push_back("key '" + key + "': not a number: " + it->second);
+    return def;
+  }
+  return v;
+}
+
+std::int64_t Config::GetInt(const std::string& key, std::int64_t def) {
+  read_[key] = true;
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  char* end = nullptr;
+  long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    errors_.push_back("key '" + key + "': not an integer: " + it->second);
+    return def;
+  }
+  return v;
+}
+
+bool Config::GetBool(const std::string& key, bool def) {
+  read_[key] = true;
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no" || v == "off") {
+    return false;
+  }
+  errors_.push_back("key '" + key + "': not a boolean: " + it->second);
+  return def;
+}
+
+std::vector<std::string> Config::UnusedKeys() const {
+  std::vector<std::string> unused;
+  for (const auto& [key, value] : values_) {
+    if (!read_.count(key)) {
+      unused.push_back(key);
+    }
+  }
+  return unused;
+}
+
+}  // namespace hib

@@ -1,0 +1,50 @@
+// Minimal key=value configuration parser for the CLI simulator.
+//
+// Format: one `key = value` per line; '#' starts a comment; whitespace is
+// trimmed; keys are case-sensitive; later assignments win.  Typed getters
+// report defaults for missing keys and record type errors for the caller to
+// surface.
+#ifndef HIBERNATOR_SRC_UTIL_CONFIG_H_
+#define HIBERNATOR_SRC_UTIL_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hib {
+
+class Config {
+ public:
+  Config() = default;
+
+  // Parses from a string; returns false (and records errors) on malformed
+  // lines, but keeps all well-formed assignments.
+  bool ParseString(const std::string& contents);
+
+  // Parses a file; false if the file cannot be read or has malformed lines.
+  bool ParseFile(const std::string& path);
+
+  bool Has(const std::string& key) const;
+
+  std::string GetString(const std::string& key, const std::string& def = "") const;
+  // Numeric getters record an error and return `def` when the value does not
+  // parse cleanly (trailing junk counts as an error).
+  double GetDouble(const std::string& key, double def);
+  std::int64_t GetInt(const std::string& key, std::int64_t def);
+  bool GetBool(const std::string& key, bool def);  // true/false/1/0/yes/no
+
+  // Keys present in the config but never read by any getter: catches typos.
+  std::vector<std::string> UnusedKeys() const;
+
+  const std::vector<std::string>& errors() const { return errors_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> read_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace hib
+
+#endif  // HIBERNATOR_SRC_UTIL_CONFIG_H_

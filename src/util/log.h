@@ -1,0 +1,49 @@
+// Minimal leveled logging.  The simulator is single-threaded; no locking.
+//
+// Usage:  HIB_LOG(kInfo) << "epoch " << epoch << " reconfigured";
+// Levels below the global threshold compile to a no-op stream.
+#ifndef HIBERNATOR_SRC_UTIL_LOG_H_
+#define HIBERNATOR_SRC_UTIL_LOG_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hib {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Returns the mutable global threshold; messages below it are dropped.
+LogLevel& GlobalLogLevel();
+
+// RAII line logger: accumulates into a buffer, flushes with newline on
+// destruction so interleaved output stays line-atomic.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace hib
+
+#define HIB_LOG(level) ::hib::LogMessage(::hib::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // HIBERNATOR_SRC_UTIL_LOG_H_

@@ -1,0 +1,154 @@
+#include "src/util/random.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace hib {
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  Next();
+  state_ += seed;
+  Next();
+}
+
+std::uint32_t Pcg32::Next() {
+  std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  std::uint32_t xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+double Pcg32::NextDouble() {
+  // 32 random bits -> [0, 1) with 2^-32 resolution; plenty for simulation.
+  return static_cast<double>(Next()) * (1.0 / 4294967296.0);
+}
+
+std::uint32_t Pcg32::NextBounded(std::uint32_t bound) {
+  if (bound == 0) {
+    return 0;
+  }
+  // Lemire-style rejection to remove modulo bias.
+  std::uint32_t threshold = static_cast<std::uint32_t>(-bound) % bound;
+  for (;;) {
+    std::uint32_t r = Next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+std::int64_t Pcg32::NextInRange(std::int64_t lo, std::int64_t hi) {
+  if (hi <= lo) {
+    return lo;
+  }
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Compose two 32-bit draws for 64-bit spans.
+  std::uint64_t r = (static_cast<std::uint64_t>(Next()) << 32) | Next();
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+double Pcg32::NextExponential(double mean) {
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Pcg32::NextPareto(double alpha, double x_min) {
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return x_min / std::pow(u, 1.0 / alpha);
+}
+
+double Pcg32::NextGaussian(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  double u2 = NextDouble();
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+namespace {
+// Above this size we skip the explicit CDF table and invert analytically.
+constexpr std::int64_t kMaxTableSize = 1 << 22;
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(std::int64_t n, double theta)
+    : n_(n < 1 ? 1 : n), theta_(theta), use_table_(n_ <= kMaxTableSize), harmonic_(0.0) {
+  if (use_table_) {
+    cdf_.resize(static_cast<std::size_t>(n_));
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < n_; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
+      cdf_[static_cast<std::size_t>(i)] = sum;
+    }
+    harmonic_ = sum;
+    for (auto& v : cdf_) {
+      v /= sum;
+    }
+  } else {
+    // Approximate H_{n,theta} by the integral; only used for enormous spaces
+    // where per-rank exactness is irrelevant.
+    double nd = static_cast<double>(n_);
+    harmonic_ = theta_ == 1.0 ? std::log(nd) + 0.5772156649
+                              : (std::pow(nd, 1.0 - theta_) - 1.0) / (1.0 - theta_) + 0.5772156649;
+  }
+}
+
+std::int64_t ZipfGenerator::Next(Pcg32& rng) const {
+  double u = rng.NextDouble();
+  if (use_table_) {
+    // Binary search the CDF.
+    std::int64_t lo = 0;
+    std::int64_t hi = n_ - 1;
+    while (lo < hi) {
+      std::int64_t mid = lo + (hi - lo) / 2;
+      if (cdf_[static_cast<std::size_t>(mid)] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+  // Analytic inverse of the continuous approximation.
+  double target = u * harmonic_;
+  double rank;
+  if (theta_ == 1.0) {
+    rank = std::exp(target) - 1.0;
+  } else {
+    rank = std::pow(target * (1.0 - theta_) + 1.0, 1.0 / (1.0 - theta_)) - 1.0;
+  }
+  auto r = static_cast<std::int64_t>(rank);
+  if (r < 0) {
+    r = 0;
+  }
+  if (r >= n_) {
+    r = n_ - 1;
+  }
+  return r;
+}
+
+double ZipfGenerator::MassOfTop(std::int64_t k) const {
+  if (k <= 0) {
+    return 0.0;
+  }
+  if (k >= n_) {
+    return 1.0;
+  }
+  if (use_table_) {
+    return cdf_[static_cast<std::size_t>(k - 1)];
+  }
+  double kd = static_cast<double>(k);
+  double hk = theta_ == 1.0 ? std::log(kd) + 0.5772156649
+                            : (std::pow(kd, 1.0 - theta_) - 1.0) / (1.0 - theta_) + 0.5772156649;
+  return hk / harmonic_;
+}
+
+}  // namespace hib

@@ -1,0 +1,73 @@
+// Deterministic random number generation for the simulator.
+//
+// Every source of randomness in the system derives from a seeded Pcg32 so that
+// simulation runs are exactly reproducible.  The distributions implemented here
+// (Zipf, exponential, Pareto) are the ones the workload generators need.
+#ifndef HIBERNATOR_SRC_UTIL_RANDOM_H_
+#define HIBERNATOR_SRC_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hib {
+
+// PCG-XSH-RR 64/32: small, fast, statistically strong, fully deterministic.
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed, std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  // Uniform 32-bit value.
+  std::uint32_t Next();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [0, bound) without modulo bias.
+  std::uint32_t NextBounded(std::uint32_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  // Exponentially distributed value with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // Pareto-distributed value with shape `alpha` and scale `x_min`.
+  double NextPareto(double alpha, double x_min);
+
+  // Normally distributed value (Box-Muller).
+  double NextGaussian(double mean, double stddev);
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+// Samples ranks from a Zipf(theta) distribution over {0, ..., n-1}; rank 0 is
+// the most popular.  Uses the Gray/Jim-Gray "scrambled" quantile-table method:
+// O(n) setup, O(log n) per sample, exact distribution.
+class ZipfGenerator {
+ public:
+  // `n` items, skew `theta` in (0, ~1.2]; theta -> 0 degenerates to uniform.
+  ZipfGenerator(std::int64_t n, double theta);
+
+  // Draws one rank in [0, n).
+  std::int64_t Next(Pcg32& rng) const;
+
+  std::int64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  // Fraction of total probability mass held by the first `k` ranks.
+  double MassOfTop(std::int64_t k) const;
+
+ private:
+  std::int64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i); size n (capped, see .cc)
+  // For very large n we use the analytic inverse instead of the table.
+  bool use_table_;
+  double harmonic_;  // generalized harmonic number H_{n,theta}
+};
+
+}  // namespace hib
+
+#endif  // HIBERNATOR_SRC_UTIL_RANDOM_H_

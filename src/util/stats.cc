@@ -1,0 +1,154 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace hib {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  double delta = other.mean_ - mean_;
+  double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+PercentileReservoir::PercentileReservoir(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity == 0 ? 1 : capacity), rng_state_(seed | 1) {
+  samples_.reserve(capacity_);
+}
+
+std::uint64_t PercentileReservoir::NextRand() {
+  // xorshift64*
+  rng_state_ ^= rng_state_ >> 12;
+  rng_state_ ^= rng_state_ << 25;
+  rng_state_ ^= rng_state_ >> 27;
+  return rng_state_ * 2685821657736338717ULL;
+}
+
+void PercentileReservoir::Add(double x) {
+  ++count_;
+  sorted_ = false;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(x);
+    return;
+  }
+  std::uint64_t j = NextRand() % static_cast<std::uint64_t>(count_);
+  if (j < capacity_) {
+    samples_[static_cast<std::size_t>(j)] = x;
+  }
+}
+
+void PercentileReservoir::Reset() {
+  samples_.clear();
+  count_ = 0;
+  sorted_ = false;
+}
+
+double PercentileReservoir::Percentile(double p) {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void Ewma::Add(double x) {
+  if (!initialized_) {
+    value_ = x;
+    initialized_ = true;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+}
+
+void Ewma::Reset() {
+  value_ = 0.0;
+  initialized_ = false;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets == 0 ? 1 : buckets, 0) {}
+
+void Histogram::Add(double x) {
+  double span = hi_ - lo_;
+  auto n = static_cast<double>(counts_.size());
+  auto idx = static_cast<std::int64_t>((x - lo_) / span * n);
+  if (idx < 0) {
+    idx = 0;
+  }
+  if (idx >= static_cast<std::int64_t>(counts_.size())) {
+    idx = static_cast<std::int64_t>(counts_.size()) - 1;
+  }
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+void Histogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(std::size_t i) const { return bucket_lo(i + 1); }
+
+std::string Histogram::ToString(int width) const {
+  std::ostringstream out;
+  std::int64_t max_count = 1;
+  for (auto c : counts_) {
+    max_count = std::max(max_count, c);
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    int bar = static_cast<int>(static_cast<double>(counts_[i]) /
+                               static_cast<double>(max_count) * width);
+    out << "[" << bucket_lo(i) << ", " << bucket_hi(i) << ") " << std::string(bar, '#') << " "
+        << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hib

@@ -1,0 +1,103 @@
+// Streaming statistics used by the simulator's metering and the policies'
+// online load estimation.
+#ifndef HIBERNATOR_SRC_UTIL_STATS_H_
+#define HIBERNATOR_SRC_UTIL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hib {
+
+// Welford-style running mean/variance with min/max.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Reset();
+  // Merges another accumulator into this one.
+  void Merge(const RunningStats& other);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return count_ > 0 ? mean_ * static_cast<double>(count_) : 0.0; }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-size uniform reservoir for percentile estimation (Vitter's algorithm R).
+class PercentileReservoir {
+ public:
+  explicit PercentileReservoir(std::size_t capacity = 16384, std::uint64_t seed = 1);
+
+  void Add(double x);
+  void Reset();
+
+  // Returns the p-th percentile (p in [0, 100]) of the sampled values;
+  // 0 when empty.  Not const: sorts the reservoir lazily.
+  double Percentile(double p);
+
+  std::int64_t count() const { return count_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<double> samples_;
+  std::int64_t count_ = 0;
+  std::uint64_t rng_state_;
+  bool sorted_ = false;
+
+  std::uint64_t NextRand();
+};
+
+// Exponentially weighted moving average with a configurable smoothing factor.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.3) : alpha_(alpha) {}
+
+  void Add(double x);
+  void Reset();
+  double value() const { return value_; }
+  bool empty() const { return !initialized_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+// Fixed-bucket linear histogram over [lo, hi); out-of-range values clamp to the
+// first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void Add(double x);
+  void Reset();
+
+  std::int64_t bucket_count(std::size_t i) const { return counts_[i]; }
+  std::size_t buckets() const { return counts_.size(); }
+  std::int64_t total() const { return total_; }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+
+  // Render as a compact ASCII bar chart, one bucket per line.
+  std::string ToString(int width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace hib
+
+#endif  // HIBERNATOR_SRC_UTIL_STATS_H_

@@ -1,0 +1,90 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace hib {
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::NewRow() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::Add(const std::string& cell) {
+  if (rows_.empty()) {
+    NewRow();
+  }
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+Table& Table::Add(const char* cell) { return Add(std::string(cell)); }
+
+Table& Table::Add(double value, int precision) { return Add(FormatDouble(value, precision)); }
+
+Table& Table::Add(std::int64_t value) { return Add(std::to_string(value)); }
+
+Table& Table::Add(int value) { return Add(std::to_string(value)); }
+
+Table& Table::AddPercent(double fraction, int precision) {
+  return Add(FormatDouble(fraction * 100.0, precision) + "%");
+}
+
+std::string Table::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out << (c == 0 ? "| " : " ") << std::left << std::setw(static_cast<int>(widths[c])) << cell
+          << " |";
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    out << (c == 0 ? "|" : "") << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+std::string Table::ToCsv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) {
+        out << ",";
+      }
+      out << cells[c];
+    }
+    out << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return out.str();
+}
+
+}  // namespace hib

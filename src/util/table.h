@@ -1,0 +1,44 @@
+// Aligned ASCII table and CSV rendering for benchmark/experiment output.
+//
+// Every bench binary prints its paper-figure reproduction through this class so
+// that tables are uniform and machine-parsable (the same table can be dumped as
+// CSV with Table::ToCsv).
+#ifndef HIBERNATOR_SRC_UTIL_TABLE_H_
+#define HIBERNATOR_SRC_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hib {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Starts a new row.  Cells are appended with the Add* overloads.
+  Table& NewRow();
+  Table& Add(const std::string& cell);
+  Table& Add(const char* cell);
+  Table& Add(double value, int precision = 2);
+  Table& Add(std::int64_t value);
+  Table& Add(int value);
+  // Adds a percentage cell rendered as e.g. "42.3%".
+  Table& AddPercent(double fraction, int precision = 1);
+
+  std::string ToString() const;
+  std::string ToCsv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision (helper shared with Table).
+std::string FormatDouble(double value, int precision);
+
+}  // namespace hib
+
+#endif  // HIBERNATOR_SRC_UTIL_TABLE_H_

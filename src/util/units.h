@@ -1,0 +1,52 @@
+// Units and basic numeric types used throughout the Hibernator simulator.
+//
+// Conventions (kept uniform across every module):
+//   - Simulated time is a double count of *milliseconds* since simulation start.
+//   - Durations are also double milliseconds.
+//   - Energy is joules, power is watts.  energy(J) = power(W) * seconds.
+//   - Disk addresses are 512-byte sectors; request sizes are in sectors.
+#ifndef HIBERNATOR_SRC_UTIL_UNITS_H_
+#define HIBERNATOR_SRC_UTIL_UNITS_H_
+
+#include <cstdint>
+
+namespace hib {
+
+// Simulated time, in milliseconds since simulation start.
+using SimTime = double;
+
+// A duration, in milliseconds.
+using Duration = double;
+
+// Energy in joules.
+using Joules = double;
+
+// Power in watts.
+using Watts = double;
+
+// 512-byte sector address within a disk or within the logical array space.
+using SectorAddr = std::int64_t;
+
+// A count of sectors.
+using SectorCount = std::int64_t;
+
+inline constexpr double kMsPerSecond = 1000.0;
+inline constexpr double kMsPerMinute = 60.0 * kMsPerSecond;
+inline constexpr double kMsPerHour = 60.0 * kMsPerMinute;
+inline constexpr int kSectorBytes = 512;
+
+// Converts a duration in milliseconds to seconds.
+constexpr double MsToSeconds(Duration ms) { return ms / kMsPerSecond; }
+
+// Converts seconds to milliseconds.
+constexpr Duration SecondsToMs(double s) { return s * kMsPerSecond; }
+
+// Converts hours to milliseconds.
+constexpr Duration HoursToMs(double h) { return h * kMsPerHour; }
+
+// Energy consumed by drawing `power` watts for `ms` milliseconds.
+constexpr Joules EnergyOf(Watts power, Duration ms) { return power * MsToSeconds(ms); }
+
+}  // namespace hib
+
+#endif  // HIBERNATOR_SRC_UTIL_UNITS_H_

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/util/config.h"
+
+namespace hib {
+namespace {
+
+TEST(Config, ParsesKeysValuesAndComments) {
+  Config config;
+  EXPECT_TRUE(config.ParseString(
+      "# leading comment\n"
+      "a = 1\n"
+      "  b.c =  hello world  # trailing comment\n"
+      "\n"
+      "d=2.5\n"));
+  EXPECT_TRUE(config.Has("a"));
+  EXPECT_EQ(config.GetString("b.c"), "hello world");
+  EXPECT_EQ(config.GetInt("a", 0), 1);
+  EXPECT_DOUBLE_EQ(config.GetDouble("d", 0.0), 2.5);
+  EXPECT_TRUE(config.errors().empty());
+}
+
+TEST(Config, LaterAssignmentWins) {
+  Config config;
+  config.ParseString("x = 1\nx = 2\n");
+  EXPECT_EQ(config.GetInt("x", 0), 2);
+}
+
+TEST(Config, MissingKeyYieldsDefault) {
+  Config config;
+  config.ParseString("a = 1\n");
+  EXPECT_EQ(config.GetString("nope", "fallback"), "fallback");
+  EXPECT_EQ(config.GetInt("nope", 7), 7);
+  EXPECT_DOUBLE_EQ(config.GetDouble("nope", 1.5), 1.5);
+  EXPECT_TRUE(config.GetBool("nope", true));
+  EXPECT_TRUE(config.errors().empty());  // missing is not an error
+}
+
+TEST(Config, MalformedLinesReported) {
+  Config config;
+  EXPECT_FALSE(config.ParseString("no equals sign\n= empty key\ngood = 1\n"));
+  EXPECT_EQ(config.errors().size(), 2u);
+  EXPECT_EQ(config.GetInt("good", 0), 1);  // good lines survive
+}
+
+TEST(Config, TypeErrorsReportedAndDefaulted) {
+  Config config;
+  config.ParseString("n = abc\nf = 1.5x\nb = maybe\n");
+  EXPECT_EQ(config.GetInt("n", 9), 9);
+  EXPECT_DOUBLE_EQ(config.GetDouble("f", 2.0), 2.0);
+  EXPECT_FALSE(config.GetBool("b", false));
+  EXPECT_EQ(config.errors().size(), 3u);
+}
+
+TEST(Config, BoolSpellings) {
+  Config config;
+  config.ParseString("a=true\nb=YES\nc=1\nd=off\ne=False\nf=0\n");
+  EXPECT_TRUE(config.GetBool("a", false));
+  EXPECT_TRUE(config.GetBool("b", false));
+  EXPECT_TRUE(config.GetBool("c", false));
+  EXPECT_FALSE(config.GetBool("d", true));
+  EXPECT_FALSE(config.GetBool("e", true));
+  EXPECT_FALSE(config.GetBool("f", true));
+}
+
+TEST(Config, UnusedKeysDetected) {
+  Config config;
+  config.ParseString("used = 1\nunused = 2\n");
+  config.GetInt("used", 0);
+  std::vector<std::string> unused = config.UnusedKeys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "unused");
+}
+
+TEST(Config, EmptyValueIsValid) {
+  Config config;
+  EXPECT_TRUE(config.ParseString("key =\n"));
+  EXPECT_TRUE(config.Has("key"));
+  EXPECT_EQ(config.GetString("key", "def"), "");
+}
+
+TEST(Config, ParseFileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/hibernator_config_test.conf";
+  {
+    std::ofstream out(path);
+    out << "alpha = 3\nbeta = x\n";
+  }
+  Config config;
+  EXPECT_TRUE(config.ParseFile(path));
+  EXPECT_EQ(config.GetInt("alpha", 0), 3);
+  EXPECT_EQ(config.GetString("beta"), "x");
+  std::remove(path.c_str());
+}
+
+TEST(Config, MissingFileFails) {
+  Config config;
+  EXPECT_FALSE(config.ParseFile("/nonexistent/path.conf"));
+  EXPECT_FALSE(config.errors().empty());
+}
+
+TEST(Config, NegativeNumbers) {
+  Config config;
+  config.ParseString("i = -42\nd = -2.5\n");
+  EXPECT_EQ(config.GetInt("i", 0), -42);
+  EXPECT_DOUBLE_EQ(config.GetDouble("d", 0.0), -2.5);
+}
+
+}  // namespace
+}  // namespace hib

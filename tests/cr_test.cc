@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/hibernator/cr_algorithm.h"
+#include "src/util/random.h"
+
+namespace hib {
+namespace {
+
+struct CrFixture {
+  DiskParams disk = MakeUltrastar36Z15MultiSpeed(5);
+  SpeedServiceModel service = SpeedServiceModel::FromDisk(disk, 12.0, 0.3);
+
+  CrInput MakeInput(std::vector<double> lambdas, Duration goal_ms) const {
+    CrInput input;
+    input.service = service;
+    input.group_lambda_per_ms = std::move(lambdas);
+    input.group_width = 4;
+    input.goal_ms = goal_ms;
+    input.epoch_ms = HoursToMs(2.0);
+    input.disk = &disk;
+    return input;
+  }
+};
+
+TEST(Cr, ZeroLoadChoosesSlowestEverywhere) {
+  CrFixture f;
+  CrResult r = SolveCr(f.MakeInput({0.0, 0.0, 0.0, 0.0}, 20.0));
+  ASSERT_TRUE(r.feasible);
+  for (int level : r.levels) {
+    EXPECT_EQ(level, 0);
+  }
+}
+
+TEST(Cr, TightGoalForcesFullSpeed) {
+  CrFixture f;
+  // Goal barely above the full-speed service time: nothing slower works.
+  double s_full = f.service.Level(4).mean_ms;
+  CrResult r = SolveCr(f.MakeInput({0.001, 0.001, 0.001, 0.001}, s_full * 1.05));
+  ASSERT_TRUE(r.feasible);
+  // The constraint is on the *average* response, so CR may let one group lag
+  // a single level behind while the rest run flat out — but nothing slower.
+  int at_full = 0;
+  for (int level : r.levels) {
+    EXPECT_GE(level, 3);
+    at_full += level == 4 ? 1 : 0;
+  }
+  EXPECT_GE(at_full, 3);
+  EXPECT_LE(r.predicted_response_ms, s_full * 1.05 + 1e-9);
+}
+
+TEST(Cr, ImpossibleGoalFallsBackToFullSpeed) {
+  CrFixture f;
+  CrResult r = SolveCr(f.MakeInput({0.05, 0.05}, 0.1));  // 0.1 ms: impossible
+  EXPECT_FALSE(r.feasible);
+  for (int level : r.levels) {
+    EXPECT_EQ(level, 4);
+  }
+}
+
+TEST(Cr, LooseGoalSlowsEverything) {
+  CrFixture f;
+  CrResult r = SolveCr(f.MakeInput({0.005, 0.005, 0.005, 0.005}, 1000.0));
+  ASSERT_TRUE(r.feasible);
+  for (int level : r.levels) {
+    EXPECT_EQ(level, 0);
+  }
+}
+
+TEST(Cr, HotterGroupsGetFasterSpeeds) {
+  CrFixture f;
+  // Loads chosen so a mix of speeds is optimal at this goal.
+  CrResult r = SolveCr(f.MakeInput({0.08, 0.04, 0.01, 0.001}, 12.0));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GE(r.levels[0], r.levels[1]);
+  EXPECT_GE(r.levels[1], r.levels[2]);
+  EXPECT_GE(r.levels[2], r.levels[3]);
+  EXPECT_GT(r.levels[0], r.levels[3]);  // actual spread, not all equal
+}
+
+TEST(Cr, PredictedResponseRespectsGoal) {
+  CrFixture f;
+  for (double goal : {8.0, 10.0, 15.0, 25.0, 50.0}) {
+    CrResult r = SolveCr(f.MakeInput({0.06, 0.03, 0.01, 0.002}, goal));
+    if (r.feasible) {
+      EXPECT_LE(r.predicted_response_ms, goal + 1e-6) << "goal=" << goal;
+    }
+  }
+}
+
+TEST(Cr, LooserGoalNeverCostsMorePower) {
+  CrFixture f;
+  double prev_power = 1e18;
+  for (double goal : {7.0, 9.0, 12.0, 16.0, 24.0, 40.0, 100.0}) {
+    CrResult r = SolveCr(f.MakeInput({0.05, 0.03, 0.015, 0.005}, goal));
+    ASSERT_TRUE(r.feasible || goal == 7.0) << "goal=" << goal;
+    if (r.feasible) {
+      EXPECT_LE(r.predicted_power, prev_power + 1e-9) << "goal=" << goal;
+      prev_power = r.predicted_power;
+    }
+  }
+}
+
+TEST(Cr, OverloadedSlowLevelsExcluded) {
+  CrFixture f;
+  // Lambda high enough to saturate the slowest speed entirely.
+  double s_slow = f.service.Level(0).mean_ms;
+  double lambda = 1.2 / s_slow;
+  CrResult r = SolveCr(f.MakeInput({lambda}, 1000.0));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GT(r.levels[0], 0);  // cannot sit at the saturated level
+}
+
+TEST(Cr, TransitionCostKeepsCurrentLevelsOnShortEpochs) {
+  CrFixture f;
+  // Marginal difference between levels 0 and 1; with a tiny epoch the
+  // amortized transition cost should pin the assignment at the current one.
+  CrInput input = f.MakeInput({0.001, 0.001}, 1000.0);
+  input.current_levels = {1, 1};
+  input.epoch_ms = 50.0;  // 50 ms epoch: transitions cost more than they save
+  CrResult r = SolveCr(input);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.levels, (std::vector<int>{1, 1}));
+}
+
+TEST(Cr, LongEpochAmortizesTransition) {
+  CrFixture f;
+  CrInput input = f.MakeInput({0.001, 0.001}, 1000.0);
+  input.current_levels = {1, 1};
+  input.epoch_ms = HoursToMs(4.0);
+  CrResult r = SolveCr(input);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.levels, (std::vector<int>{0, 0}));
+}
+
+TEST(Cr, SingleGroup) {
+  CrFixture f;
+  CrResult r = SolveCr(f.MakeInput({0.02}, 18.0));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.levels.size(), 1u);
+  EXPECT_LE(r.predicted_response_ms, 18.0);
+}
+
+TEST(Cr, DiskPowerBlendsIdleAndActive) {
+  CrFixture f;
+  Watts idle = DiskPowerAt(f.disk, f.service, 4, 0.0);
+  EXPECT_NEAR(idle, 10.2, 1e-9);
+  double s = f.service.Level(4).mean_ms;
+  Watts half = DiskPowerAt(f.disk, f.service, 4, 0.5 / s);
+  EXPECT_NEAR(half, 10.2 + 0.5 * (13.5 - 10.2), 1e-9);
+  Watts sat = DiskPowerAt(f.disk, f.service, 4, 100.0);
+  EXPECT_NEAR(sat, 13.5, 1e-9);
+}
+
+TEST(Cr, ResponseBiasMakesCrConservative) {
+  CrFixture f;
+  // Moderate load, goal with a little headroom: unbiased CR slows down.
+  CrInput plain = f.MakeInput({0.02, 0.02}, 25.0);
+  CrResult unbiased = SolveCr(plain);
+  ASSERT_TRUE(unbiased.feasible);
+  int unbiased_sum = unbiased.levels[0] + unbiased.levels[1];
+
+  // A learned bias of 3x (bursty reality) must push levels up (faster).
+  CrInput biased = plain;
+  biased.group_response_bias = {3.0, 3.0};
+  CrResult careful = SolveCr(biased);
+  ASSERT_TRUE(careful.feasible);
+  int careful_sum = careful.levels[0] + careful.levels[1];
+  EXPECT_GT(careful_sum, unbiased_sum);
+  EXPECT_GE(careful.predicted_response_ms, unbiased.predicted_response_ms - 1e9);
+}
+
+TEST(Cr, ArrivalScvMakesCrConservative) {
+  CrFixture f;
+  CrInput plain = f.MakeInput({0.01, 0.01}, 18.0);
+  CrResult poisson = SolveCr(plain);
+  CrInput bursty = plain;
+  bursty.group_arrival_scv = {30.0, 30.0};
+  CrResult careful = SolveCr(bursty);
+  ASSERT_TRUE(poisson.feasible);
+  ASSERT_TRUE(careful.feasible);
+  EXPECT_GE(careful.levels[0] + careful.levels[1], poisson.levels[0] + poisson.levels[1]);
+}
+
+TEST(Cr, ReportsCandidateCount) {
+  CrFixture f;
+  CrResult r = SolveCr(f.MakeInput({0.02, 0.01, 0.005}, 20.0));
+  EXPECT_GT(r.candidates_evaluated, 0);
+  // Monotone assignments for G=3, K=5: C(7,4) = 35 at most.
+  EXPECT_LE(r.candidates_evaluated, 35);
+}
+
+// Property test: on random small instances, the monotone search must find a
+// solution exactly as good as brute-force over all K^G assignments.
+class CrVsExhaustive : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrVsExhaustive, MonotoneMatchesExhaustive) {
+  CrFixture f;
+  Pcg32 rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> lambdas(4);
+  for (double& l : lambdas) {
+    l = rng.NextDouble() * 0.08;  // up to ~64% utilization at full speed
+  }
+  double goal = 8.0 + rng.NextDouble() * 30.0;
+
+  CrInput fast = f.MakeInput(lambdas, goal);
+  CrInput brute = f.MakeInput(lambdas, goal);
+  brute.exhaustive = true;
+
+  CrResult a = SolveCr(fast);
+  CrResult b = SolveCr(brute);
+  EXPECT_EQ(a.feasible, b.feasible) << "seed=" << GetParam();
+  if (a.feasible) {
+    EXPECT_NEAR(a.predicted_power, b.predicted_power, 1e-6)
+        << "seed=" << GetParam() << " goal=" << goal;
+    EXPECT_LE(a.predicted_response_ms, goal + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, CrVsExhaustive, ::testing::Range(1, 33));
+
+// Property test: feasible solutions always respect the goal across a sweep of
+// group counts and loads.
+class CrFeasibility : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrFeasibility, GoalRespectedAcrossShapes) {
+  CrFixture f;
+  int num_groups = GetParam();
+  Pcg32 rng(static_cast<std::uint64_t>(num_groups) * 977);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<double> lambdas(static_cast<std::size_t>(num_groups));
+    for (double& l : lambdas) {
+      l = rng.NextDouble() * 0.1;
+    }
+    double goal = 7.0 + rng.NextDouble() * 40.0;
+    CrResult r = SolveCr(f.MakeInput(lambdas, goal));
+    if (r.feasible) {
+      EXPECT_LE(r.predicted_response_ms, goal + 1e-6)
+          << "groups=" << num_groups << " trial=" << trial;
+    }
+    // Either way the assignment is complete and in range.
+    ASSERT_EQ(r.levels.size(), lambdas.size());
+    for (int level : r.levels) {
+      EXPECT_GE(level, 0);
+      EXPECT_LT(level, 5);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupCounts, CrFeasibility, ::testing::Values(1, 2, 3, 5, 8, 12, 20));
+
+}  // namespace
+}  // namespace hib

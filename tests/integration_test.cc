@@ -1,0 +1,198 @@
+// End-to-end tests: whole schemes against whole workloads through the same
+// harness the benchmarks use.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/harness/experiment.h"
+#include "src/harness/schemes.h"
+#include "src/trace/synthetic.h"
+
+namespace hib {
+namespace {
+
+ArrayParams SmallArray() {
+  ArrayParams p;
+  p.num_disks = 8;
+  p.group_width = 4;
+  p.disk = MakeUltrastar36Z15MultiSpeed(5);
+  p.data_fraction = 0.1;
+  p.cache_lines = 256;
+  return p;
+}
+
+OltpWorkloadParams ShortOltp(SectorAddr space, Duration hours = 2.0) {
+  OltpWorkloadParams p;
+  p.address_space_sectors = space;
+  p.duration_ms = HoursToMs(hours);
+  p.peak_iops = 80.0;
+  p.trough_iops = 25.0;
+  return p;
+}
+
+ExperimentResult RunScheme(Scheme scheme, const ArrayParams& base_array, double goal_ms = 0.0) {
+  SchemeConfig cfg;
+  cfg.scheme = scheme;
+  cfg.goal_ms = goal_ms > 0.0 ? goal_ms : 25.0;
+  cfg.epoch_ms = HoursToMs(0.25);
+  ArrayParams array = ArrayFor(cfg, base_array);
+  auto policy = MakePolicy(cfg);
+  OltpWorkload workload(ShortOltp(array.DataSectors()));
+  return RunExperiment(workload, *policy, array);
+}
+
+TEST(Integration, AllSchemesCompleteAllRequests) {
+  ArrayParams array = SmallArray();
+  std::int64_t expected = -1;
+  for (Scheme scheme : MainComparisonSchemes()) {
+    ExperimentResult r = RunScheme(scheme, array);
+    EXPECT_GT(r.requests, 1000) << SchemeName(scheme);
+    if (scheme == Scheme::kBase) {
+      expected = r.requests;
+    } else {
+      // Same workload, same request count (PDC/MAID reshape the array but
+      // the logical space is sized identically by data_fraction).
+      EXPECT_EQ(r.requests, expected) << SchemeName(scheme);
+    }
+  }
+}
+
+TEST(Integration, RunsAreDeterministic) {
+  ArrayParams array = SmallArray();
+  ExperimentResult a = RunScheme(Scheme::kHibernator, array);
+  ExperimentResult b = RunScheme(Scheme::kHibernator, array);
+  EXPECT_DOUBLE_EQ(a.energy_total, b.energy_total);
+  EXPECT_DOUBLE_EQ(a.mean_response_ms, b.mean_response_ms);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.rpm_changes, b.rpm_changes);
+}
+
+TEST(Integration, HibernatorSavesEnergyAndMeetsGoal) {
+  ArrayParams array = SmallArray();
+  ExperimentResult base = RunScheme(Scheme::kBase, array);
+  double goal = 2.5 * base.mean_response_ms;
+  ExperimentResult hib = RunScheme(Scheme::kHibernator, array, goal);
+  EXPECT_LT(hib.energy_total, base.energy_total);
+  EXPECT_GT(hib.SavingsVs(base), 0.10);
+  EXPECT_LE(hib.mean_response_ms, goal * 1.05);  // 5% measurement slack
+}
+
+TEST(Integration, BaseNeverTransitions) {
+  ExperimentResult base = RunScheme(Scheme::kBase, SmallArray());
+  EXPECT_EQ(base.rpm_changes, 0);
+  EXPECT_EQ(base.spin_downs, 0);
+  EXPECT_EQ(base.migrations, 0);
+}
+
+TEST(Integration, EnergyBreakdownConsistent) {
+  ExperimentResult r = RunScheme(Scheme::kHibernator, SmallArray());
+  EXPECT_NEAR(r.energy_total,
+              r.energy.active + r.energy.idle + r.energy.standby + r.energy.transition, 1e-6);
+  // Total metered time = disks * duration.
+  EXPECT_NEAR(r.energy.TotalMs(), 8.0 * r.sim_duration_ms, 1.0);
+}
+
+TEST(Integration, TpmSavesOnMostlyIdleWorkload) {
+  ArrayParams array = SmallArray();
+  SchemeConfig base_cfg;
+  base_cfg.scheme = Scheme::kBase;
+  SchemeConfig tpm_cfg;
+  tpm_cfg.scheme = Scheme::kTpm;
+
+  ConstantWorkloadParams wp;
+  wp.address_space_sectors = array.DataSectors();
+  wp.duration_ms = HoursToMs(3.0);
+  wp.iops = 0.002;  // a request every ~8 minutes: deep idle gaps
+
+  auto base_policy = MakePolicy(base_cfg);
+  ConstantWorkload w1(wp);
+  ExperimentResult base = RunExperiment(w1, *base_policy, ArrayFor(base_cfg, array));
+
+  auto tpm_policy = MakePolicy(tpm_cfg);
+  ConstantWorkload w2(wp);
+  ExperimentResult tpm = RunExperiment(w2, *tpm_policy, ArrayFor(tpm_cfg, array));
+
+  EXPECT_GT(tpm.spin_downs, 0);
+  EXPECT_GT(tpm.SavingsVs(base), 0.3);
+}
+
+TEST(Integration, TpmSavesNothingOnBusyWorkload) {
+  // The paper's core observation about TPM in data centers.
+  ArrayParams array = SmallArray();
+  ExperimentResult base = RunScheme(Scheme::kBase, array);
+  ExperimentResult tpm = RunScheme(Scheme::kTpm, array);
+  EXPECT_LT(tpm.SavingsVs(base), 0.05);
+}
+
+TEST(Integration, DrpmMakesFineGrainedTransitions) {
+  // DRPM walks every disk up and down individually; at minimum each of the 8
+  // disks steps down the full ladder during the quiet stretches.
+  ExperimentResult drpm = RunScheme(Scheme::kDrpm, SmallArray());
+  EXPECT_GE(drpm.rpm_changes, 8 * 4);
+  // Hibernator changes speed at most once per group per epoch.
+  ExperimentResult hib = RunScheme(Scheme::kHibernator, SmallArray());
+  EXPECT_LE(hib.rpm_changes, 8 * 8);  // 8 epochs x 8 disks
+}
+
+TEST(Integration, HibernatorAblationsRun) {
+  ArrayParams array = SmallArray();
+  ExperimentResult base = RunScheme(Scheme::kBase, array);
+  double goal = 2.5 * base.mean_response_ms;
+  for (Scheme scheme : {Scheme::kHibernatorNoMigration, Scheme::kHibernatorNoBoost,
+                        Scheme::kHibernatorUtilThreshold}) {
+    ExperimentResult r = RunScheme(scheme, array, goal);
+    EXPECT_EQ(r.requests, base.requests) << SchemeName(scheme);
+    EXPECT_GT(r.energy_total, 0.0);
+  }
+}
+
+TEST(Integration, SeriesCollectionWorks) {
+  SchemeConfig cfg;
+  cfg.scheme = Scheme::kHibernator;
+  cfg.goal_ms = 25.0;
+  cfg.epoch_ms = HoursToMs(0.25);
+  ArrayParams array = ArrayFor(cfg, SmallArray());
+  auto policy = MakePolicy(cfg);
+  OltpWorkload workload(ShortOltp(array.DataSectors()));
+  ExperimentOptions options;
+  options.collect_series = true;
+  options.sample_period_ms = HoursToMs(0.25);
+  ExperimentResult r = RunExperiment(workload, *policy, array, options);
+  ASSERT_GE(r.series.size(), 7u);
+  for (const SeriesPoint& p : r.series) {
+    int disks = p.disks_standby;
+    for (int n : p.disks_at_level) {
+      disks += n;
+    }
+    EXPECT_EQ(disks, 8);  // every disk accounted for at every sample
+    EXPECT_GE(p.energy_so_far, 0.0);
+  }
+  // Energy is monotone over time.
+  for (std::size_t i = 1; i < r.series.size(); ++i) {
+    EXPECT_GE(r.series[i].energy_so_far, r.series[i - 1].energy_so_far);
+  }
+}
+
+TEST(Integration, MeasureBaseResponseProbe) {
+  ArrayParams array = SmallArray();
+  OltpWorkload workload(ShortOltp(array.DataSectors()));
+  double base_ms = MeasureBaseResponseMs(workload, array, HoursToMs(0.5));
+  EXPECT_GT(base_ms, 2.0);
+  EXPECT_LT(base_ms, 30.0);
+  // The probe must leave the workload rewound.
+  TraceRecord rec;
+  ASSERT_TRUE(workload.Next(&rec));
+  EXPECT_LT(rec.time, SecondsToMs(60.0));
+}
+
+TEST(Integration, StandardSetupsAreValid) {
+  OltpSetup oltp = MakeOltpSetup();
+  EXPECT_EQ(oltp.array.num_disks % oltp.array.group_width, 0);
+  EXPECT_EQ(oltp.array.disk.Validate(), "");
+  CelloSetup cello = MakeCelloSetup();
+  EXPECT_EQ(cello.array.num_disks % cello.array.group_width, 0);
+  EXPECT_EQ(cello.array.disk.Validate(), "");
+}
+
+}  // namespace
+}  // namespace hib

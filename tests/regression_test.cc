@@ -1,0 +1,112 @@
+// Guardrail regressions: the paper's qualitative results, asserted as loose
+// quantitative bands on miniature versions of the headline experiments.  If a
+// refactor breaks the energy model, the CR optimizer, or the guarantee, these
+// fail long before anyone stares at a benchmark table.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/harness/experiment.h"
+#include "src/harness/schemes.h"
+#include "src/trace/synthetic.h"
+
+namespace hib {
+namespace {
+
+ArrayParams MiniArray() {
+  ArrayParams p;
+  p.num_disks = 8;
+  p.group_width = 4;
+  p.disk = MakeUltrastar36Z15MultiSpeed(5);
+  p.data_fraction = 0.1;
+  p.cache_lines = 256;
+  return p;
+}
+
+OltpWorkloadParams MiniOltp(SectorAddr space) {
+  OltpWorkloadParams p;
+  p.address_space_sectors = space;
+  p.duration_ms = HoursToMs(4.0);
+  p.peak_iops = 70.0;
+  p.trough_iops = 20.0;
+  return p;
+}
+
+struct MiniRun {
+  ExperimentResult result;
+  double goal_ms = 0.0;
+};
+
+MiniRun RunMini(Scheme scheme, double goal_ms) {
+  SchemeConfig cfg;
+  cfg.scheme = scheme;
+  cfg.goal_ms = goal_ms;
+  cfg.epoch_ms = HoursToMs(0.5);
+  ArrayParams array = ArrayFor(cfg, MiniArray());
+  auto policy = MakePolicy(cfg);
+  OltpWorkload workload(MiniOltp(array.DataSectors()));
+  return {RunExperiment(workload, *policy, array), goal_ms};
+}
+
+class RegressionBands : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    base_ = new MiniRun(RunMini(Scheme::kBase, 0.0));
+    goal_ = 2.5 * base_->result.mean_response_ms;
+  }
+  static void TearDownTestSuite() {
+    delete base_;
+    base_ = nullptr;
+  }
+  static MiniRun* base_;
+  static double goal_;
+};
+
+MiniRun* RegressionBands::base_ = nullptr;
+double RegressionBands::goal_ = 0.0;
+
+TEST_F(RegressionBands, BaseResponseInExpectedBand) {
+  // Full-speed small random I/O on this disk model: mean a few ms.
+  EXPECT_GT(base_->result.mean_response_ms, 4.0);
+  EXPECT_LT(base_->result.mean_response_ms, 14.0);
+  // Mean power near 8 idle-ish disks.
+  EXPECT_GT(base_->result.MeanPower(), 80.0);
+  EXPECT_LT(base_->result.MeanPower(), 112.0);
+}
+
+TEST_F(RegressionBands, HibernatorSavesWhileMeetingGoal) {
+  MiniRun hib = RunMini(Scheme::kHibernator, goal_);
+  EXPECT_GT(hib.result.SavingsVs(base_->result), 0.15);
+  EXPECT_LT(hib.result.SavingsVs(base_->result), 0.80);
+  EXPECT_LE(hib.result.mean_response_ms, goal_ * 1.10);
+}
+
+TEST_F(RegressionBands, TpmIsNoOpOnBusyArray) {
+  MiniRun tpm = RunMini(Scheme::kTpm, goal_);
+  EXPECT_NEAR(tpm.result.energy_total, base_->result.energy_total,
+              0.03 * base_->result.energy_total);
+}
+
+TEST_F(RegressionBands, DrpmSavesButDegradesLatency) {
+  MiniRun drpm = RunMini(Scheme::kDrpm, goal_);
+  EXPECT_GT(drpm.result.SavingsVs(base_->result), 0.25);
+  EXPECT_GT(drpm.result.mean_response_ms, 2.0 * base_->result.mean_response_ms);
+}
+
+TEST_F(RegressionBands, MaidCostsEnergyAtThisScale) {
+  MiniRun maid = RunMini(Scheme::kMaid, goal_);
+  // Two always-on cache disks on an 8-disk array: net energy increase.
+  EXPECT_LT(maid.result.SavingsVs(base_->result), 0.05);
+}
+
+TEST_F(RegressionBands, HibernatorBeatsUtilThresholdOnGoalAdherence) {
+  MiniRun cr = RunMini(Scheme::kHibernator, goal_);
+  MiniRun ut = RunMini(Scheme::kHibernatorUtilThreshold, goal_);
+  // Both run; CR must meet the goal.  UT has no response model, so its only
+  // guardrail is the boost — it may meet the goal but burns boost time.
+  EXPECT_LE(cr.result.mean_response_ms, goal_ * 1.10);
+  EXPECT_GT(ut.result.requests, 0);
+}
+
+}  // namespace
+}  // namespace hib

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/simulator.h"
+
+namespace hib {
+namespace {
+
+// --------------------------------------------------------- EventQueue ------
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Schedule(30.0, [&] { fired.push_back(3); });
+  q.Schedule(10.0, [&] { fired.push_back(1); });
+  q.Schedule(20.0, [&] { fired.push_back(2); });
+  while (!q.empty()) {
+    q.PopNext().callback();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(5.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) {
+    q.PopNext().callback();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  EventId id = q.Schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  EventId id = q.Schedule(1.0, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireFails) {
+  EventQueue q;
+  EventId id = q.Schedule(1.0, [] {});
+  q.PopNext().callback();
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(9999));
+}
+
+TEST(EventQueue, CancelMiddleKeepsOthers) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Schedule(1.0, [&] { fired.push_back(1); });
+  EventId mid = q.Schedule(2.0, [&] { fired.push_back(2); });
+  q.Schedule(3.0, [&] { fired.push_back(3); });
+  q.Cancel(mid);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) {
+    q.PopNext().callback();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledHead) {
+  EventQueue q;
+  EventId head = q.Schedule(1.0, [] {});
+  q.Schedule(2.0, [] {});
+  q.Cancel(head);
+  EXPECT_DOUBLE_EQ(q.NextTime(), 2.0);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  EXPECT_EQ(q.size(), 0u);
+  EventId a = q.Schedule(1.0, [] {});
+  q.Schedule(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.PopNext();
+  EXPECT_TRUE(q.empty());
+}
+
+// ---------------------------------------------------------- Simulator ------
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<SimTime> seen;
+  sim.ScheduleIn(10.0, [&] { seen.push_back(sim.Now()); });
+  sim.ScheduleIn(5.0, [&] { seen.push_back(sim.Now()); });
+  sim.RunUntil();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_DOUBLE_EQ(seen[0], 5.0);
+  EXPECT_DOUBLE_EQ(seen[1], 10.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleIn(10.0, [&] { ++fired; });
+  sim.ScheduleIn(20.0, [&] { ++fired; });
+  sim.RunUntil(15.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.Now(), 15.0);
+  sim.RunUntil(25.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsScheduledDuringRunFire) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) {
+      sim.ScheduleIn(1.0, recurse);
+    }
+  };
+  sim.ScheduleIn(1.0, recurse);
+  sim.RunUntil(100.0);
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.events_fired(), 5u);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.ScheduleIn(10.0, [] {});
+  sim.RunUntil(10.0);
+  bool fired = false;
+  sim.ScheduleIn(-5.0, [&] { fired = true; });
+  sim.RunUntil(10.0);
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(sim.Now(), 10.0);
+}
+
+TEST(Simulator, ScheduleAtPastClampsToNow) {
+  Simulator sim;
+  sim.ScheduleIn(10.0, [] {});
+  sim.RunUntil();
+  SimTime fired_at = -1.0;
+  sim.ScheduleAt(3.0, [&] { fired_at = sim.Now(); });
+  sim.RunUntil();
+  EXPECT_DOUBLE_EQ(fired_at, 10.0);
+}
+
+TEST(Simulator, CancelStopsEvent) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.ScheduleIn(5.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.RunUntil(10.0);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, PeriodicFiresAtPeriod) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.SchedulePeriodic(10.0, 10.0, [&] { times.push_back(sim.Now()); });
+  sim.RunUntil(45.0);
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_DOUBLE_EQ(times[0], 10.0);
+  EXPECT_DOUBLE_EQ(times[3], 40.0);
+}
+
+TEST(Simulator, StopPeriodicHalts) {
+  Simulator sim;
+  int count = 0;
+  Simulator::PeriodicHandle handle = sim.SchedulePeriodic(1.0, 1.0, [&] { ++count; });
+  sim.ScheduleAt(5.5, [&] { sim.StopPeriodic(handle); });
+  sim.RunUntil(100.0);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulator, PeriodicCanStopItself) {
+  Simulator sim;
+  int count = 0;
+  Simulator::PeriodicHandle handle{};
+  handle = sim.SchedulePeriodic(1.0, 1.0, [&] {
+    if (++count == 3) {
+      sim.StopPeriodic(handle);
+    }
+  });
+  sim.RunUntil(100.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, MultiplePeriodicsIndependent) {
+  Simulator sim;
+  int fast = 0;
+  int slow = 0;
+  sim.SchedulePeriodic(1.0, 1.0, [&] { ++fast; });
+  sim.SchedulePeriodic(5.0, 5.0, [&] { ++slow; });
+  sim.RunUntil(20.5);
+  EXPECT_EQ(fast, 20);
+  EXPECT_EQ(slow, 4);
+}
+
+TEST(Simulator, StepFiresOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleIn(1.0, [&] { ++fired; });
+  sim.ScheduleIn(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilAdvancesClockToBoundEvenWhenIdle) {
+  Simulator sim;
+  sim.RunUntil(1234.0);
+  EXPECT_DOUBLE_EQ(sim.Now(), 1234.0);
+}
+
+TEST(Simulator, ReturnsEventsFiredCount) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) {
+    sim.ScheduleIn(static_cast<double>(i), [] {});
+  }
+  EXPECT_EQ(sim.RunUntil(100.0), 7u);
+}
+
+}  // namespace
+}  // namespace hib
