@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cello.dir/bench_cello.cc.o"
+  "CMakeFiles/bench_cello.dir/bench_cello.cc.o.d"
+  "bench_cello"
+  "bench_cello.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cello.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disk_model.dir/bench_disk_model.cc.o"
+  "CMakeFiles/bench_disk_model.dir/bench_disk_model.cc.o.d"
+  "bench_disk_model"
+  "bench_disk_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disk_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_goal_sweep.dir/bench_goal_sweep.cc.o"
+  "CMakeFiles/bench_goal_sweep.dir/bench_goal_sweep.cc.o.d"
+  "bench_goal_sweep"
+  "bench_goal_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_goal_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_guarantee.dir/bench_guarantee.cc.o"
+  "CMakeFiles/bench_guarantee.dir/bench_guarantee.cc.o.d"
+  "bench_guarantee"
+  "bench_guarantee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_guarantee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

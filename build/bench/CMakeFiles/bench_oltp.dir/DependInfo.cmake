@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_oltp.cc" "bench/CMakeFiles/bench_oltp.dir/bench_oltp.cc.o" "gcc" "bench/CMakeFiles/bench_oltp.dir/bench_oltp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/hib_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/hibernator/CMakeFiles/hib_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/hib_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/hib_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/hib_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/hib_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hib_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hib_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hib_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

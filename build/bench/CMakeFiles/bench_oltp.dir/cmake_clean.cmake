@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oltp.dir/bench_oltp.cc.o"
+  "CMakeFiles/bench_oltp.dir/bench_oltp.cc.o.d"
+  "bench_oltp"
+  "bench_oltp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oltp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speed_levels.dir/bench_speed_levels.cc.o"
+  "CMakeFiles/bench_speed_levels.dir/bench_speed_levels.cc.o.d"
+  "bench_speed_levels"
+  "bench_speed_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speed_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

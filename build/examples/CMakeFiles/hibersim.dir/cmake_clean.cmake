@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hibersim.dir/hibersim.cpp.o"
+  "CMakeFiles/hibersim.dir/hibersim.cpp.o.d"
+  "hibersim"
+  "hibersim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hibersim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

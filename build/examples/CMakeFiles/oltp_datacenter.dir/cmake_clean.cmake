@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_datacenter.dir/oltp_datacenter.cpp.o"
+  "CMakeFiles/oltp_datacenter.dir/oltp_datacenter.cpp.o.d"
+  "oltp_datacenter"
+  "oltp_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

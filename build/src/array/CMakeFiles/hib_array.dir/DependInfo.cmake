@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/array/array.cc" "src/array/CMakeFiles/hib_array.dir/array.cc.o" "gcc" "src/array/CMakeFiles/hib_array.dir/array.cc.o.d"
+  "/root/repo/src/array/cache.cc" "src/array/CMakeFiles/hib_array.dir/cache.cc.o" "gcc" "src/array/CMakeFiles/hib_array.dir/cache.cc.o.d"
+  "/root/repo/src/array/layout.cc" "src/array/CMakeFiles/hib_array.dir/layout.cc.o" "gcc" "src/array/CMakeFiles/hib_array.dir/layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/disk/CMakeFiles/hib_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hib_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hib_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hib_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hib_array.dir/array.cc.o"
+  "CMakeFiles/hib_array.dir/array.cc.o.d"
+  "CMakeFiles/hib_array.dir/cache.cc.o"
+  "CMakeFiles/hib_array.dir/cache.cc.o.d"
+  "CMakeFiles/hib_array.dir/layout.cc.o"
+  "CMakeFiles/hib_array.dir/layout.cc.o.d"
+  "libhib_array.a"
+  "libhib_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hib_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhib_array.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for hib_array.
+# This may be replaced when dependencies are built.

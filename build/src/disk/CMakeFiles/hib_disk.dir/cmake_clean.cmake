@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hib_disk.dir/disk.cc.o"
+  "CMakeFiles/hib_disk.dir/disk.cc.o.d"
+  "CMakeFiles/hib_disk.dir/disk_params.cc.o"
+  "CMakeFiles/hib_disk.dir/disk_params.cc.o.d"
+  "libhib_disk.a"
+  "libhib_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hib_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

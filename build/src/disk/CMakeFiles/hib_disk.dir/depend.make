@@ -1,0 +1,2 @@
+# Empty dependencies file for hib_disk.
+# This may be replaced when dependencies are built.

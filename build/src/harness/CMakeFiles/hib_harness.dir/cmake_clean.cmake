@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hib_harness.dir/experiment.cc.o"
+  "CMakeFiles/hib_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/hib_harness.dir/schemes.cc.o"
+  "CMakeFiles/hib_harness.dir/schemes.cc.o.d"
+  "libhib_harness.a"
+  "libhib_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hib_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

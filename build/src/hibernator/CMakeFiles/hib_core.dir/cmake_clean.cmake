@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hib_core.dir/cr_algorithm.cc.o"
+  "CMakeFiles/hib_core.dir/cr_algorithm.cc.o.d"
+  "CMakeFiles/hib_core.dir/hibernator_policy.cc.o"
+  "CMakeFiles/hib_core.dir/hibernator_policy.cc.o.d"
+  "CMakeFiles/hib_core.dir/perf_guarantee.cc.o"
+  "CMakeFiles/hib_core.dir/perf_guarantee.cc.o.d"
+  "libhib_core.a"
+  "libhib_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hib_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/drpm.cc" "src/policy/CMakeFiles/hib_policy.dir/drpm.cc.o" "gcc" "src/policy/CMakeFiles/hib_policy.dir/drpm.cc.o.d"
+  "/root/repo/src/policy/maid.cc" "src/policy/CMakeFiles/hib_policy.dir/maid.cc.o" "gcc" "src/policy/CMakeFiles/hib_policy.dir/maid.cc.o.d"
+  "/root/repo/src/policy/pdc.cc" "src/policy/CMakeFiles/hib_policy.dir/pdc.cc.o" "gcc" "src/policy/CMakeFiles/hib_policy.dir/pdc.cc.o.d"
+  "/root/repo/src/policy/tpm.cc" "src/policy/CMakeFiles/hib_policy.dir/tpm.cc.o" "gcc" "src/policy/CMakeFiles/hib_policy.dir/tpm.cc.o.d"
+  "/root/repo/src/policy/tpm_adaptive.cc" "src/policy/CMakeFiles/hib_policy.dir/tpm_adaptive.cc.o" "gcc" "src/policy/CMakeFiles/hib_policy.dir/tpm_adaptive.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/array/CMakeFiles/hib_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/hib_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hib_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hib_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hib_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hib_policy.dir/drpm.cc.o"
+  "CMakeFiles/hib_policy.dir/drpm.cc.o.d"
+  "CMakeFiles/hib_policy.dir/maid.cc.o"
+  "CMakeFiles/hib_policy.dir/maid.cc.o.d"
+  "CMakeFiles/hib_policy.dir/pdc.cc.o"
+  "CMakeFiles/hib_policy.dir/pdc.cc.o.d"
+  "CMakeFiles/hib_policy.dir/tpm.cc.o"
+  "CMakeFiles/hib_policy.dir/tpm.cc.o.d"
+  "CMakeFiles/hib_policy.dir/tpm_adaptive.cc.o"
+  "CMakeFiles/hib_policy.dir/tpm_adaptive.cc.o.d"
+  "libhib_policy.a"
+  "libhib_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hib_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

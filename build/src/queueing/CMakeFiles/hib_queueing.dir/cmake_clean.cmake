@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hib_queueing.dir/mg1.cc.o"
+  "CMakeFiles/hib_queueing.dir/mg1.cc.o.d"
+  "libhib_queueing.a"
+  "libhib_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hib_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

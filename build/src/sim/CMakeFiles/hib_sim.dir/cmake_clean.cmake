@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hib_sim.dir/event_queue.cc.o"
+  "CMakeFiles/hib_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/hib_sim.dir/simulator.cc.o"
+  "CMakeFiles/hib_sim.dir/simulator.cc.o.d"
+  "libhib_sim.a"
+  "libhib_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hib_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/spc_reader.cc" "src/trace/CMakeFiles/hib_trace.dir/spc_reader.cc.o" "gcc" "src/trace/CMakeFiles/hib_trace.dir/spc_reader.cc.o.d"
+  "/root/repo/src/trace/spc_writer.cc" "src/trace/CMakeFiles/hib_trace.dir/spc_writer.cc.o" "gcc" "src/trace/CMakeFiles/hib_trace.dir/spc_writer.cc.o.d"
+  "/root/repo/src/trace/synthetic.cc" "src/trace/CMakeFiles/hib_trace.dir/synthetic.cc.o" "gcc" "src/trace/CMakeFiles/hib_trace.dir/synthetic.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/trace/CMakeFiles/hib_trace.dir/trace.cc.o" "gcc" "src/trace/CMakeFiles/hib_trace.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hib_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

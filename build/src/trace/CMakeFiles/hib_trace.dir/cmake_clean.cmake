@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hib_trace.dir/spc_reader.cc.o"
+  "CMakeFiles/hib_trace.dir/spc_reader.cc.o.d"
+  "CMakeFiles/hib_trace.dir/spc_writer.cc.o"
+  "CMakeFiles/hib_trace.dir/spc_writer.cc.o.d"
+  "CMakeFiles/hib_trace.dir/synthetic.cc.o"
+  "CMakeFiles/hib_trace.dir/synthetic.cc.o.d"
+  "CMakeFiles/hib_trace.dir/trace.cc.o"
+  "CMakeFiles/hib_trace.dir/trace.cc.o.d"
+  "libhib_trace.a"
+  "libhib_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hib_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

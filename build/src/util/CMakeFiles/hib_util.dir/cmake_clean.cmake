@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hib_util.dir/config.cc.o"
+  "CMakeFiles/hib_util.dir/config.cc.o.d"
+  "CMakeFiles/hib_util.dir/log.cc.o"
+  "CMakeFiles/hib_util.dir/log.cc.o.d"
+  "CMakeFiles/hib_util.dir/random.cc.o"
+  "CMakeFiles/hib_util.dir/random.cc.o.d"
+  "CMakeFiles/hib_util.dir/stats.cc.o"
+  "CMakeFiles/hib_util.dir/stats.cc.o.d"
+  "CMakeFiles/hib_util.dir/table.cc.o"
+  "CMakeFiles/hib_util.dir/table.cc.o.d"
+  "libhib_util.a"
+  "libhib_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hib_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

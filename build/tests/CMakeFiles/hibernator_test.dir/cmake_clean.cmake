@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hibernator_test.dir/hibernator_test.cc.o"
+  "CMakeFiles/hibernator_test.dir/hibernator_test.cc.o.d"
+  "hibernator_test"
+  "hibernator_test.pdb"
+  "hibernator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hibernator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
