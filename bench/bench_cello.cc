@@ -20,7 +20,7 @@ int main() {
   auto make_workload = [&](const hib::ArrayParams& array) {
     return std::make_unique<hib::CelloWorkload>(hib::CelloParamsFor(setup, array));
   };
-  double goal_ms = 0.0;
+  hib::Duration goal_ms = 0.0;
   std::vector<hib::ComparisonRow> rows =
       hib::RunComparison(hib::MainComparisonSchemes(), setup.array, make_workload,
                          goal_multiplier, hib::HoursToMs(2.0), {}, &goal_ms);

@@ -64,7 +64,7 @@ std::vector<ComparisonRow> RunComparison(const std::vector<Scheme>& schemes,
     auto workload = make_workload(base_array);
     base_resp = MeasureBaseResponseMs(*workload, base_array, HoursToMs(2.0));
   }
-  double goal_ms = goal_multiplier * base_resp;
+  Duration goal_ms = goal_multiplier * base_resp;
   if (out_goal_ms != nullptr) {
     *out_goal_ms = goal_ms;
   }
@@ -87,7 +87,7 @@ std::vector<ComparisonRow> RunComparison(const std::vector<Scheme>& schemes,
 
 // The paper's two headline charts: energy per scheme and response per scheme.
 inline void PrintEnergyAndResponseTables(const std::vector<ComparisonRow>& rows,
-                                         double goal_ms) {
+                                         Duration goal_ms) {
   const ExperimentResult* base = nullptr;
   for (const auto& row : rows) {
     if (row.scheme == Scheme::kBase) {

@@ -22,7 +22,7 @@ int main() {
   auto base_policy = hib::MakePolicy(base_cfg);
   auto base_workload = make_workload(setup.array);
   hib::ExperimentResult base = hib::RunExperiment(*base_workload, *base_policy, setup.array);
-  double goal_ms = 2.5 * base.mean_response_ms;
+  hib::Duration goal_ms = 2.5 * base.mean_response_ms;
   std::printf("goal: %.2f ms (2.5x Base)\n\n", goal_ms);
 
   hib::Table table({"epoch (h)", "energy (kJ)", "savings", "mean resp (ms)", "goal met",

@@ -30,7 +30,7 @@ int main() {
   hib::Table table({"goal multiplier", "goal (ms)", "energy (kJ)", "savings", "mean resp (ms)",
                     "goal met", "boost time (h)"});
   for (double multiplier : {1.1, 1.5, 2.0, 2.5, 3.0, 4.0}) {
-    double goal_ms = multiplier * base.mean_response_ms;
+    hib::Duration goal_ms = multiplier * base.mean_response_ms;
     hib::HibernatorParams hp;
     hp.goal_ms = goal_ms;
     hib::HibernatorPolicy policy(hp);

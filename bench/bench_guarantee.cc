@@ -27,7 +27,7 @@ int main() {
   auto base_policy = hib::MakePolicy(base_cfg);
   auto base_workload = make_workload(setup.array);
   hib::ExperimentResult base = hib::RunExperiment(*base_workload, *base_policy, setup.array);
-  double goal_ms = 2.5 * base.mean_response_ms;
+  hib::Duration goal_ms = 2.5 * base.mean_response_ms;
   std::printf("goal: %.2f ms; surge: 2x arrival rate in [12h, 14h)\n\n", goal_ms);
 
   hib::ExperimentOptions options;

@@ -34,7 +34,7 @@ int main() {
     auto base_policy = hib::MakePolicy(base_cfg);
     auto base_workload = make_workload(setup.array);
     hib::ExperimentResult base = hib::RunExperiment(*base_workload, *base_policy, setup.array);
-    double goal_ms = 2.5 * base.mean_response_ms;
+    hib::Duration goal_ms = 2.5 * base.mean_response_ms;
     std::printf("theta=%.2f: goal %.2f ms (2.5x Base %.2f ms, %.1f kJ)\n", theta, goal_ms,
                 base.mean_response_ms, base.energy_total / 1000.0);
 

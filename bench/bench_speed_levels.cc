@@ -25,7 +25,7 @@ int main() {
   auto base_workload = make_workload(base_setup, base_setup.array);
   hib::ExperimentResult base =
       hib::RunExperiment(*base_workload, *base_policy, base_setup.array);
-  double goal_ms = 2.5 * base.mean_response_ms;
+  hib::Duration goal_ms = 2.5 * base.mean_response_ms;
   std::printf("Base (single-speed): %.1f kJ, goal %.2f ms\n\n", base.energy_total / 1000.0,
               goal_ms);
 

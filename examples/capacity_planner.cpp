@@ -16,7 +16,7 @@
 
 int main(int argc, char** argv) {
   int num_disks = argc > 1 ? std::atoi(argv[1]) : 20;
-  double goal_ms = argc > 2 ? std::atof(argv[2]) : 15.0;
+  hib::Duration goal_ms = argc > 2 ? std::atof(argv[2]) : 15.0;
   const int kGroupWidth = 4;
   int num_groups = num_disks / kGroupWidth;
   if (num_groups < 1) {

@@ -160,7 +160,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  double goal_ms = config.GetDouble("scheme.goal_ms", 0.0);
+  hib::Duration goal_ms = config.GetDouble("scheme.goal_ms", 0.0);
   double multiplier = config.GetDouble("scheme.goal_multiplier", 2.5);
   if (goal_ms <= 0.0) {
     goal_ms = multiplier * hib::MeasureBaseResponseMs(*workload, array, hib::HoursToMs(2.0));

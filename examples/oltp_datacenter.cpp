@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     auto workload = make_workload(setup.array);
     base_resp = hib::MeasureBaseResponseMs(*workload, setup.array, hib::HoursToMs(2.0));
   }
-  double goal_ms = goal_multiplier * base_resp;
+  hib::Duration goal_ms = goal_multiplier * base_resp;
   std::printf("OLTP data center: %d disks, %.0f simulated hours, goal %.2f ms (%.1fx base)\n\n",
               setup.array.num_disks, hours, goal_ms, goal_multiplier);
 

@@ -52,7 +52,7 @@ std::string MakeDemoTrace() {
 int main(int argc, char** argv) {
   const char* path = argc > 1 ? argv[1] : nullptr;
   hib::Scheme scheme = argc > 2 ? ParseScheme(argv[2]) : hib::Scheme::kHibernator;
-  double goal_ms = argc > 3 ? std::atof(argv[3]) : 0.0;
+  hib::Duration goal_ms = argc > 3 ? std::atof(argv[3]) : 0.0;
   int num_disks = argc > 4 ? std::atoi(argv[4]) : 8;
 
   hib::ArrayParams array;

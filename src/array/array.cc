@@ -1,9 +1,10 @@
 #include "src/array/array.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "src/util/log.h"
+
+#include "src/util/check.h"
 
 namespace hib {
 
@@ -49,7 +50,8 @@ ArrayController::ArrayController(Simulator* sim, ArrayParams params)
       layout_(MakeLayoutParams(params)),
       temperatures_(params.NumExtents(), params.temperature_decay),
       cache_(params.cache_lines, params.cache_line_sectors) {
-  assert(params_.num_disks % params_.group_width == 0);
+  HIB_CHECK_EQ(params_.num_disks % params_.group_width, 0)
+      << "group width must divide the data-disk count";
   int total = num_disks_total();
   disk_failed_.assign(static_cast<std::size_t>(total), false);
   disk_rebuilding_.assign(static_cast<std::size_t>(total), false);
@@ -61,8 +63,9 @@ ArrayController::ArrayController(Simulator* sim, ArrayParams params)
 }
 
 void ArrayController::Submit(const TraceRecord& record, std::function<void(Duration)> done) {
-  assert(record.lba >= 0 && record.count > 0);
-  assert(record.lba + record.count <= params_.DataSectors());
+  HIB_DCHECK(record.lba >= 0 && record.count > 0) << "malformed trace record";
+  HIB_DCHECK_LE(record.lba + record.count, params_.DataSectors())
+      << "trace record beyond the logical address space";
 
   if (record.is_write) {
     ++stats_.writes;
@@ -264,7 +267,7 @@ void ArrayController::FinishLogical(const std::shared_ptr<RequestContext>& ctx) 
 }
 
 void ArrayController::SubmitRaw(int disk_id, DiskRequest request) {
-  assert(disk_id >= 0 && disk_id < num_disks_total());
+  HIB_CHECK(disk_id >= 0 && disk_id < num_disks_total()) << "disk id " << disk_id;
   ++stats_.subops;
   disks_[static_cast<std::size_t>(disk_id)]->Submit(std::move(request));
 }
@@ -313,12 +316,12 @@ void ArrayController::IssueDegradedRead(const std::shared_ptr<RequestContext>& c
 }
 
 void ArrayController::FailDisk(int disk_id) {
-  assert(disk_id >= 0 && disk_id < num_disks_total());
+  HIB_CHECK(disk_id >= 0 && disk_id < num_disks_total()) << "disk id " << disk_id;
   disk_failed_[static_cast<std::size_t>(disk_id)] = true;
 }
 
 void ArrayController::ReplaceDisk(int disk_id, std::function<void()> on_complete) {
-  assert(disk_id >= 0 && disk_id < num_disks_total());
+  HIB_CHECK(disk_id >= 0 && disk_id < num_disks_total()) << "disk id " << disk_id;
   if (!disk_failed_[static_cast<std::size_t>(disk_id)] ||
       disk_rebuilding_[static_cast<std::size_t>(disk_id)]) {
     return;
@@ -422,8 +425,9 @@ void ArrayController::FinishRebuild(int disk_id) {
 // ----------------------------------------------------------- migration -----
 
 void ArrayController::RequestMigration(std::int64_t extent, int target_group) {
-  assert(extent >= 0 && extent < layout_.num_extents());
-  assert(target_group >= 0 && target_group < layout_.num_groups());
+  HIB_CHECK(extent >= 0 && extent < layout_.num_extents()) << "extent " << extent;
+  HIB_CHECK(target_group >= 0 && target_group < layout_.num_groups())
+      << "group " << target_group;
   migration_queue_.emplace_back(extent, target_group);
   PumpMigrations();
 }

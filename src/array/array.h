@@ -69,11 +69,11 @@ struct ArrayStats {
   std::int64_t rebuilt_extents = 0;
 
   // Rolling window (policies read + ResetWindow once per epoch/check).
-  double window_response_sum_ms = 0.0;
+  Duration window_response_sum_ms = 0.0;
   std::int64_t window_responses = 0;
 
   // Cumulative sums backing the performance guarantee.
-  double total_response_sum_ms = 0.0;
+  Duration total_response_sum_ms = 0.0;
   std::int64_t total_responses = 0;
 
   void ResetWindow() {

@@ -1,18 +1,21 @@
 #include "src/array/layout.h"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
+
+#include "src/util/check.h"
 
 namespace hib {
 
 LayoutManager::LayoutManager(LayoutParams params) : params_(params) {
-  assert(params_.num_disks > 0);
-  assert(params_.group_width > 0);
-  assert(params_.num_disks % params_.group_width == 0);
-  assert(params_.num_extents > 0);
-  assert(params_.disk_capacity_sectors > params_.extent_sectors);
-  assert(params_.extent_sectors % params_.stripe_unit_sectors == 0);
+  HIB_CHECK_GT(params_.num_disks, 0);
+  HIB_CHECK_GT(params_.group_width, 0);
+  HIB_CHECK_EQ(params_.num_disks % params_.group_width, 0)
+      << "group width must divide the disk count";
+  HIB_CHECK_GT(params_.num_extents, 0);
+  HIB_CHECK_GT(params_.disk_capacity_sectors, params_.extent_sectors);
+  HIB_CHECK_EQ(params_.extent_sectors % params_.stripe_unit_sectors, 0)
+      << "extents must hold whole stripe units";
   num_groups_ = params_.num_disks / params_.group_width;
   extent_group_.resize(static_cast<std::size_t>(params_.num_extents));
   extents_per_group_.assign(static_cast<std::size_t>(num_groups_), 0);
@@ -29,7 +32,7 @@ void LayoutManager::ResetRoundRobin() {
 }
 
 void LayoutManager::SetGroup(std::int64_t extent, int group) {
-  assert(group >= 0 && group < num_groups_);
+  HIB_DCHECK(group >= 0 && group < num_groups_) << "group " << group;
   auto idx = static_cast<std::size_t>(extent);
   int old_group = extent_group_[idx];
   if (old_group == group) {
@@ -47,7 +50,8 @@ std::vector<int> LayoutManager::GroupDisks(int group) const {
 }
 
 StripeTarget LayoutManager::Map(std::int64_t extent, SectorAddr offset_in_extent) const {
-  assert(offset_in_extent >= 0 && offset_in_extent < params_.extent_sectors);
+  HIB_DCHECK(offset_in_extent >= 0 && offset_in_extent < params_.extent_sectors)
+      << "offset " << offset_in_extent;
   int group = GroupOf(extent);
   int width = params_.group_width;
   StripeTarget t;
@@ -103,7 +107,7 @@ void TemperatureTracker::Touch(std::int64_t extent, double weight) {
 
 void TemperatureTracker::EndEpoch() {
   for (std::size_t i = 0; i < temperature_.size(); ++i) {
-    temperature_[i] = static_cast<float>(decay_ * temperature_[i]) + window_[i];
+    temperature_[i] = static_cast<float>(decay_ * static_cast<double>(temperature_[i])) + window_[i];
     window_[i] = 0.0f;
   }
 }
@@ -120,7 +124,7 @@ std::vector<std::int64_t> TemperatureTracker::SortedHottestFirst() const {
 double TemperatureTracker::TotalTemperature() const {
   double total = 0.0;
   for (std::size_t i = 0; i < temperature_.size(); ++i) {
-    total += temperature_[i] + window_[i];
+    total += static_cast<double>(temperature_[i]) + static_cast<double>(window_[i]);
   }
   return total;
 }

@@ -1,9 +1,9 @@
 #include "src/disk/disk.h"
 
-#include <cassert>
 #include <cstdlib>
 #include <utility>
 
+#include "src/util/check.h"
 #include "src/util/log.h"
 
 namespace hib {
@@ -33,10 +33,20 @@ Disk::Disk(Simulator* sim, DiskParams params, int id, std::uint64_t seed)
       rng_(seed, static_cast<std::uint64_t>(id) * 2 + 1),
       level_(params_.num_speeds() - 1),
       target_level_(level_) {
-  assert(params_.Validate().empty());
+  HIB_CHECK(params_.Validate().empty()) << "invalid DiskParams: " << params_.Validate();
   current_power_ = StatePower(DiskPowerState::kIdle);
   last_account_ = sim_->Now();
   last_activity_ = sim_->Now();
+#if HIB_VALIDATE
+  sim_->validator()->OnDiskAttached(this, id_, static_cast<ValidatorDiskState>(state_),
+                                    current_power_, sim_->Now());
+#endif
+}
+
+Disk::~Disk() {
+#if HIB_VALIDATE
+  sim_->validator()->OnDiskDetached(this);
+#endif
 }
 
 Watts Disk::StatePower(DiskPowerState state) const {
@@ -89,8 +99,15 @@ void Disk::AccountToNow() {
 
 void Disk::EnterState(DiskPowerState next) {
   AccountToNow();
+  Watts next_power = StatePower(next);
+#if HIB_VALIDATE
+  sim_->validator()->OnDiskTransition(this, static_cast<ValidatorDiskState>(state_),
+                                      static_cast<ValidatorDiskState>(next), sim_->Now(),
+                                      next_power, energy_.Total(),
+                                      static_cast<std::int64_t>(QueueDepth()));
+#endif
   state_ = next;
-  current_power_ = StatePower(next);
+  current_power_ = next_power;
 }
 
 DiskEnergy Disk::MeteredEnergy() const {
@@ -148,7 +165,7 @@ void Disk::Submit(DiskRequest request) {
 
 void Disk::SetTargetRpm(int rpm) {
   int level = params_.LevelOf(rpm);
-  assert(level >= 0 && "unsupported RPM level");
+  HIB_CHECK_GE(level, 0) << "unsupported RPM level " << rpm;
   if (level == target_level_) {
     return;
   }
@@ -190,7 +207,7 @@ void Disk::SpinUp() {
 }
 
 void Disk::BeginSpinUp() {
-  assert(state_ == DiskPowerState::kStandby);
+  HIB_DCHECK(state_ == DiskPowerState::kStandby) << "spin-up outside standby";
   int rpm = params_.speeds[static_cast<std::size_t>(target_level_)].rpm;
   Duration t = params_.SpinUpTime(rpm);
   Joules e = params_.SpinUpEnergy(rpm);
@@ -207,8 +224,8 @@ void Disk::FinishSpinUp() {
 }
 
 void Disk::BeginRpmChange() {
-  assert(state_ == DiskPowerState::kIdle);
-  assert(level_ != target_level_);
+  HIB_DCHECK(state_ == DiskPowerState::kIdle) << "RPM change outside idle";
+  HIB_DCHECK_NE(level_, target_level_) << "RPM change to the current level";
   int from = params_.speeds[static_cast<std::size_t>(level_)].rpm;
   int to = params_.speeds[static_cast<std::size_t>(target_level_)].rpm;
   Duration t = params_.RpmTransitionTime(from, to);
@@ -248,7 +265,7 @@ void Disk::MaybeStartWork() {
 }
 
 void Disk::StartService() {
-  assert(state_ == DiskPowerState::kIdle);
+  HIB_DCHECK(state_ == DiskPowerState::kIdle) << "service start outside idle";
   bool from_fg = !foreground_.empty();
   DiskRequest req = from_fg ? std::move(foreground_.front()) : std::move(background_.front());
   if (from_fg) {

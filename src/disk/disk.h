@@ -24,6 +24,7 @@
 
 #include "src/disk/disk_params.h"
 #include "src/sim/simulator.h"
+#include "src/util/check.h"
 #include "src/util/random.h"
 #include "src/util/stats.h"
 #include "src/util/units.h"
@@ -38,6 +39,23 @@ enum class DiskPowerState {
   kStandby,       // spun down
   kSpinningUp,    // leaving standby
 };
+
+#if HIB_VALIDATE
+// SimValidator mirrors this enum so the sim layer stays below the disk layer;
+// keep the value mapping in lockstep.
+static_assert(static_cast<int>(DiskPowerState::kIdle) ==
+              static_cast<int>(ValidatorDiskState::kIdle));
+static_assert(static_cast<int>(DiskPowerState::kBusy) ==
+              static_cast<int>(ValidatorDiskState::kBusy));
+static_assert(static_cast<int>(DiskPowerState::kChangingRpm) ==
+              static_cast<int>(ValidatorDiskState::kChangingRpm));
+static_assert(static_cast<int>(DiskPowerState::kSpinningDown) ==
+              static_cast<int>(ValidatorDiskState::kSpinningDown));
+static_assert(static_cast<int>(DiskPowerState::kStandby) ==
+              static_cast<int>(ValidatorDiskState::kStandby));
+static_assert(static_cast<int>(DiskPowerState::kSpinningUp) ==
+              static_cast<int>(ValidatorDiskState::kSpinningUp));
+#endif
 
 const char* DiskPowerStateName(DiskPowerState state);
 
@@ -88,7 +106,7 @@ struct DiskStats {
   std::int64_t window_completions = 0;
   // Interarrival moments (foreground), for the arrival-burstiness estimate.
   SimTime window_prev_arrival = -1.0;
-  double window_gap_sum_ms = 0.0;
+  Duration window_gap_sum_ms = 0.0;
   double window_gap_sq_ms2 = 0.0;
   std::int64_t window_gaps = 0;
 
@@ -119,6 +137,7 @@ class Disk {
  public:
   // `sim` must outlive the disk.  `seed` drives rotational-latency sampling.
   Disk(Simulator* sim, DiskParams params, int id, std::uint64_t seed);
+  ~Disk();
 
   Disk(const Disk&) = delete;
   Disk& operator=(const Disk&) = delete;

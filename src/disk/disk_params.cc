@@ -40,7 +40,7 @@ Duration DiskParams::TransferTime(SectorCount count, int rpm) const {
   if (count <= 0) {
     return 0.0;
   }
-  double rev_ms = 60.0 * kMsPerSecond / static_cast<double>(rpm);
+  Duration rev_ms = 60.0 * kMsPerSecond / static_cast<double>(rpm);
   return static_cast<double>(count) / static_cast<double>(sectors_per_track) * rev_ms;
 }
 

@@ -151,7 +151,7 @@ CelloSetup MakeCelloSetup(int speed_levels) {
   return setup;
 }
 
-double MeasureBaseResponseMs(WorkloadSource& workload, const ArrayParams& array_params,
+Duration MeasureBaseResponseMs(WorkloadSource& workload, const ArrayParams& array_params,
                              Duration probe_ms) {
   Simulator sim;
   ArrayController array(&sim, array_params);

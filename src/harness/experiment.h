@@ -19,7 +19,7 @@ namespace hib {
 // One sample of the run's dynamics (taken every sample_period_ms).
 struct SeriesPoint {
   SimTime t = 0.0;
-  double window_mean_response_ms = 0.0;  // mean over the sample window
+  Duration window_mean_response_ms = 0.0;  // mean over the sample window
   Joules energy_so_far = 0.0;
   std::vector<int> disks_at_level;  // data disks per RPM level
   int disks_standby = 0;            // data disks in/entering standby
@@ -34,10 +34,10 @@ struct ExperimentResult {
   DiskEnergy energy;  // component breakdown
 
   std::int64_t requests = 0;
-  double mean_response_ms = 0.0;
-  double p95_response_ms = 0.0;
-  double p99_response_ms = 0.0;
-  double max_response_ms = 0.0;
+  Duration mean_response_ms = 0.0;
+  Duration p95_response_ms = 0.0;
+  Duration p99_response_ms = 0.0;
+  Duration max_response_ms = 0.0;
   double cache_hit_rate = 0.0;
 
   std::int64_t spin_ups = 0;
@@ -96,7 +96,7 @@ CelloSetup MakeCelloSetup(int speed_levels = 5);
 // Measures the Base (full-power) mean response time for a setup; the
 // performance goals of all other schemes are expressed as multiples of this.
 // Uses a shortened probe run for speed; pass probe_ms <= 0 for a full run.
-double MeasureBaseResponseMs(WorkloadSource& workload, const ArrayParams& array_params,
+Duration MeasureBaseResponseMs(WorkloadSource& workload, const ArrayParams& array_params,
                              Duration probe_ms);
 
 }  // namespace hib

@@ -1,10 +1,11 @@
 #include "src/hibernator/cr_algorithm.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <numeric>
+
+#include "src/util/check.h"
 
 namespace hib {
 
@@ -80,14 +81,15 @@ void SearchState::Dfs(int pos, int cap, double resp_sum, double power_sum) {
 }  // namespace
 
 CrResult SolveCr(const CrInput& input) {
-  assert(input.disk != nullptr);
+  HIB_CHECK(input.disk != nullptr) << "CR input needs disk parameters";
   const int num_groups = static_cast<int>(input.group_lambda_per_ms.size());
   const int num_levels = input.service.num_levels();
-  assert(num_levels == input.disk->num_speeds());
-  assert(input.current_levels.empty() ||
-         static_cast<int>(input.current_levels.size()) == num_groups);
-  assert(input.group_width > 0);
-  assert(num_groups > 0);
+  HIB_CHECK_EQ(num_levels, input.disk->num_speeds());
+  HIB_CHECK(input.current_levels.empty() ||
+            static_cast<int>(input.current_levels.size()) == num_groups)
+      << "current_levels must be empty or one per group";
+  HIB_CHECK_GT(input.group_width, 0);
+  HIB_CHECK_GT(num_groups, 0);
 
   SearchState s;
   s.input = &input;

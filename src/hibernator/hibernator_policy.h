@@ -89,7 +89,7 @@ class HibernatorPolicy : public PowerPolicy {
   int boosts() const { return boosts_; }
   Duration boosted_ms() const { return boosted_ms_total_; }
   bool boosted() const { return boosted_; }
-  double credit_ms() const { return guarantee_ ? guarantee_->credit_ms() : 0.0; }
+  Duration credit_ms() const { return guarantee_ ? guarantee_->credit_ms() : 0.0; }
   const std::vector<int>& group_levels() const { return group_levels_; }
   Duration last_predicted_response_ms() const { return last_predicted_response_ms_; }
   std::int64_t migrations_requested() const { return migrations_requested_; }
@@ -129,7 +129,7 @@ class HibernatorPolicy : public PowerPolicy {
   SimTime boost_started_ = 0.0;
 
   // Deltas for the guarantee window.
-  double seen_response_sum_ms_ = 0.0;
+  Duration seen_response_sum_ms_ = 0.0;
   std::int64_t seen_responses_ = 0;
 
   // Per-epoch history of measured group loads (most recent at the back).

@@ -10,7 +10,7 @@ PerfGuarantee::PerfGuarantee(PerfGuaranteeParams params) : params_(params) {
   boost_threshold_ms_ = params_.goal_ms * params_.boost_margin_requests;
 }
 
-void PerfGuarantee::Observe(double sum_ms, std::int64_t count) {
+void PerfGuarantee::Observe(Duration sum_ms, std::int64_t count) {
   if (count <= 0) {
     return;
   }

@@ -37,7 +37,7 @@ class PerfGuarantee {
 
   // Feeds one observation window: `sum_ms` total response time over `count`
   // completed requests.
-  void Observe(double sum_ms, std::int64_t count);
+  void Observe(Duration sum_ms, std::int64_t count);
 
   // True when the account is at risk (below the boost margin): run at full
   // speed until CanResume().
@@ -46,18 +46,18 @@ class PerfGuarantee {
   // True once enough credit is banked to leave boost mode.
   bool CanResume() const { return credit_ms_ >= resume_threshold_ms_; }
 
-  double credit_ms() const { return credit_ms_; }
-  double cap_ms() const { return cap_ms_; }
+  Duration credit_ms() const { return credit_ms_; }
+  Duration cap_ms() const { return cap_ms_; }
   Duration goal_ms() const { return params_.goal_ms; }
 
   void set_goal_ms(Duration goal_ms);
 
  private:
   PerfGuaranteeParams params_;
-  double cap_ms_;
-  double resume_threshold_ms_;
-  double boost_threshold_ms_;
-  double credit_ms_ = 0.0;
+  Duration cap_ms_;
+  Duration resume_threshold_ms_;
+  Duration boost_threshold_ms_;
+  Duration credit_ms_ = 0.0;
 };
 
 }  // namespace hib

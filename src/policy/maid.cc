@@ -1,9 +1,10 @@
 #include "src/policy/maid.h"
 
-#include <cassert>
 #include <sstream>
 
 #include "src/policy/tpm.h"
+
+#include "src/util/check.h"
 
 namespace hib {
 
@@ -16,7 +17,7 @@ std::string MaidPolicy::Describe() const {
 }
 
 void MaidPolicy::Attach(Simulator* sim, ArrayController* array) {
-  assert(array->num_cache_disks() > 0 && "MAID needs at least one cache disk");
+  HIB_CHECK_GT(array->num_cache_disks(), 0) << "MAID needs at least one cache disk";
   sim_ = sim;
   array_ = array;
   threshold_ms_ = params_.idle_threshold_ms > 0.0 ? params_.idle_threshold_ms

@@ -1,10 +1,11 @@
 #include "src/policy/pdc.h"
 
-#include <cassert>
 #include <sstream>
 #include <vector>
 
 #include "src/policy/tpm.h"
+
+#include "src/util/check.h"
 
 namespace hib {
 
@@ -17,7 +18,8 @@ std::string PdcPolicy::Describe() const {
 }
 
 void PdcPolicy::Attach(Simulator* sim, ArrayController* array) {
-  assert(array->params().group_width == 1 && "PDC requires an unstriped (width-1) layout");
+  HIB_CHECK_EQ(array->params().group_width, 1)
+      << "PDC requires an unstriped (width-1) layout";
   sim_ = sim;
   array_ = array;
   threshold_ms_ = params_.idle_threshold_ms > 0.0 ? params_.idle_threshold_ms

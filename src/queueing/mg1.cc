@@ -6,15 +6,15 @@
 
 namespace hib {
 
-double Mg1Model::Utilization(double lambda_per_ms, double mean_service_ms) {
+double Mg1Model::Utilization(double lambda_per_ms, Duration mean_service_ms) {
   return lambda_per_ms * mean_service_ms;
 }
 
-Duration Mg1Model::ResponseTime(double lambda_per_ms, double mean_service_ms, double scv) {
+Duration Mg1Model::ResponseTime(double lambda_per_ms, Duration mean_service_ms, double scv) {
   return mean_service_ms + WaitTime(lambda_per_ms, mean_service_ms, scv);
 }
 
-Duration Mg1Model::WaitTime(double lambda_per_ms, double mean_service_ms, double scv) {
+Duration Mg1Model::WaitTime(double lambda_per_ms, Duration mean_service_ms, double scv) {
   double rho = Utilization(lambda_per_ms, mean_service_ms);
   if (rho >= 1.0) {
     return std::numeric_limits<double>::infinity();
@@ -26,14 +26,14 @@ Duration Mg1Model::WaitTime(double lambda_per_ms, double mean_service_ms, double
   return lambda_per_ms * mean_service_ms * mean_service_ms * (1.0 + scv) / (2.0 * (1.0 - rho));
 }
 
-Duration Mg1Model::Gg1ResponseTime(double lambda_per_ms, double mean_service_ms, double scv,
+Duration Mg1Model::Gg1ResponseTime(double lambda_per_ms, Duration mean_service_ms, double scv,
                                    double arrival_scv) {
   double wait = WaitTime(lambda_per_ms, mean_service_ms, scv);
   double factor = (arrival_scv + scv) / (1.0 + scv);
   return mean_service_ms + wait * std::max(0.0, factor);
 }
 
-double Mg1Model::MaxArrivalRate(Duration target_ms, double mean_service_ms, double scv) {
+double Mg1Model::MaxArrivalRate(Duration target_ms, Duration mean_service_ms, double scv) {
   if (target_ms <= mean_service_ms) {
     return 0.0;
   }

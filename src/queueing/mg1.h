@@ -22,25 +22,25 @@ namespace hib {
 class Mg1Model {
  public:
   // rho = lambda * S; lambda in requests/ms, service in ms.
-  static double Utilization(double lambda_per_ms, double mean_service_ms);
+  static double Utilization(double lambda_per_ms, Duration mean_service_ms);
 
   // Mean response time (ms); +infinity when rho >= 1 (unstable).
-  static Duration ResponseTime(double lambda_per_ms, double mean_service_ms, double scv);
+  static Duration ResponseTime(double lambda_per_ms, Duration mean_service_ms, double scv);
 
   // Mean waiting time only (ms).
-  static Duration WaitTime(double lambda_per_ms, double mean_service_ms, double scv);
+  static Duration WaitTime(double lambda_per_ms, Duration mean_service_ms, double scv);
 
   // G/G/1 approximation (Allen-Cunneen): scales the M/G/1 wait by
   // (ca2 + cs2) / (1 + cs2), where ca2 is the squared coefficient of
   // variation of interarrival times (1 = Poisson).  Bursty arrival streams
   // (ca2 >> 1, e.g. file-server traffic) queue far worse than Poisson, and
   // CR must know it before slowing a disk into a burst.
-  static Duration Gg1ResponseTime(double lambda_per_ms, double mean_service_ms, double scv,
+  static Duration Gg1ResponseTime(double lambda_per_ms, Duration mean_service_ms, double scv,
                                   double arrival_scv);
 
   // Highest arrival rate (requests/ms) at which the predicted response time
   // stays at or below `target_ms`; 0 if even an idle disk misses the target.
-  static double MaxArrivalRate(Duration target_ms, double mean_service_ms, double scv);
+  static double MaxArrivalRate(Duration target_ms, Duration mean_service_ms, double scv);
 };
 
 // Per-speed-level service-time statistics for a given request mix, derived

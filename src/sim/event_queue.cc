@@ -1,7 +1,8 @@
 #include "src/sim/event_queue.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "src/util/check.h"
 
 namespace hib {
 
@@ -35,18 +36,23 @@ void EventQueue::DropCancelledHead() {
 
 SimTime EventQueue::NextTime() {
   DropCancelledHead();
-  assert(!heap_.empty());
+  HIB_DCHECK(!heap_.empty()) << "NextTime on an empty queue";
   return heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::PopNext() {
   DropCancelledHead();
-  assert(!heap_.empty());
+  HIB_DCHECK(!heap_.empty()) << "PopNext on an empty queue";
   std::pop_heap(heap_.begin(), heap_.end(), Later);
   Entry e = std::move(heap_.back());
   heap_.pop_back();
   pending_.erase(e.id);
   --live_count_;
+#if HIB_VALIDATE
+  HIB_CHECK_GE(e.time, last_popped_)
+      << "heap popped events out of timestamp order";
+  last_popped_ = e.time;
+#endif
   return Fired{e.time, e.id, std::move(e.callback)};
 }
 

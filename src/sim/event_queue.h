@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/util/check.h"
 #include "src/util/units.h"
 
 namespace hib {
@@ -62,6 +63,9 @@ class EventQueue {
   std::unordered_set<EventId> cancelled_;  // cancelled, not yet removed from heap_
   EventId next_id_ = 0;
   std::size_t live_count_ = 0;
+#if HIB_VALIDATE
+  SimTime last_popped_ = 0.0;  // dispatch-order audit (validating builds only)
+#endif
 };
 
 }  // namespace hib

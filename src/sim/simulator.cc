@@ -1,7 +1,8 @@
 #include "src/sim/simulator.h"
 
-#include <cassert>
 #include <utility>
+
+#include "src/util/check.h"
 
 namespace hib {
 
@@ -23,7 +24,7 @@ bool Simulator::Cancel(EventId id) { return queue_.Cancel(id); }
 
 Simulator::PeriodicHandle Simulator::SchedulePeriodic(SimTime start, Duration period,
                                                       EventCallback cb) {
-  assert(period > 0.0);
+  HIB_CHECK_GT(period, 0.0) << "periodic events need a positive period";
   std::uint64_t key = next_periodic_key_++;
   periodics_.emplace(key, PeriodicState{period, std::move(cb)});
   ScheduleAt(start, [this, key] { FirePeriodic(key); });
@@ -56,7 +57,10 @@ std::uint64_t Simulator::RunUntil(SimTime until) {
       break;
     }
     EventQueue::Fired event = queue_.PopNext();
-    assert(event.time >= now_);
+    HIB_DCHECK_GE(event.time, now_) << "event fired in the simulated past";
+#if HIB_VALIDATE
+    validator_->OnDispatch(event.time);
+#endif
     now_ = event.time;
     event.callback();
     ++fired;
@@ -73,6 +77,10 @@ bool Simulator::Step() {
     return false;
   }
   EventQueue::Fired event = queue_.PopNext();
+  HIB_DCHECK_GE(event.time, now_) << "event fired in the simulated past";
+#if HIB_VALIDATE
+  validator_->OnDispatch(event.time);
+#endif
   now_ = event.time;
   event.callback();
   ++events_fired_;

@@ -12,7 +12,14 @@
 #include <unordered_map>
 
 #include "src/sim/event_queue.h"
+#include "src/util/check.h"
 #include "src/util/units.h"
+
+#if HIB_VALIDATE
+#include <memory>
+
+#include "src/sim/validator.h"
+#endif
 
 namespace hib {
 
@@ -51,6 +58,12 @@ class Simulator {
   std::uint64_t events_fired() const { return events_fired_; }
   bool idle() const { return queue_.empty(); }
 
+#if HIB_VALIDATE
+  // Invariant auditor; non-null in validating builds.  Simulated components
+  // (disks, ...) report state changes here.  Compiled out in Release.
+  SimValidator* validator() { return validator_.get(); }
+#endif
+
  private:
   struct PeriodicState {
     Duration period;
@@ -64,6 +77,9 @@ class Simulator {
   std::uint64_t events_fired_ = 0;
   std::uint64_t next_periodic_key_ = 0;
   std::unordered_map<std::uint64_t, PeriodicState> periodics_;
+#if HIB_VALIDATE
+  std::unique_ptr<SimValidator> validator_ = std::make_unique<SimValidator>();
+#endif
 };
 
 }  // namespace hib

@@ -1,0 +1,112 @@
+#include "src/sim/validator.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace hib {
+
+const char* ValidatorDiskStateName(ValidatorDiskState state) {
+  switch (state) {
+    case ValidatorDiskState::kIdle:
+      return "IDLE";
+    case ValidatorDiskState::kBusy:
+      return "BUSY";
+    case ValidatorDiskState::kChangingRpm:
+      return "CHANGING_RPM";
+    case ValidatorDiskState::kSpinningDown:
+      return "SPINNING_DOWN";
+    case ValidatorDiskState::kStandby:
+      return "STANDBY";
+    case ValidatorDiskState::kSpinningUp:
+      return "SPINNING_UP";
+  }
+  return "?";
+}
+
+SimValidator::SimValidator(double energy_rel_tol) : energy_rel_tol_(energy_rel_tol) {}
+
+void SimValidator::OnDispatch(SimTime when) {
+  if (dispatched_any_) {
+    HIB_CHECK_GE(when, last_dispatch_)
+        << "event dispatch went backwards in time (non-deterministic queue?)";
+  }
+  last_dispatch_ = when;
+  dispatched_any_ = true;
+  ++dispatches_checked_;
+}
+
+void SimValidator::OnDiskAttached(const void* disk, int disk_id,
+                                  ValidatorDiskState state, Watts power,
+                                  SimTime now) {
+  HIB_CHECK(disks_.find(disk) == disks_.end())
+      << "disk " << disk_id << " attached twice";
+  DiskTrack track;
+  track.disk_id = disk_id;
+  track.state = state;
+  track.power = power;
+  track.last_change = now;
+  disks_.emplace(disk, track);
+}
+
+void SimValidator::OnDiskDetached(const void* disk) { disks_.erase(disk); }
+
+bool SimValidator::IsLegalTransition(ValidatorDiskState from, ValidatorDiskState to) {
+  switch (from) {
+    case ValidatorDiskState::kIdle:
+      return to == ValidatorDiskState::kBusy || to == ValidatorDiskState::kChangingRpm ||
+             to == ValidatorDiskState::kSpinningDown;
+    case ValidatorDiskState::kBusy:
+      return to == ValidatorDiskState::kIdle;
+    case ValidatorDiskState::kChangingRpm:
+      return to == ValidatorDiskState::kIdle;
+    case ValidatorDiskState::kSpinningDown:
+      return to == ValidatorDiskState::kStandby;
+    case ValidatorDiskState::kStandby:
+      return to == ValidatorDiskState::kSpinningUp;
+    case ValidatorDiskState::kSpinningUp:
+      return to == ValidatorDiskState::kIdle;
+  }
+  return false;
+}
+
+void SimValidator::OnDiskTransition(const void* disk, ValidatorDiskState from,
+                                    ValidatorDiskState to, SimTime now,
+                                    Watts new_power, Joules metered_total,
+                                    std::int64_t queue_depth) {
+  auto it = disks_.find(disk);
+  HIB_CHECK(it != disks_.end()) << "transition on a disk that was never attached";
+  DiskTrack& track = it->second;
+
+  HIB_CHECK(IsLegalTransition(from, to))
+      << "disk " << track.disk_id << ": illegal transition "
+      << ValidatorDiskStateName(from) << " -> " << ValidatorDiskStateName(to);
+  HIB_CHECK_EQ(static_cast<int>(track.state), static_cast<int>(from))
+      << "disk " << track.disk_id << ": transition from "
+      << ValidatorDiskStateName(from) << " but validator last saw "
+      << ValidatorDiskStateName(track.state);
+  HIB_CHECK_GE(now, track.last_change)
+      << "disk " << track.disk_id << ": state change went backwards in time";
+  HIB_CHECK_GE(queue_depth, 0)
+      << "disk " << track.disk_id << ": negative queue depth";
+  if (to == ValidatorDiskState::kSpinningDown) {
+    HIB_CHECK_EQ(queue_depth, 0)
+        << "disk " << track.disk_id << ": spinning down with queued requests";
+  }
+
+  // Independent energy audit: integrate the previous state's power over the
+  // time spent in it and compare against the disk's own ledger.
+  track.integrated += EnergyOf(track.power, now - track.last_change);
+  Joules drift = std::fabs(metered_total - track.integrated);
+  Joules scale = std::fmax(std::fabs(track.integrated), 1.0);
+  HIB_CHECK_LE(drift, energy_rel_tol_ * scale)
+      << "disk " << track.disk_id << ": energy ledger drift (ledger "
+      << metered_total << " J vs integrated " << track.integrated << " J)";
+
+  track.state = to;
+  track.power = new_power;
+  track.last_change = now;
+  ++transitions_checked_;
+}
+
+}  // namespace hib

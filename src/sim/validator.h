@@ -1,0 +1,98 @@
+// Runtime invariant validator for the discrete-event core (debug builds).
+//
+// When HIB_VALIDATE is on (any build type except Release/MinSizeRel, or
+// -DHIB_VALIDATE=ON), every Simulator owns a SimValidator and the simulation
+// core reports into it:
+//
+//   - Simulator::RunUntil / Step  -> OnDispatch: dispatch times must be
+//     monotonically non-decreasing and events must never fire in the past.
+//   - Disk::EnterState            -> OnDiskTransition: the power-state change
+//     must be an edge of the legal transition graph documented in disk.h
+//     (e.g. kStandby -> kBusy is a bug: a spun-down disk must pass through
+//     kSpinningUp and kIdle before serving), queue depths must be
+//     non-negative, a disk may only start spinning down with an empty queue,
+//     and the disk's energy ledger must match the validator's independent
+//     integration of state power over time to 1e-6 relative tolerance.
+//
+// All failures are fatal (HIB_CHECK -> abort), so GTest death tests can pin
+// the diagnostics.  In Release builds nothing in the core references this
+// class and validator.cc is not even compiled.
+#ifndef HIBERNATOR_SRC_SIM_VALIDATOR_H_
+#define HIBERNATOR_SRC_SIM_VALIDATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/util/units.h"
+
+namespace hib {
+
+// Mirrors DiskPowerState without dragging disk.h into the sim layer (sim is
+// below disk in the dependency order).  Values must stay in sync; disk.h
+// static_asserts the correspondence.
+enum class ValidatorDiskState : int {
+  kIdle = 0,
+  kBusy = 1,
+  kChangingRpm = 2,
+  kSpinningDown = 3,
+  kStandby = 4,
+  kSpinningUp = 5,
+};
+
+const char* ValidatorDiskStateName(ValidatorDiskState state);
+
+class SimValidator {
+ public:
+  // `energy_rel_tol` bounds the allowed relative drift between a disk's own
+  // energy ledger and the validator's independent power-over-time integral.
+  explicit SimValidator(double energy_rel_tol = 1e-6);
+
+  // --- Simulator hooks ------------------------------------------------------
+  // Called before each event callback runs; `when` is the event's timestamp.
+  void OnDispatch(SimTime when);
+
+  // --- Disk hooks -----------------------------------------------------------
+  // Registers a disk (keyed by its address, which is unique and stable: Disk
+  // is non-copyable).  `power` is the draw of the initial state.
+  void OnDiskAttached(const void* disk, int disk_id, ValidatorDiskState state,
+                      Watts power, SimTime now);
+
+  // Forgets a disk (called from ~Disk so a later heap reuse of the same
+  // address cannot inherit stale tracking).
+  void OnDiskDetached(const void* disk);
+
+  // Audits one power-state change.  `new_power` is the draw of `to`;
+  // `metered_total` is the disk's own DiskEnergy::Total() integrated through
+  // `now`; `queue_depth` counts foreground + background requests.
+  void OnDiskTransition(const void* disk, ValidatorDiskState from,
+                        ValidatorDiskState to, SimTime now, Watts new_power,
+                        Joules metered_total, std::int64_t queue_depth);
+
+  // True when `from -> to` is an edge of the legal power-state graph.
+  static bool IsLegalTransition(ValidatorDiskState from, ValidatorDiskState to);
+
+  // --- introspection (tests) ------------------------------------------------
+  std::int64_t dispatches_checked() const { return dispatches_checked_; }
+  std::int64_t transitions_checked() const { return transitions_checked_; }
+  std::int64_t disks_tracked() const { return static_cast<std::int64_t>(disks_.size()); }
+
+ private:
+  struct DiskTrack {
+    int disk_id = -1;
+    ValidatorDiskState state = ValidatorDiskState::kIdle;
+    Watts power = 0.0;
+    SimTime last_change = 0.0;
+    Joules integrated = 0.0;  // validator's own sum of power * dt
+  };
+
+  double energy_rel_tol_;
+  SimTime last_dispatch_ = 0.0;
+  bool dispatched_any_ = false;
+  std::int64_t dispatches_checked_ = 0;
+  std::int64_t transitions_checked_ = 0;
+  std::unordered_map<const void*, DiskTrack> disks_;
+};
+
+}  // namespace hib
+
+#endif  // HIBERNATOR_SRC_SIM_VALIDATOR_H_

@@ -1,8 +1,9 @@
 #include "src/trace/synthetic.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "src/util/check.h"
 
 namespace hib {
 
@@ -38,7 +39,7 @@ OltpWorkload::OltpWorkload(OltpWorkloadParams params)
       rng_(params.seed),
       zipf_(std::max<std::int64_t>(1, params.address_space_sectors / params.chunk_sectors),
             params.zipf_theta) {
-  assert(params_.address_space_sectors > 0);
+  HIB_CHECK_GT(params_.address_space_sectors, 0) << "workload needs a positive address space";
 }
 
 double OltpWorkload::RateAt(SimTime t) const {
@@ -85,7 +86,7 @@ CelloWorkload::CelloWorkload(CelloWorkloadParams params)
       rng_(params.seed),
       zipf_(std::max<std::int64_t>(1, params.address_space_sectors / params.chunk_sectors),
             params.zipf_theta) {
-  assert(params_.address_space_sectors > 0);
+  HIB_CHECK_GT(params_.address_space_sectors, 0) << "workload needs a positive address space";
 }
 
 double CelloWorkload::RateAt(SimTime t) const {
@@ -165,7 +166,7 @@ void CelloWorkload::Reset() {
 
 ConstantWorkload::ConstantWorkload(ConstantWorkloadParams params)
     : params_(params), rng_(params.seed) {
-  assert(params_.address_space_sectors > 0);
+  HIB_CHECK_GT(params_.address_space_sectors, 0) << "workload needs a positive address space";
 }
 
 bool ConstantWorkload::Next(TraceRecord* out) {

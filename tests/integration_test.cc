@@ -30,7 +30,7 @@ OltpWorkloadParams ShortOltp(SectorAddr space, Duration hours = 2.0) {
   return p;
 }
 
-ExperimentResult RunScheme(Scheme scheme, const ArrayParams& base_array, double goal_ms = 0.0) {
+ExperimentResult RunScheme(Scheme scheme, const ArrayParams& base_array, Duration goal_ms = 0.0) {
   SchemeConfig cfg;
   cfg.scheme = scheme;
   cfg.goal_ms = goal_ms > 0.0 ? goal_ms : 25.0;
@@ -176,7 +176,7 @@ TEST(Integration, SeriesCollectionWorks) {
 TEST(Integration, MeasureBaseResponseProbe) {
   ArrayParams array = SmallArray();
   OltpWorkload workload(ShortOltp(array.DataSectors()));
-  double base_ms = MeasureBaseResponseMs(workload, array, HoursToMs(0.5));
+  Duration base_ms = MeasureBaseResponseMs(workload, array, HoursToMs(0.5));
   EXPECT_GT(base_ms, 2.0);
   EXPECT_LT(base_ms, 30.0);
   // The probe must leave the workload rewound.

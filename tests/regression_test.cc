@@ -34,10 +34,10 @@ OltpWorkloadParams MiniOltp(SectorAddr space) {
 
 struct MiniRun {
   ExperimentResult result;
-  double goal_ms = 0.0;
+  Duration goal_ms = 0.0;
 };
 
-MiniRun RunMini(Scheme scheme, double goal_ms) {
+MiniRun RunMini(Scheme scheme, Duration goal_ms) {
   SchemeConfig cfg;
   cfg.scheme = scheme;
   cfg.goal_ms = goal_ms;

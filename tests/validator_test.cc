@@ -1,0 +1,160 @@
+// Tier-3 validator tests: the legal-transition table, the energy-ledger
+// audit, and death tests proving that injected violations (e.g. a disk
+// jumping kStandby -> kBusy without spinning up) abort with a diagnostic.
+//
+// In builds with HIB_VALIDATE off (Release/MinSizeRel or -DHIB_VALIDATE=OFF)
+// the validator does not exist; this file compiles to a single skip.
+#include <gtest/gtest.h>
+
+#include "src/disk/disk.h"
+#include "src/sim/simulator.h"
+#include "src/util/check.h"
+
+#if HIB_VALIDATE
+
+#include <vector>
+
+#include "src/sim/validator.h"
+
+namespace hib {
+namespace {
+
+constexpr ValidatorDiskState kAllStates[] = {
+    ValidatorDiskState::kIdle,         ValidatorDiskState::kBusy,
+    ValidatorDiskState::kChangingRpm,  ValidatorDiskState::kSpinningDown,
+    ValidatorDiskState::kStandby,      ValidatorDiskState::kSpinningUp,
+};
+
+TEST(SimValidatorTest, LegalTransitionTableIsExactlyTheDocumentedGraph) {
+  using S = ValidatorDiskState;
+  const std::vector<std::pair<S, S>> legal = {
+      {S::kIdle, S::kBusy},         {S::kIdle, S::kChangingRpm},
+      {S::kIdle, S::kSpinningDown}, {S::kBusy, S::kIdle},
+      {S::kChangingRpm, S::kIdle},  {S::kSpinningDown, S::kStandby},
+      {S::kStandby, S::kSpinningUp}, {S::kSpinningUp, S::kIdle},
+  };
+  for (S from : kAllStates) {
+    for (S to : kAllStates) {
+      bool want = false;
+      for (const auto& edge : legal) {
+        want = want || (edge.first == from && edge.second == to);
+      }
+      EXPECT_EQ(SimValidator::IsLegalTransition(from, to), want)
+          << ValidatorDiskStateName(from) << " -> " << ValidatorDiskStateName(to);
+    }
+  }
+}
+
+TEST(SimValidatorTest, CleanDiskLifecyclePassesEveryAudit) {
+  Simulator sim;
+  DiskParams params = MakeUltrastar36Z15MultiSpeed(3);
+  Disk disk(&sim, params, 0, 42);
+
+  // Exercise every legal edge: serve I/O, change RPM, spin down, spin up.
+  for (int i = 0; i < 8; ++i) {
+    DiskRequest req;
+    req.sector = 1000 * (i + 1);
+    req.count = 64;
+    req.is_write = (i % 2) == 0;
+    disk.Submit(req);
+  }
+  sim.RunUntil(SecondsToMs(10.0));
+  disk.SetTargetRpm(params.speeds[0].rpm);
+  sim.RunUntil(SecondsToMs(60.0));
+  ASSERT_TRUE(disk.SpinDown());
+  sim.RunUntil(SecondsToMs(120.0));
+  EXPECT_EQ(disk.state(), DiskPowerState::kStandby);
+  disk.SpinUp();
+  sim.RunUntil(SecondsToMs(600.0));
+  EXPECT_EQ(disk.state(), DiskPowerState::kIdle);
+
+  ASSERT_NE(sim.validator(), nullptr);
+  EXPECT_EQ(sim.validator()->disks_tracked(), 1);
+  EXPECT_GE(sim.validator()->transitions_checked(), 8);
+  EXPECT_GT(sim.validator()->dispatches_checked(), 0);
+}
+
+TEST(SimValidatorTest, MatchingLedgerWithinToleranceIsAccepted) {
+  SimValidator validator;
+  int key = 0;
+  validator.OnDiskAttached(&key, 7, ValidatorDiskState::kIdle, /*power=*/10.0,
+                           /*now=*/0.0);
+  // 10 W for 1 s = 10 J; a ledger within 1e-6 relative drift must pass.
+  validator.OnDiskTransition(&key, ValidatorDiskState::kIdle,
+                             ValidatorDiskState::kBusy, /*now=*/1000.0,
+                             /*new_power=*/13.5,
+                             /*metered_total=*/10.0 + 5e-6,
+                             /*queue_depth=*/1);
+  EXPECT_EQ(validator.transitions_checked(), 1);
+}
+
+TEST(SimValidatorDeathTest, StandbyDirectlyToBusyAborts) {
+  SimValidator validator;
+  int key = 0;
+  validator.OnDiskAttached(&key, 3, ValidatorDiskState::kStandby, 0.9, 0.0);
+  EXPECT_DEATH(
+      validator.OnDiskTransition(&key, ValidatorDiskState::kStandby,
+                                 ValidatorDiskState::kBusy, 10.0, 13.5,
+                                 EnergyOf(0.9, 10.0), 1),
+      "illegal transition STANDBY -> BUSY");
+}
+
+TEST(SimValidatorDeathTest, EnergyLedgerDriftAborts) {
+  SimValidator validator;
+  int key = 0;
+  validator.OnDiskAttached(&key, 4, ValidatorDiskState::kIdle, 10.0, 0.0);
+  // The disk claims 11 J where integrating 10 W over 1 s gives 10 J.
+  EXPECT_DEATH(
+      validator.OnDiskTransition(&key, ValidatorDiskState::kIdle,
+                                 ValidatorDiskState::kBusy, 1000.0, 13.5,
+                                 /*metered_total=*/11.0, 0),
+      "energy ledger drift");
+}
+
+TEST(SimValidatorDeathTest, NegativeQueueDepthAborts) {
+  SimValidator validator;
+  int key = 0;
+  validator.OnDiskAttached(&key, 5, ValidatorDiskState::kIdle, 10.0, 0.0);
+  EXPECT_DEATH(
+      validator.OnDiskTransition(&key, ValidatorDiskState::kIdle,
+                                 ValidatorDiskState::kBusy, 1000.0, 13.5,
+                                 EnergyOf(10.0, 1000.0), /*queue_depth=*/-1),
+      "negative queue depth");
+}
+
+TEST(SimValidatorDeathTest, SpinningDownWithQueuedRequestsAborts) {
+  SimValidator validator;
+  int key = 0;
+  validator.OnDiskAttached(&key, 6, ValidatorDiskState::kIdle, 10.0, 0.0);
+  EXPECT_DEATH(
+      validator.OnDiskTransition(&key, ValidatorDiskState::kIdle,
+                                 ValidatorDiskState::kSpinningDown, 1000.0, 2.0,
+                                 EnergyOf(10.0, 1000.0), /*queue_depth=*/3),
+      "spinning down with queued requests");
+}
+
+TEST(SimValidatorDeathTest, NonMonotonicDispatchAborts) {
+  SimValidator validator;
+  validator.OnDispatch(10.0);
+  EXPECT_DEATH(validator.OnDispatch(5.0), "dispatch went backwards");
+}
+
+TEST(SimValidatorDeathTest, TransitionOnUnknownDiskAborts) {
+  SimValidator validator;
+  int key = 0;
+  EXPECT_DEATH(
+      validator.OnDiskTransition(&key, ValidatorDiskState::kIdle,
+                                 ValidatorDiskState::kBusy, 0.0, 1.0, 0.0, 0),
+      "never attached");
+}
+
+}  // namespace
+}  // namespace hib
+
+#else  // !HIB_VALIDATE
+
+TEST(SimValidatorTest, DisabledInThisBuildType) {
+  GTEST_SKIP() << "HIB_VALIDATE is off (Release build); SimValidator is compiled out";
+}
+
+#endif  // HIB_VALIDATE

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Formats (or checks) every tracked C++ source with clang-format using the
+# checked-in .clang-format.
+#
+#   tools/format.sh           # rewrite files in place
+#   tools/format.sh --check   # exit 1 if anything would change (CI mode)
+#
+# When a format-only commit lands, add its hash to .git-blame-ignore-revs so
+# `git blame` keeps pointing at the real authors.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format > /dev/null 2>&1; then
+  echo "tools/format.sh: clang-format not found on PATH" >&2
+  echo "  install clang-format (>= 14) or run the CI lint job instead" >&2
+  exit 2
+fi
+
+mapfile -t files < <(git ls-files '*.h' '*.cc' '*.cpp' | grep -v '^tools/simlint_fixtures/')
+
+if [[ "${1:-}" == "--check" ]]; then
+  clang-format --dry-run --Werror "${files[@]}"
+  echo "format.sh: ${#files[@]} files clean"
+else
+  clang-format -i "${files[@]}"
+  echo "format.sh: formatted ${#files[@]} files"
+fi

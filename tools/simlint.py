@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""simlint: repo-specific lint rules for the Hibernator simulator.
+
+Enforces conventions that generic tools (clang-tidy, clang-format) cannot
+express because they need repo-level knowledge:
+
+  HIB001 include-guard   Headers must use the guard derived from their path:
+                         src/disk/disk.h -> HIBERNATOR_SRC_DISK_DISK_H_.
+  HIB002 iostream-header No `#include <iostream>` in headers; only the
+                         diagnostics sinks src/util/log.h and src/util/check.h
+                         may pull it in (headers are included everywhere, and
+                         <iostream> injects a static initializer per TU).
+  HIB003 raw-io          No std::cout / std::cerr / printf-family calls in
+                         library or test code outside src/util/log.* and
+                         src/util/table.* (and the fatal-check sink
+                         src/util/check.h).  All simulator output must go
+                         through the leveled logger or the table renderer so
+                         runs stay machine-parseable.  CLI entry points under
+                         bench/ and examples/ are exempt: their stdout is the
+                         deliverable.
+  HIB004 units-alias     No raw `double`/`float` declarations whose name says
+                         they hold a unit (`*_ms`, `*_joules`, `*_watts`):
+                         use the SimTime / Duration / Joules / Watts aliases
+                         from src/util/units.h.  Rates like `lambda_per_ms`
+                         are exempt.
+  HIB005 bare-assert     No bare `assert()`: use HIB_CHECK / HIB_DCHECK from
+                         src/util/check.h, which survive NDEBUG policy
+                         decisions explicitly and print operand values.
+
+Usage:
+  tools/simlint.py [paths...]      # files or directories; default: src tests bench examples
+  tools/simlint.py --list-rules
+
+Suppress a finding by appending `// simlint: allow(HIB00N)` to the line.
+Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_PATHS = ["src", "tests", "bench", "examples"]
+SOURCE_EXTENSIONS = (".h", ".cc", ".cpp")
+SKIP_DIR_PATTERNS = re.compile(r"^(build.*|\.git|\.cache|__pycache__|Testing)$")
+
+ALLOW_RE = re.compile(r"//\s*simlint:\s*allow\(([A-Z0-9, ]+)\)")
+
+# Files allowed to include <iostream> from a header / write to stdio directly.
+IOSTREAM_HEADER_ALLOWED = {"src/util/log.h", "src/util/check.h"}
+RAW_IO_ALLOWED_PREFIXES = ("src/util/log.", "src/util/table.", "src/util/check.",
+                           "bench/", "examples/")
+
+RAW_IO_RE = re.compile(r"std::(cout|cerr|clog)\b|\b(?:f|s)?printf\s*\(|\bputs\s*\(")
+UNITS_RE = re.compile(r"\b(double|float)\s+([A-Za-z_][A-Za-z0-9_]*_(?:ms|joules|watts)_?)\b")
+UNITS_EXEMPT_RE = re.compile(r"per_ms")
+ASSERT_RE = re.compile(r"(?<![_A-Za-z0-9])assert\s*\(")
+LINE_COMMENT_RE = re.compile(r"//.*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+RULES = {
+    "HIB001": "include guard must be HIBERNATOR_<PATH>_H_",
+    "HIB002": "#include <iostream> in a header (only src/util/log.h, src/util/check.h)",
+    "HIB003": "raw stdio outside src/util/log.* / src/util/table.*",
+    "HIB004": "raw double/float where a units.h alias (Duration/Joules/Watts) is meant",
+    "HIB005": "bare assert(); use HIB_CHECK / HIB_DCHECK from src/util/check.h",
+}
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def rel_path(path):
+    abspath = os.path.abspath(path)
+    if abspath.startswith(REPO_ROOT + os.sep):
+        return os.path.relpath(abspath, REPO_ROOT).replace(os.sep, "/")
+    return path.replace(os.sep, "/")
+
+
+def expected_guard(rel):
+    stem = rel[:-2] if rel.endswith(".h") else rel
+    return "HIBERNATOR_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_H_"
+
+
+def allowed_rules(line):
+    match = ALLOW_RE.search(line)
+    if not match:
+        return set()
+    return {token.strip() for token in match.group(1).split(",")}
+
+
+def strip_code_noise(line):
+    """Drops string literals and trailing // comments so rule regexes don't
+    fire on prose (e.g. a comment mentioning std::cout)."""
+    line = STRING_RE.sub('""', line)
+    return LINE_COMMENT_RE.sub("", line)
+
+
+def check_file(path, findings):
+    rel = rel_path(path)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            lines = fh.read().splitlines()
+    except OSError as err:
+        findings.append(Finding(rel, 0, "HIB000", f"unreadable: {err}"))
+        return
+
+    is_header = rel.endswith(".h")
+
+    if is_header:
+        check_include_guard(rel, lines, findings)
+
+    in_block_comment = False
+    for number, raw in enumerate(lines, start=1):
+        allowed = allowed_rules(raw)
+        line = strip_code_noise(raw)
+
+        # Cheap block-comment tracking: ignore lines fully inside /* ... */.
+        if in_block_comment:
+            if "*/" in line:
+                in_block_comment = False
+            continue
+        if line.lstrip().startswith("/*") or (line.count("/*") > line.count("*/")):
+            if "*/" not in line:
+                in_block_comment = True
+            continue
+
+        if is_header and "#include <iostream>" in line and rel not in IOSTREAM_HEADER_ALLOWED:
+            if "HIB002" not in allowed:
+                findings.append(Finding(rel, number, "HIB002",
+                                        "headers must not include <iostream>; "
+                                        "stream through src/util/log.h instead"))
+
+        if RAW_IO_RE.search(line) and not rel.startswith(RAW_IO_ALLOWED_PREFIXES):
+            if "HIB003" not in allowed:
+                findings.append(Finding(rel, number, "HIB003",
+                                        "raw stdio; route output through HIB_LOG "
+                                        "or util/table"))
+
+        units = UNITS_RE.search(line)
+        if units and not UNITS_EXEMPT_RE.search(units.group(2)):
+            if "HIB004" not in allowed:
+                alias = "Joules" if "joules" in units.group(2) else (
+                    "Watts" if "watts" in units.group(2) else "Duration (or SimTime)")
+                findings.append(Finding(rel, number, "HIB004",
+                                        f"'{units.group(1)} {units.group(2)}' should use "
+                                        f"the {alias} alias from src/util/units.h"))
+
+        if ASSERT_RE.search(line) and "static_assert" not in line:
+            if "HIB005" not in allowed:
+                findings.append(Finding(rel, number, "HIB005",
+                                        "bare assert(); use HIB_CHECK / HIB_DCHECK "
+                                        "from src/util/check.h"))
+
+
+def check_include_guard(rel, lines, findings):
+    want = expected_guard(rel)
+    ifndef_line = 0
+    got = None
+    for number, line in enumerate(lines, start=1):
+        match = re.match(r"\s*#ifndef\s+(\S+)", line)
+        if match:
+            ifndef_line = number
+            got = match.group(1)
+            break
+    if got is None:
+        findings.append(Finding(rel, 1, "HIB001", f"missing include guard {want}"))
+        return
+    if got != want:
+        findings.append(Finding(rel, ifndef_line, "HIB001",
+                                f"include guard is {got}, expected {want}"))
+        return
+    define_re = re.compile(r"\s*#define\s+" + re.escape(want) + r"\b")
+    if not any(define_re.match(line) for line in lines):
+        findings.append(Finding(rel, ifndef_line, "HIB001",
+                                f"#ifndef {want} has no matching #define"))
+
+
+def gather_files(paths):
+    files = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if not SKIP_DIR_PATTERNS.match(d))
+                for name in sorted(names):
+                    if name.endswith(SOURCE_EXTENSIONS):
+                        files.append(os.path.join(root, name))
+        else:
+            print(f"simlint: no such path: {path}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main(argv):
+    args = argv[1:]
+    if "--list-rules" in args:
+        for rule, description in sorted(RULES.items()):
+            print(f"{rule}  {description}")
+        return 0
+    paths = [a for a in args if not a.startswith("-")]
+    if any(a.startswith("-") for a in args):
+        print(__doc__, file=sys.stderr)
+        return 2
+    if not paths:
+        os.chdir(REPO_ROOT)
+        paths = DEFAULT_PATHS
+
+    findings = []
+    files = gather_files(paths)
+    for path in files:
+        check_file(path, findings)
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"simlint: {len(findings)} finding(s) in {len(files)} file(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,9 @@
+// Fixture: a bare assert() instead of HIB_CHECK / HIB_DCHECK.
+// Expected finding: HIB005 (exactly one).
+#include <cassert>
+
+namespace hib {
+
+void FixtureValidate(int depth) { assert(depth >= 0); }
+
+}  // namespace hib

@@ -1,0 +1,12 @@
+// Fixture: the include guard does not match the path-derived name.
+// Expected finding: HIB001 (exactly one).
+#ifndef SOME_WRONG_GUARD_H_
+#define SOME_WRONG_GUARD_H_
+
+namespace hib {
+
+inline int FixtureAnswer() { return 42; }
+
+}  // namespace hib
+
+#endif  // SOME_WRONG_GUARD_H_

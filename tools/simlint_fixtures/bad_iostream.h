@@ -1,0 +1,14 @@
+// Fixture: a header pulling in <iostream> outside the log/check sinks.
+// Expected finding: HIB002 (exactly one).
+#ifndef HIBERNATOR_TOOLS_SIMLINT_FIXTURES_BAD_IOSTREAM_H_
+#define HIBERNATOR_TOOLS_SIMLINT_FIXTURES_BAD_IOSTREAM_H_
+
+#include <iostream>
+
+namespace hib {
+
+inline int FixtureAnswer() { return 42; }
+
+}  // namespace hib
+
+#endif  // HIBERNATOR_TOOLS_SIMLINT_FIXTURES_BAD_IOSTREAM_H_

@@ -1,0 +1,9 @@
+// Fixture: library-side code writing straight to stdout.
+// Expected finding: HIB003 (exactly one).
+#include <ostream>
+
+namespace hib {
+
+void FixturePrint() { std::cout << "energy: 42 J\n"; }
+
+}  // namespace hib

@@ -1,0 +1,14 @@
+// Fixture: a raw double carrying a milliseconds value by name.
+// Expected finding: HIB004 (exactly one).
+#ifndef HIBERNATOR_TOOLS_SIMLINT_FIXTURES_BAD_UNITS_H_
+#define HIBERNATOR_TOOLS_SIMLINT_FIXTURES_BAD_UNITS_H_
+
+namespace hib {
+
+struct FixtureParams {
+  double timeout_ms = 250.0;
+};
+
+}  // namespace hib
+
+#endif  // HIBERNATOR_TOOLS_SIMLINT_FIXTURES_BAD_UNITS_H_

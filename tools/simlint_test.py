@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Self-test for tools/simlint.py.
+
+Each known-bad fixture in tools/simlint_fixtures/ must trip *exactly one*
+finding of its expected rule; the clean fixture must produce none.  Run from
+anywhere; registered in ctest as `simlint_selftest`.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+SIMLINT = os.path.join(HERE, "simlint.py")
+FIXTURES = os.path.join(HERE, "simlint_fixtures")
+
+EXPECTED = {
+    "bad_guard.h": "HIB001",
+    "bad_iostream.h": "HIB002",
+    "bad_raw_io.cc": "HIB003",
+    "bad_units.h": "HIB004",
+    "bad_assert.cc": "HIB005",
+}
+
+FINDING_RE = re.compile(r"^(\S+):(\d+): \[(HIB\d+)\] ")
+
+
+def run_simlint(path):
+    proc = subprocess.run([sys.executable, SIMLINT, path],
+                          capture_output=True, text=True)
+    findings = [FINDING_RE.match(line) for line in proc.stdout.splitlines()]
+    return proc.returncode, [m.group(3) for m in findings if m]
+
+
+def main():
+    failures = []
+
+    for name, want_rule in sorted(EXPECTED.items()):
+        code, rules = run_simlint(os.path.join(FIXTURES, name))
+        if code == 0:
+            failures.append(f"{name}: expected nonzero exit, got 0")
+        if rules != [want_rule]:
+            failures.append(f"{name}: expected exactly [{want_rule}], got {rules}")
+
+    code, rules = run_simlint(os.path.join(FIXTURES, "clean.h"))
+    if code != 0 or rules:
+        failures.append(f"clean.h: expected clean exit, got code={code} rules={rules}")
+
+    # The fixture list and the rule set must stay in sync: every rule has a
+    # known-bad fixture proving it still fires.
+    listing = subprocess.run([sys.executable, SIMLINT, "--list-rules"],
+                             capture_output=True, text=True).stdout
+    advertised = set(re.findall(r"^(HIB\d+)", listing, flags=re.M))
+    covered = set(EXPECTED.values())
+    if advertised != covered:
+        failures.append(f"rules without fixtures: {sorted(advertised - covered)}; "
+                        f"fixtures for unknown rules: {sorted(covered - advertised)}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    print(f"ok: {len(EXPECTED)} bad fixtures each tripped exactly their rule; clean fixture clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
