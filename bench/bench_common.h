@@ -3,15 +3,28 @@
 // Every binary prints one experiment from DESIGN.md's index: a header naming
 // the paper artifact it regenerates, then the table/series in the same shape
 // the paper reports (schemes x {energy, response time}, or a parameter sweep).
+//
+// In addition to the human-readable tables, every bench emits a
+// machine-readable BENCH_<name>.json (wall-clock, simulator events/sec and
+// per-run metrics) via WriteBenchJson.  CI archives these as artifacts, so
+// the files form the performance trajectory future changes regress against.
+// Set HIB_BENCH_JSON_DIR to redirect the output directory (default: cwd),
+// and HIB_BENCH_HOURS to shrink the simulated horizon for smoke runs.
 #ifndef HIBERNATOR_BENCH_BENCH_COMMON_H_
 #define HIBERNATOR_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
+#include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/harness/experiment.h"
+#include "src/harness/parallel.h"
 #include "src/harness/schemes.h"
 #include "src/trace/synthetic.h"
 #include "src/util/table.h"
@@ -23,6 +36,201 @@ inline void PrintHeader(const std::string& experiment_id, const std::string& tit
   std::printf("%s — %s\n", experiment_id.c_str(), title.c_str());
   std::printf("==============================================================================\n");
 }
+
+// --- machine-readable bench output (BENCH_<name>.json) ---------------------
+
+// Minimal order-preserving JSON builder: objects, arrays and scalars, eagerly
+// serialized.  Deliberately tiny — the benches only ever *write* flat
+// records, so a full JSON library would be dead weight (and a dependency the
+// container may not have).
+class JsonValue {
+ public:
+  static JsonValue Number(double v) {
+    char buf[40];
+    if (v != v || v > 1.7e308 || v < -1.7e308) {  // NaN / +-Inf have no JSON form
+      return JsonValue("null");
+    }
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return JsonValue(buf);
+  }
+  static JsonValue Int(std::int64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    return JsonValue(buf);
+  }
+  static JsonValue UInt(std::uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    return JsonValue(buf);
+  }
+  static JsonValue Bool(bool v) { return JsonValue(v ? "true" : "false"); }
+  static JsonValue Str(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += "\"";
+    return JsonValue(out);
+  }
+  static JsonValue Raw(std::string serialized) { return JsonValue(std::move(serialized)); }
+
+  const std::string& raw() const { return raw_; }
+
+ private:
+  explicit JsonValue(std::string raw) : raw_(std::move(raw)) {}
+  std::string raw_;
+};
+
+class JsonArray {
+ public:
+  JsonArray& Push(const JsonValue& v) {
+    items_.push_back(v.raw());
+    return *this;
+  }
+  std::string Dump() const {
+    std::string out = "[";
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      out += (i ? "," : "") + items_[i];
+    }
+    return out + "]";
+  }
+
+ private:
+  std::vector<std::string> items_;
+};
+
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, const JsonValue& v) {
+    members_.emplace_back(key, v.raw());
+    return *this;
+  }
+  JsonObject& Set(const std::string& key, const JsonObject& v) {
+    members_.emplace_back(key, v.Dump());
+    return *this;
+  }
+  JsonObject& Set(const std::string& key, const JsonArray& v) {
+    members_.emplace_back(key, v.Dump());
+    return *this;
+  }
+  JsonObject& Set(const std::string& key, double v) { return Set(key, JsonValue::Number(v)); }
+  JsonObject& Set(const std::string& key, const std::string& v) {
+    return Set(key, JsonValue::Str(v));
+  }
+  std::string Dump() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      out += (i ? "," : "") + JsonValue::Str(members_[i].first).raw() + ":" + members_[i].second;
+    }
+    return out + "}";
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> members_;
+};
+
+// Per-run metrics block shared by every bench's JSON output.
+inline JsonObject ResultJson(const std::string& name, const ExperimentResult& r) {
+  JsonObject o;
+  o.Set("name", name)
+      .Set("energy_j", r.energy_total)
+      .Set("mean_response_ms", r.mean_response_ms)
+      .Set("p95_response_ms", r.p95_response_ms)
+      .Set("p99_response_ms", r.p99_response_ms)
+      .Set("max_response_ms", r.max_response_ms)
+      .Set("requests", JsonValue::Int(r.requests))
+      .Set("events", JsonValue::UInt(r.events))
+      .Set("sim_duration_ms", r.sim_duration_ms)
+      .Set("mean_power_w", r.MeanPower())
+      .Set("cache_hit_rate", r.cache_hit_rate)
+      .Set("spin_ups", JsonValue::Int(r.spin_ups))
+      .Set("spin_downs", JsonValue::Int(r.spin_downs))
+      .Set("rpm_changes", JsonValue::Int(r.rpm_changes))
+      .Set("migrations", JsonValue::Int(r.migrations))
+      .Set("migrated_sectors", JsonValue::Int(r.migrated_sectors));
+  return o;
+}
+
+// Wall-clock timer for the bench JSON ("how long did the evaluation take").
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Writes BENCH_<bench_name>.json into $HIB_BENCH_JSON_DIR (default: cwd).
+// `payload` should carry at least wall_seconds / events / events_per_sec plus
+// a "runs" array of ResultJson blocks; benches may add sweep-specific fields.
+inline void WriteBenchJson(const std::string& bench_name, const JsonObject& payload) {
+  std::string dir = ".";
+  if (const char* env = std::getenv("HIB_BENCH_JSON_DIR")) {
+    if (*env) {
+      dir = env;
+    }
+  }
+  std::string path = dir + "/BENCH_" + bench_name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << payload.Dump() << "\n";
+  std::printf("[bench json: %s]\n", path.c_str());
+}
+
+// Standard top-level payload: identity, wall clock, aggregate event rate.
+inline JsonObject BenchPayload(const std::string& bench_name, double wall_seconds,
+                               std::uint64_t total_events) {
+  JsonObject payload;
+  payload.Set("bench", bench_name)
+      .Set("wall_seconds", wall_seconds)
+      .Set("events", JsonValue::UInt(total_events))
+      .Set("events_per_sec", wall_seconds > 0.0
+                                 ? static_cast<double>(total_events) / wall_seconds
+                                 : 0.0)
+      .Set("threads", JsonValue::Int(DefaultParallelism()));
+  return payload;
+}
+
+// Simulated-horizon override for smoke runs: HIB_BENCH_HOURS, when set to a
+// positive number, replaces a bench's default (usually 24h) duration.
+inline Duration BenchDurationMs(Duration default_ms) {
+  if (const char* env = std::getenv("HIB_BENCH_HOURS")) {
+    double hours = std::atof(env);
+    if (hours > 0.0) {
+      return HoursToMs(hours);
+    }
+  }
+  return default_ms;
+}
+
+// --- scheme-comparison driver ----------------------------------------------
 
 inline OltpWorkloadParams OltpParamsFor(const OltpSetup& setup, const ArrayParams& array) {
   OltpWorkloadParams wp;
@@ -50,7 +258,10 @@ struct ComparisonRow {
 // Runs `schemes` against a workload factory; the goal for Hibernator variants
 // is `goal_multiplier` x the Base run's mean response time (measured first).
 // The workload factory must return an identical fresh stream each call (the
-// address space may differ per scheme because PDC/MAID reshape the array).
+// address space may differ per scheme because PDC/MAID reshape the array);
+// it is invoked from worker threads, so it must not touch shared mutable
+// state.  All schemes run concurrently via RunAll; results are bit-identical
+// to the former sequential loop.
 template <typename WorkloadFactory>
 std::vector<ComparisonRow> RunComparison(const std::vector<Scheme>& schemes,
                                          const ArrayParams& base_array,
@@ -69,16 +280,21 @@ std::vector<ComparisonRow> RunComparison(const std::vector<Scheme>& schemes,
     *out_goal_ms = goal_ms;
   }
 
-  std::vector<ComparisonRow> rows;
+  std::vector<ExperimentSpec> specs;
+  specs.reserve(schemes.size());
   for (Scheme scheme : schemes) {
     SchemeConfig cfg;
     cfg.scheme = scheme;
     cfg.goal_ms = goal_ms;
     cfg.epoch_ms = epoch_ms;
-    ArrayParams array = ArrayFor(cfg, base_array);
-    auto policy = MakePolicy(cfg);
-    auto workload = make_workload(array);
-    rows.push_back({scheme, RunExperiment(*workload, *policy, array, options)});
+    specs.push_back(SpecForScheme(cfg, base_array, make_workload, options));
+  }
+  std::vector<ExperimentResult> results = RunAll(specs);
+
+  std::vector<ComparisonRow> rows;
+  rows.reserve(schemes.size());
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    rows.push_back({schemes[i], std::move(results[i])});
   }
   std::printf("goal: %.2f ms (%.1fx the Base mean response of %.2f ms)\n\n", goal_ms,
               goal_multiplier, base_resp);
@@ -128,6 +344,25 @@ inline void PrintEnergyAndResponseTables(const std::vector<ComparisonRow>& rows,
         .Add(static_cast<double>(r.migrated_sectors) * kSectorBytes / (1 << 30), 2);
   }
   std::printf("Response time by scheme:\n%s\n", resp.ToString().c_str());
+}
+
+// JSON payload for a scheme-comparison bench (oltp, cello).
+inline void WriteComparisonJson(const std::string& bench_name, double wall_seconds,
+                                const std::vector<ComparisonRow>& rows, Duration goal_ms) {
+  std::uint64_t total_events = 0;
+  for (const auto& row : rows) {
+    total_events += row.result.events;
+  }
+  JsonObject payload = BenchPayload(bench_name, wall_seconds, total_events);
+  payload.Set("goal_ms", goal_ms);
+  JsonArray runs;
+  for (const auto& row : rows) {
+    JsonObject run = ResultJson(row.result.policy_name, row.result);
+    run.Set("scheme", std::string(SchemeName(row.scheme)));
+    runs.Push(JsonValue::Raw(run.Dump()));
+  }
+  payload.Set("runs", runs);
+  WriteBenchJson(bench_name, payload);
 }
 
 }  // namespace hib

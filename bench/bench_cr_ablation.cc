@@ -3,8 +3,12 @@
 // boost).  The threshold setter has no response-time model, so it either
 // over-slows (goal violations absorbed by boosts, costing energy) or
 // under-slows (wasted savings), depending on the threshold.
+//
+// The Base run anchors the goal, then all variants run concurrently via
+// RunAll (src/harness/parallel.h); results match a sequential run exactly.
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/hibernator/hibernator_policy.h"
@@ -14,9 +18,12 @@ int main() {
                    "Speed-setting policies under identical epochs/migration, 24h OLTP");
 
   hib::OltpSetup setup = hib::MakeOltpSetup();
+  setup.duration_ms = hib::BenchDurationMs(setup.duration_ms);
   auto make_workload = [&](const hib::ArrayParams& array) {
     return std::make_unique<hib::OltpWorkload>(hib::OltpParamsFor(setup, array));
   };
+
+  hib::WallTimer timer;
 
   hib::SchemeConfig base_cfg;
   base_cfg.scheme = hib::Scheme::kBase;
@@ -26,38 +33,74 @@ int main() {
   hib::Duration goal_ms = 2.5 * base.mean_response_ms;
   std::printf("goal: %.2f ms\n\n", goal_ms);
 
-  hib::Table table({"speed setter", "energy (kJ)", "savings", "mean resp (ms)", "goal met",
-                    "boosts", "boosted (h)"});
-
   struct Variant {
     std::string name;
     bool use_cr;
     double threshold;
   };
-  for (const Variant& v : {Variant{"CR (response-time model)", true, 0.0},
-                           Variant{"util threshold 0.3", false, 0.3},
-                           Variant{"util threshold 0.5", false, 0.5},
-                           Variant{"util threshold 0.7", false, 0.7}}) {
+  const std::vector<Variant> variants = {{"CR (response-time model)", true, 0.0},
+                                         {"util threshold 0.3", false, 0.3},
+                                         {"util threshold 0.5", false, 0.5},
+                                         {"util threshold 0.7", false, 0.7}};
+  struct PolicyCounters {
+    std::int64_t boosts = 0;
+    hib::Duration boosted_ms = 0.0;
+  };
+  std::vector<hib::ExperimentSpec> specs;
+  std::vector<PolicyCounters> counters(variants.size());
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const Variant& v = variants[i];
     hib::HibernatorParams hp;
     hp.goal_ms = goal_ms;
     hp.use_cr = v.use_cr;
     if (!v.use_cr) {
       hp.threshold_target_utilization = v.threshold;
     }
-    hib::HibernatorPolicy policy(hp);
-    auto workload = make_workload(setup.array);
-    hib::ExperimentResult r = hib::RunExperiment(*workload, policy, setup.array);
+    hib::ExperimentSpec spec;
+    spec.name = v.name;
+    spec.array = setup.array;
+    spec.make_policy = [hp] { return std::make_unique<hib::HibernatorPolicy>(hp); };
+    spec.make_workload = make_workload;
+    spec.post_run = [&counters, i](const hib::PowerPolicy& policy,
+                                   const hib::ExperimentResult&) {
+      const auto& hib_policy = static_cast<const hib::HibernatorPolicy&>(policy);
+      counters[i].boosts = hib_policy.boosts();
+      counters[i].boosted_ms = hib_policy.boosted_ms();
+    };
+    specs.push_back(std::move(spec));
+  }
+  std::vector<hib::ExperimentResult> results = hib::RunAll(specs);
+
+  hib::Table table({"speed setter", "energy (kJ)", "savings", "mean resp (ms)", "goal met",
+                    "boosts", "boosted (h)"});
+  hib::JsonArray runs;
+  std::uint64_t total_events = base.events;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const hib::ExperimentResult& r = results[i];
     table.NewRow()
-        .Add(v.name)
+        .Add(variants[i].name)
         .Add(r.energy_total / 1000.0, 1)
         .AddPercent(r.SavingsVs(base))
         .Add(r.mean_response_ms, 2)
         .Add(r.mean_response_ms <= goal_ms * 1.05 ? "yes" : "NO")
-        .Add(policy.boosts())
-        .Add(policy.boosted_ms() / hib::kMsPerHour, 2);
+        .Add(counters[i].boosts)
+        .Add(counters[i].boosted_ms / hib::kMsPerHour, 2);
+    hib::JsonObject run = hib::ResultJson(variants[i].name, r);
+    run.Set("use_cr", hib::JsonValue::Bool(variants[i].use_cr))
+        .Set("threshold", variants[i].threshold)
+        .Set("goal_ms", goal_ms)
+        .Set("savings_vs_base", r.SavingsVs(base))
+        .Set("boosts", hib::JsonValue::Int(counters[i].boosts))
+        .Set("boosted_ms", counters[i].boosted_ms);
+    runs.Push(hib::JsonValue::Raw(run.Dump()));
+    total_events += r.events;
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf("shape check: CR tracks the goal directly; fixed thresholds either leave\n"
               "savings on the table or lean on boosts to repair violations.\n");
+
+  hib::JsonObject payload = hib::BenchPayload("cr_ablation", timer.Seconds(), total_events);
+  payload.Set("base", hib::ResultJson("Base", base)).Set("runs", runs);
+  hib::WriteBenchJson("cr_ablation", payload);
   return 0;
 }

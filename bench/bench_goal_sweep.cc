@@ -3,8 +3,12 @@
 // response time).  Expected shape: savings grow monotonically-ish with the
 // goal — a tight goal leaves no room to slow disks, a loose goal lets most of
 // the array crawl.
+//
+// The Base run anchors the goals, then all sweep points run concurrently via
+// RunAll (src/harness/parallel.h); results match a sequential sweep exactly.
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/hibernator/hibernator_policy.h"
@@ -14,11 +18,14 @@ int main() {
                    "Hibernator energy savings vs goal multiplier, 24h OLTP");
 
   hib::OltpSetup setup = hib::MakeOltpSetup();
+  setup.duration_ms = hib::BenchDurationMs(setup.duration_ms);
   auto make_workload = [&](const hib::ArrayParams& array) {
     return std::make_unique<hib::OltpWorkload>(hib::OltpParamsFor(setup, array));
   };
 
-  // Base run once for the savings denominator.
+  hib::WallTimer timer;
+
+  // Base run once for the savings denominator (and the goal anchor).
   hib::SchemeConfig base_cfg;
   base_cfg.scheme = hib::Scheme::kBase;
   auto base_policy = hib::MakePolicy(base_cfg);
@@ -27,26 +34,55 @@ int main() {
   std::printf("Base: %.1f kJ, mean response %.2f ms\n\n", base.energy_total / 1000.0,
               base.mean_response_ms);
 
-  hib::Table table({"goal multiplier", "goal (ms)", "energy (kJ)", "savings", "mean resp (ms)",
-                    "goal met", "boost time (h)"});
-  for (double multiplier : {1.1, 1.5, 2.0, 2.5, 3.0, 4.0}) {
-    hib::Duration goal_ms = multiplier * base.mean_response_ms;
+  const std::vector<double> multipliers = {1.1, 1.5, 2.0, 2.5, 3.0, 4.0};
+  std::vector<hib::ExperimentSpec> specs;
+  std::vector<hib::Duration> boosted_ms(multipliers.size(), 0.0);
+  for (std::size_t i = 0; i < multipliers.size(); ++i) {
+    hib::Duration goal_ms = multipliers[i] * base.mean_response_ms;
     hib::HibernatorParams hp;
     hp.goal_ms = goal_ms;
-    hib::HibernatorPolicy policy(hp);
-    auto workload = make_workload(setup.array);
-    hib::ExperimentResult r = hib::RunExperiment(*workload, policy, setup.array);
+    hib::ExperimentSpec spec;
+    spec.name = "goal_" + std::to_string(multipliers[i]);
+    spec.array = setup.array;
+    spec.make_policy = [hp] { return std::make_unique<hib::HibernatorPolicy>(hp); };
+    spec.make_workload = make_workload;
+    spec.post_run = [&boosted_ms, i](const hib::PowerPolicy& policy,
+                                     const hib::ExperimentResult&) {
+      boosted_ms[i] = static_cast<const hib::HibernatorPolicy&>(policy).boosted_ms();
+    };
+    specs.push_back(std::move(spec));
+  }
+  std::vector<hib::ExperimentResult> results = hib::RunAll(specs);
+
+  hib::Table table({"goal multiplier", "goal (ms)", "energy (kJ)", "savings", "mean resp (ms)",
+                    "goal met", "boost time (h)"});
+  hib::JsonArray runs;
+  std::uint64_t total_events = base.events;
+  for (std::size_t i = 0; i < multipliers.size(); ++i) {
+    const hib::ExperimentResult& r = results[i];
+    hib::Duration goal_ms = multipliers[i] * base.mean_response_ms;
     table.NewRow()
-        .Add(multiplier, 1)
+        .Add(multipliers[i], 1)
         .Add(goal_ms, 2)
         .Add(r.energy_total / 1000.0, 1)
         .AddPercent(r.SavingsVs(base))
         .Add(r.mean_response_ms, 2)
         .Add(r.mean_response_ms <= goal_ms * 1.05 ? "yes" : "NO")
-        .Add(policy.boosted_ms() / hib::kMsPerHour, 2);
+        .Add(boosted_ms[i] / hib::kMsPerHour, 2);
+    hib::JsonObject run = hib::ResultJson(specs[i].name, r);
+    run.Set("goal_multiplier", multipliers[i])
+        .Set("goal_ms", goal_ms)
+        .Set("savings_vs_base", r.SavingsVs(base))
+        .Set("boosted_ms", boosted_ms[i]);
+    runs.Push(hib::JsonValue::Raw(run.Dump()));
+    total_events += r.events;
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf("paper shape check: savings rise with the goal and the goal is met at every\n"
               "setting (tight goals trade energy for latency headroom, not violations).\n");
+
+  hib::JsonObject payload = hib::BenchPayload("goal_sweep", timer.Seconds(), total_events);
+  payload.Set("base", hib::ResultJson("Base", base)).Set("runs", runs);
+  hib::WriteBenchJson("goal_sweep", payload);
   return 0;
 }

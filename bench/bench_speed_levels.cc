@@ -1,8 +1,12 @@
 // E8 — reproduces the paper's "how many RPM levels do multi-speed disks
 // need?" figure.  2-speed disks already capture much of the benefit; more
 // levels add finer-grained operating points with diminishing returns.
+//
+// The single-speed Base run anchors the goal, then every ladder runs
+// concurrently via RunAll (src/harness/parallel.h).
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/hibernator/hibernator_policy.h"
@@ -14,11 +18,15 @@ int main() {
   hib::Table table({"levels", "RPM ladder", "energy (kJ)", "savings vs 1-speed Base",
                     "mean resp (ms)", "goal met"});
 
-  // The Base denominator uses the conventional single-speed (15k) disk.
-  hib::OltpSetup base_setup = hib::MakeOltpSetup(/*speed_levels=*/1);
   auto make_workload = [](const hib::OltpSetup& setup, const hib::ArrayParams& array) {
     return std::make_unique<hib::OltpWorkload>(hib::OltpParamsFor(setup, array));
   };
+
+  hib::WallTimer timer;
+
+  // The Base denominator uses the conventional single-speed (15k) disk.
+  hib::OltpSetup base_setup = hib::MakeOltpSetup(/*speed_levels=*/1);
+  base_setup.duration_ms = hib::BenchDurationMs(base_setup.duration_ms);
   hib::SchemeConfig base_cfg;
   base_cfg.scheme = hib::Scheme::kBase;
   auto base_policy = hib::MakePolicy(base_cfg);
@@ -29,28 +37,53 @@ int main() {
   std::printf("Base (single-speed): %.1f kJ, goal %.2f ms\n\n", base.energy_total / 1000.0,
               goal_ms);
 
-  for (int levels : {2, 3, 5, 13}) {
-    hib::OltpSetup setup = hib::MakeOltpSetup(levels);
+  const std::vector<int> levels = {2, 3, 5, 13};
+  std::vector<hib::ExperimentSpec> specs;
+  std::vector<std::string> ladders(levels.size());
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    hib::OltpSetup setup = hib::MakeOltpSetup(levels[i]);
+    setup.duration_ms = hib::BenchDurationMs(setup.duration_ms);
+    for (const auto& s : setup.array.disk.speeds) {
+      ladders[i] += (ladders[i].empty() ? "" : "/") + std::to_string(s.rpm / 1000) + "k";
+    }
     hib::HibernatorParams hp;
     hp.goal_ms = goal_ms;
-    hib::HibernatorPolicy policy(hp);
-    auto workload = make_workload(setup, setup.array);
-    hib::ExperimentResult r = hib::RunExperiment(*workload, policy, setup.array);
+    hib::ExperimentSpec spec;
+    spec.name = "levels_" + std::to_string(levels[i]);
+    spec.array = setup.array;
+    spec.make_policy = [hp] { return std::make_unique<hib::HibernatorPolicy>(hp); };
+    spec.make_workload = [setup, make_workload](const hib::ArrayParams& array) {
+      return make_workload(setup, array);
+    };
+    specs.push_back(std::move(spec));
+  }
+  std::vector<hib::ExperimentResult> results = hib::RunAll(specs);
 
-    std::string ladder;
-    for (const auto& s : setup.array.disk.speeds) {
-      ladder += (ladder.empty() ? "" : "/") + std::to_string(s.rpm / 1000) + "k";
-    }
+  hib::JsonArray runs;
+  std::uint64_t total_events = base.events;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const hib::ExperimentResult& r = results[i];
     table.NewRow()
-        .Add(levels)
-        .Add(ladder)
+        .Add(levels[i])
+        .Add(ladders[i])
         .Add(r.energy_total / 1000.0, 1)
         .AddPercent(r.SavingsVs(base))
         .Add(r.mean_response_ms, 2)
         .Add(r.mean_response_ms <= goal_ms * 1.05 ? "yes" : "NO");
+    hib::JsonObject run = hib::ResultJson(specs[i].name, r);
+    run.Set("speed_levels", hib::JsonValue::Int(levels[i]))
+        .Set("rpm_ladder", ladders[i])
+        .Set("goal_ms", goal_ms)
+        .Set("savings_vs_base", r.SavingsVs(base));
+    runs.Push(hib::JsonValue::Raw(run.Dump()));
+    total_events += r.events;
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf("paper shape check: even 2 speeds capture most of the benefit; extra levels\n"
               "refine the energy/latency trade with diminishing returns.\n");
+
+  hib::JsonObject payload = hib::BenchPayload("speed_levels", timer.Seconds(), total_events);
+  payload.Set("base", hib::ResultJson("Base-1speed", base)).Set("runs", runs);
+  hib::WriteBenchJson("speed_levels", payload);
   return 0;
 }

@@ -41,6 +41,7 @@ ExperimentResult RunExperiment(WorkloadSource& workload, PowerPolicy& policy,
                                const ArrayParams& array_params,
                                const ExperimentOptions& options) {
   Simulator sim;
+  sim.ReserveEvents(options.event_capacity_hint);
   ArrayController array(&sim, array_params);
   policy.Attach(&sim, &array);
 
@@ -50,6 +51,12 @@ ExperimentResult RunExperiment(WorkloadSource& workload, PowerPolicy& policy,
   ExperimentResult result;
   result.policy_name = policy.Name();
   result.policy_desc = policy.Describe();
+  if (options.collect_series) {
+    Duration hint_ms = workload.DurationHint();
+    if (hint_ms > 0.0 && options.sample_period_ms > 0.0) {
+      result.series.reserve(static_cast<std::size_t>(hint_ms / options.sample_period_ms) + 2);
+    }
+  }
 
   // Time-series sampler (driven off cumulative counters so it never
   // interferes with the policies' own measurement windows).
@@ -109,6 +116,7 @@ ExperimentResult RunExperiment(WorkloadSource& workload, PowerPolicy& policy,
   policy.Finish();
 
   result.sim_duration_ms = sim.Now();
+  result.events = sim.events_fired();
   DiskEnergy energy = array.TotalEnergy();
   result.energy = energy;
   result.energy_total = energy.Total();

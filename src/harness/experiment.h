@@ -34,6 +34,7 @@ struct ExperimentResult {
   DiskEnergy energy;  // component breakdown
 
   std::int64_t requests = 0;
+  std::uint64_t events = 0;  // simulator events dispatched during the run
   Duration mean_response_ms = 0.0;
   Duration p95_response_ms = 0.0;
   Duration p99_response_ms = 0.0;
@@ -62,6 +63,11 @@ struct ExperimentOptions {
   Duration drain_ms = SecondsToMs(30.0);
   Duration sample_period_ms = HoursToMs(0.25);
   bool collect_series = false;
+  // Capacity hint for the event queue (concurrently *pending* events, not
+  // total events fired): covers per-disk in-flight service completions,
+  // policy timers and the injector's next arrival, so multi-million-event
+  // runs never reallocate the heap or the slot arena mid-run.
+  std::size_t event_capacity_hint = 4096;
 };
 
 // Replays `workload` (from its current position; call Reset() first for a

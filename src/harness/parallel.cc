@@ -1,0 +1,85 @@
+#include "src/harness/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace hib {
+
+int DefaultParallelism() {
+  if (const char* env = std::getenv("HIB_JOBS")) {
+    int jobs = std::atoi(env);
+    if (jobs > 0) {
+      return jobs;
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::vector<ExperimentResult> RunAll(const std::vector<ExperimentSpec>& specs,
+                                     int max_threads) {
+  std::vector<ExperimentResult> results(specs.size());
+  if (specs.empty()) {
+    return results;
+  }
+  int threads = max_threads > 0 ? max_threads : DefaultParallelism();
+  if (static_cast<std::size_t>(threads) > specs.size()) {
+    threads = static_cast<int>(specs.size());
+  }
+
+  // Work-stealing-free claim counter: each worker grabs the next unclaimed
+  // spec index.  Results land in spec order no matter which thread ran what.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&specs, &results, &next] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= specs.size()) {
+        return;
+      }
+      const ExperimentSpec& spec = specs[i];
+      HIB_CHECK(static_cast<bool>(spec.make_policy))
+          << "ExperimentSpec '" << spec.name << "' has no policy factory";
+      HIB_CHECK(static_cast<bool>(spec.make_workload))
+          << "ExperimentSpec '" << spec.name << "' has no workload factory";
+      std::unique_ptr<PowerPolicy> policy = spec.make_policy();
+      std::unique_ptr<WorkloadSource> workload = spec.make_workload(spec.array);
+      results[i] = RunExperiment(*workload, *policy, spec.array, spec.options);
+      if (spec.post_run) {
+        spec.post_run(*policy, results[i]);
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+    return results;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  return results;
+}
+
+ExperimentSpec SpecForScheme(const SchemeConfig& config, const ArrayParams& base_array,
+                             std::function<std::unique_ptr<WorkloadSource>(const ArrayParams&)>
+                                 make_workload,
+                             const ExperimentOptions& options) {
+  ExperimentSpec spec;
+  spec.name = SchemeName(config.scheme);
+  spec.array = ArrayFor(config, base_array);
+  spec.make_policy = [config] { return MakePolicy(config); };
+  spec.make_workload = std::move(make_workload);
+  spec.options = options;
+  return spec;
+}
+
+}  // namespace hib

@@ -1,0 +1,57 @@
+// Multi-core experiment runner.
+//
+// Every RunExperiment call is an isolated universe: the Simulator, the array,
+// the policy and the workload source are all constructed inside the run and
+// share no mutable state with any other run (src/util/random.h RNGs are
+// per-object; the logger's threshold is atomic and its sink writes whole
+// lines).  That makes the evaluation embarrassingly parallel, and — because
+// each run is deterministic in its inputs alone — the results are *bit
+// identical* to running the same specs sequentially, regardless of thread
+// count or scheduling (tests/parallel_test.cc pins this).
+#ifndef HIBERNATOR_SRC_HARNESS_PARALLEL_H_
+#define HIBERNATOR_SRC_HARNESS_PARALLEL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.h"
+#include "src/harness/schemes.h"
+
+namespace hib {
+
+// One experiment to run.  Factories (not instances) because each worker
+// thread must build its own policy and workload; they are invoked
+// concurrently and must not touch shared mutable state.
+struct ExperimentSpec {
+  std::string name;
+  ArrayParams array;
+  std::function<std::unique_ptr<PowerPolicy>()> make_policy;
+  std::function<std::unique_ptr<WorkloadSource>(const ArrayParams&)> make_workload;
+  ExperimentOptions options = {};
+  // Optional hook, invoked in the worker thread right after the run with the
+  // policy still alive — for policy-specific counters (boost time, ...).
+  // It must only write state owned by this spec (e.g. its own slot in a
+  // caller-side vector).
+  std::function<void(const PowerPolicy&, const ExperimentResult&)> post_run;
+};
+
+// Threads RunAll uses when `max_threads` <= 0: the HIB_JOBS environment
+// variable if set, else std::thread::hardware_concurrency().
+int DefaultParallelism();
+
+// Runs every spec (each in its own thread, up to the thread cap) and returns
+// results in spec order.  Bit-identical to calling RunExperiment sequentially.
+std::vector<ExperimentResult> RunAll(const std::vector<ExperimentSpec>& specs,
+                                     int max_threads = 0);
+
+// Convenience: the scheme-comparison spec used by the paper benches.
+ExperimentSpec SpecForScheme(const SchemeConfig& config, const ArrayParams& base_array,
+                             std::function<std::unique_ptr<WorkloadSource>(const ArrayParams&)>
+                                 make_workload,
+                             const ExperimentOptions& options = {});
+
+}  // namespace hib
+
+#endif  // HIBERNATOR_SRC_HARNESS_PARALLEL_H_

@@ -56,13 +56,11 @@ std::uint64_t Simulator::RunUntil(SimTime until) {
     if (next > until) {
       break;
     }
-    EventQueue::Fired event = queue_.PopNext();
-    HIB_DCHECK_GE(event.time, now_) << "event fired in the simulated past";
+    HIB_DCHECK_GE(next, now_) << "event fired in the simulated past";
 #if HIB_VALIDATE
-    validator_->OnDispatch(event.time);
+    validator_->OnDispatch(next);
 #endif
-    now_ = event.time;
-    event.callback();
+    queue_.FireNext(&now_);
     ++fired;
     ++events_fired_;
   }
@@ -76,13 +74,12 @@ bool Simulator::Step() {
   if (queue_.empty()) {
     return false;
   }
-  EventQueue::Fired event = queue_.PopNext();
-  HIB_DCHECK_GE(event.time, now_) << "event fired in the simulated past";
+  SimTime next = queue_.NextTime();
+  HIB_DCHECK_GE(next, now_) << "event fired in the simulated past";
 #if HIB_VALIDATE
-  validator_->OnDispatch(event.time);
+  validator_->OnDispatch(next);
 #endif
-  now_ = event.time;
-  event.callback();
+  queue_.FireNext(&now_);
   ++events_fired_;
   return true;
 }

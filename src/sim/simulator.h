@@ -40,6 +40,10 @@ class Simulator {
   // Cancels a pending event; returns false if it already fired.
   bool Cancel(EventId id);
 
+  // Capacity hint: pre-sizes the event queue for roughly `events` concurrently
+  // pending events (see EventQueue::Reserve).
+  void ReserveEvents(std::size_t events) { queue_.Reserve(events); }
+
   // Schedules `cb` every `period` ms starting at `start`; the callback may
   // call StopPeriodic with the returned handle to stop the series.
   struct PeriodicHandle {

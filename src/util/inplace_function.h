@@ -1,0 +1,152 @@
+// Small-buffer-optimized move-only callable wrapper.
+//
+// hib::InplaceFunction<R(Args...), Capacity> stores any callable of size
+// <= Capacity *inline* — never on the heap.  The simulator schedules millions
+// of events per run; with std::function every capture larger than the
+// implementation's tiny SSO buffer (16 bytes in libstdc++) costs a heap
+// allocation + free on the hot path.  InplaceFunction turns an oversized
+// capture into a compile error instead, which keeps the event hot path
+// allocation-free by construction: if a new callback doesn't fit, the build
+// breaks and the capacity (or the capture) is revisited explicitly.
+#ifndef HIBERNATOR_SRC_UTIL_INPLACE_FUNCTION_H_
+#define HIBERNATOR_SRC_UTIL_INPLACE_FUNCTION_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace hib {
+
+template <typename Signature, std::size_t Capacity>
+class InplaceFunction;  // undefined; only the R(Args...) specialization exists
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+  InplaceFunction() = default;
+  InplaceFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  // Implicit from any callable, mirroring std::function — call sites pass
+  // lambdas straight to Schedule*().
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    Emplace(std::forward<F>(f));
+  }
+
+  // Destroys the current callable (if any) and constructs `f` directly in
+  // the inline buffer — the zero-relocation path for hot schedule sites.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  void Emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "callable exceeds InplaceFunction capacity: shrink the capture "
+                  "or raise the capacity where the alias is defined");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "callable is over-aligned for InplaceFunction storage");
+    static_assert(std::is_move_constructible_v<Fn>,
+                  "InplaceFunction requires a move-constructible callable");
+    Destroy();
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    ops_ = &OpsFor<Fn>::kOps;
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept {
+    MoveFrom(other);
+  }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InplaceFunction& operator=(std::nullptr_t) {
+    Destroy();
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { Destroy(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    HIB_DCHECK(ops_ != nullptr) << "invoking an empty InplaceFunction";
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  static constexpr std::size_t capacity() { return Capacity; }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* storage, Args&&... args);
+    // Move-constructs *src into dst, then destroys *src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+    // Trivially copyable callables relocate as a raw byte copy — the move
+    // path takes an inline memcpy instead of two indirect calls.  This is
+    // the common case: most simulator callbacks capture only pointers,
+    // indices, and PODs.
+    bool trivial;
+  };
+
+  template <typename Fn>
+  struct OpsFor {
+    static R Invoke(void* storage, Args&&... args) {
+      return (*static_cast<Fn*>(storage))(std::forward<Args>(args)...);
+    }
+    static void Relocate(void* dst, void* src) {
+      Fn* from = static_cast<Fn*>(src);
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    }
+    static void Destroy(void* storage) { static_cast<Fn*>(storage)->~Fn(); }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy,
+                              std::is_trivially_copyable_v<Fn>};
+  };
+
+  void MoveFrom(InplaceFunction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      if (other.ops_->trivial) {
+        // Copying the whole buffer (not sizeof(Fn)) keeps the copy length a
+        // compile-time constant; indeterminate tail bytes are fine through
+        // unsigned char.
+        std::memcpy(storage_, other.storage_, Capacity);
+      } else {
+        other.ops_->relocate(storage_, other.storage_);
+      }
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Destroy() {
+    if (ops_ != nullptr) {
+      if (!ops_->trivial) {  // trivially copyable => trivially destructible
+        ops_->destroy(storage_);
+      }
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace hib
+
+#endif  // HIBERNATOR_SRC_UTIL_INPLACE_FUNCTION_H_

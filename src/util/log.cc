@@ -1,12 +1,21 @@
 #include "src/util/log.h"
 
+#include <atomic>
 #include <cstring>
 
 namespace hib {
 
-LogLevel& GlobalLogLevel() {
-  static LogLevel level = LogLevel::kWarning;
+namespace {
+std::atomic<LogLevel>& LevelStore() {
+  static std::atomic<LogLevel> level{LogLevel::kWarning};
   return level;
+}
+}  // namespace
+
+LogLevel GlobalLogLevel() { return LevelStore().load(std::memory_order_relaxed); }
+
+void SetGlobalLogLevel(LogLevel level) {
+  LevelStore().store(level, std::memory_order_relaxed);
 }
 
 namespace {

@@ -1,7 +1,13 @@
-// Minimal leveled logging.  The simulator is single-threaded; no locking.
+// Minimal leveled logging.
 //
 // Usage:  HIB_LOG(kInfo) << "epoch " << epoch << " reconfigured";
 // Levels below the global threshold compile to a no-op stream.
+//
+// Thread safety: each simulation runs single-threaded, but the parallel
+// experiment runner (src/harness/parallel.h) executes many simulations
+// concurrently.  The level threshold is an atomic, and each LogMessage
+// flushes its fully composed line to std::cerr in one call, so concurrent
+// runs never tear each other's lines or race on the threshold.
 #ifndef HIBERNATOR_SRC_UTIL_LOG_H_
 #define HIBERNATOR_SRC_UTIL_LOG_H_
 
@@ -19,8 +25,9 @@ enum class LogLevel : int {
   kNone = 4,
 };
 
-// Returns the mutable global threshold; messages below it are dropped.
-LogLevel& GlobalLogLevel();
+// The global threshold; messages below it are dropped.
+LogLevel GlobalLogLevel();
+void SetGlobalLogLevel(LogLevel level);
 
 // RAII line logger: accumulates into a buffer, flushes with newline on
 // destruction so interleaved output stays line-atomic.

@@ -42,7 +42,10 @@ class PercentileReservoir {
   void Reset();
 
   // Returns the p-th percentile (p in [0, 100]) of the sampled values;
-  // 0 when empty.  Not const: sorts the reservoir lazily.
+  // 0 when empty.  Not const: the first queries after a mutation use O(n)
+  // std::nth_element selection; sustained querying without mutation falls
+  // back to one full sort, after which queries are O(1) (the lazy `sorted_`
+  // fast path).  Both paths return identical values.
   double Percentile(double p);
 
   std::int64_t count() const { return count_; }
@@ -53,6 +56,7 @@ class PercentileReservoir {
   std::int64_t count_ = 0;
   std::uint64_t rng_state_;
   bool sorted_ = false;
+  int selects_since_mutation_ = 0;
 
   std::uint64_t NextRand();
 };

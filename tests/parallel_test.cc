@@ -1,0 +1,147 @@
+// Pins the core guarantee of src/harness/parallel.h: RunAll is nothing but a
+// thread-pooled RunExperiment, so its results are *bit identical* to running
+// the same specs sequentially, in spec order, for any thread count.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.h"
+#include "src/harness/parallel.h"
+#include "src/harness/schemes.h"
+#include "src/trace/synthetic.h"
+
+namespace hib {
+namespace {
+
+ArrayParams TinyArray() {
+  ArrayParams p;
+  p.num_disks = 4;
+  p.group_width = 4;
+  p.disk = MakeUltrastar36Z15MultiSpeed(5);
+  p.data_fraction = 0.05;
+  p.cache_lines = 0;
+  return p;
+}
+
+ConstantWorkloadParams TinyWorkload(SectorAddr space) {
+  ConstantWorkloadParams p;
+  p.address_space_sectors = space;
+  p.duration_ms = HoursToMs(0.25);
+  p.iops = 25.0;
+  return p;
+}
+
+std::vector<ExperimentSpec> MakeSpecs() {
+  std::vector<ExperimentSpec> specs;
+  ExperimentOptions options;
+  options.collect_series = true;
+  options.sample_period_ms = HoursToMs(0.05);
+  for (Scheme s : {Scheme::kBase, Scheme::kTpm, Scheme::kDrpm, Scheme::kHibernator,
+                   Scheme::kBase, Scheme::kTpm}) {
+    SchemeConfig cfg;
+    cfg.scheme = s;
+    ExperimentSpec spec = SpecForScheme(
+        cfg, TinyArray(),
+        [](const ArrayParams& array) {
+          return std::make_unique<ConstantWorkload>(TinyWorkload(array.DataSectors()));
+        },
+        options);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+void ExpectBitIdentical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.policy_name, b.policy_name);
+  EXPECT_EQ(a.policy_desc, b.policy_desc);
+  EXPECT_EQ(a.sim_duration_ms, b.sim_duration_ms);
+  EXPECT_EQ(a.energy_total, b.energy_total);  // exact, not NEAR: bit identical
+  EXPECT_EQ(a.energy.active, b.energy.active);
+  EXPECT_EQ(a.energy.idle, b.energy.idle);
+  EXPECT_EQ(a.energy.standby, b.energy.standby);
+  EXPECT_EQ(a.energy.transition, b.energy.transition);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.mean_response_ms, b.mean_response_ms);
+  EXPECT_EQ(a.p95_response_ms, b.p95_response_ms);
+  EXPECT_EQ(a.p99_response_ms, b.p99_response_ms);
+  EXPECT_EQ(a.max_response_ms, b.max_response_ms);
+  EXPECT_EQ(a.cache_hit_rate, b.cache_hit_rate);
+  EXPECT_EQ(a.spin_ups, b.spin_ups);
+  EXPECT_EQ(a.spin_downs, b.spin_downs);
+  EXPECT_EQ(a.rpm_changes, b.rpm_changes);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.migrated_sectors, b.migrated_sectors);
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_EQ(a.series[i].t, b.series[i].t);
+    EXPECT_EQ(a.series[i].window_mean_response_ms, b.series[i].window_mean_response_ms);
+    EXPECT_EQ(a.series[i].energy_so_far, b.series[i].energy_so_far);
+    EXPECT_EQ(a.series[i].disks_at_level, b.series[i].disks_at_level);
+    EXPECT_EQ(a.series[i].disks_standby, b.series[i].disks_standby);
+  }
+}
+
+TEST(RunAll, BitIdenticalToSequentialRuns) {
+  std::vector<ExperimentSpec> specs = MakeSpecs();
+
+  std::vector<ExperimentResult> sequential;
+  for (const ExperimentSpec& spec : specs) {
+    auto policy = spec.make_policy();
+    auto workload = spec.make_workload(spec.array);
+    sequential.push_back(RunExperiment(*workload, *policy, spec.array, spec.options));
+  }
+
+  std::vector<ExperimentResult> parallel = RunAll(specs, 4);
+  ASSERT_EQ(parallel.size(), sequential.size());
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    SCOPED_TRACE(specs[i].name);
+    ExpectBitIdentical(parallel[i], sequential[i]);
+  }
+}
+
+TEST(RunAll, ThreadCountDoesNotChangeResults) {
+  std::vector<ExperimentSpec> specs = MakeSpecs();
+  std::vector<ExperimentResult> one = RunAll(specs, 1);
+  std::vector<ExperimentResult> many = RunAll(specs, 3);
+  ASSERT_EQ(one.size(), many.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    SCOPED_TRACE(specs[i].name);
+    ExpectBitIdentical(one[i], many[i]);
+  }
+}
+
+TEST(RunAll, ResultsComeBackInSpecOrder) {
+  std::vector<ExperimentSpec> specs = MakeSpecs();
+  std::vector<ExperimentResult> results = RunAll(specs, 4);
+  ASSERT_EQ(results.size(), specs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    // Slot i must hold the run of spec i's policy, whichever thread ran it.
+    EXPECT_EQ(results[i].policy_name, specs[i].make_policy()->Name());
+  }
+}
+
+TEST(RunAll, PostRunHookSeesEachSpecsPolicy) {
+  std::vector<ExperimentSpec> specs = MakeSpecs();
+  std::vector<std::string> hook_names(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].post_run = [&hook_names, i](const PowerPolicy& policy,
+                                         const ExperimentResult& result) {
+      hook_names[i] = result.policy_name;
+      (void)policy;
+    };
+  }
+  std::vector<ExperimentResult> results = RunAll(specs, 4);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(hook_names[i], results[i].policy_name);
+  }
+}
+
+TEST(RunAll, EmptySpecListReturnsEmpty) {
+  EXPECT_TRUE(RunAll({}, 4).empty());
+}
+
+}  // namespace
+}  // namespace hib

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "src/util/inplace_function.h"
 #include "src/util/random.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
@@ -311,6 +314,98 @@ TEST(PercentileReservoir, AddAfterPercentileStillWorks) {
   EXPECT_DOUBLE_EQ(res.Percentile(50.0), 1.0);
   res.Add(3.0);
   EXPECT_NEAR(res.Percentile(100.0), 3.0, 1e-9);
+}
+
+// Pin: the O(n) nth_element fast path (first queries after a mutation) and
+// the sorted path (later queries) must return bit-identical percentiles, and
+// both must match a plain sorted-vector interpolation.
+TEST(PercentileReservoir, SelectAndSortPathsAgreeExactly) {
+  for (double p : {50.0, 95.0, 99.0}) {
+    PercentileReservoir res(512);
+    Pcg32 rng(77);
+    std::vector<double> values;
+    for (int i = 0; i < 500; ++i) {
+      double v = rng.NextDouble() * 100.0;
+      values.push_back(v);
+      res.Add(v);
+    }
+    std::sort(values.begin(), values.end());
+    double rank = (p / 100.0) * static_cast<double>(values.size() - 1);
+    auto lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, values.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    double expected = values[lo] * (1.0 - frac) + values[hi] * frac;
+    double first = res.Percentile(p);   // nth_element path
+    double second = res.Percentile(p);  // nth_element path
+    double third = res.Percentile(p);   // sorted path from here on
+    double fourth = res.Percentile(p);
+    EXPECT_DOUBLE_EQ(first, expected) << "p" << p;
+    EXPECT_DOUBLE_EQ(second, first) << "p" << p;
+    EXPECT_DOUBLE_EQ(third, first) << "p" << p;
+    EXPECT_DOUBLE_EQ(fourth, first) << "p" << p;
+  }
+}
+
+// --------------------------------------------------- InplaceFunction -------
+
+TEST(InplaceFunction, InvokesCapturedLambda) {
+  int x = 0;
+  InplaceFunction<void(), 32> f([&x] { x = 42; });
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  EXPECT_EQ(x, 42);
+}
+
+TEST(InplaceFunction, ReturnsValuesAndTakesArguments) {
+  InplaceFunction<int(int, int), 16> add([](int a, int b) { return a + b; });
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(InplaceFunction, MoveTransfersOwnership) {
+  int calls = 0;
+  InplaceFunction<void(), 32> a([&calls] { ++calls; });
+  InplaceFunction<void(), 32> b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+  InplaceFunction<void(), 32> c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InplaceFunction, EmplaceReplacesExistingCallable) {
+  int which = 0;
+  InplaceFunction<void(), 32> f([&which] { which = 1; });
+  f.Emplace([&which] { which = 2; });
+  f();
+  EXPECT_EQ(which, 2);
+}
+
+TEST(InplaceFunction, NonTrivialCaptureIsDestroyed) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  {
+    InplaceFunction<int(), 32> f([token] { return *token; });
+    token.reset();
+    EXPECT_FALSE(watch.expired());  // alive inside the function
+    EXPECT_EQ(f(), 7);
+    // Moving must hand the capture over, not duplicate or leak it.
+    InplaceFunction<int(), 32> g(std::move(f));
+    EXPECT_EQ(g(), 7);
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());  // destroyed with the function
+}
+
+TEST(InplaceFunction, NullptrClearsAndBoolReflectsIt) {
+  InplaceFunction<void(), 16> f([] {});
+  EXPECT_TRUE(static_cast<bool>(f));
+  f = nullptr;
+  EXPECT_FALSE(static_cast<bool>(f));
+  InplaceFunction<void(), 16> empty;
+  EXPECT_FALSE(static_cast<bool>(empty));
 }
 
 // --------------------------------------------------------------- Ewma ------

@@ -26,6 +26,14 @@ express because they need repo-level knowledge:
   HIB005 bare-assert     No bare `assert()`: use HIB_CHECK / HIB_DCHECK from
                          src/util/check.h, which survive NDEBUG policy
                          decisions explicitly and print operand values.
+  HIB006 static-mutable  No mutable static-duration variables in library code
+                         (file-scope statics or function-local statics).
+                         Hidden mutable globals break run-to-run determinism
+                         and make parallel experiment runs (harness/parallel.h)
+                         racy.  `const`/`constexpr`/`constinit`, and
+                         synchronization primitives (std::atomic, std::mutex,
+                         std::once_flag) are exempt, as are tests/bench/
+                         examples, which own their process.
 
 Usage:
   tools/simlint.py [paths...]      # files or directories; default: src tests bench examples
@@ -55,6 +63,15 @@ RAW_IO_RE = re.compile(r"std::(cout|cerr|clog)\b|\b(?:f|s)?printf\s*\(|\bputs\s*
 UNITS_RE = re.compile(r"\b(double|float)\s+([A-Za-z_][A-Za-z0-9_]*_(?:ms|joules|watts)_?)\b")
 UNITS_EXEMPT_RE = re.compile(r"per_ms")
 ASSERT_RE = re.compile(r"(?<![_A-Za-z0-9])assert\s*\(")
+# A `static` declarator that ends in a variable (name then = ; { or [), never a
+# function (name then `(`): the type part cannot cross parentheses.
+STATIC_DECL_RE = re.compile(
+    r"\bstatic\s+[A-Za-z_][\w:<>,\s\*&]*?[\s\*&]([A-Za-z_]\w*)\s*(?:=|;|\{|\[)")
+STATIC_EXEMPT_RE = re.compile(
+    r"\b(?:const|constexpr|constinit|thread_local)\b"
+    r"|std::(?:atomic|mutex|shared_mutex|recursive_mutex|once_flag|condition_variable)\b")
+# Processes that own their stdout also own their statics.
+STATIC_MUT_EXEMPT_PREFIXES = ("tests/", "bench/", "examples/")
 LINE_COMMENT_RE = re.compile(r"//.*$")
 STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
 
@@ -64,6 +81,7 @@ RULES = {
     "HIB003": "raw stdio outside src/util/log.* / src/util/table.*",
     "HIB004": "raw double/float where a units.h alias (Duration/Joules/Watts) is meant",
     "HIB005": "bare assert(); use HIB_CHECK / HIB_DCHECK from src/util/check.h",
+    "HIB006": "mutable static-duration variable in library code",
 }
 
 
@@ -159,6 +177,16 @@ def check_file(path, findings):
                 findings.append(Finding(rel, number, "HIB005",
                                         "bare assert(); use HIB_CHECK / HIB_DCHECK "
                                         "from src/util/check.h"))
+
+        if not rel.startswith(STATIC_MUT_EXEMPT_PREFIXES):
+            static_decl = STATIC_DECL_RE.search(line)
+            if static_decl and not STATIC_EXEMPT_RE.search(line):
+                if "HIB006" not in allowed:
+                    findings.append(Finding(
+                        rel, number, "HIB006",
+                        f"mutable static-duration variable '{static_decl.group(1)}'; "
+                        "make it const/constexpr, wrap it in std::atomic/std::mutex, "
+                        "or pass the state explicitly"))
 
 
 def check_include_guard(rel, lines, findings):

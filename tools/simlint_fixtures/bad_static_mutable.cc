@@ -1,0 +1,17 @@
+// Fixture: a mutable function-local static (hidden global state).
+// Expected finding: HIB006 (exactly one) -- the const and atomic statics
+// below are exempt and must stay silent.
+#include <atomic>
+
+namespace hib {
+
+static const int kFixtureLimit = 8;
+static std::atomic<int> fixture_calls{0};
+
+int FixtureNextId() {
+  static int next_id = 0;
+  fixture_calls.fetch_add(1, std::memory_order_relaxed);
+  return next_id < kFixtureLimit ? ++next_id : next_id;
+}
+
+}  // namespace hib

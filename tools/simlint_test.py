@@ -21,6 +21,7 @@ EXPECTED = {
     "bad_raw_io.cc": "HIB003",
     "bad_units.h": "HIB004",
     "bad_assert.cc": "HIB005",
+    "bad_static_mutable.cc": "HIB006",
 }
 
 FINDING_RE = re.compile(r"^(\S+):(\d+): \[(HIB\d+)\] ")
