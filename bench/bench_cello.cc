@@ -25,10 +25,10 @@ int main() {
     return std::make_unique<hib::CelloWorkload>(hib::CelloParamsFor(setup, array));
   };
   hib::WallTimer timer;
-  hib::Duration goal_ms = 0.0;
+  hib::Duration goal_ms;
   std::vector<hib::ComparisonRow> rows =
       hib::RunComparison(hib::MainComparisonSchemes(), setup.array, make_workload,
-                         goal_multiplier, hib::HoursToMs(2.0), {}, &goal_ms);
+                         goal_multiplier, hib::Hours(2.0), {}, &goal_ms);
   hib::PrintEnergyAndResponseTables(rows, goal_ms);
   hib::WriteComparisonJson("cello", timer.Seconds(), rows, goal_ms);
   return 0;

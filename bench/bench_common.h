@@ -154,15 +154,15 @@ class JsonObject {
 inline JsonObject ResultJson(const std::string& name, const ExperimentResult& r) {
   JsonObject o;
   o.Set("name", name)
-      .Set("energy_j", r.energy_total)
-      .Set("mean_response_ms", r.mean_response_ms)
-      .Set("p95_response_ms", r.p95_response_ms)
-      .Set("p99_response_ms", r.p99_response_ms)
-      .Set("max_response_ms", r.max_response_ms)
+      .Set("energy_j", r.energy_total.value())
+      .Set("mean_response_ms", r.mean_response_ms.value())
+      .Set("p95_response_ms", r.p95_response_ms.value())
+      .Set("p99_response_ms", r.p99_response_ms.value())
+      .Set("max_response_ms", r.max_response_ms.value())
       .Set("requests", JsonValue::Int(r.requests))
       .Set("events", JsonValue::UInt(r.events))
-      .Set("sim_duration_ms", r.sim_duration_ms)
-      .Set("mean_power_w", r.MeanPower())
+      .Set("sim_duration_ms", r.sim_duration_ms.value())
+      .Set("mean_power_w", r.MeanPower().value())
       .Set("cache_hit_rate", r.cache_hit_rate)
       .Set("spin_ups", JsonValue::Int(r.spin_ups))
       .Set("spin_downs", JsonValue::Int(r.spin_downs))
@@ -224,7 +224,7 @@ inline Duration BenchDurationMs(Duration default_ms) {
   if (const char* env = std::getenv("HIB_BENCH_HOURS")) {
     double hours = std::atof(env);
     if (hours > 0.0) {
-      return HoursToMs(hours);
+      return Hours(hours);
     }
   }
   return default_ms;
@@ -266,14 +266,14 @@ template <typename WorkloadFactory>
 std::vector<ComparisonRow> RunComparison(const std::vector<Scheme>& schemes,
                                          const ArrayParams& base_array,
                                          WorkloadFactory make_workload, double goal_multiplier,
-                                         Duration epoch_ms = HoursToMs(2.0),
+                                         Duration epoch_ms = Hours(2.0),
                                          const ExperimentOptions& options = {},
-                                         double* out_goal_ms = nullptr) {
+                                         Duration* out_goal_ms = nullptr) {
   // Calibrate the goal from a Base probe (2 simulated hours).
-  double base_resp;
+  Duration base_resp;
   {
     auto workload = make_workload(base_array);
-    base_resp = MeasureBaseResponseMs(*workload, base_array, HoursToMs(2.0));
+    base_resp = MeasureBaseResponseMs(*workload, base_array, Hours(2.0));
   }
   Duration goal_ms = goal_multiplier * base_resp;
   if (out_goal_ms != nullptr) {
@@ -296,8 +296,8 @@ std::vector<ComparisonRow> RunComparison(const std::vector<Scheme>& schemes,
   for (std::size_t i = 0; i < schemes.size(); ++i) {
     rows.push_back({schemes[i], std::move(results[i])});
   }
-  std::printf("goal: %.2f ms (%.1fx the Base mean response of %.2f ms)\n\n", goal_ms,
-              goal_multiplier, base_resp);
+  std::printf("goal: %.2f ms (%.1fx the Base mean response of %.2f ms)\n\n", goal_ms.value(),
+              goal_multiplier, base_resp.value());
   return rows;
 }
 
@@ -354,7 +354,7 @@ inline void WriteComparisonJson(const std::string& bench_name, double wall_secon
     total_events += row.result.events;
   }
   JsonObject payload = BenchPayload(bench_name, wall_seconds, total_events);
-  payload.Set("goal_ms", goal_ms);
+  payload.Set("goal_ms", goal_ms.value());
   JsonArray runs;
   for (const auto& row : rows) {
     JsonObject run = ResultJson(row.result.policy_name, row.result);

@@ -31,7 +31,7 @@ int main() {
   auto base_workload = make_workload(setup.array);
   hib::ExperimentResult base = hib::RunExperiment(*base_workload, *base_policy, setup.array);
   hib::Duration goal_ms = 2.5 * base.mean_response_ms;
-  std::printf("goal: %.2f ms\n\n", goal_ms);
+  std::printf("goal: %.2f ms\n\n", goal_ms.value());
 
   struct Variant {
     std::string name;
@@ -44,7 +44,7 @@ int main() {
                                          {"util threshold 0.7", false, 0.7}};
   struct PolicyCounters {
     std::int64_t boosts = 0;
-    hib::Duration boosted_ms = 0.0;
+    hib::Duration boosted_ms;
   };
   std::vector<hib::ExperimentSpec> specs;
   std::vector<PolicyCounters> counters(variants.size());
@@ -84,14 +84,14 @@ int main() {
         .Add(r.mean_response_ms, 2)
         .Add(r.mean_response_ms <= goal_ms * 1.05 ? "yes" : "NO")
         .Add(counters[i].boosts)
-        .Add(counters[i].boosted_ms / hib::kMsPerHour, 2);
+        .Add(counters[i].boosted_ms.value() / hib::kMsPerHour, 2);
     hib::JsonObject run = hib::ResultJson(variants[i].name, r);
     run.Set("use_cr", hib::JsonValue::Bool(variants[i].use_cr))
         .Set("threshold", variants[i].threshold)
-        .Set("goal_ms", goal_ms)
+        .Set("goal_ms", goal_ms.value())
         .Set("savings_vs_base", r.SavingsVs(base))
         .Set("boosts", hib::JsonValue::Int(counters[i].boosts))
-        .Set("boosted_ms", counters[i].boosted_ms);
+        .Set("boosted_ms", counters[i].boosted_ms.value());
     runs.Push(hib::JsonValue::Raw(run.Dump()));
     total_events += r.events;
   }

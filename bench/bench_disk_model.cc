@@ -16,19 +16,21 @@ int main() {
               disk.sectors_per_track,
               static_cast<double>(disk.TotalSectors()) * hib::kSectorBytes / 1e9);
   std::printf("seek: %.2f / %.2f / %.2f ms (single / average / full stroke)\n",
-              disk.seek.single_cyl_ms, disk.seek.average_ms, disk.seek.full_stroke_ms);
+              disk.seek.single_cyl_ms.value(), disk.seek.average_ms.value(),
+              disk.seek.full_stroke_ms.value());
   std::printf("standby: %.2f W; spin-down %.1f s / %.0f J; spin-up %.1f s / %.0f J\n\n",
-              disk.standby_power, hib::MsToSeconds(disk.spin_down_ms), disk.spin_down_energy,
-              hib::MsToSeconds(disk.spin_up_full_ms), disk.spin_up_full_energy);
+              disk.standby_power.value(), hib::ToSeconds(disk.spin_down_ms),
+              disk.spin_down_energy.value(), hib::ToSeconds(disk.spin_up_full_ms),
+              disk.spin_up_full_energy.value());
 
   hib::Table table({"RPM", "idle power (W)", "active power (W)", "revolution (ms)",
                     "avg rot latency (ms)", "media rate (MB/s)", "4KB service (ms)",
                     "transition from 15k (s)", "transition energy (J)"});
   for (const hib::SpeedLevel& level : disk.speeds) {
-    double rev = level.RevolutionMs();
+    hib::Duration rev = level.RevolutionMs();
     double media_rate = disk.sectors_per_track * hib::kSectorBytes /
-                        hib::MsToSeconds(rev) / 1e6;
-    double service =
+                        hib::ToSeconds(rev) / 1e6;
+    hib::Duration service =
         disk.seek.average_ms + 0.5 * rev + disk.TransferTime(8, level.rpm);
     table.NewRow()
         .Add(level.rpm)
@@ -38,12 +40,12 @@ int main() {
         .Add(0.5 * rev, 2)
         .Add(media_rate, 1)
         .Add(service, 2)
-        .Add(hib::MsToSeconds(disk.RpmTransitionTime(15000, level.rpm)), 2)
+        .Add(hib::ToSeconds(disk.RpmTransitionTime(15000, level.rpm)), 2)
         .Add(disk.RpmTransitionEnergy(15000, level.rpm), 1);
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf("paper shape check: idle power spans ~4x between 3k and 15k RPM (%.2f W vs"
               " %.2f W), which is the headroom every speed-lowering scheme exploits.\n",
-              disk.speeds.front().idle_power, disk.speeds.back().idle_power);
+              disk.speeds.front().idle_power.value(), disk.speeds.back().idle_power.value());
   return 0;
 }

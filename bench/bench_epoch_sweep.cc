@@ -30,7 +30,7 @@ int main() {
   auto base_workload = make_workload(setup.array);
   hib::ExperimentResult base = hib::RunExperiment(*base_workload, *base_policy, setup.array);
   hib::Duration goal_ms = 2.5 * base.mean_response_ms;
-  std::printf("goal: %.2f ms (2.5x Base)\n\n", goal_ms);
+  std::printf("goal: %.2f ms (2.5x Base)\n\n", goal_ms.value());
 
   const std::vector<double> epochs_h = {0.5, 1.0, 2.0, 4.0, 8.0};
   std::vector<hib::ExperimentSpec> specs;
@@ -38,7 +38,7 @@ int main() {
   for (std::size_t i = 0; i < epochs_h.size(); ++i) {
     hib::HibernatorParams hp;
     hp.goal_ms = goal_ms;
-    hp.epoch_ms = hib::HoursToMs(epochs_h[i]);
+    hp.epoch_ms = hib::Hours(epochs_h[i]);
     hib::ExperimentSpec spec;
     spec.name = "epoch_" + std::to_string(epochs_h[i]) + "h";
     spec.array = setup.array;
@@ -67,7 +67,7 @@ int main() {
         .Add(boosts[i]);
     hib::JsonObject run = hib::ResultJson(specs[i].name, r);
     run.Set("epoch_hours", epochs_h[i])
-        .Set("goal_ms", goal_ms)
+        .Set("goal_ms", goal_ms.value())
         .Set("savings_vs_base", r.SavingsVs(base))
         .Set("boosts", hib::JsonValue::Int(boosts[i]));
     runs.Push(hib::JsonValue::Raw(run.Dump()));

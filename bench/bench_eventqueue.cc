@@ -191,16 +191,16 @@ double RunSteadyState(std::uint64_t iterations, std::size_t depth, double* sink)
   MaybeReserve(q, depth);
   DeltaRing rng(42);
   double acc = 0.0;
-  SimTime now = 0.0;
+  SimTime now;
   WallTimer timer;
   for (std::size_t i = 0; i < depth; ++i) {
     Payload p{rng.Next(), 1.0, 1, 2, 3, 4, 5, 6, 7, 8};
-    q.Schedule(rng.Next() * 100.0, [p, &acc] { acc += p.a + p.b; });
+    q.Schedule(Ms(rng.Next() * 100.0), [p, &acc] { acc += p.a + p.b; });
   }
   for (std::uint64_t i = 0; i < iterations; ++i) {
     PopAndFire(q, &now);
     Payload p{rng.Next(), static_cast<double>(i), 1, 2, 3, 4, 5, 6, 7, 8};
-    q.Schedule(now + rng.Next() * 100.0, [p, &acc] { acc += p.a - p.b; });
+    q.Schedule(now + Ms(rng.Next() * 100.0), [p, &acc] { acc += p.a - p.b; });
   }
   double seconds = timer.Seconds();
   *sink += acc;
@@ -215,12 +215,12 @@ double RunTimerChurn(std::uint64_t iterations, double* sink) {
   MaybeReserve(q, 64);
   DeltaRing rng(43);
   double acc = 0.0;
-  SimTime now = 0.0;
+  SimTime now;
   WallTimer timer;
   for (std::uint64_t i = 0; i < iterations; ++i) {
     Payload p{rng.Next(), 2.0, 1, 2, 3, 4, 5, 6, 7, 8};
-    q.Schedule(now + rng.Next(), [p, &acc] { acc += p.a; });
-    auto timeout = q.Schedule(now + 1000.0 + rng.Next(), [p, &acc] { acc -= p.a; });
+    q.Schedule(now + Ms(rng.Next()), [p, &acc] { acc += p.a; });
+    auto timeout = q.Schedule(now + Ms(1000.0 + rng.Next()), [p, &acc] { acc -= p.a; });
     q.Cancel(timeout);
     PopAndFire(q, &now);
   }
@@ -237,12 +237,12 @@ double RunBurstDrain(std::uint64_t iterations, std::size_t batch, double* sink) 
   MaybeReserve(q, batch);
   DeltaRing rng(44);
   double acc = 0.0;
-  SimTime now = 0.0;
+  SimTime now;
   WallTimer timer;
   for (std::uint64_t round = 0; round * batch < iterations; ++round) {
     for (std::size_t i = 0; i < batch; ++i) {
       Payload p{rng.Next(), 3.0, 1, 2, 3, 4, 5, 6, 7, 8};
-      q.Schedule(now + rng.Next() * 10.0, [p, &acc] { acc += p.a * p.b; });
+      q.Schedule(now + Ms(rng.Next() * 10.0), [p, &acc] { acc += p.a * p.b; });
     }
     while (!q.empty()) {
       PopAndFire(q, &now);

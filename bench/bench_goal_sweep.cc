@@ -31,12 +31,12 @@ int main() {
   auto base_policy = hib::MakePolicy(base_cfg);
   auto base_workload = make_workload(setup.array);
   hib::ExperimentResult base = hib::RunExperiment(*base_workload, *base_policy, setup.array);
-  std::printf("Base: %.1f kJ, mean response %.2f ms\n\n", base.energy_total / 1000.0,
-              base.mean_response_ms);
+  std::printf("Base: %.1f kJ, mean response %.2f ms\n\n", base.energy_total.value() / 1000.0,
+              base.mean_response_ms.value());
 
   const std::vector<double> multipliers = {1.1, 1.5, 2.0, 2.5, 3.0, 4.0};
   std::vector<hib::ExperimentSpec> specs;
-  std::vector<hib::Duration> boosted_ms(multipliers.size(), 0.0);
+  std::vector<hib::Duration> boosted_ms(multipliers.size());
   for (std::size_t i = 0; i < multipliers.size(); ++i) {
     hib::Duration goal_ms = multipliers[i] * base.mean_response_ms;
     hib::HibernatorParams hp;
@@ -68,12 +68,12 @@ int main() {
         .AddPercent(r.SavingsVs(base))
         .Add(r.mean_response_ms, 2)
         .Add(r.mean_response_ms <= goal_ms * 1.05 ? "yes" : "NO")
-        .Add(boosted_ms[i] / hib::kMsPerHour, 2);
+        .Add(boosted_ms[i].value() / hib::kMsPerHour, 2);
     hib::JsonObject run = hib::ResultJson(specs[i].name, r);
     run.Set("goal_multiplier", multipliers[i])
-        .Set("goal_ms", goal_ms)
+        .Set("goal_ms", goal_ms.value())
         .Set("savings_vs_base", r.SavingsVs(base))
-        .Set("boosted_ms", boosted_ms[i]);
+        .Set("boosted_ms", boosted_ms[i].value());
     runs.Push(hib::JsonValue::Raw(run.Dump()));
     total_events += r.events;
   }

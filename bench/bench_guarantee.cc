@@ -16,8 +16,8 @@ int main() {
   hib::OltpSetup setup = hib::MakeOltpSetup();
   auto make_workload = [&](const hib::ArrayParams& array) {
     hib::OltpWorkloadParams wp = hib::OltpParamsFor(setup, array);
-    wp.surge_start_ms = hib::HoursToMs(12.0);
-    wp.surge_end_ms = hib::HoursToMs(14.0);
+    wp.surge_start_ms = hib::Hours(12.0);
+    wp.surge_end_ms = hib::Hours(14.0);
     wp.surge_factor = 2.0;
     return std::make_unique<hib::OltpWorkload>(wp);
   };
@@ -28,20 +28,20 @@ int main() {
   auto base_workload = make_workload(setup.array);
   hib::ExperimentResult base = hib::RunExperiment(*base_workload, *base_policy, setup.array);
   hib::Duration goal_ms = 2.5 * base.mean_response_ms;
-  std::printf("goal: %.2f ms; surge: 2x arrival rate in [12h, 14h)\n\n", goal_ms);
+  std::printf("goal: %.2f ms; surge: 2x arrival rate in [12h, 14h)\n\n", goal_ms.value());
 
   hib::ExperimentOptions options;
   options.collect_series = true;
-  options.sample_period_ms = hib::HoursToMs(1.0);
+  options.sample_period_ms = hib::Hours(1.0);
 
   struct Run {
     const char* name;
     bool boost;
     hib::ExperimentResult result;
     int boosts = 0;
-    hib::Duration boosted_ms = 0.0;
+    hib::Duration boosted_ms;
   };
-  Run runs[] = {{"with boost", true, {}, 0, 0.0}, {"without boost", false, {}, 0, 0.0}};
+  Run runs[] = {{"with boost", true, {}, 0, {}}, {"without boost", false, {}, 0, {}}};
   for (Run& run : runs) {
     hib::HibernatorParams hp;
     hp.goal_ms = goal_ms;
@@ -65,7 +65,7 @@ int main() {
     const hib::SeriesPoint& a = runs[0].result.series[i];
     const hib::SeriesPoint& b = runs[1].result.series[i];
     series.NewRow()
-        .Add(a.t / hib::kMsPerHour, 1)
+        .Add(a.t.value() / hib::kMsPerHour, 1)
         .Add(a.window_mean_response_ms, 2)
         .Add(a.disks_at_level.empty() ? 0 : a.disks_at_level.back())
         .Add(b.window_mean_response_ms, 2)
@@ -82,7 +82,7 @@ int main() {
         .Add(run.result.mean_response_ms <= goal_ms * 1.05 ? "yes" : "NO")
         .Add(run.result.energy_total / 1000.0, 1)
         .Add(run.boosts)
-        .Add(run.boosted_ms / hib::kMsPerHour, 2);
+        .Add(run.boosted_ms.value() / hib::kMsPerHour, 2);
   }
   std::printf("%s\n", summary.ToString().c_str());
   std::printf("paper shape check: the boost variant spins disks up around the surge (fast\n"

@@ -35,8 +35,9 @@ int main() {
     auto base_workload = make_workload(setup.array);
     hib::ExperimentResult base = hib::RunExperiment(*base_workload, *base_policy, setup.array);
     hib::Duration goal_ms = 2.5 * base.mean_response_ms;
-    std::printf("theta=%.2f: goal %.2f ms (2.5x Base %.2f ms, %.1f kJ)\n", theta, goal_ms,
-                base.mean_response_ms, base.energy_total / 1000.0);
+    std::printf("theta=%.2f: goal %.2f ms (2.5x Base %.2f ms, %.1f kJ)\n", theta,
+                goal_ms.value(), base.mean_response_ms.value(),
+                base.energy_total.value() / 1000.0);
 
     for (const Variant& v :
          {Variant{"multi-tier + migration (Hibernator)", hib::Scheme::kHibernator},

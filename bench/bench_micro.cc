@@ -17,9 +17,9 @@ namespace {
 
 void BM_EventQueueScheduleFire(benchmark::State& state) {
   Simulator sim;
-  double t = 0.0;
+  SimTime t;
   for (auto _ : state) {
-    t += 1.0;
+    t += Ms(1.0);
     sim.ScheduleAt(t, [] {});
     sim.Step();
   }
@@ -47,7 +47,7 @@ void BM_DiskServiceOneRequest(benchmark::State& state) {
     req.sector = sector = (sector + 9973 * 512) % disk.params().TotalSectors();
     req.count = 8;
     disk.Submit(std::move(req));
-    sim.RunUntil(sim.Now() + 1000.0);
+    sim.RunUntil(sim.Now() + Ms(1000.0));
   }
   benchmark::DoNotOptimize(disk.stats().requests_completed);
 }
@@ -69,7 +69,7 @@ void BM_ArraySubmitRead(benchmark::State& state) {
     rec.count = 8;
     rec.is_write = false;
     array.Submit(rec);
-    sim.RunUntil(sim.Now() + 50.0);
+    sim.RunUntil(sim.Now() + Ms(50.0));
   }
   benchmark::DoNotOptimize(array.stats().total_responses);
 }
@@ -91,7 +91,7 @@ void BM_ArraySubmitRaid5Write(benchmark::State& state) {
     rec.count = 8;
     rec.is_write = true;
     array.Submit(rec);
-    sim.RunUntil(sim.Now() + 50.0);
+    sim.RunUntil(sim.Now() + Ms(50.0));
   }
   benchmark::DoNotOptimize(array.stats().total_responses);
 }
@@ -102,16 +102,15 @@ void BM_CrSolver(benchmark::State& state) {
   SpeedServiceModel service = SpeedServiceModel::FromDisk(disk, 12.0, 0.3);
   int groups = static_cast<int>(state.range(0));
   Pcg32 rng(4);
-  std::vector<double> lambdas(static_cast<std::size_t>(groups));
-  for (double& l : lambdas) {
-    l = rng.NextDouble() * 0.05;
-  }
   CrInput input;
   input.service = service;
-  input.group_lambda_per_ms = lambdas;
+  input.group_lambda.reserve(static_cast<std::size_t>(groups));
+  for (int g = 0; g < groups; ++g) {
+    input.group_lambda.push_back(PerMs(rng.NextDouble() * 0.05));
+  }
   input.group_width = 4;
-  input.goal_ms = 15.0;
-  input.epoch_ms = HoursToMs(2.0);
+  input.goal_ms = Ms(15.0);
+  input.epoch_ms = Hours(2.0);
   input.disk = &disk;
   std::int64_t evaluated = 0;
   for (auto _ : state) {
@@ -127,7 +126,7 @@ BENCHMARK(BM_CrSolver)->Arg(2)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
 void BM_OltpGeneratorNext(benchmark::State& state) {
   OltpWorkloadParams wp;
   wp.address_space_sectors = 1 << 26;
-  wp.duration_ms = HoursToMs(24.0 * 365.0);
+  wp.duration_ms = Hours(24.0 * 365.0);
   wp.peak_iops = 1000.0;
   wp.trough_iops = 1000.0;
   OltpWorkload workload(wp);
@@ -152,7 +151,7 @@ void BM_EndToEndMiniSim(benchmark::State& state) {
     ArrayController array(&sim, params);
     ConstantWorkloadParams wp;
     wp.address_space_sectors = params.DataSectors();
-    wp.duration_ms = SecondsToMs(600.0);
+    wp.duration_ms = Seconds(600.0);
     wp.iops = 100.0;
     ConstantWorkload workload(wp);
     TraceRecord rec;
@@ -166,7 +165,7 @@ void BM_EndToEndMiniSim(benchmark::State& state) {
       }
     };
     next();
-    sim.RunUntil(SecondsToMs(700.0));
+    sim.RunUntil(Seconds(700.0));
     benchmark::DoNotOptimize(array.stats().total_responses);
   }
   state.SetItemsProcessed(state.iterations() * 60000);

@@ -34,8 +34,8 @@ int main() {
   hib::ExperimentResult base =
       hib::RunExperiment(*base_workload, *base_policy, base_setup.array);
   hib::Duration goal_ms = 2.5 * base.mean_response_ms;
-  std::printf("Base (single-speed): %.1f kJ, goal %.2f ms\n\n", base.energy_total / 1000.0,
-              goal_ms);
+  std::printf("Base (single-speed): %.1f kJ, goal %.2f ms\n\n",
+              base.energy_total.value() / 1000.0, goal_ms.value());
 
   const std::vector<int> levels = {2, 3, 5, 13};
   std::vector<hib::ExperimentSpec> specs;
@@ -73,7 +73,7 @@ int main() {
     hib::JsonObject run = hib::ResultJson(specs[i].name, r);
     run.Set("speed_levels", hib::JsonValue::Int(levels[i]))
         .Set("rpm_ladder", ladders[i])
-        .Set("goal_ms", goal_ms)
+        .Set("goal_ms", goal_ms.value())
         .Set("savings_vs_base", r.SavingsVs(base));
     runs.Push(hib::JsonValue::Raw(run.Dump()));
     total_events += r.events;

@@ -16,7 +16,7 @@
 
 int main(int argc, char** argv) {
   int num_disks = argc > 1 ? std::atoi(argv[1]) : 20;
-  hib::Duration goal_ms = argc > 2 ? std::atof(argv[2]) : 15.0;
+  hib::Duration goal_ms = hib::Ms(argc > 2 ? std::atof(argv[2]) : 15.0);
   const int kGroupWidth = 4;
   int num_groups = num_disks / kGroupWidth;
   if (num_groups < 1) {
@@ -28,16 +28,16 @@ int main(int argc, char** argv) {
   hib::SpeedServiceModel service = hib::SpeedServiceModel::FromDisk(disk, 12.0, 0.35);
 
   std::printf("capacity planner: %d disks (%d groups of %d), goal %.1f ms per sub-op\n",
-              num_disks, num_groups, kGroupWidth, goal_ms);
+              num_disks, num_groups, kGroupWidth, goal_ms.value());
   std::printf("full-power draw: %.1f W\n\n",
-              num_disks * disk.speeds.back().idle_power);
+              (num_disks * disk.speeds.back().idle_power).value());
 
   hib::Table table({"agg. sub-ops/s", "per-disk util @15k", "power (W)", "vs full power",
                     "pred. resp (ms)", "speed mix (3k/6k/9k/12k/15k groups)", "feasible"});
 
   for (double aggregate_ops : {50.0, 200.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0}) {
     // Zipf-ish load split across groups: hottest group gets ~40%.
-    std::vector<double> lambdas(static_cast<std::size_t>(num_groups));
+    std::vector<hib::Frequency> lambdas(static_cast<std::size_t>(num_groups));
     double weight_sum = 0.0;
     for (int g = 0; g < num_groups; ++g) {
       weight_sum += 1.0 / static_cast<double>(g + 1);
@@ -45,15 +45,15 @@ int main(int argc, char** argv) {
     for (int g = 0; g < num_groups; ++g) {
       double share = (1.0 / static_cast<double>(g + 1)) / weight_sum;
       lambdas[static_cast<std::size_t>(g)] =
-          aggregate_ops * share / kGroupWidth / hib::kMsPerSecond;
+          hib::PerSecond(aggregate_ops * share / kGroupWidth);
     }
 
     hib::CrInput input;
     input.service = service;
-    input.group_lambda_per_ms = lambdas;
+    input.group_lambda = lambdas;
     input.group_width = kGroupWidth;
     input.goal_ms = goal_ms;
-    input.epoch_ms = hib::HoursToMs(2.0);
+    input.epoch_ms = hib::Hours(2.0);
     input.disk = &disk;
     hib::CrResult r = hib::SolveCr(input);
 
@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < mix.size(); ++i) {
       mix_str += (i ? "/" : "") + std::to_string(mix[i]);
     }
-    double util = aggregate_ops / num_disks * hib::MsToSeconds(service.Level(4).mean_ms);
+    double util = aggregate_ops / num_disks * hib::ToSeconds(service.Level(4).mean_ms);
     table.NewRow()
         .Add(aggregate_ops, 0)
         .AddPercent(util)

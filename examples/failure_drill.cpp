@@ -27,14 +27,14 @@ int main(int argc, char** argv) {
   hib::ArrayController array(&sim, ap);
 
   hib::HibernatorParams hp;
-  hp.goal_ms = 20.0;
-  hp.epoch_ms = hib::HoursToMs(1.0);
+  hp.goal_ms = hib::Ms(20.0);
+  hp.epoch_ms = hib::Hours(1.0);
   hib::HibernatorPolicy policy(hp);
   policy.Attach(&sim, &array);
 
   hib::OltpWorkloadParams wp;
   wp.address_space_sectors = ap.DataSectors();
-  wp.duration_ms = hib::HoursToMs(hours);
+  wp.duration_ms = hib::Hours(hours);
   wp.peak_iops = 80.0;
   wp.trough_iops = 40.0;
   hib::OltpWorkload workload(wp);
@@ -53,37 +53,39 @@ int main(int argc, char** argv) {
 
   // The drill: fail disk 2 at t = hours/3, replace one hour later.
   const int kVictim = 2;
-  hib::SimTime fail_at = hib::HoursToMs(hours / 3.0);
-  hib::SimTime rebuilt_at = -1.0;
+  hib::SimTime fail_at = hib::Hours(hours / 3.0);
+  hib::SimTime rebuilt_at = hib::Ms(-1.0);
   sim.ScheduleAt(fail_at, [&] {
     std::printf("[%.2fh] disk %d FAILED (group %d now degraded)\n",
-                sim.Now() / hib::kMsPerHour, kVictim, kVictim / ap.group_width);
+                sim.Now() / hib::Hours(1.0), kVictim, kVictim / ap.group_width);
     array.FailDisk(kVictim);
   });
-  sim.ScheduleAt(fail_at + hib::HoursToMs(1.0), [&] {
+  sim.ScheduleAt(fail_at + hib::Hours(1.0), [&] {
     std::printf("[%.2fh] replacement installed, rebuild started\n",
-                sim.Now() / hib::kMsPerHour);
+                sim.Now() / hib::Hours(1.0));
     array.ReplaceDisk(kVictim, [&] {
       rebuilt_at = sim.Now();
       std::printf("[%.2fh] rebuild complete, disk %d back in service\n",
-                  sim.Now() / hib::kMsPerHour, kVictim);
+                  sim.Now() / hib::Hours(1.0), kVictim);
     });
   });
 
-  sim.RunUntil(hib::HoursToMs(hours) + hib::SecondsToMs(30.0));
+  sim.RunUntil(hib::Hours(hours) + hib::Seconds(30.0));
   policy.Finish();
 
   const hib::ArrayStats& st = array.stats();
   hib::Table table({"metric", "value"});
   table.NewRow().Add("requests").Add(st.total_responses);
   table.NewRow().Add("mean response (ms)").Add(st.response_ms.mean(), 2);
-  table.NewRow().Add("goal met").Add(st.response_ms.mean() <= hp.goal_ms * 1.05 ? "yes" : "NO");
+  table.NewRow().Add("goal met").Add(hib::Ms(st.response_ms.mean()) <= hp.goal_ms * 1.05 ? "yes" : "NO");
   table.NewRow().Add("degraded reads").Add(st.degraded_reads);
   table.NewRow().Add("parity-only writes").Add(st.parity_only_writes);
   table.NewRow().Add("lost accesses").Add(st.lost_accesses);
   table.NewRow().Add("extents rebuilt").Add(st.rebuilt_extents);
   table.NewRow().Add("rebuild duration (h)").Add(
-      rebuilt_at > 0.0 ? (rebuilt_at - fail_at - hib::HoursToMs(1.0)) / hib::kMsPerHour : -1.0,
+      rebuilt_at > hib::SimTime{}
+          ? (rebuilt_at - fail_at - hib::Hours(1.0)) / hib::Hours(1.0)
+          : -1.0,
       2);
   table.NewRow().Add("energy (kJ)").Add(array.TotalEnergy().Total() / 1000.0, 1);
   table.NewRow().Add("epochs / boosts").Add(std::to_string(policy.epochs_completed()) + " / " +

@@ -86,7 +86,7 @@ std::unique_ptr<hib::WorkloadSource> MakeWorkload(hib::Config& config,
   if (kind == "oltp") {
     hib::OltpWorkloadParams wp;
     wp.address_space_sectors = array.DataSectors();
-    wp.duration_ms = hib::HoursToMs(hours);
+    wp.duration_ms = hib::Hours(hours);
     wp.peak_iops = config.GetDouble("workload.peak_iops", 200.0);
     wp.trough_iops = config.GetDouble("workload.trough_iops", 60.0);
     wp.seed = seed;
@@ -95,7 +95,7 @@ std::unique_ptr<hib::WorkloadSource> MakeWorkload(hib::Config& config,
   if (kind == "cello") {
     hib::CelloWorkloadParams wp;
     wp.address_space_sectors = array.DataSectors();
-    wp.duration_ms = hib::HoursToMs(hours);
+    wp.duration_ms = hib::Hours(hours);
     wp.peak_iops = config.GetDouble("workload.peak_iops", 90.0);
     wp.trough_iops = config.GetDouble("workload.trough_iops", 4.0);
     wp.seed = seed;
@@ -104,7 +104,7 @@ std::unique_ptr<hib::WorkloadSource> MakeWorkload(hib::Config& config,
   if (kind == "constant") {
     hib::ConstantWorkloadParams wp;
     wp.address_space_sectors = array.DataSectors();
-    wp.duration_ms = hib::HoursToMs(hours);
+    wp.duration_ms = hib::Hours(hours);
     wp.iops = config.GetDouble("workload.peak_iops", 50.0);
     wp.seed = seed;
     return std::make_unique<hib::ConstantWorkload>(wp);
@@ -151,7 +151,7 @@ int main(int argc, char** argv) {
 
   hib::SchemeConfig scheme;
   scheme.scheme = SchemeByName(config.GetString("scheme.name", "Hibernator"));
-  scheme.epoch_ms = hib::HoursToMs(config.GetDouble("scheme.epoch_hours", 2.0));
+  scheme.epoch_ms = hib::Hours(config.GetDouble("scheme.epoch_hours", 2.0));
   scheme.migration_budget_extents = config.GetInt("scheme.migration_budget_extents", 4096);
   array = hib::ArrayFor(scheme, array);
 
@@ -160,10 +160,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  hib::Duration goal_ms = config.GetDouble("scheme.goal_ms", 0.0);
+  hib::Duration goal_ms = hib::Ms(config.GetDouble("scheme.goal_ms", 0.0));
   double multiplier = config.GetDouble("scheme.goal_multiplier", 2.5);
-  if (goal_ms <= 0.0) {
-    goal_ms = multiplier * hib::MeasureBaseResponseMs(*workload, array, hib::HoursToMs(2.0));
+  if (goal_ms <= hib::Duration{}) {
+    goal_ms = multiplier * hib::MeasureBaseResponseMs(*workload, array, hib::Hours(2.0));
     workload->Reset();
   }
   scheme.goal_ms = goal_ms;
@@ -181,7 +181,7 @@ int main(int argc, char** argv) {
   auto policy = hib::MakePolicy(scheme);
   hib::ExperimentOptions options;
   options.collect_series = want_series;
-  options.sample_period_ms = hib::HoursToMs(1.0);
+  options.sample_period_ms = hib::Hours(1.0);
   hib::ExperimentResult r = hib::RunExperiment(*workload, *policy, array, options);
 
   hib::Table summary({"metric", "value"});
@@ -192,7 +192,8 @@ int main(int argc, char** argv) {
   summary.NewRow().Add("mean power (W)").Add(r.MeanPower(), 1);
   summary.NewRow().Add("mean response (ms)").Add(r.mean_response_ms, 2);
   summary.NewRow().Add("p95 / p99 (ms)").Add(
-      hib::FormatDouble(r.p95_response_ms, 2) + " / " + hib::FormatDouble(r.p99_response_ms, 2));
+      hib::FormatDouble(r.p95_response_ms.value(), 2) + " / " +
+      hib::FormatDouble(r.p99_response_ms.value(), 2));
   summary.NewRow().Add("cache hit rate").AddPercent(r.cache_hit_rate);
   summary.NewRow().Add("RPM changes / spin-downs").Add(
       std::to_string(r.rpm_changes) + " / " + std::to_string(r.spin_downs));
@@ -204,7 +205,7 @@ int main(int argc, char** argv) {
     hib::Table series({"hour", "window resp (ms)", "energy so far (kJ)", "standby disks"});
     for (const hib::SeriesPoint& p : r.series) {
       series.NewRow()
-          .Add(p.t / hib::kMsPerHour, 1)
+          .Add(p.t / hib::Hours(1.0), 1)
           .Add(p.window_mean_response_ms, 2)
           .Add(p.energy_so_far / 1000.0, 1)
           .Add(p.disks_standby);

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   double goal_multiplier = argc > 2 ? std::atof(argv[2]) : 2.5;
 
   hib::OltpSetup setup = hib::MakeOltpSetup();
-  setup.duration_ms = hib::HoursToMs(hours);
+  setup.duration_ms = hib::Hours(hours);
 
   auto make_workload = [&](const hib::ArrayParams& array) {
     hib::OltpWorkloadParams wp;
@@ -33,23 +33,23 @@ int main(int argc, char** argv) {
 
   // Measure the Base response to express the goal the way an operator would:
   // "at most 2.5x slower than running everything flat out".
-  double base_resp;
+  hib::Duration base_resp;
   {
     auto workload = make_workload(setup.array);
-    base_resp = hib::MeasureBaseResponseMs(*workload, setup.array, hib::HoursToMs(2.0));
+    base_resp = hib::MeasureBaseResponseMs(*workload, setup.array, hib::Hours(2.0));
   }
   hib::Duration goal_ms = goal_multiplier * base_resp;
   std::printf("OLTP data center: %d disks, %.0f simulated hours, goal %.2f ms (%.1fx base)\n\n",
-              setup.array.num_disks, hours, goal_ms, goal_multiplier);
+              setup.array.num_disks, hours, goal_ms.value(), goal_multiplier);
 
   hib::ExperimentOptions options;
   options.collect_series = true;
-  options.sample_period_ms = hib::HoursToMs(1.0);
+  options.sample_period_ms = hib::Hours(1.0);
 
   hib::Table table({"scheme", "energy (kJ)", "savings", "mean resp (ms)", "p95 (ms)",
                     "goal met"});
   std::vector<hib::SeriesPoint> hibernator_series;
-  double base_energy = 0.0;
+  hib::Joules base_energy;
   for (hib::Scheme scheme : hib::MainComparisonSchemes()) {
     hib::SchemeConfig cfg;
     cfg.scheme = scheme;
@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
     table.NewRow()
         .Add(r.policy_name)
         .Add(r.energy_total / 1000.0, 1)
-        .AddPercent(base_energy > 0.0 ? 1.0 - r.energy_total / base_energy : 0.0)
+        .AddPercent(base_energy > hib::Joules{} ? 1.0 - r.energy_total / base_energy : 0.0)
         .Add(r.mean_response_ms, 2)
         .Add(r.p95_response_ms, 2)
         .Add(hib_family ? (r.mean_response_ms <= goal_ms * 1.05 ? "yes" : "NO") : "n/a");
@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
   std::printf("Hibernator, hour by hour (disks per RPM level):\n");
   hib::Table hourly({"hour", "window resp (ms)", "3k", "6k", "9k", "12k", "15k"});
   for (const hib::SeriesPoint& p : hibernator_series) {
-    hourly.NewRow().Add(p.t / hib::kMsPerHour, 0).Add(p.window_mean_response_ms, 2);
+    hourly.NewRow().Add(p.t / hib::Hours(1.0), 0).Add(p.window_mean_response_ms, 2);
     for (int n : p.disks_at_level) {
       hourly.Add(n);
     }

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   //    with a day/night swing, Zipf-skewed like an OLTP tenant.
   hib::OltpWorkloadParams wp;
   wp.address_space_sectors = array.DataSectors();
-  wp.duration_ms = hib::HoursToMs(hours);
+  wp.duration_ms = hib::Hours(hours);
   wp.peak_iops = 120.0;
   wp.trough_iops = 40.0;
   hib::OltpWorkload workload(wp);
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   hib::SchemeConfig hib_cfg;
   hib_cfg.scheme = hib::Scheme::kHibernator;
   hib_cfg.goal_ms = 2.5 * base.mean_response_ms;
-  hib_cfg.epoch_ms = hib::HoursToMs(1.0);
+  hib_cfg.epoch_ms = hib::Hours(1.0);
   auto hib_policy = hib::MakePolicy(hib_cfg);
   workload.Reset();
   hib::ExperimentResult hib_result =
@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
         .Add(r->requests);
   }
   std::printf("Quickstart: %d disks, %.1f simulated hours, goal %.1f ms\n\n%s\n",
-              array.num_disks, hours, hib_cfg.goal_ms, table.ToString().c_str());
+              array.num_disks, hours, hib_cfg.goal_ms.value(), table.ToString().c_str());
   std::printf("Hibernator saved %.1f%% energy; response-time goal %s.\n",
               100.0 * hib_result.SavingsVs(base),
               hib_result.mean_response_ms <= hib_cfg.goal_ms ? "met" : "MISSED");

@@ -52,7 +52,7 @@ std::string MakeDemoTrace() {
 int main(int argc, char** argv) {
   const char* path = argc > 1 ? argv[1] : nullptr;
   hib::Scheme scheme = argc > 2 ? ParseScheme(argv[2]) : hib::Scheme::kHibernator;
-  hib::Duration goal_ms = argc > 3 ? std::atof(argv[3]) : 0.0;
+  hib::Duration goal_ms = hib::Ms(argc > 3 ? std::atof(argv[3]) : 0.0);
   int num_disks = argc > 4 ? std::atoi(argv[4]) : 8;
 
   hib::ArrayParams array;
@@ -74,13 +74,13 @@ int main(int argc, char** argv) {
   }
   std::printf(" under %s on %d disks\n", hib::SchemeName(scheme), num_disks);
 
-  if (goal_ms <= 0.0) {
+  if (goal_ms <= hib::Duration{}) {
     reader->Reset();
-    goal_ms = 2.5 * hib::MeasureBaseResponseMs(*reader, array, -1.0);
-    std::printf("goal: %.2f ms (2.5x measured base response)\n", goal_ms);
+    goal_ms = 2.5 * hib::MeasureBaseResponseMs(*reader, array, hib::Ms(-1.0));
+    std::printf("goal: %.2f ms (2.5x measured base response)\n", goal_ms.value());
   }
   cfg.goal_ms = goal_ms;
-  cfg.epoch_ms = hib::HoursToMs(0.25);
+  cfg.epoch_ms = hib::Hours(0.25);
 
   auto policy = hib::MakePolicy(cfg);
   reader->Reset();
@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
   table.NewRow().Add("policy").Add(r.policy_desc);
   table.NewRow().Add("requests").Add(r.requests);
   table.NewRow().Add("parse errors").Add(reader->parse_errors());
-  table.NewRow().Add("simulated time (h)").Add(r.sim_duration_ms / hib::kMsPerHour, 2);
+  table.NewRow().Add("simulated time (h)").Add(r.sim_duration_ms / hib::Hours(1.0), 2);
   table.NewRow().Add("energy (kJ)").Add(r.energy_total / 1000.0, 2);
   table.NewRow().Add("mean power (W)").Add(r.MeanPower(), 1);
   table.NewRow().Add("mean response (ms)").Add(r.mean_response_ms, 2);

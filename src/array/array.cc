@@ -32,7 +32,7 @@ LayoutParams MakeLayoutParams(const ArrayParams& p) {
 // stashed in `phase2` and issued when the pre-reads drain.
 struct ArrayController::RequestContext {
   TraceRecord record;
-  SimTime arrival = 0.0;
+  SimTime arrival;
   int pending = 0;
   std::function<void(Duration)> done;
 

@@ -42,7 +42,7 @@ struct ArrayParams {
   double data_fraction = 0.6;  // logical data size as a fraction of raw capacity
   std::size_t cache_lines = 2048;         // 128 MB controller cache
   SectorCount cache_line_sectors = 128;   // 64 KB lines
-  Duration cache_hit_ms = 0.05;
+  Duration cache_hit_ms = Ms(0.05);
   double temperature_decay = 0.5;
   int max_concurrent_migrations = 2;
   std::uint64_t seed = 1234;
@@ -69,24 +69,24 @@ struct ArrayStats {
   std::int64_t rebuilt_extents = 0;
 
   // Rolling window (policies read + ResetWindow once per epoch/check).
-  Duration window_response_sum_ms = 0.0;
+  Duration window_response_sum_ms;
   std::int64_t window_responses = 0;
 
   // Cumulative sums backing the performance guarantee.
-  Duration total_response_sum_ms = 0.0;
+  Duration total_response_sum_ms;
   std::int64_t total_responses = 0;
 
   void ResetWindow() {
-    window_response_sum_ms = 0.0;
+    window_response_sum_ms = Duration{};
     window_responses = 0;
   }
-  double WindowMeanResponse() const {
+  Duration WindowMeanResponse() const {
     return window_responses > 0 ? window_response_sum_ms / static_cast<double>(window_responses)
-                                : 0.0;
+                                : Duration{};
   }
-  double CumulativeMeanResponse() const {
+  Duration CumulativeMeanResponse() const {
     return total_responses > 0 ? total_response_sum_ms / static_cast<double>(total_responses)
-                               : 0.0;
+                               : Duration{};
   }
 };
 

@@ -63,13 +63,13 @@ Watts Disk::StatePower(DiskPowerState state) const {
     case DiskPowerState::kSpinningUp:
       return transition_power_;
   }
-  return 0.0;
+  return Watts{};
 }
 
 void Disk::AccountToNow() {
   SimTime now = sim_->Now();
   Duration dt = now - last_account_;
-  if (dt <= 0.0) {
+  if (dt <= Duration{}) {
     last_account_ = now;
     return;
   }
@@ -114,7 +114,7 @@ DiskEnergy Disk::MeteredEnergy() const {
   // Fold in the time since the last state change without mutating state.
   DiskEnergy snapshot = energy_;
   Duration dt = sim_->Now() - last_account_;
-  if (dt > 0.0) {
+  if (dt > Duration{}) {
     Joules joules = EnergyOf(current_power_, dt);
     switch (state_) {
       case DiskPowerState::kBusy:
@@ -143,8 +143,8 @@ void Disk::Submit(DiskRequest request) {
   last_activity_ = sim_->Now();
   ++stats_.window_arrivals;
   if (!request.background) {
-    if (stats_.window_prev_arrival >= 0.0) {
-      double gap = sim_->Now() - stats_.window_prev_arrival;
+    if (stats_.window_prev_arrival >= SimTime{}) {
+      Duration gap = sim_->Now() - stats_.window_prev_arrival;
       stats_.window_gap_sum_ms += gap;
       stats_.window_gap_sq_ms2 += gap * gap;
       ++stats_.window_gaps;
@@ -182,10 +182,10 @@ bool Disk::SpinDown() {
   if (!FullyIdle()) {
     return false;
   }
-  transition_power_ =
-      params_.spin_down_ms > 0.0
-          ? params_.spin_down_energy / MsToSeconds(params_.spin_down_ms)
-          : 0.0;
+  // Joules / Duration -> Watts: the units layer owns the ms->s conversion.
+  transition_power_ = params_.spin_down_ms > Duration{}
+                          ? params_.spin_down_energy / params_.spin_down_ms
+                          : Watts{};
   EnterState(DiskPowerState::kSpinningDown);
   ++stats_.spin_downs;
   sim_->ScheduleIn(params_.spin_down_ms, [this] { FinishSpinDown(); });
@@ -211,7 +211,7 @@ void Disk::BeginSpinUp() {
   int rpm = params_.speeds[static_cast<std::size_t>(target_level_)].rpm;
   Duration t = params_.SpinUpTime(rpm);
   Joules e = params_.SpinUpEnergy(rpm);
-  transition_power_ = t > 0.0 ? e / MsToSeconds(t) : 0.0;
+  transition_power_ = t > Duration{} ? e / t : Watts{};
   EnterState(DiskPowerState::kSpinningUp);
   ++stats_.spin_ups;
   sim_->ScheduleIn(t, [this] { FinishSpinUp(); });
@@ -230,7 +230,7 @@ void Disk::BeginRpmChange() {
   int to = params_.speeds[static_cast<std::size_t>(target_level_)].rpm;
   Duration t = params_.RpmTransitionTime(from, to);
   Joules e = params_.RpmTransitionEnergy(from, to);
-  transition_power_ = t > 0.0 ? e / MsToSeconds(t) : 0.0;
+  transition_power_ = t > Duration{} ? e / t : Watts{};
   EnterState(DiskPowerState::kChangingRpm);
   ++stats_.rpm_changes;
   int destination = target_level_;
@@ -285,14 +285,14 @@ void Disk::StartService() {
     // Sequential continuation: the head is already in position and the media
     // streams under it — no seek, no rotational latency.  This is what makes
     // large sequential runs cheap even at low RPM.
-    seek = 0.0;
-    rotation = 0.0;
+    seek = Duration{};
+    rotation = Duration{};
   } else {
     seek = params_.seek.SeekTime(std::llabs(cylinder - head_cylinder_), params_.num_cylinders);
     rotation = rng_.NextDouble() * lvl.RevolutionMs();
   }
   Duration transfer = params_.TransferTime(req.count, lvl.rpm);
-  Duration settle = req.is_write ? params_.write_settle_ms : 0.0;
+  Duration settle = req.is_write ? params_.write_settle_ms : Duration{};
   Duration service = seek + rotation + transfer + settle;
 
   head_cylinder_ = cylinder;

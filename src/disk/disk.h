@@ -66,21 +66,21 @@ struct DiskRequest {
   SectorCount count = 8;
   bool is_write = false;
   bool background = false;  // migration traffic: served at idle priority
-  SimTime arrival = 0.0;
+  SimTime arrival;
   std::function<void(SimTime)> on_complete;
 };
 
 // Cumulative energy/time ledger, broken down by power state.
 struct DiskEnergy {
-  Joules active = 0.0;
-  Joules idle = 0.0;
-  Joules standby = 0.0;
-  Joules transition = 0.0;  // rpm changes + spin up/down
+  Joules active;
+  Joules idle;
+  Joules standby;
+  Joules transition;  // rpm changes + spin up/down
 
-  Duration active_ms = 0.0;
-  Duration idle_ms = 0.0;
-  Duration standby_ms = 0.0;
-  Duration transition_ms = 0.0;
+  Duration active_ms;
+  Duration idle_ms;
+  Duration standby_ms;
+  Duration transition_ms;
 
   Joules Total() const { return active + idle + standby + transition; }
   Duration TotalMs() const { return active_ms + idle_ms + standby_ms + transition_ms; }
@@ -101,34 +101,34 @@ struct DiskStats {
   // Rolling window counters; policies read these each epoch and call
   // ResetWindow() to start the next measurement interval.
   std::int64_t window_arrivals = 0;
-  Duration window_busy_ms = 0.0;
-  Duration window_response_sum_ms = 0.0;  // foreground completions only
+  Duration window_busy_ms;
+  Duration window_response_sum_ms;  // foreground completions only
   std::int64_t window_completions = 0;
   // Interarrival moments (foreground), for the arrival-burstiness estimate.
-  SimTime window_prev_arrival = -1.0;
-  Duration window_gap_sum_ms = 0.0;
-  double window_gap_sq_ms2 = 0.0;
+  SimTime window_prev_arrival = Ms(-1.0);
+  Duration window_gap_sum_ms;
+  DurationSq window_gap_sq_ms2;
   std::int64_t window_gaps = 0;
 
   // Squared coefficient of variation of interarrival gaps in the window;
   // 1 for Poisson, >> 1 for bursts.  Returns 1 with too little data.
   double WindowArrivalScv() const {
-    if (window_gaps < 8 || window_gap_sum_ms <= 0.0) {
+    if (window_gaps < 8 || window_gap_sum_ms <= Duration{}) {
       return 1.0;
     }
-    double mean = window_gap_sum_ms / static_cast<double>(window_gaps);
-    double var = window_gap_sq_ms2 / static_cast<double>(window_gaps) - mean * mean;
-    return var > 0.0 ? var / (mean * mean) : 0.0;
+    Duration mean = window_gap_sum_ms / static_cast<double>(window_gaps);
+    DurationSq var = window_gap_sq_ms2 / static_cast<double>(window_gaps) - mean * mean;
+    return var > DurationSq{} ? var / (mean * mean) : 0.0;
   }
 
   void ResetWindow() {
     window_arrivals = 0;
-    window_busy_ms = 0.0;
-    window_response_sum_ms = 0.0;
+    window_busy_ms = Duration{};
+    window_response_sum_ms = Duration{};
     window_completions = 0;
-    window_prev_arrival = -1.0;
-    window_gap_sum_ms = 0.0;
-    window_gap_sq_ms2 = 0.0;
+    window_prev_arrival = Ms(-1.0);
+    window_gap_sum_ms = Duration{};
+    window_gap_sq_ms2 = DurationSq{};
     window_gaps = 0;
   }
 };
@@ -210,12 +210,12 @@ class Disk {
   std::deque<DiskRequest> background_;
 
   // Lazy energy metering.
-  SimTime last_account_ = 0.0;
+  SimTime last_account_;
   Watts current_power_;
-  Watts transition_power_ = 0.0;  // effective draw while in a transition state
+  Watts transition_power_;  // effective draw while in a transition state
   DiskEnergy energy_;
 
-  SimTime last_activity_ = 0.0;
+  SimTime last_activity_;
   DiskStats stats_;
 };
 

@@ -8,7 +8,7 @@ namespace hib {
 
 Duration SeekModel::SeekTime(std::int64_t distance, std::int64_t num_cylinders) const {
   if (distance <= 0) {
-    return 0.0;
+    return Duration{};
   }
   if (num_cylinders < 2) {
     return single_cyl_ms;
@@ -38,19 +38,19 @@ int DiskParams::LevelOf(int rpm) const {
 
 Duration DiskParams::TransferTime(SectorCount count, int rpm) const {
   if (count <= 0) {
-    return 0.0;
+    return Duration{};
   }
-  Duration rev_ms = 60.0 * kMsPerSecond / static_cast<double>(rpm);
+  Duration rev_ms = Rev(1.0) / Rpm(static_cast<double>(rpm));
   return static_cast<double>(count) / static_cast<double>(sectors_per_track) * rev_ms;
 }
 
 Duration DiskParams::RpmTransitionTime(int from_rpm, int to_rpm) const {
   if (from_rpm == to_rpm) {
-    return 0.0;
+    return Duration{};
   }
   double swing = static_cast<double>(max_rpm() - min_rpm());
   if (swing <= 0.0) {
-    return 0.0;
+    return Duration{};
   }
   double delta = std::abs(static_cast<double>(to_rpm - from_rpm));
   return rpm_full_swing_ms * delta / swing;
@@ -86,25 +86,26 @@ std::string DiskParams::Validate() const {
     }
   }
   for (const auto& s : speeds) {
-    if (s.rpm <= 0 || s.idle_power <= 0.0 || s.active_power < s.idle_power) {
+    if (s.rpm <= 0 || s.idle_power <= Watts{} || s.active_power < s.idle_power) {
       err << "bad speed level rpm=" << s.rpm << "; ";
     }
   }
   if (num_cylinders <= 0 || tracks_per_cylinder <= 0 || sectors_per_track <= 0) {
     err << "bad geometry; ";
   }
-  if (seek.single_cyl_ms < 0 || seek.average_ms < seek.single_cyl_ms ||
+  if (seek.single_cyl_ms < Duration{} || seek.average_ms < seek.single_cyl_ms ||
       seek.full_stroke_ms < seek.average_ms) {
     err << "seek curve not monotone; ";
   }
-  if (standby_power < 0 || spin_down_ms < 0 || spin_up_full_ms < 0) {
+  if (standby_power < Watts{} || spin_down_ms < Duration{} || spin_up_full_ms < Duration{}) {
     err << "bad standby parameters; ";
   }
   return err.str();
 }
 
 Watts IdlePowerAtRpm(int rpm, int max_rpm, Watts idle_at_max, Watts electronics) {
-  double frac = static_cast<double>(rpm) / static_cast<double>(max_rpm);
+  // The DRPM RPM^2.8 law on the dimensionless speed ratio.
+  double frac = Rpm(static_cast<double>(rpm)) / Rpm(static_cast<double>(max_rpm));
   return electronics + (idle_at_max - electronics) * std::pow(frac, 2.8);
 }
 
@@ -119,18 +120,18 @@ DiskParams MakeUltrastar36Z15MultiSpeed(int num_levels) {
   p.num_cylinders = 15110;
   p.tracks_per_cylinder = 8;
   p.sectors_per_track = 600;  // ~36.7 GB total
-  p.seek = SeekModel{0.6, 3.4, 6.5};
-  p.write_settle_ms = 0.3;
-  p.standby_power = 1.5;
-  p.spin_down_ms = 1500.0;
-  p.spin_down_energy = 13.0;
-  p.spin_up_full_ms = 10900.0;
-  p.spin_up_full_energy = 135.0;
-  p.rpm_full_swing_ms = 8000.0;
+  p.seek = SeekModel{Ms(0.6), Ms(3.4), Ms(6.5)};
+  p.write_settle_ms = Ms(0.3);
+  p.standby_power = Watts(1.5);
+  p.spin_down_ms = Ms(1500.0);
+  p.spin_down_energy = Joules(13.0);
+  p.spin_up_full_ms = Ms(10900.0);
+  p.spin_up_full_energy = Joules(135.0);
+  p.rpm_full_swing_ms = Ms(8000.0);
 
   constexpr int kMinRpm = 3000;
   constexpr int kMaxRpm = 15000;
-  constexpr Watts kIdleAtMax = 10.2;
+  constexpr Watts kIdleAtMax = Watts(10.2);
   if (num_levels < 1) {
     num_levels = 1;
   }

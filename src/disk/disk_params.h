@@ -24,9 +24,9 @@ namespace hib {
 // cylinder, average (1/3 stroke), and full stroke, interpolated with the
 // standard sqrt/linear blend.
 struct SeekModel {
-  Duration single_cyl_ms = 0.6;
-  Duration average_ms = 3.4;
-  Duration full_stroke_ms = 6.5;
+  Duration single_cyl_ms = Ms(0.6);
+  Duration average_ms = Ms(3.4);
+  Duration full_stroke_ms = Ms(6.5);
 
   // Seek time for a move of `distance` cylinders on a disk with
   // `num_cylinders` cylinders total.  Zero distance costs nothing.
@@ -36,10 +36,11 @@ struct SeekModel {
 // One spindle speed the disk supports.
 struct SpeedLevel {
   int rpm = 15000;
-  Watts idle_power = 10.2;    // platters spinning, heads parked, no I/O
-  Watts active_power = 13.5;  // seeking / transferring
+  Watts idle_power = Watts(10.2);    // platters spinning, heads parked, no I/O
+  Watts active_power = Watts(13.5);  // seeking / transferring
 
-  Duration RevolutionMs() const { return 60.0 * kMsPerSecond / static_cast<double>(rpm); }
+  AngularVelocity Speed() const { return Rpm(static_cast<double>(rpm)); }
+  Duration RevolutionMs() const { return Rev(1.0) / Speed(); }
 };
 
 struct DiskParams {
@@ -51,22 +52,22 @@ struct DiskParams {
   int sectors_per_track = 600;
 
   SeekModel seek;
-  Duration write_settle_ms = 0.3;  // extra head-settle charged to writes
+  Duration write_settle_ms = Ms(0.3);  // extra head-settle charged to writes
 
   // Supported speeds, sorted ascending by RPM.  A single entry models a
   // conventional fixed-speed disk.
   std::vector<SpeedLevel> speeds;
 
   // Standby (spun down) state.
-  Watts standby_power = 1.5;
-  Duration spin_down_ms = 1500.0;   // full speed -> standby
-  Joules spin_down_energy = 13.0;
-  Duration spin_up_full_ms = 10900.0;  // standby -> full speed
-  Joules spin_up_full_energy = 135.0;
+  Watts standby_power = Watts(1.5);
+  Duration spin_down_ms = Ms(1500.0);   // full speed -> standby
+  Joules spin_down_energy = Joules(13.0);
+  Duration spin_up_full_ms = Ms(10900.0);  // standby -> full speed
+  Joules spin_up_full_energy = Joules(135.0);
 
   // Seconds to swing the spindle across the full RPM range; a transition of
   // |delta| RPM takes full_swing * |delta| / (max - min).
-  Duration rpm_full_swing_ms = 8000.0;
+  Duration rpm_full_swing_ms = Ms(8000.0);
 
   std::int64_t TotalSectors() const {
     return num_cylinders * tracks_per_cylinder * sectors_per_track;
@@ -102,9 +103,9 @@ struct DiskParams {
 };
 
 // The DRPM-style spindle power law: electronics + k * (rpm/rpm_max)^2.8.
-Watts IdlePowerAtRpm(int rpm, int max_rpm, Watts idle_at_max, Watts electronics = 2.5);
-Watts ActivePowerAtRpm(int rpm, int max_rpm, Watts idle_at_max, Watts active_extra = 3.3,
-                       Watts electronics = 2.5);
+Watts IdlePowerAtRpm(int rpm, int max_rpm, Watts idle_at_max, Watts electronics = Watts(2.5));
+Watts ActivePowerAtRpm(int rpm, int max_rpm, Watts idle_at_max,
+                       Watts active_extra = Watts(3.3), Watts electronics = Watts(2.5));
 
 // Builds the Hibernator evaluation disk: IBM Ultrastar 36Z15 extrapolated to
 // `num_levels` evenly spaced speeds in [3000, 15000] RPM.  num_levels == 1

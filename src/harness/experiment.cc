@@ -53,25 +53,25 @@ ExperimentResult RunExperiment(WorkloadSource& workload, PowerPolicy& policy,
   result.policy_desc = policy.Describe();
   if (options.collect_series) {
     Duration hint_ms = workload.DurationHint();
-    if (hint_ms > 0.0 && options.sample_period_ms > 0.0) {
+    if (hint_ms > Duration{} && options.sample_period_ms > Duration{}) {
       result.series.reserve(static_cast<std::size_t>(hint_ms / options.sample_period_ms) + 2);
     }
   }
 
   // Time-series sampler (driven off cumulative counters so it never
   // interferes with the policies' own measurement windows).
-  double sampled_sum = 0.0;
+  Duration sampled_sum;
   std::int64_t sampled_count = 0;
   if (options.collect_series) {
     sim.SchedulePeriodic(options.sample_period_ms, options.sample_period_ms, [&] {
       const ArrayStats& st = array.stats();
       SeriesPoint p;
       p.t = sim.Now();
-      double dsum = st.total_response_sum_ms - sampled_sum;
+      Duration dsum = st.total_response_sum_ms - sampled_sum;
       std::int64_t dcount = st.total_responses - sampled_count;
       sampled_sum = st.total_response_sum_ms;
       sampled_count = st.total_responses;
-      p.window_mean_response_ms = dcount > 0 ? dsum / static_cast<double>(dcount) : 0.0;
+      p.window_mean_response_ms = dcount > 0 ? dsum / static_cast<double>(dcount) : Duration{};
       p.energy_so_far = array.TotalEnergy().Total();
       p.disks_at_level.assign(static_cast<std::size_t>(array_params.disk.num_speeds()), 0);
       for (int i = 0; i < array.num_data_disks(); ++i) {
@@ -97,13 +97,13 @@ ExperimentResult RunExperiment(WorkloadSource& workload, PowerPolicy& policy,
   // with unknown length (file readers) are discovered in one-hour slices —
   // the run ends after the first slice that completes no new requests.
   Duration hint = workload.DurationHint();
-  if (hint > 0.0) {
+  if (hint > Duration{}) {
     sim.RunUntil(hint + options.drain_ms);
   } else {
     std::int64_t last_completed = -1;
-    SimTime horizon = 0.0;
+    SimTime horizon;
     while (true) {
-      horizon += HoursToMs(1.0);
+      horizon += Hours(1.0);
       sim.RunUntil(horizon);
       std::int64_t completed = array.stats().total_responses;
       if (completed == last_completed) {
@@ -123,10 +123,10 @@ ExperimentResult RunExperiment(WorkloadSource& workload, PowerPolicy& policy,
 
   ArrayStats& st = array.stats();
   result.requests = st.total_responses;
-  result.mean_response_ms = st.response_ms.mean();
-  result.p95_response_ms = st.response_pct.Percentile(95.0);
-  result.p99_response_ms = st.response_pct.Percentile(99.0);
-  result.max_response_ms = st.response_ms.max();
+  result.mean_response_ms = Ms(st.response_ms.mean());
+  result.p95_response_ms = Ms(st.response_pct.Percentile(95.0));
+  result.p99_response_ms = Ms(st.response_pct.Percentile(99.0));
+  result.max_response_ms = Ms(st.response_ms.max());
   result.cache_hit_rate = array.cache().HitRate();
   result.migrations = st.migrations_completed;
   result.migrated_sectors = st.migrated_sectors;
@@ -173,7 +173,7 @@ Duration MeasureBaseResponseMs(WorkloadSource& workload, const ArrayParams& arra
     if (!workload.Next(&r)) {
       return;
     }
-    if (probe_ms > 0.0 && r.time > probe_ms) {
+    if (probe_ms > Duration{} && r.time > probe_ms) {
       return;
     }
     sim.ScheduleAt(r.time, [&, r] {
@@ -182,10 +182,10 @@ Duration MeasureBaseResponseMs(WorkloadSource& workload, const ArrayParams& arra
     });
   };
   schedule_next();
-  SimTime bound = probe_ms > 0.0 ? probe_ms : HoursToMs(24.0 * 365.0);
-  sim.RunUntil(bound + SecondsToMs(30.0));
+  SimTime bound = probe_ms > Duration{} ? probe_ms : Hours(24.0 * 365.0);
+  sim.RunUntil(bound + Seconds(30.0));
   workload.Reset();
-  return array.stats().response_ms.mean();
+  return Ms(array.stats().response_ms.mean());
 }
 
 }  // namespace hib

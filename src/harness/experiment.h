@@ -18,9 +18,9 @@ namespace hib {
 
 // One sample of the run's dynamics (taken every sample_period_ms).
 struct SeriesPoint {
-  SimTime t = 0.0;
-  Duration window_mean_response_ms = 0.0;  // mean over the sample window
-  Joules energy_so_far = 0.0;
+  SimTime t;
+  Duration window_mean_response_ms;  // mean over the sample window
+  Joules energy_so_far;
   std::vector<int> disks_at_level;  // data disks per RPM level
   int disks_standby = 0;            // data disks in/entering standby
 };
@@ -28,17 +28,17 @@ struct SeriesPoint {
 struct ExperimentResult {
   std::string policy_name;
   std::string policy_desc;
-  Duration sim_duration_ms = 0.0;
+  Duration sim_duration_ms;
 
-  Joules energy_total = 0.0;
+  Joules energy_total;
   DiskEnergy energy;  // component breakdown
 
   std::int64_t requests = 0;
   std::uint64_t events = 0;  // simulator events dispatched during the run
-  Duration mean_response_ms = 0.0;
-  Duration p95_response_ms = 0.0;
-  Duration p99_response_ms = 0.0;
-  Duration max_response_ms = 0.0;
+  Duration mean_response_ms;
+  Duration p95_response_ms;
+  Duration p99_response_ms;
+  Duration max_response_ms;
   double cache_hit_rate = 0.0;
 
   std::int64_t spin_ups = 0;
@@ -49,19 +49,19 @@ struct ExperimentResult {
 
   std::vector<SeriesPoint> series;
 
-  // Mean power over the run (W).
+  // Mean power over the run; Joules / Duration is a Watts.
   Watts MeanPower() const {
-    return sim_duration_ms > 0.0 ? energy_total / MsToSeconds(sim_duration_ms) : 0.0;
+    return sim_duration_ms > Duration{} ? energy_total / sim_duration_ms : Watts{};
   }
   // Fractional energy saved relative to a baseline run (positive = saved).
   double SavingsVs(const ExperimentResult& base) const {
-    return base.energy_total > 0.0 ? 1.0 - energy_total / base.energy_total : 0.0;
+    return base.energy_total > Joules{} ? 1.0 - energy_total / base.energy_total : 0.0;
   }
 };
 
 struct ExperimentOptions {
-  Duration drain_ms = SecondsToMs(30.0);
-  Duration sample_period_ms = HoursToMs(0.25);
+  Duration drain_ms = Seconds(30.0);
+  Duration sample_period_ms = Hours(0.25);
   bool collect_series = false;
   // Capacity hint for the event queue (concurrently *pending* events, not
   // total events fired): covers per-disk in-flight service completions,
@@ -86,7 +86,7 @@ struct OltpSetup {
   // Workload parameters (pass to OltpWorkload).
   double peak_iops = 300.0;
   double trough_iops = 90.0;
-  Duration duration_ms = HoursToMs(24.0);
+  Duration duration_ms = Hours(24.0);
 };
 OltpSetup MakeOltpSetup(int speed_levels = 5);
 
@@ -95,7 +95,7 @@ struct CelloSetup {
   ArrayParams array;
   double peak_iops = 90.0;
   double trough_iops = 4.0;
-  Duration duration_ms = HoursToMs(24.0);
+  Duration duration_ms = Hours(24.0);
 };
 CelloSetup MakeCelloSetup(int speed_levels = 5);
 

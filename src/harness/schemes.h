@@ -38,8 +38,8 @@ std::vector<Scheme> MainComparisonSchemes();
 struct SchemeConfig {
   Scheme scheme = Scheme::kBase;
   // Response-time goal for Hibernator variants (ms, absolute).
-  Duration goal_ms = 20.0;
-  Duration epoch_ms = HoursToMs(2.0);
+  Duration goal_ms = Ms(20.0);
+  Duration epoch_ms = Hours(2.0);
   std::int64_t migration_budget_extents = 4096;
   int maid_cache_disks = 2;
 };

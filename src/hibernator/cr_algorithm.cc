@@ -10,9 +10,9 @@
 namespace hib {
 
 Watts DiskPowerAt(const DiskParams& disk, const SpeedServiceModel& service, int level,
-                  double lambda_per_ms) {
+                  Frequency lambda) {
   const SpeedLevel& lvl = disk.speeds[static_cast<std::size_t>(level)];
-  double rho = std::min(1.0, Mg1Model::Utilization(lambda_per_ms, service.Level(level).mean_ms));
+  double rho = std::min(1.0, Mg1Model::Utilization(lambda, service.Level(level).mean_ms));
   return lvl.idle_power + (lvl.active_power - lvl.idle_power) * rho;
 }
 
@@ -22,26 +22,29 @@ struct SearchState {
   const CrInput* input;
   int num_groups;
   int num_levels;
-  double total_weight;
+  // Sum of per-group arrival rates; response sums weighted by it are
+  // dimensionless (Frequency * Duration), and dividing one back out yields
+  // the predicted mean response as a Duration.
+  Frequency total_weight;
   // Indexed [group][level].
-  std::vector<std::vector<double>> response;   // per-disk mean response (ms)
-  std::vector<std::vector<double>> power;      // group power (W, width included)
-  std::vector<std::vector<double>> trans_w;    // amortized transition power (W)
-  std::vector<int> order;                      // groups sorted by lambda desc
+  std::vector<std::vector<Duration>> response;  // per-disk mean response
+  std::vector<std::vector<Watts>> power;        // group power (width included)
+  std::vector<std::vector<Watts>> trans_w;      // amortized transition power
+  std::vector<int> order;                       // groups sorted by lambda desc
   // Suffix lower bounds over `order` positions.
-  std::vector<double> min_rest_power;          // sum of min-over-level power
-  std::vector<double> min_rest_resp;           // sum of min-over-level weighted response
+  std::vector<Watts> min_rest_power;    // sum of min-over-level power
+  std::vector<double> min_rest_resp;    // sum of min-over-level weighted response
 
   std::vector<int> current;  // level per order position
   std::vector<int> best;
-  double best_power = std::numeric_limits<double>::infinity();
+  Watts best_power = std::numeric_limits<Watts>::infinity();
   double best_resp_sum = 0.0;
   std::int64_t evaluated = 0;
 
-  void Dfs(int pos, int cap, double resp_sum, double power_sum);
+  void Dfs(int pos, int cap, double resp_sum, Watts power_sum);
 };
 
-void SearchState::Dfs(int pos, int cap, double resp_sum, double power_sum) {
+void SearchState::Dfs(int pos, int cap, double resp_sum, Watts power_sum) {
   if (pos == num_groups) {
     ++evaluated;
     double goal_sum = input->goal_ms * total_weight;
@@ -62,13 +65,13 @@ void SearchState::Dfs(int pos, int cap, double resp_sum, double power_sum) {
     return;
   }
   int g = order[static_cast<std::size_t>(pos)];
-  double w = input->group_lambda_per_ms[static_cast<std::size_t>(g)];
+  Frequency w = input->group_lambda[static_cast<std::size_t>(g)];
   for (int k = cap; k >= 0; --k) {
-    double r = response[static_cast<std::size_t>(g)][static_cast<std::size_t>(k)];
-    if (!std::isfinite(r) && w > 0.0) {
+    Duration r = response[static_cast<std::size_t>(g)][static_cast<std::size_t>(k)];
+    if (!IsFinite(r) && w > Frequency{}) {
       continue;  // this speed cannot even keep up with the load
     }
-    double contrib = w > 0.0 ? w * r : 0.0;
+    double contrib = w > Frequency{} ? w * r : 0.0;
     int next_cap = input->exhaustive ? num_levels - 1 : k;
     current[static_cast<std::size_t>(pos)] = k;
     Dfs(pos + 1, next_cap,
@@ -82,7 +85,7 @@ void SearchState::Dfs(int pos, int cap, double resp_sum, double power_sum) {
 
 CrResult SolveCr(const CrInput& input) {
   HIB_CHECK(input.disk != nullptr) << "CR input needs disk parameters";
-  const int num_groups = static_cast<int>(input.group_lambda_per_ms.size());
+  const int num_groups = static_cast<int>(input.group_lambda.size());
   const int num_levels = input.service.num_levels();
   HIB_CHECK_EQ(num_levels, input.disk->num_speeds());
   HIB_CHECK(input.current_levels.empty() ||
@@ -95,16 +98,16 @@ CrResult SolveCr(const CrInput& input) {
   s.input = &input;
   s.num_groups = num_groups;
   s.num_levels = num_levels;
-  s.total_weight = std::accumulate(input.group_lambda_per_ms.begin(),
-                                   input.group_lambda_per_ms.end(), 0.0);
+  s.total_weight = std::accumulate(input.group_lambda.begin(),
+                                   input.group_lambda.end(), Frequency{});
 
-  double epoch_s = MsToSeconds(input.epoch_ms);
   s.response.assign(static_cast<std::size_t>(num_groups),
-                    std::vector<double>(static_cast<std::size_t>(num_levels)));
-  s.power = s.response;
-  s.trans_w = s.response;
+                    std::vector<Duration>(static_cast<std::size_t>(num_levels)));
+  s.power.assign(static_cast<std::size_t>(num_groups),
+                 std::vector<Watts>(static_cast<std::size_t>(num_levels)));
+  s.trans_w = s.power;
   for (int g = 0; g < num_groups; ++g) {
-    double lambda = input.group_lambda_per_ms[static_cast<std::size_t>(g)];
+    Frequency lambda = input.group_lambda[static_cast<std::size_t>(g)];
     double arrival_scv = input.group_arrival_scv.empty()
                              ? 1.0
                              : input.group_arrival_scv[static_cast<std::size_t>(g)];
@@ -127,8 +130,9 @@ CrResult SolveCr(const CrInput& input) {
       // one-level steps when epochs are short.
       int to_rpm_k = input.disk->speeds[static_cast<std::size_t>(k)].rpm;
       Duration trans_ms = input.disk->RpmTransitionTime(from_rpm, to_rpm_k);
-      double transition_delay =
-          input.epoch_ms > 0.0 ? trans_ms * trans_ms / (2.0 * input.epoch_ms) : 0.0;
+      Duration transition_delay = input.epoch_ms > Duration{}
+                                      ? trans_ms * trans_ms / (2.0 * input.epoch_ms)
+                                      : Duration{};
       s.response[static_cast<std::size_t>(g)][static_cast<std::size_t>(k)] =
           bias * Mg1Model::Gg1ResponseTime(lambda, lvl.mean_ms, lvl.scv, arrival_scv) +
           transition_delay;
@@ -138,8 +142,9 @@ CrResult SolveCr(const CrInput& input) {
       int to_rpm = input.disk->speeds[static_cast<std::size_t>(k)].rpm;
       Joules trans = static_cast<double>(input.group_width) *
                      input.disk->RpmTransitionEnergy(from_rpm, to_rpm);
+      // Joules amortized over the epoch -> Watts.
       s.trans_w[static_cast<std::size_t>(g)][static_cast<std::size_t>(k)] =
-          epoch_s > 0.0 ? trans / epoch_s : 0.0;
+          input.epoch_ms > Duration{} ? trans / input.epoch_ms : Watts{};
     }
   }
 
@@ -147,29 +152,29 @@ CrResult SolveCr(const CrInput& input) {
   s.order.resize(static_cast<std::size_t>(num_groups));
   std::iota(s.order.begin(), s.order.end(), 0);
   std::stable_sort(s.order.begin(), s.order.end(), [&](int a, int b) {
-    return input.group_lambda_per_ms[static_cast<std::size_t>(a)] >
-           input.group_lambda_per_ms[static_cast<std::size_t>(b)];
+    return input.group_lambda[static_cast<std::size_t>(a)] >
+           input.group_lambda[static_cast<std::size_t>(b)];
   });
 
   // Suffix lower bounds (ignore monotonicity: still admissible).
-  s.min_rest_power.assign(static_cast<std::size_t>(num_groups) + 1, 0.0);
+  s.min_rest_power.assign(static_cast<std::size_t>(num_groups) + 1, Watts{});
   s.min_rest_resp.assign(static_cast<std::size_t>(num_groups) + 1, 0.0);
   for (int pos = num_groups - 1; pos >= 0; --pos) {
     int g = s.order[static_cast<std::size_t>(pos)];
-    double w = input.group_lambda_per_ms[static_cast<std::size_t>(g)];
-    double min_p = std::numeric_limits<double>::infinity();
+    Frequency w = input.group_lambda[static_cast<std::size_t>(g)];
+    Watts min_p = std::numeric_limits<Watts>::infinity();
     double min_r = std::numeric_limits<double>::infinity();
     for (int k = 0; k < num_levels; ++k) {
       min_p = std::min(min_p,
                        s.power[static_cast<std::size_t>(g)][static_cast<std::size_t>(k)] +
                            s.trans_w[static_cast<std::size_t>(g)][static_cast<std::size_t>(k)]);
-      double r = s.response[static_cast<std::size_t>(g)][static_cast<std::size_t>(k)];
-      if (std::isfinite(r)) {
-        min_r = std::min(min_r, w > 0.0 ? w * r : 0.0);
+      Duration r = s.response[static_cast<std::size_t>(g)][static_cast<std::size_t>(k)];
+      if (IsFinite(r)) {
+        min_r = std::min(min_r, w > Frequency{} ? w * r : 0.0);
       }
     }
     if (!std::isfinite(min_r)) {
-      min_r = w > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+      min_r = w > Frequency{} ? std::numeric_limits<double>::infinity() : 0.0;
     }
     s.min_rest_power[static_cast<std::size_t>(pos)] =
         s.min_rest_power[static_cast<std::size_t>(pos) + 1] + min_p;
@@ -178,7 +183,7 @@ CrResult SolveCr(const CrInput& input) {
   }
 
   s.current.assign(static_cast<std::size_t>(num_groups), num_levels - 1);
-  s.Dfs(0, num_levels - 1, 0.0, 0.0);
+  s.Dfs(0, num_levels - 1, 0.0, Watts{});
 
   CrResult result;
   result.candidates_evaluated = s.evaluated;
@@ -189,24 +194,26 @@ CrResult SolveCr(const CrInput& input) {
       result.levels[static_cast<std::size_t>(s.order[static_cast<std::size_t>(pos)])] =
           s.best[static_cast<std::size_t>(pos)];
     }
-    result.predicted_response_ms =
-        s.total_weight > 0.0 ? s.best_resp_sum / s.total_weight : 0.0;
+    result.predicted_response_ms = s.total_weight > Frequency{}
+                                       ? s.best_resp_sum / s.total_weight
+                                       : Duration{};
     result.predicted_power = s.best_power;
   } else {
     // Infeasible even at full speed: run everything flat out.
     result.feasible = false;
     double resp_sum = 0.0;
-    double power_sum = 0.0;
+    Watts power_sum;
     for (int g = 0; g < num_groups; ++g) {
-      double w = input.group_lambda_per_ms[static_cast<std::size_t>(g)];
-      double r = s.response[static_cast<std::size_t>(g)][static_cast<std::size_t>(num_levels) - 1];
-      if (w > 0.0 && std::isfinite(r)) {
+      Frequency w = input.group_lambda[static_cast<std::size_t>(g)];
+      Duration r = s.response[static_cast<std::size_t>(g)][static_cast<std::size_t>(num_levels) - 1];
+      if (w > Frequency{} && IsFinite(r)) {
         resp_sum += w * r;
       }
       power_sum +=
           s.power[static_cast<std::size_t>(g)][static_cast<std::size_t>(num_levels) - 1];
     }
-    result.predicted_response_ms = s.total_weight > 0.0 ? resp_sum / s.total_weight : 0.0;
+    result.predicted_response_ms =
+        s.total_weight > Frequency{} ? resp_sum / s.total_weight : Duration{};
     result.predicted_power = power_sum;
   }
   return result;

@@ -16,6 +16,7 @@
 #ifndef HIBERNATOR_SRC_HIBERNATOR_CR_ALGORITHM_H_
 #define HIBERNATOR_SRC_HIBERNATOR_CR_ALGORITHM_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/disk/disk_params.h"
@@ -27,8 +28,8 @@ namespace hib {
 struct CrInput {
   // Per-level service-time statistics for the current request mix.
   SpeedServiceModel service;
-  // Observed per-disk arrival rate (requests/ms) in each group.
-  std::vector<double> group_lambda_per_ms;
+  // Observed per-disk arrival rate in each group.
+  std::vector<Frequency> group_lambda;
   // Observed squared coefficient of variation of interarrival times per
   // group (1 = Poisson).  Empty means Poisson everywhere.  Bursty groups
   // queue much worse than M/G/1 predicts (G/G/1 Allen-Cunneen correction).
@@ -38,10 +39,10 @@ struct CrInput {
   // effects outside the renewal model land here.  Empty = 1.0 everywhere.
   std::vector<double> group_response_bias;
   int group_width = 4;
-  // Constraint: request-weighted mean per-sub-op response time (ms).
-  Duration goal_ms = 20.0;
+  // Constraint: request-weighted mean per-sub-op response time.
+  Duration goal_ms = Ms(20.0);
   // Amortization horizon for transition energy.
-  Duration epoch_ms = HoursToMs(2.0);
+  Duration epoch_ms = Hours(2.0);
   // Current level of each group (transition-cost accounting).
   std::vector<int> current_levels;
   // Disk model (power + transition energies).
@@ -52,17 +53,17 @@ struct CrInput {
 };
 
 struct CrResult {
-  std::vector<int> levels;            // chosen level per group (input order)
-  Duration predicted_response_ms = 0; // request-weighted mean sub-op response
-  Watts predicted_power = 0.0;        // including amortized transition power
-  bool feasible = false;              // false => fell back to all-full-speed
+  std::vector<int> levels;        // chosen level per group (input order)
+  Duration predicted_response_ms; // request-weighted mean sub-op response
+  Watts predicted_power;          // including amortized transition power
+  bool feasible = false;          // false => fell back to all-full-speed
   std::int64_t candidates_evaluated = 0;
 };
 
-// Mean electrical power of one disk at `level` carrying `lambda_per_ms`
-// arrivals (linear idle/active blend by utilization).
+// Mean electrical power of one disk at `level` carrying `lambda` arrivals
+// (linear idle/active blend by utilization).
 Watts DiskPowerAt(const DiskParams& disk, const SpeedServiceModel& service, int level,
-                  double lambda_per_ms);
+                  Frequency lambda);
 
 CrResult SolveCr(const CrInput& input);
 

@@ -12,7 +12,7 @@ namespace hib {
 
 std::string HibernatorPolicy::Describe() const {
   std::ostringstream out;
-  out << Name() << "(goal=" << params_.goal_ms << "ms, epoch=" << params_.epoch_ms / kMsPerHour
+  out << Name() << "(goal=" << params_.goal_ms << "ms, epoch=" << params_.epoch_ms / Hours(1.0)
       << "h, budget=" << params_.migration_budget_extents << " extents"
       << (params_.enable_boost ? "" : ", no-boost")
       << (params_.enable_migration ? "" : ", no-migration") << ")";
@@ -49,16 +49,16 @@ void HibernatorPolicy::Finish() {
   }
 }
 
-std::vector<double> HibernatorPolicy::MeasureGroupLambdas() const {
+std::vector<Frequency> HibernatorPolicy::MeasureGroupLambdas() const {
   const LayoutManager& layout = array_->layout();
   int width = layout.group_width();
-  std::vector<double> lambdas(static_cast<std::size_t>(layout.num_groups()), 0.0);
+  std::vector<Frequency> lambdas(static_cast<std::size_t>(layout.num_groups()));
   for (int g = 0; g < layout.num_groups(); ++g) {
     std::int64_t arrivals = 0;
     for (int slot = 0; slot < width; ++slot) {
       arrivals += array_->disk(layout.GroupDisk(g, slot)).stats().window_arrivals;
     }
-    // Mean per-disk arrival rate in requests/ms over the elapsed epoch.
+    // Mean per-disk arrival rate over the elapsed epoch.
     lambdas[static_cast<std::size_t>(g)] =
         static_cast<double>(arrivals) / static_cast<double>(width) / params_.epoch_ms;
   }
@@ -78,7 +78,7 @@ std::vector<double> HibernatorPolicy::MeasureGroupArrivalScvs() const {
   return scvs;
 }
 
-std::vector<double> HibernatorPolicy::UpdateGroupBiases(const std::vector<double>& lambdas,
+std::vector<double> HibernatorPolicy::UpdateGroupBiases(const std::vector<Frequency>& lambdas,
                                                         const std::vector<double>& scvs) {
   // The renewal queueing model misses batch effects (a burst of requests to
   // one disk queues far deeper than independent arrivals at the same rate),
@@ -88,7 +88,7 @@ std::vector<double> HibernatorPolicy::UpdateGroupBiases(const std::vector<double
   const LayoutManager& layout = array_->layout();
   std::vector<double> biases(static_cast<std::size_t>(layout.num_groups()), 1.0);
   for (int g = 0; g < layout.num_groups(); ++g) {
-    double sum = 0.0;
+    Duration sum;
     std::int64_t count = 0;
     for (int slot = 0; slot < layout.group_width(); ++slot) {
       const DiskStats& ds = array_->disk(layout.GroupDisk(g, slot)).stats();
@@ -97,26 +97,26 @@ std::vector<double> HibernatorPolicy::UpdateGroupBiases(const std::vector<double
     }
     Ewma& bias = group_bias_[static_cast<std::size_t>(g)];
     if (count >= 50) {
-      double measured = sum / static_cast<double>(count);
+      Duration measured = sum / static_cast<double>(count);
       const auto& lvl =
           service_model_.Level(group_levels_[static_cast<std::size_t>(g)]);
-      double predicted = Mg1Model::Gg1ResponseTime(lambdas[static_cast<std::size_t>(g)],
-                                                   lvl.mean_ms, lvl.scv,
-                                                   scvs[static_cast<std::size_t>(g)]);
-      if (predicted > 0.0) {
+      Duration predicted = Mg1Model::Gg1ResponseTime(lambdas[static_cast<std::size_t>(g)],
+                                                     lvl.mean_ms, lvl.scv,
+                                                     scvs[static_cast<std::size_t>(g)]);
+      if (predicted > Duration{}) {
         bias.Add(std::clamp(measured / predicted, 0.5, 8.0));
       }
     }
-    biases[static_cast<std::size_t>(g)] = bias.empty() ? 1.0 : bias.value();
+    biases[static_cast<std::size_t>(g)] = bias.empty() ? 1.0 : bias.current();
   }
   return biases;
 }
 
 Duration HibernatorPolicy::EffectiveGoalMs(std::int64_t expected_requests) const {
-  double goal = params_.goal_ms;
-  if (params_.enable_boost && guarantee_ != nullptr && guarantee_->credit_ms() > 0.0) {
-    double spend = params_.credit_spend_fraction * guarantee_->credit_ms() /
-                   static_cast<double>(std::max<std::int64_t>(expected_requests, 1));
+  Duration goal = params_.goal_ms;
+  if (params_.enable_boost && guarantee_ != nullptr && guarantee_->credit_ms() > Duration{}) {
+    Duration spend = params_.credit_spend_fraction * guarantee_->credit_ms() /
+                     static_cast<double>(std::max<std::int64_t>(expected_requests, 1));
     goal += std::min(spend, params_.credit_spend_cap_goal_multiple * params_.goal_ms);
   }
   return goal;
@@ -127,24 +127,24 @@ double HibernatorPolicy::MeasureResponseScale() const {
   // logical mean response exceeds the per-disk mean.  CR's constraint lives
   // at the sub-op level; this live ratio converts the user-facing goal.
   const ArrayStats& as = array_->stats();
-  double logical_mean = as.WindowMeanResponse();
-  double subop_sum = 0.0;
+  Duration logical_mean = as.WindowMeanResponse();
+  Duration subop_sum;
   std::int64_t subop_count = 0;
   for (int i = 0; i < array_->num_data_disks(); ++i) {
     const DiskStats& ds = array_->disk(i).stats();
     subop_sum += ds.window_response_sum_ms;
     subop_count += ds.window_completions;
   }
-  if (as.window_responses < 100 || subop_count < 100 || logical_mean <= 0.0) {
+  if (as.window_responses < 100 || subop_count < 100 || logical_mean <= Duration{}) {
     return last_scale_;  // not enough data; reuse the previous calibration
   }
-  double subop_mean = subop_sum / static_cast<double>(subop_count);
-  double scale = subop_mean > 0.0 ? logical_mean / subop_mean : last_scale_;
+  Duration subop_mean = subop_sum / static_cast<double>(subop_count);
+  double scale = subop_mean > Duration{} ? logical_mean / subop_mean : last_scale_;
   return std::clamp(scale, 1.0, 5.0);
 }
 
 std::vector<int> HibernatorPolicy::SolveUtilizationThreshold(
-    const std::vector<double>& lambdas) const {
+    const std::vector<Frequency>& lambdas) const {
   // Ablation baseline: pick the slowest speed keeping predicted utilization
   // under the target, with no response-time model at all.
   std::vector<int> levels(lambdas.size(), 0);
@@ -162,11 +162,12 @@ std::vector<int> HibernatorPolicy::SolveUtilizationThreshold(
   return levels;
 }
 
-std::vector<double> MaxElementwise(const std::vector<double>& a, const std::vector<double>& b) {
+std::vector<Frequency> MaxElementwise(const std::vector<Frequency>& a,
+                                      const std::vector<Frequency>& b) {
   if (b.empty()) {
     return a;
   }
-  std::vector<double> out = a;
+  std::vector<Frequency> out = a;
   for (std::size_t i = 0; i < out.size() && i < b.size(); ++i) {
     out[i] = std::max(out[i], b[i]);
   }
@@ -175,7 +176,7 @@ std::vector<double> MaxElementwise(const std::vector<double>& a, const std::vect
 
 void HibernatorPolicy::EpochTick() {
   array_->temperatures().EndEpoch();
-  std::vector<double> lambdas = MeasureGroupLambdas();
+  std::vector<Frequency> lambdas = MeasureGroupLambdas();
   last_scale_ = MeasureResponseScale();
 
   if (params_.use_history_prediction) {
@@ -183,7 +184,7 @@ void HibernatorPolicy::EpochTick() {
     // this time yesterday": cheap anticipation of diurnal ramps.
     auto epochs_per_period = static_cast<std::size_t>(
         std::max(1.0, params_.history_period_ms / params_.epoch_ms));
-    std::vector<double> yesterday;
+    std::vector<Frequency> yesterday;
     if (lambda_history_.size() >= epochs_per_period) {
       yesterday = lambda_history_[lambda_history_.size() - epochs_per_period];
     }
@@ -202,7 +203,7 @@ void HibernatorPolicy::EpochTick() {
       std::vector<double> scvs = MeasureGroupArrivalScvs();
       CrInput input;
       input.service = service_model_;
-      input.group_lambda_per_ms = lambdas;
+      input.group_lambda = lambdas;
       input.group_arrival_scv = scvs;
       input.group_response_bias = UpdateGroupBiases(lambdas, scvs);
       input.group_width = array_->layout().group_width();
@@ -249,7 +250,7 @@ void HibernatorPolicy::ApplyLevels(const std::vector<int>& levels, bool immediat
   group_levels_ = levels;
   ++config_generation_;
   std::uint64_t generation = config_generation_;
-  Duration delay = 0.0;
+  Duration delay;
   for (int g = 0; g < layout.num_groups(); ++g) {
     int level = levels[static_cast<std::size_t>(g)];
     // Compare against the disks' *actual* target, not the previously intended
@@ -260,7 +261,7 @@ void HibernatorPolicy::ApplyLevels(const std::vector<int>& levels, bool immediat
     if (level == actual_level) {
       continue;  // no spindle movement needed
     }
-    if (immediate || params_.stagger_ms <= 0.0) {
+    if (immediate || params_.stagger_ms <= Duration{}) {
       ApplyGroupLevel(g, level);
       continue;
     }
@@ -309,7 +310,7 @@ void HibernatorPolicy::PlanMigrations() {
 
 void HibernatorPolicy::GuaranteeTick() {
   const ArrayStats& as = array_->stats();
-  double delta_sum = as.total_response_sum_ms - seen_response_sum_ms_;
+  Duration delta_sum = as.total_response_sum_ms - seen_response_sum_ms_;
   std::int64_t delta_count = as.total_responses - seen_responses_;
   seen_response_sum_ms_ = as.total_response_sum_ms;
   seen_responses_ = as.total_responses;
@@ -321,7 +322,7 @@ void HibernatorPolicy::GuaranteeTick() {
     boost_started_ = sim_->Now();
     BoostAllFull();
     array_->PauseMigration(true);
-    HIB_LOG(kInfo) << Name() << " BOOST at " << sim_->Now() / kMsPerHour << "h (credit "
+    HIB_LOG(kInfo) << Name() << " BOOST at " << sim_->Now() / Hours(1.0) << "h (credit "
                    << guarantee_->credit_ms() << "ms)";
   } else if (boosted_ && guarantee_->CanResume()) {
     // Leave boost mode but stay at full speed: slowing back down is a coarse
@@ -331,7 +332,7 @@ void HibernatorPolicy::GuaranteeTick() {
     boosted_ = false;
     boosted_ms_total_ += sim_->Now() - boost_started_;
     array_->PauseMigration(false);
-    HIB_LOG(kInfo) << Name() << " resume at " << sim_->Now() / kMsPerHour << "h";
+    HIB_LOG(kInfo) << Name() << " resume at " << sim_->Now() / Hours(1.0) << "h";
   }
 }
 

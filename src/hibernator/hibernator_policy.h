@@ -35,18 +35,18 @@
 namespace hib {
 
 struct HibernatorParams {
-  // Average logical response-time goal (ms).  Required.
-  Duration goal_ms = 20.0;
-  Duration epoch_ms = HoursToMs(2.0);
+  // Average logical response-time goal.  Required.
+  Duration goal_ms = Ms(20.0);
+  Duration epoch_ms = Hours(2.0);
   std::int64_t migration_budget_extents = 4096;
-  Duration guarantee_check_ms = 1000.0;
+  Duration guarantee_check_ms = Seconds(1.0);
   // The credit cap must comfortably exceed the one-shot response-time cost of
   // an epoch reconfiguration (requests stall while a group's spindle moves),
   // or the guarantee will boost on every slow-down and thrash.
   double credit_cap_requests = 500000.0;
   // Groups change speed one at a time, this far apart, so only a small slice
   // of the array is unavailable at any instant.
-  Duration stagger_ms = SecondsToMs(120.0);
+  Duration stagger_ms = Seconds(120.0);
   bool enable_migration = true;
   bool enable_boost = true;
   // How aggressively banked response-time credit is spent: each epoch CR may
@@ -61,7 +61,7 @@ struct HibernatorParams {
   // observed one history period ago) — anticipating diurnal ramps instead of
   // reacting one epoch late.
   bool use_history_prediction = false;
-  Duration history_period_ms = HoursToMs(24.0);
+  Duration history_period_ms = Hours(24.0);
   // false selects the naive utilization-threshold speed setter (ablation).
   bool use_cr = true;
   double threshold_target_utilization = 0.5;  // used only when !use_cr
@@ -72,7 +72,8 @@ struct HibernatorParams {
 };
 
 // Elementwise max of two load vectors; `b` may be empty (returns `a`).
-std::vector<double> MaxElementwise(const std::vector<double>& a, const std::vector<double>& b);
+std::vector<Frequency> MaxElementwise(const std::vector<Frequency>& a,
+                                      const std::vector<Frequency>& b);
 
 class HibernatorPolicy : public PowerPolicy {
  public:
@@ -89,7 +90,7 @@ class HibernatorPolicy : public PowerPolicy {
   int boosts() const { return boosts_; }
   Duration boosted_ms() const { return boosted_ms_total_; }
   bool boosted() const { return boosted_; }
-  Duration credit_ms() const { return guarantee_ ? guarantee_->credit_ms() : 0.0; }
+  Duration credit_ms() const { return guarantee_ ? guarantee_->credit_ms() : Duration{}; }
   const std::vector<int>& group_levels() const { return group_levels_; }
   Duration last_predicted_response_ms() const { return last_predicted_response_ms_; }
   std::int64_t migrations_requested() const { return migrations_requested_; }
@@ -103,16 +104,16 @@ class HibernatorPolicy : public PowerPolicy {
   void ApplyLevels(const std::vector<int>& levels, bool immediate);
   void ApplyGroupLevel(int group, int level);
   void BoostAllFull();
-  std::vector<double> MeasureGroupLambdas() const;
+  std::vector<Frequency> MeasureGroupLambdas() const;
   std::vector<double> MeasureGroupArrivalScvs() const;
   // Updates the per-group measured/predicted response bias from the closing
   // window and returns the smoothed biases for the next CR solve.
-  std::vector<double> UpdateGroupBiases(const std::vector<double>& lambdas,
+  std::vector<double> UpdateGroupBiases(const std::vector<Frequency>& lambdas,
                                         const std::vector<double>& scvs);
   double MeasureResponseScale() const;
   Duration EffectiveGoalMs(std::int64_t expected_requests) const;
   void PlanMigrations();
-  std::vector<int> SolveUtilizationThreshold(const std::vector<double>& lambdas) const;
+  std::vector<int> SolveUtilizationThreshold(const std::vector<Frequency>& lambdas) const;
 
   HibernatorParams params_;
   Simulator* sim_ = nullptr;
@@ -126,18 +127,18 @@ class HibernatorPolicy : public PowerPolicy {
   // superseded assignment check it and drop themselves.
   std::uint64_t config_generation_ = 0;
   bool boosted_ = false;
-  SimTime boost_started_ = 0.0;
+  SimTime boost_started_;
 
   // Deltas for the guarantee window.
-  Duration seen_response_sum_ms_ = 0.0;
+  Duration seen_response_sum_ms_;
   std::int64_t seen_responses_ = 0;
 
   // Per-epoch history of measured group loads (most recent at the back).
-  std::deque<std::vector<double>> lambda_history_;
+  std::deque<std::vector<Frequency>> lambda_history_;
   int epochs_completed_ = 0;
   int boosts_ = 0;
-  Duration boosted_ms_total_ = 0.0;
-  Duration last_predicted_response_ms_ = 0.0;
+  Duration boosted_ms_total_;
+  Duration last_predicted_response_ms_;
   std::int64_t migrations_requested_ = 0;
   double last_scale_ = 2.0;
 };

@@ -17,7 +17,7 @@
 namespace hib {
 
 struct PerfGuaranteeParams {
-  Duration goal_ms = 20.0;
+  Duration goal_ms = Ms(20.0);
   // Credit ceiling expressed in requests' worth of full goal slack.
   double credit_cap_requests = 500000.0;
   // Resume saving once this many requests' worth of credit is rebuilt.  Kept
@@ -57,7 +57,7 @@ class PerfGuarantee {
   Duration cap_ms_;
   Duration resume_threshold_ms_;
   Duration boost_threshold_ms_;
-  Duration credit_ms_ = 0.0;
+  Duration credit_ms_;
 };
 
 }  // namespace hib

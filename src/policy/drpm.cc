@@ -6,7 +6,7 @@ namespace hib {
 
 std::string DrpmPolicy::Describe() const {
   std::ostringstream out;
-  out << "DRPM(period=" << params_.control_period_ms / kMsPerSecond
+  out << "DRPM(period=" << ToSeconds(params_.control_period_ms)
       << "s, up_q=" << params_.queue_up_watermark << ", low_util=" << params_.utilization_low
       << ")";
   return out.str();

@@ -12,7 +12,7 @@ std::string MaidPolicy::Describe() const {
   std::ostringstream out;
   out << "MAID(cache_disks=" << (array_ ? array_->num_cache_disks() : 0)
       << ", cache_extents=" << capacity_extents_
-      << ", threshold=" << threshold_ms_ / kMsPerSecond << "s)";
+      << ", threshold=" << ToSeconds(threshold_ms_) << "s)";
   return out.str();
 }
 
@@ -20,7 +20,7 @@ void MaidPolicy::Attach(Simulator* sim, ArrayController* array) {
   HIB_CHECK_GT(array->num_cache_disks(), 0) << "MAID needs at least one cache disk";
   sim_ = sim;
   array_ = array;
-  threshold_ms_ = params_.idle_threshold_ms > 0.0 ? params_.idle_threshold_ms
+  threshold_ms_ = params_.idle_threshold_ms > Duration{} ? params_.idle_threshold_ms
                                                   : TpmBreakEvenMs(array->params().disk);
   if (params_.cache_extents > 0) {
     capacity_extents_ = params_.cache_extents;

@@ -25,8 +25,8 @@ struct MaidParams {
   // disks' raw capacity).
   std::int64_t cache_extents = -1;
   // TPM threshold for data disks; <= 0 = break-even.
-  Duration idle_threshold_ms = -1.0;
-  Duration poll_period_ms = 1000.0;
+  Duration idle_threshold_ms = Ms(-1.0);
+  Duration poll_period_ms = Seconds(1.0);
 };
 
 class MaidPolicy : public PowerPolicy {
@@ -52,7 +52,7 @@ class MaidPolicy : public PowerPolicy {
   MaidParams params_;
   Simulator* sim_ = nullptr;
   ArrayController* array_ = nullptr;
-  Duration threshold_ms_ = 0.0;
+  Duration threshold_ms_;
   std::int64_t capacity_extents_ = 0;
   int next_cache_disk_ = 0;
 

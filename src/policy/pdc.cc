@@ -11,9 +11,9 @@ namespace hib {
 
 std::string PdcPolicy::Describe() const {
   std::ostringstream out;
-  out << "PDC(reorg=" << params_.reorg_period_ms / kMsPerHour
+  out << "PDC(reorg=" << params_.reorg_period_ms / Hours(1.0)
       << "h, budget=" << params_.migration_budget_extents
-      << " extents, threshold=" << threshold_ms_ / kMsPerSecond << "s)";
+      << " extents, threshold=" << ToSeconds(threshold_ms_) << "s)";
   return out.str();
 }
 
@@ -22,7 +22,7 @@ void PdcPolicy::Attach(Simulator* sim, ArrayController* array) {
       << "PDC requires an unstriped (width-1) layout";
   sim_ = sim;
   array_ = array;
-  threshold_ms_ = params_.idle_threshold_ms > 0.0 ? params_.idle_threshold_ms
+  threshold_ms_ = params_.idle_threshold_ms > Duration{} ? params_.idle_threshold_ms
                                                   : TpmBreakEvenMs(array->params().disk);
   sim_->SchedulePeriodic(params_.reorg_period_ms, params_.reorg_period_ms,
                          [this] { Reorganize(); });

@@ -19,12 +19,12 @@
 namespace hib {
 
 struct PdcParams {
-  Duration reorg_period_ms = HoursToMs(1.0);
+  Duration reorg_period_ms = Hours(1.0);
   // At most this many extents migrate per reorganization pass.
   std::int64_t migration_budget_extents = 2048;
   // TPM spin-down threshold for the cold disks; <= 0 = break-even.
-  Duration idle_threshold_ms = -1.0;
-  Duration poll_period_ms = 1000.0;
+  Duration idle_threshold_ms = Ms(-1.0);
+  Duration poll_period_ms = Seconds(1.0);
 };
 
 class PdcPolicy : public PowerPolicy {
@@ -41,7 +41,7 @@ class PdcPolicy : public PowerPolicy {
   void Poll();
 
   PdcParams params_;
-  Duration threshold_ms_ = 0.0;
+  Duration threshold_ms_;
   Simulator* sim_ = nullptr;
   ArrayController* array_ = nullptr;
 };

@@ -6,23 +6,24 @@ namespace hib {
 
 Duration TpmBreakEvenMs(const DiskParams& disk) {
   Watts saved = disk.speeds.back().idle_power - disk.standby_power;
-  if (saved <= 0.0) {
-    return 1e15;  // standby never pays off
+  if (saved <= Watts{}) {
+    return Ms(1e15);  // standby never pays off
   }
   Joules cycle = disk.spin_down_energy + disk.spin_up_full_energy;
-  return SecondsToMs(cycle / saved) + disk.spin_down_ms + disk.spin_up_full_ms;
+  // Joules / Watts is a Duration; the ms<->s scaling lives in the operator.
+  return cycle / saved + disk.spin_down_ms + disk.spin_up_full_ms;
 }
 
 std::string TpmPolicy::Describe() const {
   std::ostringstream out;
-  out << "TPM(threshold=" << threshold_ms_ / kMsPerSecond << "s)";
+  out << "TPM(threshold=" << ToSeconds(threshold_ms_) << "s)";
   return out.str();
 }
 
 void TpmPolicy::Attach(Simulator* sim, ArrayController* array) {
   sim_ = sim;
   array_ = array;
-  threshold_ms_ = params_.idle_threshold_ms > 0.0 ? params_.idle_threshold_ms
+  threshold_ms_ = params_.idle_threshold_ms > Duration{} ? params_.idle_threshold_ms
                                                   : TpmBreakEvenMs(array->params().disk);
   sim_->SchedulePeriodic(params_.poll_period_ms, params_.poll_period_ms, [this] { Poll(); });
 }

@@ -21,8 +21,8 @@ namespace hib {
 
 struct TpmParams {
   // Idle threshold before spin-down; <= 0 selects the break-even time.
-  Duration idle_threshold_ms = -1.0;
-  Duration poll_period_ms = 1000.0;
+  Duration idle_threshold_ms = Ms(-1.0);
+  Duration poll_period_ms = Seconds(1.0);
   // Only manage data disks with ids in [first_disk, last_disk); -1 = all.
   int first_disk = -1;
   int last_disk = -1;
@@ -45,7 +45,7 @@ class TpmPolicy : public PowerPolicy {
   void Poll();
 
   TpmParams params_;
-  Duration threshold_ms_ = 0.0;
+  Duration threshold_ms_;
   Simulator* sim_ = nullptr;
   ArrayController* array_ = nullptr;
 };

@@ -10,7 +10,7 @@ namespace hib {
 
 std::string AdaptiveTpmPolicy::Describe() const {
   std::ostringstream out;
-  out << "TPM-Adaptive(breakeven=" << break_even_ms_ / kMsPerSecond << "s, experts=";
+  out << "TPM-Adaptive(breakeven=" << ToSeconds(break_even_ms_) << "s, experts=";
   for (std::size_t i = 0; i < params_.expert_multipliers.size(); ++i) {
     out << (i ? "/" : "") << params_.expert_multipliers[i];
   }
@@ -54,16 +54,16 @@ void AdaptiveTpmPolicy::LearnFromGap(DiskState& state, Duration gap_ms) {
   Watts saved_rate = dp.speeds.back().idle_power - dp.standby_power;
   Joules cycle_cost = dp.spin_down_energy + dp.spin_up_full_energy;
 
-  double max_loss = 1e-9;
-  std::vector<double> losses(params_.expert_multipliers.size(), 0.0);
+  Joules max_loss = Joules(1e-9);
+  std::vector<Joules> losses(params_.expert_multipliers.size());
   for (std::size_t i = 0; i < losses.size(); ++i) {
     Duration threshold = break_even_ms_ * params_.expert_multipliers[i];
-    double benefit = 0.0;
+    Joules benefit;
     if (gap_ms > threshold) {
       benefit = EnergyOf(saved_rate, gap_ms - threshold) - cycle_cost;
     }
     // Loss is the regret against the best possible action on this gap.
-    double best = std::max(0.0, EnergyOf(saved_rate, gap_ms) - cycle_cost);
+    Joules best = std::max(Joules{}, EnergyOf(saved_rate, gap_ms) - cycle_cost);
     losses[i] = best - benefit;
     max_loss = std::max(max_loss, losses[i]);
   }
@@ -86,17 +86,17 @@ void AdaptiveTpmPolicy::Poll() {
     bool idle_now = disk.FullyIdle();
     SimTime idle_started = disk.last_activity();
 
-    if (!idle_now || (state.idle_since >= 0.0 && idle_started > state.idle_since)) {
+    if (!idle_now || (state.idle_since >= SimTime{} && idle_started > state.idle_since)) {
       // The previous idle gap (if any) ended: learn from it.
-      if (state.idle_since >= 0.0) {
+      if (state.idle_since >= SimTime{}) {
         Duration gap = (idle_now ? idle_started : sim_->Now()) - state.idle_since;
         if (gap > params_.poll_period_ms) {
           LearnFromGap(state, gap);
         }
       }
-      state.idle_since = idle_now ? idle_started : -1.0;
+      state.idle_since = idle_now ? idle_started : Ms(-1.0);
       state.asleep = false;
-    } else if (idle_now && state.idle_since < 0.0) {
+    } else if (idle_now && state.idle_since < SimTime{}) {
       state.idle_since = idle_started;
       state.asleep = false;
     }

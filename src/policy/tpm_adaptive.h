@@ -28,7 +28,7 @@ struct AdaptiveTpmParams {
   double eta = 0.15;
   // Lower bound on any expert weight (keeps dead experts revivable).
   double weight_floor = 0.01;
-  Duration poll_period_ms = 1000.0;
+  Duration poll_period_ms = Seconds(1.0);
 };
 
 class AdaptiveTpmPolicy : public PowerPolicy {
@@ -45,8 +45,8 @@ class AdaptiveTpmPolicy : public PowerPolicy {
 
  private:
   struct DiskState {
-    std::vector<double> weights;  // one per expert
-    SimTime idle_since = -1.0;    // start of the current idle gap, -1 if busy
+    std::vector<double> weights;     // one per expert
+    SimTime idle_since = Ms(-1.0);   // start of the current idle gap, -1 if busy
     bool asleep = false;
   };
 
@@ -58,7 +58,7 @@ class AdaptiveTpmPolicy : public PowerPolicy {
   AdaptiveTpmParams params_;
   Simulator* sim_ = nullptr;
   ArrayController* array_ = nullptr;
-  Duration break_even_ms_ = 0.0;
+  Duration break_even_ms_;
   std::vector<DiskState> disks_;
 };
 

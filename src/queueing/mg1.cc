@@ -1,48 +1,48 @@
 #include "src/queueing/mg1.h"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
 
 namespace hib {
 
-double Mg1Model::Utilization(double lambda_per_ms, Duration mean_service_ms) {
-  return lambda_per_ms * mean_service_ms;
+double Mg1Model::Utilization(Frequency lambda, Duration mean_service) {
+  return lambda * mean_service;
 }
 
-Duration Mg1Model::ResponseTime(double lambda_per_ms, Duration mean_service_ms, double scv) {
-  return mean_service_ms + WaitTime(lambda_per_ms, mean_service_ms, scv);
+Duration Mg1Model::ResponseTime(Frequency lambda, Duration mean_service, double scv) {
+  return mean_service + WaitTime(lambda, mean_service, scv);
 }
 
-Duration Mg1Model::WaitTime(double lambda_per_ms, Duration mean_service_ms, double scv) {
-  double rho = Utilization(lambda_per_ms, mean_service_ms);
+Duration Mg1Model::WaitTime(Frequency lambda, Duration mean_service, double scv) {
+  double rho = Utilization(lambda, mean_service);
   if (rho >= 1.0) {
-    return std::numeric_limits<double>::infinity();
+    return std::numeric_limits<Duration>::infinity();
   }
   if (rho <= 0.0) {
-    return 0.0;
+    return Duration{};
   }
   // P-K: W = lambda * E[S^2] / (2 (1 - rho)), with E[S^2] = S^2 (1 + c2).
-  return lambda_per_ms * mean_service_ms * mean_service_ms * (1.0 + scv) / (2.0 * (1.0 - rho));
+  // Dimensions: Frequency * DurationSq -> Duration.
+  return lambda * (mean_service * mean_service) * (1.0 + scv) / (2.0 * (1.0 - rho));
 }
 
-Duration Mg1Model::Gg1ResponseTime(double lambda_per_ms, Duration mean_service_ms, double scv,
+Duration Mg1Model::Gg1ResponseTime(Frequency lambda, Duration mean_service, double scv,
                                    double arrival_scv) {
-  double wait = WaitTime(lambda_per_ms, mean_service_ms, scv);
+  Duration wait = WaitTime(lambda, mean_service, scv);
   double factor = (arrival_scv + scv) / (1.0 + scv);
-  return mean_service_ms + wait * std::max(0.0, factor);
+  return mean_service + wait * std::max(0.0, factor);
 }
 
-double Mg1Model::MaxArrivalRate(Duration target_ms, Duration mean_service_ms, double scv) {
-  if (target_ms <= mean_service_ms) {
-    return 0.0;
+Frequency Mg1Model::MaxArrivalRate(Duration target, Duration mean_service, double scv) {
+  if (target <= mean_service) {
+    return Frequency{};
   }
   // Solve S + lambda S^2 (1+c2) / (2 (1 - lambda S)) = target for lambda.
   // Let a = S^2 (1+c2) / 2, T = target - S:
   //   lambda a = T (1 - lambda S)  =>  lambda = T / (a + T S)
-  double t = target_ms - mean_service_ms;
-  double a = mean_service_ms * mean_service_ms * (1.0 + scv) / 2.0;
-  return t / (a + t * mean_service_ms);
+  Duration t = target - mean_service;
+  DurationSq a = mean_service * mean_service * (1.0 + scv) / 2.0;
+  return t / (a + t * mean_service);  // Duration / DurationSq -> Frequency
 }
 
 SpeedServiceModel SpeedServiceModel::FromDisk(const DiskParams& disk,
@@ -63,10 +63,10 @@ SpeedServiceModel SpeedServiceModel::FromDisk(const DiskParams& disk,
     // Variance: uniform rotational latency contributes rev^2/12; seek spread
     // is approximated as 40% of the mean seek (matches the 3-point curve's
     // dispersion for random access).
-    double var = rev * rev / 12.0;
-    double seek_sd = 0.4 * seek_mean;
+    DurationSq var = rev * rev / 12.0;
+    Duration seek_sd = 0.4 * seek_mean;
     var += seek_sd * seek_sd;
-    entry.scv = entry.mean_ms > 0.0 ? var / (entry.mean_ms * entry.mean_ms) : 0.0;
+    entry.scv = entry.mean_ms > Duration{} ? var / (entry.mean_ms * entry.mean_ms) : 0.0;
     model.levels.push_back(entry);
   }
   return model;

@@ -21,26 +21,26 @@ namespace hib {
 
 class Mg1Model {
  public:
-  // rho = lambda * S; lambda in requests/ms, service in ms.
-  static double Utilization(double lambda_per_ms, Duration mean_service_ms);
+  // rho = lambda * S (dimensionless; the Frequency*Duration product).
+  static double Utilization(Frequency lambda, Duration mean_service);
 
-  // Mean response time (ms); +infinity when rho >= 1 (unstable).
-  static Duration ResponseTime(double lambda_per_ms, Duration mean_service_ms, double scv);
+  // Mean response time; +infinity when rho >= 1 (unstable).
+  static Duration ResponseTime(Frequency lambda, Duration mean_service, double scv);
 
-  // Mean waiting time only (ms).
-  static Duration WaitTime(double lambda_per_ms, Duration mean_service_ms, double scv);
+  // Mean waiting time only.
+  static Duration WaitTime(Frequency lambda, Duration mean_service, double scv);
 
   // G/G/1 approximation (Allen-Cunneen): scales the M/G/1 wait by
   // (ca2 + cs2) / (1 + cs2), where ca2 is the squared coefficient of
   // variation of interarrival times (1 = Poisson).  Bursty arrival streams
   // (ca2 >> 1, e.g. file-server traffic) queue far worse than Poisson, and
   // CR must know it before slowing a disk into a burst.
-  static Duration Gg1ResponseTime(double lambda_per_ms, Duration mean_service_ms, double scv,
+  static Duration Gg1ResponseTime(Frequency lambda, Duration mean_service, double scv,
                                   double arrival_scv);
 
-  // Highest arrival rate (requests/ms) at which the predicted response time
-  // stays at or below `target_ms`; 0 if even an idle disk misses the target.
-  static double MaxArrivalRate(Duration target_ms, Duration mean_service_ms, double scv);
+  // Highest arrival rate at which the predicted response time stays at or
+  // below `target`; zero if even an idle disk misses the target.
+  static Frequency MaxArrivalRate(Duration target, Duration mean_service, double scv);
 };
 
 // Per-speed-level service-time statistics for a given request mix, derived
@@ -50,7 +50,7 @@ class Mg1Model {
 struct SpeedServiceModel {
   struct PerLevel {
     int rpm = 0;
-    Duration mean_ms = 0.0;
+    Duration mean_ms;
     double scv = 0.0;  // squared coefficient of variation of service time
   };
 

@@ -7,8 +7,8 @@
 namespace hib {
 
 EventId Simulator::ScheduleIn(Duration delay, EventCallback cb) {
-  if (delay < 0.0) {
-    delay = 0.0;
+  if (delay < Duration{}) {
+    delay = Duration{};
   }
   return queue_.Schedule(now_ + delay, std::move(cb));
 }
@@ -24,7 +24,7 @@ bool Simulator::Cancel(EventId id) { return queue_.Cancel(id); }
 
 Simulator::PeriodicHandle Simulator::SchedulePeriodic(SimTime start, Duration period,
                                                       EventCallback cb) {
-  HIB_CHECK_GT(period, 0.0) << "periodic events need a positive period";
+  HIB_CHECK_GT(period, Duration{}) << "periodic events need a positive period";
   std::uint64_t key = next_periodic_key_++;
   periodics_.emplace(key, PeriodicState{period, std::move(cb)});
   ScheduleAt(start, [this, key] { FirePeriodic(key); });

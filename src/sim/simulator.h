@@ -76,7 +76,7 @@ class Simulator {
   };
   void FirePeriodic(std::uint64_t key);
 
-  SimTime now_ = 0.0;
+  SimTime now_;
   EventQueue queue_;
   std::uint64_t events_fired_ = 0;
   std::uint64_t next_periodic_key_ = 0;

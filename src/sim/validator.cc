@@ -1,6 +1,6 @@
 #include "src/sim/validator.h"
 
-#include <cmath>
+#include <algorithm>
 
 #include "src/util/check.h"
 
@@ -97,8 +97,8 @@ void SimValidator::OnDiskTransition(const void* disk, ValidatorDiskState from,
   // Independent energy audit: integrate the previous state's power over the
   // time spent in it and compare against the disk's own ledger.
   track.integrated += EnergyOf(track.power, now - track.last_change);
-  Joules drift = std::fabs(metered_total - track.integrated);
-  Joules scale = std::fmax(std::fabs(track.integrated), 1.0);
+  Joules drift = Abs(metered_total - track.integrated);
+  Joules scale = std::max(Abs(track.integrated), Joules(1.0));
   HIB_CHECK_LE(drift, energy_rel_tol_ * scale)
       << "disk " << track.disk_id << ": energy ledger drift (ledger "
       << metered_total << " J vs integrated " << track.integrated << " J)";

@@ -80,13 +80,13 @@ class SimValidator {
   struct DiskTrack {
     int disk_id = -1;
     ValidatorDiskState state = ValidatorDiskState::kIdle;
-    Watts power = 0.0;
-    SimTime last_change = 0.0;
-    Joules integrated = 0.0;  // validator's own sum of power * dt
+    Watts power;
+    SimTime last_change;
+    Joules integrated;  // validator's own sum of power * dt
   };
 
   double energy_rel_tol_;
-  SimTime last_dispatch_ = 0.0;
+  SimTime last_dispatch_;
   bool dispatched_any_ = false;
   std::int64_t dispatches_checked_ = 0;
   std::int64_t transitions_checked_ = 0;

@@ -32,7 +32,7 @@ void SpcTraceReader::OpenStream() {
   } else {
     stream_ = std::make_unique<std::istringstream>(memory_buffer_);
   }
-  last_time_ = 0.0;
+  last_time_ = SimTime{};
 }
 
 bool SpcTraceReader::ParseLine(const std::string& line, TraceRecord* out) {
@@ -84,7 +84,7 @@ bool SpcTraceReader::ParseLine(const std::string& line, TraceRecord* out) {
   out->lba = std::min(base + offset, address_space_sectors_ - count);
   out->count = count;
   out->is_write = (op == "w" || op == "W");
-  out->time = std::max(SecondsToMs(ts), last_time_);  // enforce nondecreasing
+  out->time = std::max(Seconds(ts), last_time_);  // enforce nondecreasing
   out->stream = static_cast<int>(asu);
   return true;
 }

@@ -58,7 +58,7 @@ class SpcTraceReader : public WorkloadSource {
   int max_asus_;
   SectorAddr asu_slice_sectors_;
   std::int64_t parse_errors_ = 0;
-  SimTime last_time_ = 0.0;
+  SimTime last_time_;
 };
 
 }  // namespace hib

@@ -8,13 +8,14 @@ namespace hib {
 SpcTraceWriter::SpcTraceWriter(std::ostream* out) : out_(out) {}
 
 bool SpcTraceWriter::Write(const TraceRecord& record) {
-  if (record.lba < 0 || record.count <= 0 || record.time < last_time_ || record.time < 0.0) {
+  if (record.lba < 0 || record.count <= 0 || record.time < last_time_ ||
+      record.time < SimTime{}) {
     return false;
   }
   // ASU 0 keeps the reader's slicing out of the address math on round-trip.
   *out_ << 0 << ',' << record.lba << ',' << record.count * kSectorBytes << ','
         << (record.is_write ? 'w' : 'r') << ',' << std::fixed << std::setprecision(6)
-        << MsToSeconds(record.time) << '\n';
+        << ToSeconds(record.time) << '\n';
   last_time_ = record.time;
   ++records_written_;
   return true;

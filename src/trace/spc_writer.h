@@ -29,7 +29,7 @@ class SpcTraceWriter {
  private:
   std::ostream* out_;
   std::int64_t records_written_ = 0;
-  SimTime last_time_ = 0.0;
+  SimTime last_time_;
 };
 
 // Drains `source` into `out`; returns the number of records written.

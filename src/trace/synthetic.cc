@@ -8,7 +8,7 @@
 namespace hib {
 
 namespace {
-constexpr Duration kDayMs = HoursToMs(24.0);
+constexpr Duration kDayMs = Hours(24.0);
 constexpr std::int64_t kScramblePrime = 2654435761LL;
 
 // Smooth diurnal shape in [0, 1]: 0 at t = 0 (midnight), 1 at t = 12 h.
@@ -54,8 +54,8 @@ bool OltpWorkload::Next(TraceRecord* out) {
   if (now_ >= params_.duration_ms) {
     return false;
   }
-  double rate = std::max(1e-6, RateAt(now_));
-  now_ += rng_.NextExponential(kMsPerSecond / rate);
+  double rate = std::max(1e-6, RateAt(now_));  // arrivals per second
+  now_ += Seconds(rng_.NextExponential(1.0 / rate));
   if (now_ >= params_.duration_ms) {
     return false;
   }
@@ -76,7 +76,7 @@ bool OltpWorkload::Next(TraceRecord* out) {
 
 void OltpWorkload::Reset() {
   rng_ = Pcg32(params_.seed);
-  now_ = 0.0;
+  now_ = SimTime{};
 }
 
 // --------------------------------------------------------------- Cello -----
@@ -119,13 +119,13 @@ bool CelloWorkload::Next(TraceRecord* out) {
     // Gap to the next burst: burst arrivals form a (slowly modulated) Poisson
     // process with rate = request_rate / mean_burst_size.
     double rate = std::max(1e-6, RateAt(now_) / params_.mean_burst_size);
-    now_ += rng_.NextExponential(kMsPerSecond / rate);
+    now_ += Seconds(rng_.NextExponential(1.0 / rate));
     if (now_ >= params_.duration_ms) {
       return false;
     }
     StartBurst();
   } else {
-    now_ += rng_.NextExponential(params_.intra_burst_gap_ms);
+    now_ += Ms(rng_.NextExponential(params_.intra_burst_gap_ms.value()));
     if (now_ >= params_.duration_ms) {
       return false;
     }
@@ -155,7 +155,7 @@ bool CelloWorkload::Next(TraceRecord* out) {
 
 void CelloWorkload::Reset() {
   rng_ = Pcg32(params_.seed);
-  now_ = 0.0;
+  now_ = SimTime{};
   burst_remaining_ = 0;
   burst_sequential_ = false;
   burst_next_lba_ = 0;
@@ -170,7 +170,7 @@ ConstantWorkload::ConstantWorkload(ConstantWorkloadParams params)
 }
 
 bool ConstantWorkload::Next(TraceRecord* out) {
-  now_ += rng_.NextExponential(kMsPerSecond / params_.iops);
+  now_ += Seconds(rng_.NextExponential(1.0 / params_.iops));
   if (now_ >= params_.duration_ms) {
     return false;
   }
@@ -187,7 +187,7 @@ bool ConstantWorkload::Next(TraceRecord* out) {
 
 void ConstantWorkload::Reset() {
   rng_ = Pcg32(params_.seed);
-  now_ = 0.0;
+  now_ = SimTime{};
 }
 
 }  // namespace hib

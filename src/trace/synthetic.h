@@ -38,7 +38,7 @@ struct SkewedSpace {
 
 struct OltpWorkloadParams {
   SectorAddr address_space_sectors = 0;  // required
-  Duration duration_ms = HoursToMs(24.0);
+  Duration duration_ms = Hours(24.0);
   double peak_iops = 200.0;   // aggregate arrival rate at the daily peak
   double trough_iops = 60.0;  // rate at the nightly trough
   double read_fraction = 0.66;
@@ -50,8 +50,8 @@ struct OltpWorkloadParams {
   SectorCount large_sectors = 32;   // 16 KB
   // Optional load surge (for the performance-guarantee experiment): rate is
   // multiplied by surge_factor inside [surge_start_ms, surge_end_ms).
-  Duration surge_start_ms = -1.0;
-  Duration surge_end_ms = -1.0;
+  Duration surge_start_ms = Ms(-1.0);
+  Duration surge_end_ms = Ms(-1.0);
   double surge_factor = 1.0;
   std::uint64_t seed = 42;
 };
@@ -73,12 +73,12 @@ class OltpWorkload : public WorkloadSource {
   OltpWorkloadParams params_;
   Pcg32 rng_;
   ZipfGenerator zipf_;
-  SimTime now_ = 0.0;
+  SimTime now_;
 };
 
 struct CelloWorkloadParams {
   SectorAddr address_space_sectors = 0;  // required
-  Duration duration_ms = HoursToMs(24.0);
+  Duration duration_ms = Hours(24.0);
   double peak_iops = 90.0;
   double trough_iops = 4.0;   // nights are nearly idle
   double read_fraction = 0.45;
@@ -87,7 +87,7 @@ struct CelloWorkloadParams {
   // Bursts: arrivals come in Pareto-sized clumps with short intra-burst gaps.
   double burst_alpha = 1.5;
   double mean_burst_size = 8.0;
-  Duration intra_burst_gap_ms = 6.0;
+  Duration intra_burst_gap_ms = Ms(6.0);
   // Some bursts are sequential runs (file reads/writes).
   double sequential_fraction = 0.3;
   SectorCount io_sectors = 16;  // 8 KB typical file-server block
@@ -111,7 +111,7 @@ class CelloWorkload : public WorkloadSource {
   CelloWorkloadParams params_;
   Pcg32 rng_;
   ZipfGenerator zipf_;
-  SimTime now_ = 0.0;
+  SimTime now_;
   int burst_remaining_ = 0;
   bool burst_sequential_ = false;
   SectorAddr burst_next_lba_ = 0;
@@ -121,7 +121,7 @@ class CelloWorkload : public WorkloadSource {
 // Constant-rate Poisson stream with uniform addresses; the tests' workhorse.
 struct ConstantWorkloadParams {
   SectorAddr address_space_sectors = 0;
-  Duration duration_ms = HoursToMs(1.0);
+  Duration duration_ms = Hours(1.0);
   double iops = 50.0;
   double read_fraction = 0.7;
   SectorCount io_sectors = 8;
@@ -142,7 +142,7 @@ class ConstantWorkload : public WorkloadSource {
  private:
   ConstantWorkloadParams params_;
   Pcg32 rng_;
-  SimTime now_ = 0.0;
+  SimTime now_;
 };
 
 // Maps a popularity rank to a scrambled chunk index (bijective over

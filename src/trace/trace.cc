@@ -6,14 +6,14 @@ TraceSummary Summarize(WorkloadSource& source, std::int64_t max_records) {
   TraceSummary s;
   TraceRecord rec;
   std::int64_t reads = 0;
-  SimTime prev = -1.0;
+  SimTime prev = Ms(-1.0);
   while ((max_records < 0 || s.records < max_records) && source.Next(&rec)) {
     ++s.records;
     if (!rec.is_write) {
       ++reads;
     }
     s.size_sectors.Add(static_cast<double>(rec.count));
-    if (prev >= 0.0) {
+    if (prev >= Duration{}) {
       s.interarrival_ms.Add(rec.time - prev);
     }
     prev = rec.time;

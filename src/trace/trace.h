@@ -18,7 +18,7 @@ namespace hib {
 
 // One logical I/O against the array's address space.
 struct TraceRecord {
-  SimTime time = 0.0;      // arrival time, ms from trace start
+  SimTime time;            // arrival time, ms from trace start
   SectorAddr lba = 0;      // logical sector address within the array
   SectorCount count = 8;   // sectors (8 = 4 KB)
   bool is_write = false;
@@ -42,19 +42,19 @@ class WorkloadSource {
 
   // Trace duration when known in advance (generators), else 0.  The harness
   // uses this to bound the replay horizon exactly.
-  virtual Duration DurationHint() const { return 0.0; }
+  virtual Duration DurationHint() const { return Duration{}; }
 };
 
 // Summary statistics of a trace, as reported in the paper's workload table.
 struct TraceSummary {
   std::int64_t records = 0;
-  Duration duration_ms = 0.0;
+  Duration duration_ms;
   double read_fraction = 0.0;
   RunningStats size_sectors;
   RunningStats interarrival_ms;
 
   double Iops() const {
-    return duration_ms > 0.0 ? static_cast<double>(records) / MsToSeconds(duration_ms) : 0.0;
+    return duration_ms > Duration{} ? static_cast<double>(records) / ToSeconds(duration_ms) : 0.0;
   }
   double MeanSizeKb() const { return size_sectors.mean() * kSectorBytes / 1024.0; }
 };

@@ -7,12 +7,20 @@
 #include <string>
 #include <vector>
 
+#include "src/util/units.h"
+
 namespace hib {
 
 // Welford-style running mean/variance with min/max.
 class RunningStats {
  public:
   void Add(double x);
+  // Quantities unwrap at the stats boundary; samples are recorded in the
+  // quantity's canonical unit (ms / W / J).
+  template <int P, int T, int A>
+  void Add(Quantity<P, T, A> q) {
+    Add(q.value());
+  }
   void Reset();
   // Merges another accumulator into this one.
   void Merge(const RunningStats& other);
@@ -39,6 +47,10 @@ class PercentileReservoir {
   explicit PercentileReservoir(std::size_t capacity = 16384, std::uint64_t seed = 1);
 
   void Add(double x);
+  template <int P, int T, int A>
+  void Add(Quantity<P, T, A> q) {
+    Add(q.value());
+  }
   void Reset();
 
   // Returns the p-th percentile (p in [0, 100]) of the sampled values;
@@ -67,8 +79,12 @@ class Ewma {
   explicit Ewma(double alpha = 0.3) : alpha_(alpha) {}
 
   void Add(double x);
+  template <int P, int T, int A>
+  void Add(Quantity<P, T, A> q) {
+    Add(q.value());
+  }
   void Reset();
-  double value() const { return value_; }
+  double current() const { return value_; }
   bool empty() const { return !initialized_; }
 
  private:

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "src/util/units.h"
+
 namespace hib {
 
 class Table {
@@ -23,6 +25,12 @@ class Table {
   Table& Add(double value, int precision = 2);
   Table& Add(std::int64_t value);
   Table& Add(int value);
+  // Quantities render as their canonical-unit value; the table is one of the
+  // sanctioned .value() boundaries.
+  template <int P, int T, int A>
+  Table& Add(Quantity<P, T, A> value, int precision = 2) {
+    return Add(value.value(), precision);
+  }
   // Adds a percentage cell rendered as e.g. "42.3%".
   Table& AddPercent(double fraction, int precision = 1);
 

@@ -1,28 +1,231 @@
 // Units and basic numeric types used throughout the Hibernator simulator.
 //
+// Physical quantities are *strong types*: a dimensioned value is a
+// Quantity<PowerExp, TimeExp, AngleExp> wrapping exactly one double, so a
+// milliseconds-vs-seconds or power-vs-energy mixup is a compile error instead
+// of a silently corrupted energy ledger.  The arithmetic is dimensional:
+//
+//   Watts * Duration   -> Joules          Duration + Duration -> Duration
+//   Joules / Duration  -> Watts           Duration + Joules   -> compile error
+//   Joules / Watts     -> Duration        double  + Duration  -> compile error
+//   count / Duration   -> Frequency       Frequency * Duration -> double (rho)
+//   Revolutions / AngularVelocity -> Duration   (one rev at 6000 RPM = 10 ms)
+//
 // Conventions (kept uniform across every module):
-//   - Simulated time is a double count of *milliseconds* since simulation start.
-//   - Durations are also double milliseconds.
-//   - Energy is joules, power is watts.  energy(J) = power(W) * seconds.
+//   - Simulated time is counted in *milliseconds* since simulation start;
+//     SimTime and Duration are the same quantity (the sim origin is 0).
+//   - Energy is joules, power is watts.  Joules = Watts * seconds; the single
+//     ms->s conversion in the whole repo lives in UnitScale below — callers
+//     never convert by hand (simlint HIB009 enforces this).
 //   - Disk addresses are 512-byte sectors; request sizes are in sectors.
+//
+// Each quantity stores its value in the repo's *canonical unit* (ms for time,
+// W for power, J for energy, rev/min for angular velocity, "per ms" for
+// rates).  Cross-dimension operators convert operands to coherent SI, combine
+// them, and convert the result back to its canonical unit; all scales are
+// compile-time constants, so the codegen is a plain multiply (zero overhead —
+// see the static_asserts at the bottom of this header).
+//
+// Escape hatch: q.value() returns the raw double in the canonical unit.  It
+// is for I/O and statistics boundaries ONLY (table rendering, trace parsing,
+// RunningStats internals, the event queue's bit-level time image); simlint
+// HIB008 flags .value() anywhere else in src/.  Constructing a quantity from
+// a double is always fine — that is how raw inputs enter the typed world:
+// use Ms/Seconds/Hours, Watts(x), Joules(x), PerSecond(x), Rpm(x).
+//
+// Adding a new quantity: pick its dimension exponents, add a `using` alias,
+// and (only if its canonical unit is not the one derived from ms/W/rev) add
+// a UnitScale specialization.  See DESIGN.md "Units & dimensional analysis".
 #ifndef HIBERNATOR_SRC_UTIL_UNITS_H_
 #define HIBERNATOR_SRC_UTIL_UNITS_H_
 
 #include <cstdint>
+#include <limits>
+#include <ostream>
+#include <type_traits>
 
 namespace hib {
 
-// Simulated time, in milliseconds since simulation start.
-using SimTime = double;
+namespace units_internal {
+// Integer powers of a double, constexpr (std::pow is not constexpr in C++20).
+constexpr double Pow(double base, int exp) {
+  if (exp < 0) {
+    return 1.0 / Pow(base, -exp);
+  }
+  double result = 1.0;
+  for (int i = 0; i < exp; ++i) {
+    result *= base;
+  }
+  return result;
+}
+}  // namespace units_internal
 
-// A duration, in milliseconds.
-using Duration = double;
+// Canonical-units-per-SI-unit scale for each dimension vector.  The default
+// derives from the base choices "time in ms, power in W, angle in rev":
+// 1 s = 1000 ms, so a T^n quantity holds 1000^n canonical units per SI unit.
+// THIS IS THE ONE ms<->s CONVERSION SITE IN THE REPO.
+template <int PowerExp, int TimeExp, int AngleExp>
+struct UnitScale {
+  static constexpr double kPerSi = units_internal::Pow(1000.0, TimeExp);
+};
+// Energy is canonically joules (W*s), not watt-milliseconds.
+template <>
+struct UnitScale<1, 1, 0> {
+  static constexpr double kPerSi = 1.0;
+};
+// Angular velocity is canonically rev/min (RPM): 1 rev/s = 60 RPM.
+template <>
+struct UnitScale<0, -1, 1> {
+  static constexpr double kPerSi = 60.0;
+};
+
+template <int PowerExp, int TimeExp, int AngleExp>
+class Quantity;
+
+namespace units_internal {
+// Dimensionless results collapse to plain double (rho, ratios, fractions);
+// everything else stays a Quantity of the combined dimension.
+template <int PowerExp, int TimeExp, int AngleExp>
+struct Result {
+  using Type = Quantity<PowerExp, TimeExp, AngleExp>;
+  static constexpr Type FromSi(double si) { return Type::FromSi(si); }
+};
+template <>
+struct Result<0, 0, 0> {
+  using Type = double;
+  static constexpr double FromSi(double si) { return si; }
+};
+}  // namespace units_internal
+
+// A physical quantity of dimension power^PowerExp * time^TimeExp *
+// angle^AngleExp, stored as one double in the quantity's canonical unit.
+// Trivially copyable and exactly sizeof(double), so it bit_casts, memcpys and
+// vectorizes exactly like the raw double it replaces.
+template <int PowerExp, int TimeExp, int AngleExp = 0>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double value) : value_(value) {}
+
+  // Raw double in the canonical unit (ms / W / J / rpm).  I/O and stats
+  // boundaries only — simlint HIB008 flags other uses in src/.
+  constexpr double value() const { return value_; }
+
+  static constexpr Quantity FromSi(double si) {
+    return Quantity(si * UnitScale<PowerExp, TimeExp, AngleExp>::kPerSi);
+  }
+  constexpr double ToSi() const {
+    return value_ / UnitScale<PowerExp, TimeExp, AngleExp>::kPerSi;
+  }
+
+  // Same-dimension arithmetic operates on the canonical value directly.
+  constexpr Quantity operator-() const { return Quantity(-value_); }
+  constexpr Quantity& operator+=(Quantity other) {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity other) {
+    value_ -= other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double scale) {
+    value_ *= scale;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double scale) {
+    value_ /= scale;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity(a.value_ + b.value_);
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity(a.value_ - b.value_);
+  }
+  friend constexpr Quantity operator*(Quantity a, double scale) {
+    return Quantity(a.value_ * scale);
+  }
+  friend constexpr Quantity operator*(double scale, Quantity a) {
+    return Quantity(scale * a.value_);
+  }
+  friend constexpr Quantity operator/(Quantity a, double scale) {
+    return Quantity(a.value_ / scale);
+  }
+
+  friend constexpr bool operator==(Quantity a, Quantity b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Quantity a, Quantity b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Quantity a, Quantity b) { return a.value_ < b.value_; }
+  friend constexpr bool operator<=(Quantity a, Quantity b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>(Quantity a, Quantity b) { return a.value_ > b.value_; }
+  friend constexpr bool operator>=(Quantity a, Quantity b) { return a.value_ >= b.value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Cross-dimension products/quotients: combine in SI, land in the result's
+// canonical unit.  All scales are constexpr, so this folds to one multiply.
+template <int P1, int T1, int A1, int P2, int T2, int A2>
+constexpr typename units_internal::Result<P1 + P2, T1 + T2, A1 + A2>::Type operator*(
+    Quantity<P1, T1, A1> a, Quantity<P2, T2, A2> b) {
+  return units_internal::Result<P1 + P2, T1 + T2, A1 + A2>::FromSi(a.ToSi() * b.ToSi());
+}
+template <int P1, int T1, int A1, int P2, int T2, int A2>
+constexpr typename units_internal::Result<P1 - P2, T1 - T2, A1 - A2>::Type operator/(
+    Quantity<P1, T1, A1> a, Quantity<P2, T2, A2> b) {
+  return units_internal::Result<P1 - P2, T1 - T2, A1 - A2>::FromSi(a.ToSi() / b.ToSi());
+}
+// double / quantity inverts the dimension (e.g. count / Duration -> Frequency).
+template <int P, int T, int A>
+constexpr typename units_internal::Result<-P, -T, -A>::Type operator/(double a,
+                                                                      Quantity<P, T, A> b) {
+  return units_internal::Result<-P, -T, -A>::FromSi(a / b.ToSi());
+}
+
+// Streaming prints the bare canonical value, keeping log/table output formats
+// identical to the raw-double era (and giving GTest readable failures).
+template <int P, int T, int A>
+std::ostream& operator<<(std::ostream& os, Quantity<P, T, A> q) {
+  return os << q.value();
+}
+
+// Magnitude; quantities have no std::abs overload.
+template <int P, int T, int A>
+constexpr Quantity<P, T, A> Abs(Quantity<P, T, A> q) {
+  return q.value() < 0.0 ? -q : q;
+}
+
+// Finiteness (unstable-queue sentinels are +infinity durations); quantities
+// have no std::isfinite overload.
+template <int P, int T, int A>
+constexpr bool IsFinite(Quantity<P, T, A> q) {
+  return q.value() - q.value() == 0.0;  // false for +-inf and NaN
+}
+
+// --- The quantities of the Hibernator domain -------------------------------
+
+// Simulated time, in milliseconds since simulation start.  A point in time
+// and a span are the same dimension (the simulation origin is 0), so SimTime
+// and Duration are deliberately the same type.
+using Duration = Quantity<0, 1>;
+using SimTime = Duration;
+
+// Second moment of durations (canonically ms^2), for variance accumulators.
+using DurationSq = Quantity<0, 2>;
 
 // Energy in joules.
-using Joules = double;
+using Joules = Quantity<1, 1>;
 
 // Power in watts.
-using Watts = double;
+using Watts = Quantity<1, 0>;
+
+// Event rate, canonically "per millisecond" (arrival rates, IOPS / 1000).
+using Frequency = Quantity<0, -1>;
+
+// Spindle angle in revolutions and speed in rev/min (the DRPM model's unit).
+using Revolutions = Quantity<0, 0, 1>;
+using AngularVelocity = Quantity<0, -1, 1>;
 
 // 512-byte sector address within a disk or within the logical array space.
 using SectorAddr = std::int64_t;
@@ -35,18 +238,66 @@ inline constexpr double kMsPerMinute = 60.0 * kMsPerSecond;
 inline constexpr double kMsPerHour = 60.0 * kMsPerMinute;
 inline constexpr int kSectorBytes = 512;
 
-// Converts a duration in milliseconds to seconds.
-constexpr double MsToSeconds(Duration ms) { return ms / kMsPerSecond; }
+// --- Constructors: raw numbers enter the typed world here ------------------
 
-// Converts seconds to milliseconds.
-constexpr Duration SecondsToMs(double s) { return s * kMsPerSecond; }
+constexpr Duration Ms(double ms) { return Duration(ms); }
+constexpr Duration Seconds(double s) { return Duration(s * kMsPerSecond); }
+constexpr Duration Minutes(double m) { return Duration(m * kMsPerMinute); }
+constexpr Duration Hours(double h) { return Duration(h * kMsPerHour); }
+constexpr Frequency PerMs(double per_ms) { return Frequency(per_ms); }
+constexpr Frequency PerSecond(double per_s) { return Frequency(per_s / kMsPerSecond); }
+constexpr Revolutions Rev(double revs) { return Revolutions(revs); }
+constexpr AngularVelocity Rpm(double rpm) { return AngularVelocity(rpm); }
 
-// Converts hours to milliseconds.
-constexpr Duration HoursToMs(double h) { return h * kMsPerHour; }
+// --- Boundary accessors (I/O only; prefer staying in the typed world) ------
 
-// Energy consumed by drawing `power` watts for `ms` milliseconds.
-constexpr Joules EnergyOf(Watts power, Duration ms) { return power * MsToSeconds(ms); }
+// Duration in seconds, for human-facing output (IOPS, tables, JSON).
+constexpr double ToSeconds(Duration d) { return d.value() / kMsPerSecond; }
+// Frequency in events per second (IOPS), for human-facing output.
+constexpr double ToPerSecond(Frequency f) { return f.value() * kMsPerSecond; }
+
+// Energy consumed by drawing `power` for `elapsed` time.  Kept as a named
+// helper because "power times time" reads better at ledger call sites; the
+// operator does the single ms->s conversion.
+constexpr Joules EnergyOf(Watts power, Duration elapsed) { return power * elapsed; }
+
+// --- Zero-overhead pins ----------------------------------------------------
+// A Quantity is exactly the double it wraps: same size, trivially copyable
+// (so std::bit_cast and memcpy-based code keep working), and the arithmetic
+// below folds to the same constants the raw-double code produced.
+static_assert(sizeof(Joules) == sizeof(double));
+static_assert(sizeof(SimTime) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<SimTime>);
+static_assert(std::is_trivially_copyable_v<Joules>);
+static_assert((Watts(10.0) * Seconds(2.0)).value() == 20.0);
+static_assert((Joules(20.0) / Seconds(2.0)).value() == 10.0);
+static_assert((Joules(20.0) / Watts(10.0)).value() == 2000.0);
+static_assert(PerSecond(500.0) * Ms(2.0) == 1.0);  // rho is dimensionless
+static_assert((Rev(1.0) / Rpm(6000.0)).value() == 10.0);  // one rev at 6k RPM = 10 ms
+static_assert(Hours(1.0).value() == 3.6e6);
 
 }  // namespace hib
+
+// SimTime's +infinity / max sentinels ("run forever") come from numeric_limits,
+// exactly as they did for the raw double; program-defined specializations of
+// numeric_limits are explicitly allowed.
+template <int P, int T, int A>
+class std::numeric_limits<hib::Quantity<P, T, A>> {
+ public:
+  static constexpr bool is_specialized = true;
+  static constexpr bool has_infinity = std::numeric_limits<double>::has_infinity;
+  static constexpr hib::Quantity<P, T, A> max() {
+    return hib::Quantity<P, T, A>(std::numeric_limits<double>::max());
+  }
+  static constexpr hib::Quantity<P, T, A> lowest() {
+    return hib::Quantity<P, T, A>(std::numeric_limits<double>::lowest());
+  }
+  static constexpr hib::Quantity<P, T, A> infinity() {
+    return hib::Quantity<P, T, A>(std::numeric_limits<double>::infinity());
+  }
+  static constexpr hib::Quantity<P, T, A> epsilon() {
+    return hib::Quantity<P, T, A>(std::numeric_limits<double>::epsilon());
+  }
+};
 
 #endif  // HIBERNATOR_SRC_UTIL_UNITS_H_

@@ -234,7 +234,7 @@ class ArrayTest : public ::testing::Test {
 
 TraceRecord MakeRecord(SectorAddr lba, SectorCount count, bool write) {
   TraceRecord rec;
-  rec.time = 0.0;
+  rec.time = SimTime{};
   rec.lba = lba;
   rec.count = count;
   rec.is_write = write;
@@ -244,7 +244,7 @@ TraceRecord MakeRecord(SectorAddr lba, SectorCount count, bool write) {
 TEST_F(ArrayTest, ReadIssuesOneSubop) {
   ArrayController array(&sim_, SmallArray());
   array.Submit(MakeRecord(0, 8, false));
-  sim_.RunUntil(SecondsToMs(5.0));
+  sim_.RunUntil(Seconds(5.0));
   EXPECT_EQ(array.stats().subops, 1);
   EXPECT_EQ(array.stats().reads, 1);
   EXPECT_EQ(array.stats().total_responses, 1);
@@ -253,7 +253,7 @@ TEST_F(ArrayTest, ReadIssuesOneSubop) {
 TEST_F(ArrayTest, Raid5WriteIssuesFourSubops) {
   ArrayController array(&sim_, SmallArray());
   array.Submit(MakeRecord(0, 8, true));
-  sim_.RunUntil(SecondsToMs(5.0));
+  sim_.RunUntil(Seconds(5.0));
   EXPECT_EQ(array.stats().subops, 4);  // read old data+parity, write both
   EXPECT_EQ(array.stats().writes, 1);
 }
@@ -261,32 +261,32 @@ TEST_F(ArrayTest, Raid5WriteIssuesFourSubops) {
 TEST_F(ArrayTest, WidthOneWriteIsSingleSubop) {
   ArrayController array(&sim_, SmallArray(1));
   array.Submit(MakeRecord(0, 8, true));
-  sim_.RunUntil(SecondsToMs(5.0));
+  sim_.RunUntil(Seconds(5.0));
   EXPECT_EQ(array.stats().subops, 1);
 }
 
 TEST_F(ArrayTest, WidthTwoWriteMirrors) {
   ArrayController array(&sim_, SmallArray(2));
   array.Submit(MakeRecord(0, 8, true));
-  sim_.RunUntil(SecondsToMs(5.0));
+  sim_.RunUntil(Seconds(5.0));
   EXPECT_EQ(array.stats().subops, 2);
 }
 
 TEST_F(ArrayTest, WriteSlowerThanReadUnderRaid5) {
   ArrayParams params = SmallArray();
-  Duration read_resp = 0.0;
-  Duration write_resp = 0.0;
+  Duration read_resp;
+  Duration write_resp;
   {
     Simulator sim;
     ArrayController array(&sim, params);
     array.Submit(MakeRecord(0, 8, false), [&](Duration r) { read_resp = r; });
-    sim.RunUntil(SecondsToMs(5.0));
+    sim.RunUntil(Seconds(5.0));
   }
   {
     Simulator sim;
     ArrayController array(&sim, params);
     array.Submit(MakeRecord(0, 8, true), [&](Duration r) { write_resp = r; });
-    sim.RunUntil(SecondsToMs(5.0));
+    sim.RunUntil(Seconds(5.0));
   }
   EXPECT_GT(write_resp, read_resp);
 }
@@ -294,7 +294,7 @@ TEST_F(ArrayTest, WriteSlowerThanReadUnderRaid5) {
 TEST_F(ArrayTest, LargeRequestSpansMultipleUnits) {
   ArrayController array(&sim_, SmallArray());
   array.Submit(MakeRecord(0, 512, false));  // 4 stripe units
-  sim_.RunUntil(SecondsToMs(5.0));
+  sim_.RunUntil(Seconds(5.0));
   EXPECT_EQ(array.stats().subops, 4);
   EXPECT_EQ(array.stats().total_responses, 1);
 }
@@ -303,14 +303,14 @@ TEST_F(ArrayTest, CacheHitServedFast) {
   ArrayParams params = SmallArray();
   params.cache_lines = 64;
   ArrayController array(&sim_, params);
-  Duration first = -1.0;
-  Duration second = -1.0;
+  Duration first = Ms(-1.0);
+  Duration second = Ms(-1.0);
   array.Submit(MakeRecord(0, 8, false), [&](Duration r) { first = r; });
-  sim_.RunUntil(SecondsToMs(5.0));
+  sim_.RunUntil(Seconds(5.0));
   array.Submit(MakeRecord(0, 8, false), [&](Duration r) { second = r; });
-  sim_.RunUntil(SecondsToMs(10.0));
+  sim_.RunUntil(Seconds(10.0));
   EXPECT_GT(first, 2.0 * params.cache_hit_ms);
-  EXPECT_NEAR(second, params.cache_hit_ms, 1e-9);
+  EXPECT_NEAR(second.value(), params.cache_hit_ms.value(), 1e-9);
   EXPECT_EQ(array.stats().cache_hits, 1);
 }
 
@@ -319,13 +319,13 @@ TEST_F(ArrayTest, WriteInvalidatesCache) {
   params.cache_lines = 64;
   ArrayController array(&sim_, params);
   array.Submit(MakeRecord(0, 8, false));
-  sim_.RunUntil(SecondsToMs(5.0));
+  sim_.RunUntil(Seconds(5.0));
   array.Submit(MakeRecord(0, 8, true));
-  sim_.RunUntil(SecondsToMs(10.0));
-  Duration third = -1.0;
+  sim_.RunUntil(Seconds(10.0));
+  Duration third = Ms(-1.0);
   array.Submit(MakeRecord(0, 8, false), [&](Duration r) { third = r; });
-  sim_.RunUntil(SecondsToMs(15.0));
-  EXPECT_GT(third, 1.0);  // not a cache hit
+  sim_.RunUntil(Seconds(15.0));
+  EXPECT_GT(third, Ms(1.0));  // not a cache hit
 }
 
 TEST_F(ArrayTest, TemperatureTouchedPerAccess) {
@@ -333,7 +333,7 @@ TEST_F(ArrayTest, TemperatureTouchedPerAccess) {
   array.Submit(MakeRecord(0, 8, false));
   array.Submit(MakeRecord(0, 8, false));
   array.Submit(MakeRecord(array.params().extent_sectors * 5, 8, true));
-  sim_.RunUntil(SecondsToMs(5.0));
+  sim_.RunUntil(Seconds(5.0));
   EXPECT_DOUBLE_EQ(array.temperatures().TemperatureOf(0), 2.0);
   EXPECT_DOUBLE_EQ(array.temperatures().TemperatureOf(5), 1.0);
 }
@@ -344,7 +344,7 @@ TEST_F(ArrayTest, CompletionHookFires) {
   array.set_completion_hook([&](const TraceRecord&, Duration) { ++hook_calls; });
   array.Submit(MakeRecord(0, 8, false));
   array.Submit(MakeRecord(4096, 8, true));
-  sim_.RunUntil(SecondsToMs(5.0));
+  sim_.RunUntil(Seconds(5.0));
   EXPECT_EQ(hook_calls, 2);
 }
 
@@ -355,7 +355,7 @@ TEST_F(ArrayTest, ReadRouterRedirects) {
   int cache_disk = array.cache_disk_id(0);
   array.set_read_router([&](std::int64_t, int) { return cache_disk; });
   array.Submit(MakeRecord(0, 8, false));
-  sim_.RunUntil(SecondsToMs(5.0));
+  sim_.RunUntil(Seconds(5.0));
   EXPECT_EQ(array.disk(cache_disk).stats().requests_completed, 1);
 }
 
@@ -364,7 +364,7 @@ TEST_F(ArrayTest, MigrationMovesExtent) {
   std::int64_t extent = 0;
   ASSERT_EQ(array.layout().GroupOf(extent), 0);
   array.RequestMigration(extent, 1);
-  sim_.RunUntil(SecondsToMs(30.0));
+  sim_.RunUntil(Seconds(30.0));
   EXPECT_EQ(array.layout().GroupOf(extent), 1);
   EXPECT_EQ(array.stats().migrations_completed, 1);
   EXPECT_EQ(array.stats().migrated_sectors, array.params().extent_sectors);
@@ -373,7 +373,7 @@ TEST_F(ArrayTest, MigrationMovesExtent) {
 TEST_F(ArrayTest, MigrationToSameGroupSkipped) {
   ArrayController array(&sim_, SmallArray());
   array.RequestMigration(0, 0);
-  sim_.RunUntil(SecondsToMs(30.0));
+  sim_.RunUntil(Seconds(30.0));
   EXPECT_EQ(array.stats().migrations_completed, 0);
 }
 
@@ -381,11 +381,11 @@ TEST_F(ArrayTest, MigrationPauseDefersWork) {
   ArrayController array(&sim_, SmallArray());
   array.PauseMigration(true);
   array.RequestMigration(0, 1);
-  sim_.RunUntil(SecondsToMs(30.0));
+  sim_.RunUntil(Seconds(30.0));
   EXPECT_EQ(array.layout().GroupOf(0), 0);
   EXPECT_EQ(array.MigrationBacklog(), 1u);
   array.PauseMigration(false);
-  sim_.RunUntil(SecondsToMs(60.0));
+  sim_.RunUntil(Seconds(60.0));
   EXPECT_EQ(array.layout().GroupOf(0), 1);
 }
 
@@ -396,7 +396,7 @@ TEST_F(ArrayTest, CancelQueuedMigrations) {
   array.RequestMigration(2, 1);
   array.CancelQueuedMigrations();
   array.PauseMigration(false);
-  sim_.RunUntil(SecondsToMs(30.0));
+  sim_.RunUntil(Seconds(30.0));
   EXPECT_EQ(array.stats().migrations_completed, 0);
 }
 
@@ -408,14 +408,14 @@ TEST_F(ArrayTest, ConcurrentMigrationCapRespected) {
     array.RequestMigration(e, 1);  // even extents start in group 0
   }
   // Backlog drains one at a time but all eventually complete.
-  sim_.RunUntil(SecondsToMs(120.0));
+  sim_.RunUntil(Seconds(120.0));
   EXPECT_EQ(array.stats().migrations_completed, 5);
 }
 
 TEST_F(ArrayTest, MigrationUsesBackgroundPriority) {
   ArrayController array(&sim_, SmallArray());
   array.RequestMigration(0, 1);
-  sim_.RunUntil(SecondsToMs(30.0));
+  sim_.RunUntil(Seconds(30.0));
   std::int64_t bg = 0;
   for (int i = 0; i < array.num_data_disks(); ++i) {
     bg += array.disk(i).stats().background_completed;
@@ -426,18 +426,18 @@ TEST_F(ArrayTest, MigrationUsesBackgroundPriority) {
 TEST_F(ArrayTest, TotalEnergySumsDisks) {
   ArrayParams params = SmallArray();
   ArrayController array(&sim_, params);
-  sim_.RunUntil(SecondsToMs(10.0));
+  sim_.RunUntil(Seconds(10.0));
   DiskEnergy total = array.TotalEnergy();
-  EXPECT_NEAR(total.idle, 8 * params.disk.speeds.back().idle_power * 10.0, 1e-6);
-  EXPECT_NEAR(total.TotalMs(), 8 * SecondsToMs(10.0), 1e-6);
+  EXPECT_NEAR(total.idle.value(), (8.0 * EnergyOf(params.disk.speeds.back().idle_power, Seconds(10.0))).value(), 1e-6);
+  EXPECT_NEAR(total.TotalMs().value(), (8.0 * Seconds(10.0)).value(), 1e-6);
 }
 
 TEST_F(ArrayTest, WindowStatsTrackAndReset) {
   ArrayController array(&sim_, SmallArray());
   array.Submit(MakeRecord(0, 8, false));
-  sim_.RunUntil(SecondsToMs(5.0));
+  sim_.RunUntil(Seconds(5.0));
   EXPECT_EQ(array.stats().window_responses, 1);
-  EXPECT_GT(array.stats().WindowMeanResponse(), 0.0);
+  EXPECT_GT(array.stats().WindowMeanResponse(), Duration{});
   array.stats().ResetWindow();
   EXPECT_EQ(array.stats().window_responses, 0);
   EXPECT_EQ(array.stats().total_responses, 1);  // cumulative survives

@@ -1,0 +1,16 @@
+#include "src/util/units.h"
+
+using namespace hib;
+
+// Positive control: the correct spelling of every operation the fail_* cases
+// get wrong.  Must always compile, or the harness is testing a broken setup.
+int main() {
+  Duration d = Ms(1.0) + Seconds(1.0);
+  double raw = d.value();
+  Joules e = Watts(2.0) * Seconds(1.0);
+  Watts w = e / Seconds(1.0);
+  Joules via_helper = EnergyOf(w, d);
+  Frequency f = PerMs(1.0) + PerSecond(1.0);
+  bool ordered = Ms(1.0) < Seconds(1.0) && via_helper > Joules{};
+  return (ordered && raw > 0.0 && f > Frequency{}) ? 0 : 1;
+}

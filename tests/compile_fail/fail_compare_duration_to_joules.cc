@@ -1,0 +1,7 @@
+#include "src/util/units.h"
+
+using namespace hib;
+
+int main() {
+  return Ms(1.0) < Joules(1.0) ? 0 : 1;  // cross-dimension comparison
+}

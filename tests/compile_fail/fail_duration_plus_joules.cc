@@ -1,0 +1,8 @@
+#include "src/util/units.h"
+
+using namespace hib;
+
+int main() {
+  Duration d = Ms(1.0) + Joules(1.0);  // time + energy has no meaning
+  return d > Duration{} ? 0 : 1;
+}

@@ -1,0 +1,8 @@
+#include "src/util/units.h"
+
+using namespace hib;
+
+int main() {
+  Duration d = Ms(1.0) + 5.0;  // 5.0 of what? ms? s? hours?
+  return d > Duration{} ? 0 : 1;
+}

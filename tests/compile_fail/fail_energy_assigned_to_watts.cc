@@ -1,0 +1,8 @@
+#include "src/util/units.h"
+
+using namespace hib;
+
+int main() {
+  Watts w = Watts(2.0) * Seconds(1.0);  // W*s is energy, not power
+  return w > Watts{} ? 0 : 1;
+}

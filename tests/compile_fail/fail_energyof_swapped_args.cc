@@ -1,0 +1,8 @@
+#include "src/util/units.h"
+
+using namespace hib;
+
+int main() {
+  Joules e = EnergyOf(Ms(1.0), Watts(1.0));  // EnergyOf(power, elapsed)
+  return e > Joules{} ? 0 : 1;
+}

@@ -1,0 +1,8 @@
+#include "src/util/units.h"
+
+using namespace hib;
+
+int main() {
+  Frequency f = PerMs(1.0) + Ms(1.0);  // rate + time has no meaning
+  return f > Frequency{} ? 0 : 1;
+}

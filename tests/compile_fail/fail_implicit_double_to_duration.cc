@@ -1,0 +1,8 @@
+#include "src/util/units.h"
+
+using namespace hib;
+
+int main() {
+  Duration d = 5.0;  // raw doubles must enter via Ms()/Seconds()/Hours()
+  return d > Duration{} ? 0 : 1;
+}

@@ -1,0 +1,8 @@
+#include "src/util/units.h"
+
+using namespace hib;
+
+int main() {
+  double d = Ms(5.0);  // leaving the typed world requires .value()
+  return d > 0.0 ? 0 : 1;
+}

@@ -1,0 +1,8 @@
+#include "src/util/units.h"
+
+using namespace hib;
+
+int main() {
+  Joules e = Watts(1.0) * Watts(1.0);  // W*W is power^2, not energy
+  return e > Joules{} ? 0 : 1;
+}

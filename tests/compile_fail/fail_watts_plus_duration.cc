@@ -1,0 +1,8 @@
+#include "src/util/units.h"
+
+using namespace hib;
+
+int main() {
+  Watts w = Watts(10.0) + Ms(5.0);  // power + time has no meaning
+  return w > Watts{} ? 0 : 1;
+}

@@ -13,13 +13,16 @@ struct CrFixture {
   DiskParams disk = MakeUltrastar36Z15MultiSpeed(5);
   SpeedServiceModel service = SpeedServiceModel::FromDisk(disk, 12.0, 0.3);
 
-  CrInput MakeInput(std::vector<double> lambdas, Duration goal_ms) const {
+  CrInput MakeInput(const std::vector<double>& lambdas_per_ms, double goal) const {
     CrInput input;
     input.service = service;
-    input.group_lambda_per_ms = std::move(lambdas);
+    input.group_lambda.reserve(lambdas_per_ms.size());
+    for (double l : lambdas_per_ms) {
+      input.group_lambda.push_back(PerMs(l));
+    }
     input.group_width = 4;
-    input.goal_ms = goal_ms;
-    input.epoch_ms = HoursToMs(2.0);
+    input.goal_ms = Ms(goal);
+    input.epoch_ms = Hours(2.0);
     input.disk = &disk;
     return input;
   }
@@ -37,7 +40,7 @@ TEST(Cr, ZeroLoadChoosesSlowestEverywhere) {
 TEST(Cr, TightGoalForcesFullSpeed) {
   CrFixture f;
   // Goal barely above the full-speed service time: nothing slower works.
-  double s_full = f.service.Level(4).mean_ms;
+  double s_full = f.service.Level(4).mean_ms.value();
   CrResult r = SolveCr(f.MakeInput({0.001, 0.001, 0.001, 0.001}, s_full * 1.05));
   ASSERT_TRUE(r.feasible);
   // The constraint is on the *average* response, so CR may let one group lag
@@ -48,7 +51,7 @@ TEST(Cr, TightGoalForcesFullSpeed) {
     at_full += level == 4 ? 1 : 0;
   }
   EXPECT_GE(at_full, 3);
-  EXPECT_LE(r.predicted_response_ms, s_full * 1.05 + 1e-9);
+  EXPECT_LE(r.predicted_response_ms, Ms(s_full * 1.05 + 1e-9));
 }
 
 TEST(Cr, ImpossibleGoalFallsBackToFullSpeed) {
@@ -85,19 +88,19 @@ TEST(Cr, PredictedResponseRespectsGoal) {
   for (double goal : {8.0, 10.0, 15.0, 25.0, 50.0}) {
     CrResult r = SolveCr(f.MakeInput({0.06, 0.03, 0.01, 0.002}, goal));
     if (r.feasible) {
-      EXPECT_LE(r.predicted_response_ms, goal + 1e-6) << "goal=" << goal;
+      EXPECT_LE(r.predicted_response_ms, Ms(goal + 1e-6)) << "goal=" << goal;
     }
   }
 }
 
 TEST(Cr, LooserGoalNeverCostsMorePower) {
   CrFixture f;
-  double prev_power = 1e18;
+  Watts prev_power = Watts(1e18);
   for (double goal : {7.0, 9.0, 12.0, 16.0, 24.0, 40.0, 100.0}) {
     CrResult r = SolveCr(f.MakeInput({0.05, 0.03, 0.015, 0.005}, goal));
     ASSERT_TRUE(r.feasible || goal == 7.0) << "goal=" << goal;
     if (r.feasible) {
-      EXPECT_LE(r.predicted_power, prev_power + 1e-9) << "goal=" << goal;
+      EXPECT_LE(r.predicted_power, prev_power + Watts(1e-9)) << "goal=" << goal;
       prev_power = r.predicted_power;
     }
   }
@@ -106,7 +109,7 @@ TEST(Cr, LooserGoalNeverCostsMorePower) {
 TEST(Cr, OverloadedSlowLevelsExcluded) {
   CrFixture f;
   // Lambda high enough to saturate the slowest speed entirely.
-  double s_slow = f.service.Level(0).mean_ms;
+  double s_slow = f.service.Level(0).mean_ms.value();
   double lambda = 1.2 / s_slow;
   CrResult r = SolveCr(f.MakeInput({lambda}, 1000.0));
   ASSERT_TRUE(r.feasible);
@@ -119,7 +122,7 @@ TEST(Cr, TransitionCostKeepsCurrentLevelsOnShortEpochs) {
   // amortized transition cost should pin the assignment at the current one.
   CrInput input = f.MakeInput({0.001, 0.001}, 1000.0);
   input.current_levels = {1, 1};
-  input.epoch_ms = 50.0;  // 50 ms epoch: transitions cost more than they save
+  input.epoch_ms = Ms(50.0);  // 50 ms epoch: transitions cost more than they save
   CrResult r = SolveCr(input);
   ASSERT_TRUE(r.feasible);
   EXPECT_EQ(r.levels, (std::vector<int>{1, 1}));
@@ -129,7 +132,7 @@ TEST(Cr, LongEpochAmortizesTransition) {
   CrFixture f;
   CrInput input = f.MakeInput({0.001, 0.001}, 1000.0);
   input.current_levels = {1, 1};
-  input.epoch_ms = HoursToMs(4.0);
+  input.epoch_ms = Hours(4.0);
   CrResult r = SolveCr(input);
   ASSERT_TRUE(r.feasible);
   EXPECT_EQ(r.levels, (std::vector<int>{0, 0}));
@@ -140,18 +143,18 @@ TEST(Cr, SingleGroup) {
   CrResult r = SolveCr(f.MakeInput({0.02}, 18.0));
   ASSERT_TRUE(r.feasible);
   EXPECT_EQ(r.levels.size(), 1u);
-  EXPECT_LE(r.predicted_response_ms, 18.0);
+  EXPECT_LE(r.predicted_response_ms, Ms(18.0));
 }
 
 TEST(Cr, DiskPowerBlendsIdleAndActive) {
   CrFixture f;
-  Watts idle = DiskPowerAt(f.disk, f.service, 4, 0.0);
-  EXPECT_NEAR(idle, 10.2, 1e-9);
-  double s = f.service.Level(4).mean_ms;
+  Watts idle = DiskPowerAt(f.disk, f.service, 4, Frequency{});
+  EXPECT_NEAR(idle.value(), 10.2, 1e-9);
+  Duration s = f.service.Level(4).mean_ms;
   Watts half = DiskPowerAt(f.disk, f.service, 4, 0.5 / s);
-  EXPECT_NEAR(half, 10.2 + 0.5 * (13.5 - 10.2), 1e-9);
-  Watts sat = DiskPowerAt(f.disk, f.service, 4, 100.0);
-  EXPECT_NEAR(sat, 13.5, 1e-9);
+  EXPECT_NEAR(half.value(), 10.2 + 0.5 * (13.5 - 10.2), 1e-9);
+  Watts sat = DiskPowerAt(f.disk, f.service, 4, PerMs(100.0));
+  EXPECT_NEAR(sat.value(), 13.5, 1e-9);
 }
 
 TEST(Cr, ResponseBiasMakesCrConservative) {
@@ -169,7 +172,7 @@ TEST(Cr, ResponseBiasMakesCrConservative) {
   ASSERT_TRUE(careful.feasible);
   int careful_sum = careful.levels[0] + careful.levels[1];
   EXPECT_GT(careful_sum, unbiased_sum);
-  EXPECT_GE(careful.predicted_response_ms, unbiased.predicted_response_ms - 1e9);
+  EXPECT_GE(careful.predicted_response_ms, unbiased.predicted_response_ms - Ms(1e9));
 }
 
 TEST(Cr, ArrivalScvMakesCrConservative) {
@@ -213,9 +216,9 @@ TEST_P(CrVsExhaustive, MonotoneMatchesExhaustive) {
   CrResult b = SolveCr(brute);
   EXPECT_EQ(a.feasible, b.feasible) << "seed=" << GetParam();
   if (a.feasible) {
-    EXPECT_NEAR(a.predicted_power, b.predicted_power, 1e-6)
+    EXPECT_NEAR(a.predicted_power.value(), b.predicted_power.value(), 1e-6)
         << "seed=" << GetParam() << " goal=" << goal;
-    EXPECT_LE(a.predicted_response_ms, goal + 1e-6);
+    EXPECT_LE(a.predicted_response_ms, Ms(goal + 1e-6));
   }
 }
 
@@ -237,7 +240,7 @@ TEST_P(CrFeasibility, GoalRespectedAcrossShapes) {
     double goal = 7.0 + rng.NextDouble() * 40.0;
     CrResult r = SolveCr(f.MakeInput(lambdas, goal));
     if (r.feasible) {
-      EXPECT_LE(r.predicted_response_ms, goal + 1e-6)
+      EXPECT_LE(r.predicted_response_ms, Ms(goal + 1e-6))
           << "groups=" << num_groups << " trial=" << trial;
     }
     // Either way the assignment is complete and in range.

@@ -15,33 +15,33 @@ DiskParams TestDisk(int levels = 5) { return MakeUltrastar36Z15MultiSpeed(levels
 // ---------------------------------------------------------- SeekModel ------
 
 TEST(SeekModel, ZeroDistanceIsFree) {
-  SeekModel seek{0.6, 3.4, 6.5};
-  EXPECT_DOUBLE_EQ(seek.SeekTime(0, 10000), 0.0);
+  SeekModel seek{Ms(0.6), Ms(3.4), Ms(6.5)};
+  EXPECT_DOUBLE_EQ(seek.SeekTime(0, 10000).value(), 0.0);
 }
 
 TEST(SeekModel, SingleCylinderCost) {
-  SeekModel seek{0.6, 3.4, 6.5};
-  EXPECT_NEAR(seek.SeekTime(1, 10000), 0.6, 0.2);
+  SeekModel seek{Ms(0.6), Ms(3.4), Ms(6.5)};
+  EXPECT_NEAR(seek.SeekTime(1, 10000).value(), 0.6, 0.2);
 }
 
 TEST(SeekModel, AverageAtThirdStroke) {
-  SeekModel seek{0.6, 3.4, 6.5};
+  SeekModel seek{Ms(0.6), Ms(3.4), Ms(6.5)};
   std::int64_t cyls = 15000;
-  EXPECT_NEAR(seek.SeekTime(cyls / 3, cyls), 3.4, 0.01);
+  EXPECT_NEAR(seek.SeekTime(cyls / 3, cyls).value(), 3.4, 0.01);
 }
 
 TEST(SeekModel, FullStrokeAtMaxDistance) {
-  SeekModel seek{0.6, 3.4, 6.5};
+  SeekModel seek{Ms(0.6), Ms(3.4), Ms(6.5)};
   std::int64_t cyls = 15000;
-  EXPECT_NEAR(seek.SeekTime(cyls - 1, cyls), 6.5, 0.01);
+  EXPECT_NEAR(seek.SeekTime(cyls - 1, cyls).value(), 6.5, 0.01);
 }
 
 TEST(SeekModel, MonotoneInDistance) {
-  SeekModel seek{0.6, 3.4, 6.5};
+  SeekModel seek{Ms(0.6), Ms(3.4), Ms(6.5)};
   std::int64_t cyls = 15110;
-  double prev = 0.0;
+  Duration prev;
   for (std::int64_t d = 1; d < cyls; d += 97) {
-    double t = seek.SeekTime(d, cyls);
+    Duration t = seek.SeekTime(d, cyls);
     EXPECT_GE(t, prev);
     prev = t;
   }
@@ -77,15 +77,15 @@ TEST(DiskParams, PowerIncreasesWithRpm) {
 TEST(DiskParams, TopLevelMatchesUltrastarSpec) {
   DiskParams p = TestDisk(5);
   EXPECT_EQ(p.max_rpm(), 15000);
-  EXPECT_NEAR(p.speeds.back().idle_power, 10.2, 1e-9);
-  EXPECT_NEAR(p.speeds.back().active_power, 13.5, 1e-9);
+  EXPECT_NEAR(p.speeds.back().idle_power.value(), 10.2, 1e-9);
+  EXPECT_NEAR(p.speeds.back().active_power.value(), 13.5, 1e-9);
 }
 
 TEST(DiskParams, PowerLawExponent) {
   // Spindle (above electronics floor) scales as (rpm/max)^2.8.
-  Watts p12k = IdlePowerAtRpm(12000, 15000, 10.2);
+  Watts p12k = IdlePowerAtRpm(12000, 15000, Watts(10.2));
   double expected = 2.5 + (10.2 - 2.5) * std::pow(12000.0 / 15000.0, 2.8);
-  EXPECT_NEAR(p12k, expected, 1e-9);
+  EXPECT_NEAR(p12k.value(), expected, 1e-9);
 }
 
 TEST(DiskParams, LevelOf) {
@@ -100,42 +100,42 @@ TEST(DiskParams, TransferScalesInverselyWithRpm) {
   Duration slow = p.TransferTime(128, 3000);
   Duration fast = p.TransferTime(128, 15000);
   EXPECT_NEAR(slow / fast, 5.0, 1e-9);
-  EXPECT_DOUBLE_EQ(p.TransferTime(0, 15000), 0.0);
+  EXPECT_DOUBLE_EQ(p.TransferTime(0, 15000).value(), 0.0);
 }
 
 TEST(DiskParams, TransferProportionalToSize) {
   DiskParams p = TestDisk(5);
-  EXPECT_NEAR(p.TransferTime(256, 15000), 2.0 * p.TransferTime(128, 15000), 1e-12);
+  EXPECT_NEAR(p.TransferTime(256, 15000).value(), 2.0 * p.TransferTime(128, 15000).value(), 1e-12);
 }
 
 TEST(DiskParams, RevolutionTimes) {
   DiskParams p = TestDisk(5);
-  EXPECT_DOUBLE_EQ(p.speeds.back().RevolutionMs(), 4.0);   // 15k rpm
-  EXPECT_DOUBLE_EQ(p.speeds.front().RevolutionMs(), 20.0); // 3k rpm
+  EXPECT_DOUBLE_EQ(p.speeds.back().RevolutionMs().value(), 4.0);   // 15k rpm
+  EXPECT_DOUBLE_EQ(p.speeds.front().RevolutionMs().value(), 20.0); // 3k rpm
 }
 
 TEST(DiskParams, TransitionTimeLinearInDelta) {
   DiskParams p = TestDisk(5);
   Duration one_step = p.RpmTransitionTime(3000, 6000);
   Duration four_steps = p.RpmTransitionTime(3000, 15000);
-  EXPECT_NEAR(four_steps, 4.0 * one_step, 1e-9);
-  EXPECT_DOUBLE_EQ(p.RpmTransitionTime(9000, 9000), 0.0);
-  EXPECT_DOUBLE_EQ(p.RpmTransitionTime(3000, 9000), p.RpmTransitionTime(9000, 3000));
+  EXPECT_NEAR(four_steps.value(), (4.0 * one_step).value(), 1e-9);
+  EXPECT_DOUBLE_EQ(p.RpmTransitionTime(9000, 9000).value(), 0.0);
+  EXPECT_EQ(p.RpmTransitionTime(3000, 9000), p.RpmTransitionTime(9000, 3000));
 }
 
 TEST(DiskParams, TransitionEnergyPositiveAndScales) {
   DiskParams p = TestDisk(5);
-  EXPECT_GT(p.RpmTransitionEnergy(3000, 6000), 0.0);
+  EXPECT_GT(p.RpmTransitionEnergy(3000, 6000), Joules{});
   EXPECT_GT(p.RpmTransitionEnergy(3000, 15000), p.RpmTransitionEnergy(3000, 6000));
-  EXPECT_DOUBLE_EQ(p.RpmTransitionEnergy(6000, 6000), 0.0);
+  EXPECT_DOUBLE_EQ(p.RpmTransitionEnergy(6000, 6000).value(), 0.0);
 }
 
 TEST(DiskParams, SpinUpScalesWithTarget) {
   DiskParams p = TestDisk(5);
-  EXPECT_DOUBLE_EQ(p.SpinUpTime(15000), p.spin_up_full_ms);
-  EXPECT_NEAR(p.SpinUpTime(3000), p.spin_up_full_ms * 0.2, 1e-9);
-  EXPECT_DOUBLE_EQ(p.SpinUpEnergy(15000), p.spin_up_full_energy);
-  EXPECT_NEAR(p.SpinUpEnergy(3000), p.spin_up_full_energy * 0.04, 1e-9);
+  EXPECT_EQ(p.SpinUpTime(15000), p.spin_up_full_ms);
+  EXPECT_NEAR(p.SpinUpTime(3000).value(), (p.spin_up_full_ms * 0.2).value(), 1e-9);
+  EXPECT_EQ(p.SpinUpEnergy(15000), p.spin_up_full_energy);
+  EXPECT_NEAR(p.SpinUpEnergy(3000).value(), (p.spin_up_full_energy * 0.04).value(), 1e-9);
 }
 
 TEST(DiskParams, ValidateCatchesBadGeometry) {
@@ -152,7 +152,7 @@ TEST(DiskParams, ValidateCatchesUnsortedSpeeds) {
 
 TEST(DiskParams, ValidateCatchesNonMonotoneSeek) {
   DiskParams p = TestDisk(5);
-  p.seek.full_stroke_ms = 1.0;
+  p.seek.full_stroke_ms = Ms(1.0);
   EXPECT_NE(p.Validate(), "");
 }
 
@@ -174,7 +174,7 @@ TEST_F(DiskTest, StartsIdleAtFullSpeed) {
 TEST_F(DiskTest, ServesARequest) {
   Disk disk(&sim_, params_, 0, 1);
   bool completed = false;
-  SimTime done_at = 0.0;
+  SimTime done_at;
   DiskRequest req;
   req.sector = 1000000;
   req.count = 8;
@@ -183,9 +183,9 @@ TEST_F(DiskTest, ServesARequest) {
     done_at = t;
   };
   disk.Submit(std::move(req));
-  sim_.RunUntil(SecondsToMs(5.0));
+  sim_.RunUntil(Seconds(5.0));
   EXPECT_TRUE(completed);
-  EXPECT_GT(done_at, 0.0);
+  EXPECT_GT(done_at, SimTime{});
   EXPECT_EQ(disk.stats().requests_completed, 1);
   EXPECT_EQ(disk.stats().sectors_read, 8);
   EXPECT_TRUE(disk.FullyIdle());
@@ -193,13 +193,13 @@ TEST_F(DiskTest, ServesARequest) {
 
 TEST_F(DiskTest, ResponseAtLeastTransferTime) {
   Disk disk(&sim_, params_, 0, 1);
-  SimTime done_at = 0.0;
+  SimTime done_at;
   DiskRequest req;
   req.sector = 0;
   req.count = 600;  // one full track
   req.on_complete = [&](SimTime t) { done_at = t; };
   disk.Submit(std::move(req));
-  sim_.RunUntil(SecondsToMs(5.0));
+  sim_.RunUntil(Seconds(5.0));
   EXPECT_GE(done_at, params_.TransferTime(600, 15000));
 }
 
@@ -213,7 +213,7 @@ TEST_F(DiskTest, FcfsOrderWithinForeground) {
     req.on_complete = [&order, i](SimTime) { order.push_back(i); };
     disk.Submit(std::move(req));
   }
-  sim_.RunUntil(SecondsToMs(10.0));
+  sim_.RunUntil(Seconds(10.0));
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
@@ -239,18 +239,18 @@ TEST_F(DiskTest, BackgroundWaitsForForeground) {
   bg2.background = true;
   bg2.on_complete = [&](SimTime) { order.push_back('B'); };
   disk.Submit(std::move(bg2));
-  sim_.RunUntil(SecondsToMs(10.0));
+  sim_.RunUntil(Seconds(10.0));
   // First bg was already in service; the queued bg2 must trail all fg.
   EXPECT_EQ(std::string(order.begin(), order.end()), "bfffB");
 }
 
 TEST_F(DiskTest, EnergyEqualsIdlePowerWhenIdle) {
   Disk disk(&sim_, params_, 0, 1);
-  sim_.RunUntil(SecondsToMs(100.0));
+  sim_.RunUntil(Seconds(100.0));
   DiskEnergy e = disk.MeteredEnergy();
-  EXPECT_NEAR(e.idle, params_.speeds.back().idle_power * 100.0, 1e-6);
-  EXPECT_DOUBLE_EQ(e.active, 0.0);
-  EXPECT_NEAR(e.TotalMs(), SecondsToMs(100.0), 1e-6);
+  EXPECT_NEAR(e.idle.value(), EnergyOf(params_.speeds.back().idle_power, Seconds(100.0)).value(), 1e-6);
+  EXPECT_DOUBLE_EQ(e.active.value(), 0.0);
+  EXPECT_NEAR(e.TotalMs().value(), Seconds(100.0).value(), 1e-6);
 }
 
 TEST_F(DiskTest, EnergyLedgerMatchesStateTimes) {
@@ -262,30 +262,30 @@ TEST_F(DiskTest, EnergyLedgerMatchesStateTimes) {
     req.count = 64;
     disk.Submit(std::move(req));
   }
-  sim_.RunUntil(SecondsToMs(5.0));
+  sim_.RunUntil(Seconds(5.0));
   disk.SetTargetRpm(6000);
-  sim_.RunUntil(SecondsToMs(20.0));
+  sim_.RunUntil(Seconds(20.0));
   disk.SpinDown();
-  sim_.RunUntil(SecondsToMs(40.0));
+  sim_.RunUntil(Seconds(40.0));
   disk.SpinUp();
-  sim_.RunUntil(SecondsToMs(60.0));
+  sim_.RunUntil(Seconds(60.0));
 
   DiskEnergy e = disk.MeteredEnergy();
-  EXPECT_NEAR(e.TotalMs(), SecondsToMs(60.0), 1e-6);
-  EXPECT_GT(e.active, 0.0);
-  EXPECT_GT(e.idle, 0.0);
-  EXPECT_GT(e.standby, 0.0);
-  EXPECT_GT(e.transition, 0.0);
+  EXPECT_NEAR(e.TotalMs().value(), Seconds(60.0).value(), 1e-6);
+  EXPECT_GT(e.active, Joules{});
+  EXPECT_GT(e.idle, Joules{});
+  EXPECT_GT(e.standby, Joules{});
+  EXPECT_GT(e.transition, Joules{});
   // Idle accrues at several distinct speeds; just verify the ledger is
   // internally consistent: total == sum of components.
-  EXPECT_NEAR(e.Total(), e.active + e.idle + e.standby + e.transition, 1e-9);
+  EXPECT_NEAR(e.Total().value(), (e.active + e.idle + e.standby + e.transition).value(), 1e-9);
 }
 
 TEST_F(DiskTest, SetTargetRpmChangesSpeedWhenIdle) {
   Disk disk(&sim_, params_, 0, 1);
   disk.SetTargetRpm(3000);
   EXPECT_EQ(disk.state(), DiskPowerState::kChangingRpm);
-  sim_.RunUntil(SecondsToMs(30.0));
+  sim_.RunUntil(Seconds(30.0));
   EXPECT_EQ(disk.current_rpm(), 3000);
   EXPECT_EQ(disk.state(), DiskPowerState::kIdle);
   EXPECT_EQ(disk.stats().rpm_changes, 1);
@@ -300,7 +300,7 @@ TEST_F(DiskTest, SetTargetRpmDeferredWhileBusy) {
   EXPECT_EQ(disk.state(), DiskPowerState::kBusy);
   disk.SetTargetRpm(6000);
   EXPECT_EQ(disk.state(), DiskPowerState::kBusy);  // not interrupted
-  sim_.RunUntil(SecondsToMs(30.0));
+  sim_.RunUntil(Seconds(30.0));
   EXPECT_EQ(disk.current_rpm(), 6000);
 }
 
@@ -314,7 +314,7 @@ TEST_F(DiskTest, RequestsQueueDuringRpmChange) {
   req.on_complete = [&](SimTime) { completed = true; };
   disk.Submit(std::move(req));
   EXPECT_FALSE(completed);
-  sim_.RunUntil(SecondsToMs(30.0));
+  sim_.RunUntil(Seconds(30.0));
   EXPECT_TRUE(completed);
   EXPECT_EQ(disk.current_rpm(), 3000);
 }
@@ -322,9 +322,9 @@ TEST_F(DiskTest, RequestsQueueDuringRpmChange) {
 TEST_F(DiskTest, RetargetDuringTransitionChains) {
   Disk disk(&sim_, params_, 0, 1);
   disk.SetTargetRpm(3000);
-  sim_.RunUntil(100.0);  // mid-transition
+  sim_.RunUntil(Ms(100.0));  // mid-transition
   disk.SetTargetRpm(12000);
-  sim_.RunUntil(SecondsToMs(60.0));
+  sim_.RunUntil(Seconds(60.0));
   EXPECT_EQ(disk.current_rpm(), 12000);
   EXPECT_EQ(disk.stats().rpm_changes, 2);
 }
@@ -343,9 +343,9 @@ TEST_F(DiskTest, SpinDownOnlyWhenIdle) {
   req.count = 8;
   disk.Submit(std::move(req));
   EXPECT_FALSE(disk.SpinDown());  // busy
-  sim_.RunUntil(SecondsToMs(5.0));
+  sim_.RunUntil(Seconds(5.0));
   EXPECT_TRUE(disk.SpinDown());
-  sim_.RunUntil(SecondsToMs(10.0));
+  sim_.RunUntil(Seconds(10.0));
   EXPECT_EQ(disk.state(), DiskPowerState::kStandby);
   EXPECT_EQ(disk.stats().spin_downs, 1);
 }
@@ -355,25 +355,25 @@ TEST_F(DiskTest, StandbyDrawsStandbyPower) {
   disk.SpinDown();
   sim_.RunUntil(params_.spin_down_ms);  // exactly at standby entry
   DiskEnergy before = disk.MeteredEnergy();
-  sim_.RunUntil(params_.spin_down_ms + SecondsToMs(100.0));
+  sim_.RunUntil(params_.spin_down_ms + Seconds(100.0));
   DiskEnergy after = disk.MeteredEnergy();
-  EXPECT_NEAR(after.standby - before.standby, params_.standby_power * 100.0, 1e-6);
+  EXPECT_NEAR((after.standby - before.standby).value(), EnergyOf(params_.standby_power, Seconds(100.0)).value(), 1e-6);
 }
 
 TEST_F(DiskTest, DemandSpinUpFromStandby) {
   Disk disk(&sim_, params_, 0, 1);
   disk.SpinDown();
-  sim_.RunUntil(SecondsToMs(10.0));
+  sim_.RunUntil(Seconds(10.0));
   ASSERT_EQ(disk.state(), DiskPowerState::kStandby);
   SimTime submitted_at = sim_.Now();
-  SimTime done_at = 0.0;
+  SimTime done_at;
   DiskRequest req;
   req.sector = 0;
   req.count = 8;
   req.on_complete = [&](SimTime t) { done_at = t; };
   disk.Submit(std::move(req));
-  sim_.RunUntil(SecondsToMs(60.0));
-  EXPECT_GT(done_at, 0.0);
+  sim_.RunUntil(Seconds(60.0));
+  EXPECT_GT(done_at, SimTime{});
   // Must have paid the full-speed spin-up latency.
   EXPECT_GE(done_at - submitted_at, params_.SpinUpTime(15000));
   EXPECT_EQ(disk.stats().spin_ups, 1);
@@ -382,7 +382,7 @@ TEST_F(DiskTest, DemandSpinUpFromStandby) {
 TEST_F(DiskTest, ArrivalDuringSpinDownWaitsThenSpinsUp) {
   Disk disk(&sim_, params_, 0, 1);
   disk.SpinDown();
-  sim_.RunUntil(500.0);  // mid spin-down
+  sim_.RunUntil(Ms(500.0));  // mid spin-down
   ASSERT_EQ(disk.state(), DiskPowerState::kSpinningDown);
   bool completed = false;
   DiskRequest req;
@@ -390,7 +390,7 @@ TEST_F(DiskTest, ArrivalDuringSpinDownWaitsThenSpinsUp) {
   req.count = 8;
   req.on_complete = [&](SimTime) { completed = true; };
   disk.Submit(std::move(req));
-  sim_.RunUntil(SecondsToMs(60.0));
+  sim_.RunUntil(Seconds(60.0));
   EXPECT_TRUE(completed);
   EXPECT_EQ(disk.stats().spin_ups, 1);
   EXPECT_EQ(disk.stats().spin_downs, 1);
@@ -399,10 +399,10 @@ TEST_F(DiskTest, ArrivalDuringSpinDownWaitsThenSpinsUp) {
 TEST_F(DiskTest, SpinUpTargetsPendingRpm) {
   Disk disk(&sim_, params_, 0, 1);
   disk.SpinDown();
-  sim_.RunUntil(SecondsToMs(10.0));
+  sim_.RunUntil(Seconds(10.0));
   disk.SetTargetRpm(6000);  // while in standby
   disk.SpinUp();
-  sim_.RunUntil(SecondsToMs(60.0));
+  sim_.RunUntil(Seconds(60.0));
   EXPECT_EQ(disk.current_rpm(), 6000);
   EXPECT_EQ(disk.state(), DiskPowerState::kIdle);
 }
@@ -415,14 +415,14 @@ TEST_F(DiskTest, WindowCountersAccumulateAndReset) {
     req.count = 8;
     disk.Submit(std::move(req));
   }
-  sim_.RunUntil(SecondsToMs(5.0));
+  sim_.RunUntil(Seconds(5.0));
   EXPECT_EQ(disk.stats().window_arrivals, 4);
   EXPECT_EQ(disk.stats().window_completions, 4);
-  EXPECT_GT(disk.stats().window_busy_ms, 0.0);
-  EXPECT_GT(disk.stats().window_response_sum_ms, 0.0);
+  EXPECT_GT(disk.stats().window_busy_ms, Duration{});
+  EXPECT_GT(disk.stats().window_response_sum_ms, Duration{});
   disk.stats().ResetWindow();
   EXPECT_EQ(disk.stats().window_arrivals, 0);
-  EXPECT_DOUBLE_EQ(disk.stats().window_busy_ms, 0.0);
+  EXPECT_DOUBLE_EQ(disk.stats().window_busy_ms.value(), 0.0);
 }
 
 TEST_F(DiskTest, WritesTrackSectorsWritten) {
@@ -432,7 +432,7 @@ TEST_F(DiskTest, WritesTrackSectorsWritten) {
   req.count = 16;
   req.is_write = true;
   disk.Submit(std::move(req));
-  sim_.RunUntil(SecondsToMs(5.0));
+  sim_.RunUntil(Seconds(5.0));
   EXPECT_EQ(disk.stats().sectors_written, 16);
   EXPECT_EQ(disk.stats().sectors_read, 0);
 }
@@ -448,14 +448,14 @@ TEST_F(DiskTest, SlowSpeedSlowsService) {
     Simulator sim;
     Disk disk(&sim, params_, 0, 7);
     disk.SetTargetRpm(rpm);
-    sim.RunUntil(SecondsToMs(30.0));
+    sim.RunUntil(Seconds(30.0));
     for (int i = 0; i < 50; ++i) {
       DiskRequest req;
       req.sector = (i * 7919) * 1000 % params_.TotalSectors();
       req.count = 8;
       disk.Submit(std::move(req));
     }
-    sim.RunUntil(SecondsToMs(300.0));
+    sim.RunUntil(Seconds(300.0));
     return disk.stats().service_time_ms.mean();
   };
   EXPECT_GT(run_at(3000), run_at(15000) * 1.8);

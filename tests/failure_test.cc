@@ -49,10 +49,10 @@ TEST_F(FailureTest, DegradedReadFansOutToSurvivors) {
   array.FailDisk(0);
   EXPECT_TRUE(array.IsDiskFailed(0));
 
-  Duration response = -1.0;
+  Duration response = Ms(-1.0);
   array.Submit(MakeRecord(lba, 8, false), [&](Duration r) { response = r; });
-  sim_.RunUntil(SecondsToMs(5.0));
-  EXPECT_GT(response, 0.0);
+  sim_.RunUntil(Seconds(5.0));
+  EXPECT_GT(response, Duration{});
   EXPECT_EQ(array.stats().degraded_reads, 1);
   // width - 1 = 3 peer reads instead of 1.
   EXPECT_EQ(array.stats().subops, 3);
@@ -65,7 +65,7 @@ TEST_F(FailureTest, HealthyUnitsUnaffectedByFailureElsewhere) {
   SectorAddr lba = LbaOnDisk(array, 1);
   ASSERT_GE(lba, 0);
   array.Submit(MakeRecord(lba, 8, false));
-  sim_.RunUntil(SecondsToMs(5.0));
+  sim_.RunUntil(Seconds(5.0));
   EXPECT_EQ(array.stats().degraded_reads, 0);
   EXPECT_EQ(array.stats().subops, 1);
 }
@@ -75,10 +75,10 @@ TEST_F(FailureTest, DegradedWriteUpdatesParityOnly) {
   SectorAddr lba = LbaOnDisk(array, 0);
   ASSERT_GE(lba, 0);
   array.FailDisk(0);
-  Duration response = -1.0;
+  Duration response = Ms(-1.0);
   array.Submit(MakeRecord(lba, 8, true), [&](Duration r) { response = r; });
-  sim_.RunUntil(SecondsToMs(5.0));
-  EXPECT_GT(response, 0.0);
+  sim_.RunUntil(Seconds(5.0));
+  EXPECT_GT(response, Duration{});
   EXPECT_EQ(array.stats().parity_only_writes, 1);
   // Reconstruct-write: width-2 = 2 peer reads + 1 parity write.
   EXPECT_EQ(array.stats().subops, 3);
@@ -92,7 +92,7 @@ TEST_F(FailureTest, ParityFailureWritesDataWithoutParity) {
   int parity_disk = array.layout().Map(0, lba).parity_disk;
   array.FailDisk(parity_disk);
   array.Submit(MakeRecord(lba, 8, true));
-  sim_.RunUntil(SecondsToMs(5.0));
+  sim_.RunUntil(Seconds(5.0));
   EXPECT_EQ(array.stats().subops, 1);  // plain data write
   EXPECT_EQ(array.stats().lost_accesses, 0);
 }
@@ -103,10 +103,10 @@ TEST_F(FailureTest, DoubleFailureLosesData) {
   ASSERT_GE(lba, 0);
   array.FailDisk(0);
   array.FailDisk(1);  // same group
-  Duration response = -1.0;
+  Duration response = Ms(-1.0);
   array.Submit(MakeRecord(lba, 8, false), [&](Duration r) { response = r; });
-  sim_.RunUntil(SecondsToMs(5.0));
-  EXPECT_GE(response, 0.0);  // request still completes (reports the loss)
+  sim_.RunUntil(Seconds(5.0));
+  EXPECT_GE(response, Duration{});  // request still completes (reports the loss)
   EXPECT_GE(array.stats().lost_accesses, 1);
 }
 
@@ -117,7 +117,7 @@ TEST_F(FailureTest, UnprotectedWidthOneLosesAccesses) {
   array.FailDisk(disk);
   array.Submit(MakeRecord(0, 8, false));
   array.Submit(MakeRecord(0, 8, true));
-  sim_.RunUntil(SecondsToMs(5.0));
+  sim_.RunUntil(Seconds(5.0));
   EXPECT_EQ(array.stats().lost_accesses, 2);
   EXPECT_EQ(array.stats().subops, 0);
 }
@@ -126,10 +126,10 @@ TEST_F(FailureTest, MirrorReadsSurvivingCopy) {
   ArrayController array(&sim_, SmallArray(2));
   StripeTarget t = array.layout().Map(0, 0);
   array.FailDisk(t.data_disk);
-  Duration response = -1.0;
+  Duration response = Ms(-1.0);
   array.Submit(MakeRecord(0, 8, false), [&](Duration r) { response = r; });
-  sim_.RunUntil(SecondsToMs(5.0));
-  EXPECT_GT(response, 0.0);
+  sim_.RunUntil(Seconds(5.0));
+  EXPECT_GT(response, Duration{});
   EXPECT_EQ(array.stats().degraded_reads, 1);
   EXPECT_EQ(array.disk(t.parity_disk).stats().requests_completed, 1);
 }
@@ -141,7 +141,7 @@ TEST_F(FailureTest, RebuildRestoresHealthAndCountsExtents) {
   bool rebuilt = false;
   array.ReplaceDisk(0, [&] { rebuilt = true; });
   EXPECT_TRUE(array.IsRebuilding(0));
-  sim_.RunUntil(HoursToMs(12.0));
+  sim_.RunUntil(Hours(12.0));
   EXPECT_TRUE(rebuilt);
   EXPECT_FALSE(array.IsDiskFailed(0));
   EXPECT_FALSE(array.IsRebuilding(0));
@@ -156,11 +156,11 @@ TEST_F(FailureTest, ReadsHealthyAgainAfterRebuild) {
   ASSERT_GE(lba, 0);
   array.FailDisk(0);
   array.ReplaceDisk(0);
-  sim_.RunUntil(HoursToMs(12.0));
+  sim_.RunUntil(Hours(12.0));
   ASSERT_FALSE(array.IsDiskFailed(0));
   std::int64_t degraded_before = array.stats().degraded_reads;
   array.Submit(MakeRecord(lba, 8, false));
-  sim_.RunUntil(sim_.Now() + SecondsToMs(5.0));
+  sim_.RunUntil(sim_.Now() + Seconds(5.0));
   EXPECT_EQ(array.stats().degraded_reads, degraded_before);
   EXPECT_GT(array.disk(0).stats().foreground_completed, 0);
 }
@@ -169,7 +169,7 @@ TEST_F(FailureTest, ReplaceHealthyDiskIsNoOp) {
   ArrayController array(&sim_, SmallArray());
   bool called = false;
   array.ReplaceDisk(3, [&] { called = true; });
-  sim_.RunUntil(SecondsToMs(5.0));
+  sim_.RunUntil(Seconds(5.0));
   EXPECT_FALSE(called);
   EXPECT_FALSE(array.IsRebuilding(3));
 }
@@ -182,10 +182,10 @@ TEST_F(FailureTest, DemandTrafficServedDuringRebuild) {
   array.ReplaceDisk(0);
   // While rebuilding, reads of the lost disk's units stay degraded but
   // complete; the rebuild's background I/O must not starve them.
-  Duration response = -1.0;
+  Duration response = Ms(-1.0);
   array.Submit(MakeRecord(lba, 8, false), [&](Duration r) { response = r; });
-  sim_.RunUntil(sim_.Now() + SecondsToMs(30.0));
-  EXPECT_GT(response, 0.0);
+  sim_.RunUntil(sim_.Now() + Seconds(30.0));
+  EXPECT_GT(response, Duration{});
   EXPECT_GE(array.stats().degraded_reads, 1);
 }
 
@@ -193,7 +193,7 @@ TEST_F(FailureTest, MigrationAvoidsFailedDisks) {
   ArrayController array(&sim_, SmallArray());
   array.FailDisk(4);  // in group 1, the migration destination
   array.RequestMigration(0, 1);
-  sim_.RunUntil(SecondsToMs(60.0));
+  sim_.RunUntil(Seconds(60.0));
   EXPECT_EQ(array.layout().GroupOf(0), 1);
   EXPECT_EQ(array.disk(4).stats().requests_completed, 0);
 }

@@ -25,7 +25,7 @@ ArrayParams TinyArray() {
 ConstantWorkloadParams TinyWorkload(SectorAddr space) {
   ConstantWorkloadParams p;
   p.address_space_sectors = space;
-  p.duration_ms = HoursToMs(0.5);
+  p.duration_ms = Hours(0.5);
   p.iops = 20.0;
   return p;
 }
@@ -87,7 +87,7 @@ TEST(Schemes, MakePolicyProducesMatchingNames) {
 TEST(Schemes, HibernatorVariantsCarryConfig) {
   SchemeConfig cfg;
   cfg.scheme = Scheme::kHibernator;
-  cfg.goal_ms = 42.5;
+  cfg.goal_ms = Ms(42.5);
   auto policy = MakePolicy(cfg);
   EXPECT_NE(policy->Describe().find("42.5"), std::string::npos);
 }
@@ -102,9 +102,9 @@ TEST(Experiment, DurationMatchesTracePlusDrain) {
   cfg.scheme = Scheme::kBase;
   auto policy = MakePolicy(cfg);
   ExperimentOptions options;
-  options.drain_ms = SecondsToMs(10.0);
+  options.drain_ms = Seconds(10.0);
   ExperimentResult r = RunExperiment(workload, *policy, array, options);
-  EXPECT_NEAR(r.sim_duration_ms, HoursToMs(0.5) + SecondsToMs(10.0), 1.0);
+  EXPECT_NEAR(r.sim_duration_ms.value(), (Hours(0.5) + Seconds(10.0)).value(), 1.0);
 }
 
 TEST(Experiment, MeanPowerConsistentWithEnergy) {
@@ -114,17 +114,17 @@ TEST(Experiment, MeanPowerConsistentWithEnergy) {
   cfg.scheme = Scheme::kBase;
   auto policy = MakePolicy(cfg);
   ExperimentResult r = RunExperiment(workload, *policy, array);
-  EXPECT_NEAR(r.MeanPower(), r.energy_total / MsToSeconds(r.sim_duration_ms), 1e-9);
+  EXPECT_NEAR(r.MeanPower().value(), (r.energy_total / r.sim_duration_ms).value(), 1e-9);
   // 4 idle-ish disks at 10.2-13.5 W.
-  EXPECT_GT(r.MeanPower(), 4 * 10.0);
-  EXPECT_LT(r.MeanPower(), 4 * 14.0);
+  EXPECT_GT(r.MeanPower(), Watts(4 * 10.0));
+  EXPECT_LT(r.MeanPower(), Watts(4 * 14.0));
 }
 
 TEST(Experiment, SavingsVsIsSymmetricallySane) {
   ExperimentResult a;
-  a.energy_total = 50.0;
+  a.energy_total = Joules(50.0);
   ExperimentResult b;
-  b.energy_total = 100.0;
+  b.energy_total = Joules(100.0);
   EXPECT_DOUBLE_EQ(a.SavingsVs(b), 0.5);
   EXPECT_DOUBLE_EQ(b.SavingsVs(b), 0.0);
   EXPECT_DOUBLE_EQ(b.SavingsVs(a), -1.0);
@@ -166,8 +166,8 @@ TEST(Experiment, UnknownDurationSourceStillTerminates) {
   auto policy = MakePolicy(cfg);
   ExperimentResult r = RunExperiment(*reader, *policy, array);
   EXPECT_EQ(r.requests, 3);
-  EXPECT_GE(r.sim_duration_ms, HoursToMs(1.0));
-  EXPECT_LE(r.sim_duration_ms, HoursToMs(3.5));  // 1h trace + <=2h discovery + drain
+  EXPECT_GE(r.sim_duration_ms, Hours(1.0));
+  EXPECT_LE(r.sim_duration_ms, Hours(3.5));  // 1h trace + <=2h discovery + drain
 }
 
 TEST(Experiment, OltpSetupSpeedLevelsPropagate) {

@@ -18,10 +18,10 @@ ArrayParams TestArray() {
   return p;
 }
 
-HibernatorParams TestParams(Duration goal_ms = 25.0) {
+HibernatorParams TestParams(Duration goal_ms = Ms(25.0)) {
   HibernatorParams p;
   p.goal_ms = goal_ms;
-  p.epoch_ms = HoursToMs(0.25);  // 15-minute epochs keep the tests short
+  p.epoch_ms = Hours(0.25);  // 15-minute epochs keep the tests short
   return p;
 }
 
@@ -53,15 +53,15 @@ void Replay(Simulator& sim, ArrayController& array, WorkloadSource& workload, Si
 TEST(Hibernator, SlowsDownUnderLightLoad) {
   Simulator sim;
   ArrayController array(&sim, TestArray());
-  HibernatorPolicy policy(TestParams(40.0));
+  HibernatorPolicy policy(TestParams(Ms(40.0)));
   policy.Attach(&sim, &array);
 
   ConstantWorkloadParams wp;
   wp.address_space_sectors = array.params().DataSectors();
-  wp.duration_ms = HoursToMs(1.0);
+  wp.duration_ms = Hours(1.0);
   wp.iops = 10.0;  // trivially light
   ConstantWorkload workload(wp);
-  Replay(sim, array, workload, HoursToMs(1.0));
+  Replay(sim, array, workload, Hours(1.0));
 
   EXPECT_GE(policy.epochs_completed(), 3);
   int slow_disks = 0;
@@ -76,15 +76,15 @@ TEST(Hibernator, SlowsDownUnderLightLoad) {
 TEST(Hibernator, StaysFastWhenGoalIsTight) {
   Simulator sim;
   ArrayController array(&sim, TestArray());
-  HibernatorPolicy policy(TestParams(7.0));  // barely above service time
+  HibernatorPolicy policy(TestParams(Ms(7.0)));  // barely above service time
   policy.Attach(&sim, &array);
 
   ConstantWorkloadParams wp;
   wp.address_space_sectors = array.params().DataSectors();
-  wp.duration_ms = HoursToMs(1.0);
+  wp.duration_ms = Hours(1.0);
   wp.iops = 40.0;
   ConstantWorkload workload(wp);
-  Replay(sim, array, workload, HoursToMs(1.0));
+  Replay(sim, array, workload, Hours(1.0));
 
   for (int i = 0; i < array.num_data_disks(); ++i) {
     EXPECT_EQ(array.disk(i).target_rpm(), 15000) << "disk " << i;
@@ -96,7 +96,7 @@ TEST(Hibernator, EpochsTick) {
   ArrayController array(&sim, TestArray());
   HibernatorPolicy policy(TestParams());
   policy.Attach(&sim, &array);
-  sim.RunUntil(HoursToMs(1.0));
+  sim.RunUntil(Hours(1.0));
   EXPECT_EQ(policy.epochs_completed(), 4);  // 15-min epochs
 }
 
@@ -104,19 +104,19 @@ TEST(Hibernator, MigrationMovesHotDataUnderSkew) {
   Simulator sim;
   ArrayParams ap = TestArray();
   ArrayController array(&sim, ap);
-  HibernatorParams hp = TestParams(40.0);
+  HibernatorParams hp = TestParams(Ms(40.0));
   hp.migration_budget_extents = 64;
   HibernatorPolicy policy(hp);
   policy.Attach(&sim, &array);
 
   OltpWorkloadParams wp;
   wp.address_space_sectors = ap.DataSectors();
-  wp.duration_ms = HoursToMs(2.0);
+  wp.duration_ms = Hours(2.0);
   wp.peak_iops = 60.0;
   wp.trough_iops = 60.0;
   wp.zipf_theta = 1.1;  // strong skew
   OltpWorkload workload(wp);
-  Replay(sim, array, workload, HoursToMs(2.0));
+  Replay(sim, array, workload, Hours(2.0));
 
   EXPECT_GT(policy.migrations_requested(), 0);
   EXPECT_GT(array.stats().migrations_completed, 0);
@@ -126,18 +126,18 @@ TEST(Hibernator, NoMigrationFlagHonored) {
   Simulator sim;
   ArrayParams ap = TestArray();
   ArrayController array(&sim, ap);
-  HibernatorParams hp = TestParams(40.0);
+  HibernatorParams hp = TestParams(Ms(40.0));
   hp.enable_migration = false;
   HibernatorPolicy policy(hp);
   policy.Attach(&sim, &array);
 
   OltpWorkloadParams wp;
   wp.address_space_sectors = ap.DataSectors();
-  wp.duration_ms = HoursToMs(1.0);
+  wp.duration_ms = Hours(1.0);
   wp.peak_iops = 60.0;
   wp.trough_iops = 60.0;
   OltpWorkload workload(wp);
-  Replay(sim, array, workload, HoursToMs(1.0));
+  Replay(sim, array, workload, Hours(1.0));
 
   EXPECT_EQ(policy.migrations_requested(), 0);
   EXPECT_EQ(array.stats().migrations_completed, 0);
@@ -148,17 +148,17 @@ TEST(Hibernator, BoostTriggersWhenGoalViolated) {
   ArrayController array(&sim, TestArray());
   // Impossible goal (below service time) with nonzero load: the credit
   // account must go negative and trigger a boost almost immediately.
-  HibernatorParams hp = TestParams(1.0);
+  HibernatorParams hp = TestParams(Ms(1.0));
   hp.credit_cap_requests = 100.0;
   HibernatorPolicy policy(hp);
   policy.Attach(&sim, &array);
 
   ConstantWorkloadParams wp;
   wp.address_space_sectors = array.params().DataSectors();
-  wp.duration_ms = HoursToMs(0.5);
+  wp.duration_ms = Hours(0.5);
   wp.iops = 30.0;
   ConstantWorkload workload(wp);
-  Replay(sim, array, workload, HoursToMs(0.5));
+  Replay(sim, array, workload, Hours(0.5));
 
   EXPECT_GE(policy.boosts(), 1);
   EXPECT_TRUE(policy.boosted());  // goal unreachable: stays boosted
@@ -170,17 +170,17 @@ TEST(Hibernator, BoostTriggersWhenGoalViolated) {
 TEST(Hibernator, NoBoostWhenDisabled) {
   Simulator sim;
   ArrayController array(&sim, TestArray());
-  HibernatorParams hp = TestParams(1.0);  // impossible goal
+  HibernatorParams hp = TestParams(Ms(1.0));  // impossible goal
   hp.enable_boost = false;
   HibernatorPolicy policy(hp);
   policy.Attach(&sim, &array);
 
   ConstantWorkloadParams wp;
   wp.address_space_sectors = array.params().DataSectors();
-  wp.duration_ms = HoursToMs(0.5);
+  wp.duration_ms = Hours(0.5);
   wp.iops = 30.0;
   ConstantWorkload workload(wp);
-  Replay(sim, array, workload, HoursToMs(0.5));
+  Replay(sim, array, workload, Hours(0.5));
 
   EXPECT_EQ(policy.boosts(), 0);
 }
@@ -188,7 +188,7 @@ TEST(Hibernator, NoBoostWhenDisabled) {
 TEST(Hibernator, UtilizationThresholdVariantRuns) {
   Simulator sim;
   ArrayController array(&sim, TestArray());
-  HibernatorParams hp = TestParams(40.0);
+  HibernatorParams hp = TestParams(Ms(40.0));
   hp.use_cr = false;
   hp.enable_boost = false;  // isolate the speed-setting path
   HibernatorPolicy policy(hp);
@@ -197,10 +197,10 @@ TEST(Hibernator, UtilizationThresholdVariantRuns) {
 
   ConstantWorkloadParams wp;
   wp.address_space_sectors = array.params().DataSectors();
-  wp.duration_ms = HoursToMs(1.0);
+  wp.duration_ms = Hours(1.0);
   wp.iops = 10.0;
   ConstantWorkload workload(wp);
-  Replay(sim, array, workload, HoursToMs(1.0));
+  Replay(sim, array, workload, Hours(1.0));
 
   // The naive variant also slows down under light load.
   int slow = 0;
@@ -213,15 +213,15 @@ TEST(Hibernator, UtilizationThresholdVariantRuns) {
 TEST(Hibernator, GroupLevelsMatchDiskSpeeds) {
   Simulator sim;
   ArrayController array(&sim, TestArray());
-  HibernatorPolicy policy(TestParams(40.0));
+  HibernatorPolicy policy(TestParams(Ms(40.0)));
   policy.Attach(&sim, &array);
 
   ConstantWorkloadParams wp;
   wp.address_space_sectors = array.params().DataSectors();
-  wp.duration_ms = HoursToMs(1.0);
+  wp.duration_ms = Hours(1.0);
   wp.iops = 10.0;
   ConstantWorkload workload(wp);
-  Replay(sim, array, workload, HoursToMs(1.0));
+  Replay(sim, array, workload, Hours(1.0));
 
   const DiskParams& dp = array.params().disk;
   const LayoutManager& layout = array.layout();
@@ -236,17 +236,21 @@ TEST(Hibernator, GroupLevelsMatchDiskSpeeds) {
 }
 
 TEST(MaxElementwise, BasicAndEmpty) {
-  EXPECT_EQ(MaxElementwise({1.0, 5.0}, {3.0, 2.0}), (std::vector<double>{3.0, 5.0}));
-  EXPECT_EQ(MaxElementwise({1.0, 5.0}, {}), (std::vector<double>{1.0, 5.0}));
-  EXPECT_EQ(MaxElementwise({1.0}, {3.0, 9.0}), (std::vector<double>{3.0}));
+  using FreqVec = std::vector<Frequency>;
+  EXPECT_EQ(MaxElementwise(FreqVec{PerMs(1.0), PerMs(5.0)}, FreqVec{PerMs(3.0), PerMs(2.0)}),
+            (FreqVec{PerMs(3.0), PerMs(5.0)}));
+  EXPECT_EQ(MaxElementwise(FreqVec{PerMs(1.0), PerMs(5.0)}, FreqVec{}),
+            (FreqVec{PerMs(1.0), PerMs(5.0)}));
+  EXPECT_EQ(MaxElementwise(FreqVec{PerMs(1.0)}, FreqVec{PerMs(3.0), PerMs(9.0)}),
+            (FreqVec{PerMs(3.0)}));
 }
 
 TEST(Hibernator, HistoryPredictionRemembersYesterday) {
   Simulator sim;
   ArrayController array(&sim, TestArray());
-  HibernatorParams hp = TestParams(40.0);
+  HibernatorParams hp = TestParams(Ms(40.0));
   hp.use_history_prediction = true;
-  hp.history_period_ms = HoursToMs(0.5);  // "a day" = 2 epochs for the test
+  hp.history_period_ms = Hours(0.5);  // "a day" = 2 epochs for the test
   HibernatorPolicy policy(hp);
   policy.Attach(&sim, &array);
 
@@ -255,10 +259,10 @@ TEST(Hibernator, HistoryPredictionRemembersYesterday) {
   // exactly one period after the busy one must not drop to the floor speed.
   ConstantWorkloadParams wp;
   wp.address_space_sectors = array.params().DataSectors();
-  wp.duration_ms = HoursToMs(0.25);  // only the first epoch sees traffic
+  wp.duration_ms = Hours(0.25);  // only the first epoch sees traffic
   wp.iops = 80.0;
   ConstantWorkload workload(wp);
-  Replay(sim, array, workload, HoursToMs(1.0));
+  Replay(sim, array, workload, Hours(1.0));
   EXPECT_GE(policy.epochs_completed(), 3);
   // The run completes; behavioural details are covered by the CR tests.  The
   // key check: prediction never makes the policy unstable (no crash, epochs
@@ -276,17 +280,17 @@ TEST(Hibernator, BoostOverridesPendingStaggeredChanges) {
   // staggered change had not fired yet, stranding them slow.)
   Simulator sim;
   ArrayController array(&sim, TestArray());
-  HibernatorParams hp = TestParams(1.0);  // impossible goal: boost will fire
-  hp.stagger_ms = SecondsToMs(300.0);     // changes 5 minutes apart
+  HibernatorParams hp = TestParams(Ms(1.0));  // impossible goal: boost will fire
+  hp.stagger_ms = Seconds(300.0);     // changes 5 minutes apart
   HibernatorPolicy policy(hp);
   policy.Attach(&sim, &array);
 
   ConstantWorkloadParams wp;
   wp.address_space_sectors = array.params().DataSectors();
-  wp.duration_ms = HoursToMs(1.0);
+  wp.duration_ms = Hours(1.0);
   wp.iops = 30.0;
   ConstantWorkload workload(wp);
-  Replay(sim, array, workload, HoursToMs(1.0));
+  Replay(sim, array, workload, Hours(1.0));
 
   ASSERT_TRUE(policy.boosted());
   for (int i = 0; i < array.num_data_disks(); ++i) {
@@ -295,7 +299,7 @@ TEST(Hibernator, BoostOverridesPendingStaggeredChanges) {
 }
 
 TEST(Hibernator, DescribeMentionsConfiguration) {
-  HibernatorParams hp = TestParams(33.0);
+  HibernatorParams hp = TestParams(Ms(33.0));
   hp.enable_migration = false;
   HibernatorPolicy policy(hp);
   std::string desc = policy.Describe();

@@ -21,20 +21,21 @@ ArrayParams SmallArray() {
   return p;
 }
 
-OltpWorkloadParams ShortOltp(SectorAddr space, Duration hours = 2.0) {
+OltpWorkloadParams ShortOltp(SectorAddr space, double hours = 2.0) {
   OltpWorkloadParams p;
   p.address_space_sectors = space;
-  p.duration_ms = HoursToMs(hours);
+  p.duration_ms = Hours(hours);
   p.peak_iops = 80.0;
   p.trough_iops = 25.0;
   return p;
 }
 
-ExperimentResult RunScheme(Scheme scheme, const ArrayParams& base_array, Duration goal_ms = 0.0) {
+ExperimentResult RunScheme(Scheme scheme, const ArrayParams& base_array,
+                           Duration goal_ms = Duration{}) {
   SchemeConfig cfg;
   cfg.scheme = scheme;
-  cfg.goal_ms = goal_ms > 0.0 ? goal_ms : 25.0;
-  cfg.epoch_ms = HoursToMs(0.25);
+  cfg.goal_ms = goal_ms > Duration{} ? goal_ms : Ms(25.0);
+  cfg.epoch_ms = Hours(0.25);
   ArrayParams array = ArrayFor(cfg, base_array);
   auto policy = MakePolicy(cfg);
   OltpWorkload workload(ShortOltp(array.DataSectors()));
@@ -61,8 +62,8 @@ TEST(Integration, RunsAreDeterministic) {
   ArrayParams array = SmallArray();
   ExperimentResult a = RunScheme(Scheme::kHibernator, array);
   ExperimentResult b = RunScheme(Scheme::kHibernator, array);
-  EXPECT_DOUBLE_EQ(a.energy_total, b.energy_total);
-  EXPECT_DOUBLE_EQ(a.mean_response_ms, b.mean_response_ms);
+  EXPECT_EQ(a.energy_total, b.energy_total);
+  EXPECT_EQ(a.mean_response_ms, b.mean_response_ms);
   EXPECT_EQ(a.requests, b.requests);
   EXPECT_EQ(a.rpm_changes, b.rpm_changes);
 }
@@ -70,7 +71,7 @@ TEST(Integration, RunsAreDeterministic) {
 TEST(Integration, HibernatorSavesEnergyAndMeetsGoal) {
   ArrayParams array = SmallArray();
   ExperimentResult base = RunScheme(Scheme::kBase, array);
-  double goal = 2.5 * base.mean_response_ms;
+  Duration goal = 2.5 * base.mean_response_ms;
   ExperimentResult hib = RunScheme(Scheme::kHibernator, array, goal);
   EXPECT_LT(hib.energy_total, base.energy_total);
   EXPECT_GT(hib.SavingsVs(base), 0.10);
@@ -86,10 +87,11 @@ TEST(Integration, BaseNeverTransitions) {
 
 TEST(Integration, EnergyBreakdownConsistent) {
   ExperimentResult r = RunScheme(Scheme::kHibernator, SmallArray());
-  EXPECT_NEAR(r.energy_total,
-              r.energy.active + r.energy.idle + r.energy.standby + r.energy.transition, 1e-6);
+  EXPECT_NEAR(r.energy_total.value(),
+              (r.energy.active + r.energy.idle + r.energy.standby + r.energy.transition).value(),
+              1e-6);
   // Total metered time = disks * duration.
-  EXPECT_NEAR(r.energy.TotalMs(), 8.0 * r.sim_duration_ms, 1.0);
+  EXPECT_NEAR(r.energy.TotalMs().value(), (8.0 * r.sim_duration_ms).value(), 1.0);
 }
 
 TEST(Integration, TpmSavesOnMostlyIdleWorkload) {
@@ -101,7 +103,7 @@ TEST(Integration, TpmSavesOnMostlyIdleWorkload) {
 
   ConstantWorkloadParams wp;
   wp.address_space_sectors = array.DataSectors();
-  wp.duration_ms = HoursToMs(3.0);
+  wp.duration_ms = Hours(3.0);
   wp.iops = 0.002;  // a request every ~8 minutes: deep idle gaps
 
   auto base_policy = MakePolicy(base_cfg);
@@ -137,26 +139,26 @@ TEST(Integration, DrpmMakesFineGrainedTransitions) {
 TEST(Integration, HibernatorAblationsRun) {
   ArrayParams array = SmallArray();
   ExperimentResult base = RunScheme(Scheme::kBase, array);
-  double goal = 2.5 * base.mean_response_ms;
+  Duration goal = 2.5 * base.mean_response_ms;
   for (Scheme scheme : {Scheme::kHibernatorNoMigration, Scheme::kHibernatorNoBoost,
                         Scheme::kHibernatorUtilThreshold}) {
     ExperimentResult r = RunScheme(scheme, array, goal);
     EXPECT_EQ(r.requests, base.requests) << SchemeName(scheme);
-    EXPECT_GT(r.energy_total, 0.0);
+    EXPECT_GT(r.energy_total, Joules{});
   }
 }
 
 TEST(Integration, SeriesCollectionWorks) {
   SchemeConfig cfg;
   cfg.scheme = Scheme::kHibernator;
-  cfg.goal_ms = 25.0;
-  cfg.epoch_ms = HoursToMs(0.25);
+  cfg.goal_ms = Ms(25.0);
+  cfg.epoch_ms = Hours(0.25);
   ArrayParams array = ArrayFor(cfg, SmallArray());
   auto policy = MakePolicy(cfg);
   OltpWorkload workload(ShortOltp(array.DataSectors()));
   ExperimentOptions options;
   options.collect_series = true;
-  options.sample_period_ms = HoursToMs(0.25);
+  options.sample_period_ms = Hours(0.25);
   ExperimentResult r = RunExperiment(workload, *policy, array, options);
   ASSERT_GE(r.series.size(), 7u);
   for (const SeriesPoint& p : r.series) {
@@ -165,7 +167,7 @@ TEST(Integration, SeriesCollectionWorks) {
       disks += n;
     }
     EXPECT_EQ(disks, 8);  // every disk accounted for at every sample
-    EXPECT_GE(p.energy_so_far, 0.0);
+    EXPECT_GE(p.energy_so_far, Joules{});
   }
   // Energy is monotone over time.
   for (std::size_t i = 1; i < r.series.size(); ++i) {
@@ -176,13 +178,13 @@ TEST(Integration, SeriesCollectionWorks) {
 TEST(Integration, MeasureBaseResponseProbe) {
   ArrayParams array = SmallArray();
   OltpWorkload workload(ShortOltp(array.DataSectors()));
-  Duration base_ms = MeasureBaseResponseMs(workload, array, HoursToMs(0.5));
-  EXPECT_GT(base_ms, 2.0);
-  EXPECT_LT(base_ms, 30.0);
+  Duration base_ms = MeasureBaseResponseMs(workload, array, Hours(0.5));
+  EXPECT_GT(base_ms, Ms(2.0));
+  EXPECT_LT(base_ms, Ms(30.0));
   // The probe must leave the workload rewound.
   TraceRecord rec;
   ASSERT_TRUE(workload.Next(&rec));
-  EXPECT_LT(rec.time, SecondsToMs(60.0));
+  EXPECT_LT(rec.time, Seconds(60.0));
 }
 
 TEST(Integration, StandardSetupsAreValid) {

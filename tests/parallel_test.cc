@@ -28,7 +28,7 @@ ArrayParams TinyArray() {
 ConstantWorkloadParams TinyWorkload(SectorAddr space) {
   ConstantWorkloadParams p;
   p.address_space_sectors = space;
-  p.duration_ms = HoursToMs(0.25);
+  p.duration_ms = Hours(0.25);
   p.iops = 25.0;
   return p;
 }
@@ -37,7 +37,7 @@ std::vector<ExperimentSpec> MakeSpecs() {
   std::vector<ExperimentSpec> specs;
   ExperimentOptions options;
   options.collect_series = true;
-  options.sample_period_ms = HoursToMs(0.05);
+  options.sample_period_ms = Hours(0.05);
   for (Scheme s : {Scheme::kBase, Scheme::kTpm, Scheme::kDrpm, Scheme::kHibernator,
                    Scheme::kBase, Scheme::kTpm}) {
     SchemeConfig cfg;

@@ -36,26 +36,26 @@ TraceRecord MakeRecord(SectorAddr lba, bool write = false) {
 TEST(TpmBreakEven, MatchesClosedForm) {
   DiskParams disk = MakeUltrastar36Z15MultiSpeed(5);
   // (13 + 135) J / (10.2 - 1.5) W = ~17.0 s, plus transition times.
-  Duration expected = SecondsToMs((13.0 + 135.0) / (10.2 - 1.5)) + 1500.0 + 10900.0;
-  EXPECT_NEAR(TpmBreakEvenMs(disk), expected, 1e-6);
+  Duration expected = Seconds((13.0 + 135.0) / (10.2 - 1.5)) + Ms(1500.0) + Ms(10900.0);
+  EXPECT_NEAR(TpmBreakEvenMs(disk).value(), expected.value(), 1e-6);
 }
 
 TEST(TpmBreakEven, InfiniteWhenStandbySavesNothing) {
   DiskParams disk = MakeUltrastar36Z15MultiSpeed(5);
   disk.standby_power = disk.speeds.back().idle_power;
-  EXPECT_GT(TpmBreakEvenMs(disk), 1e12);
+  EXPECT_GT(TpmBreakEvenMs(disk), Ms(1e12));
 }
 
 TEST(Tpm, SpinsDownIdleDisksAfterThreshold) {
   Simulator sim;
   ArrayController array(&sim, TestArray());
   TpmParams params;
-  params.idle_threshold_ms = SecondsToMs(10.0);
+  params.idle_threshold_ms = Seconds(10.0);
   TpmPolicy policy(params);
   policy.Attach(&sim, &array);
-  sim.RunUntil(SecondsToMs(5.0));
+  sim.RunUntil(Seconds(5.0));
   EXPECT_EQ(array.disk(0).state(), DiskPowerState::kIdle);  // not yet
-  sim.RunUntil(SecondsToMs(30.0));
+  sim.RunUntil(Seconds(30.0));
   for (int i = 0; i < array.num_data_disks(); ++i) {
     EXPECT_EQ(array.disk(i).state(), DiskPowerState::kStandby) << "disk " << i;
   }
@@ -65,13 +65,13 @@ TEST(Tpm, ActivityResetsIdleClock) {
   Simulator sim;
   ArrayController array(&sim, TestArray());
   TpmParams params;
-  params.idle_threshold_ms = SecondsToMs(20.0);
+  params.idle_threshold_ms = Seconds(20.0);
   TpmPolicy policy(params);
   policy.Attach(&sim, &array);
   // Keep one extent (group 0) warm with periodic I/O.
-  sim.SchedulePeriodic(SecondsToMs(5.0), SecondsToMs(5.0),
+  sim.SchedulePeriodic(Seconds(5.0), Seconds(5.0),
                        [&] { array.Submit(MakeRecord(0)); });
-  sim.RunUntil(SecondsToMs(60.0));
+  sim.RunUntil(Seconds(60.0));
   bool group0_up = false;
   for (int i = 0; i < 4; ++i) {
     group0_up |= array.disk(i).state() != DiskPowerState::kStandby;
@@ -87,27 +87,27 @@ TEST(Tpm, SpinUpOnDemandServesRequest) {
   Simulator sim;
   ArrayController array(&sim, TestArray());
   TpmParams params;
-  params.idle_threshold_ms = SecondsToMs(5.0);
+  params.idle_threshold_ms = Seconds(5.0);
   TpmPolicy policy(params);
   policy.Attach(&sim, &array);
-  sim.RunUntil(SecondsToMs(20.0));
+  sim.RunUntil(Seconds(20.0));
   ASSERT_EQ(array.disk(0).state(), DiskPowerState::kStandby);
-  Duration response = -1.0;
+  Duration response = Ms(-1.0);
   array.Submit(MakeRecord(0), [&](Duration r) { response = r; });
-  sim.RunUntil(SecondsToMs(60.0));
-  EXPECT_GT(response, SecondsToMs(10.0));  // paid the spin-up
+  sim.RunUntil(Seconds(60.0));
+  EXPECT_GT(response, Seconds(10.0));  // paid the spin-up
 }
 
 TEST(Tpm, DiskRangeRestriction) {
   Simulator sim;
   ArrayController array(&sim, TestArray());
   TpmParams params;
-  params.idle_threshold_ms = SecondsToMs(5.0);
+  params.idle_threshold_ms = Seconds(5.0);
   params.first_disk = 4;
   params.last_disk = 8;
   TpmPolicy policy(params);
   policy.Attach(&sim, &array);
-  sim.RunUntil(SecondsToMs(30.0));
+  sim.RunUntil(Seconds(30.0));
   EXPECT_EQ(array.disk(0).state(), DiskPowerState::kIdle);
   EXPECT_EQ(array.disk(5).state(), DiskPowerState::kStandby);
 }
@@ -126,10 +126,10 @@ TEST(Drpm, StepsDownWhenIdle) {
   Simulator sim;
   ArrayController array(&sim, TestArray());
   DrpmParams params;
-  params.control_period_ms = SecondsToMs(2.0);
+  params.control_period_ms = Seconds(2.0);
   DrpmPolicy policy(params);
   policy.Attach(&sim, &array);
-  sim.RunUntil(SecondsToMs(120.0));
+  sim.RunUntil(Seconds(120.0));
   // With zero load every disk should have walked down to the lowest level.
   for (int i = 0; i < array.num_data_disks(); ++i) {
     EXPECT_EQ(array.disk(i).target_rpm(), 3000) << "disk " << i;
@@ -140,10 +140,10 @@ TEST(Drpm, StepDownIsGradual) {
   Simulator sim;
   ArrayController array(&sim, TestArray());
   DrpmParams params;
-  params.control_period_ms = SecondsToMs(2.0);
+  params.control_period_ms = Seconds(2.0);
   DrpmPolicy policy(params);
   policy.Attach(&sim, &array);
-  sim.RunUntil(SecondsToMs(2.5));  // one control tick
+  sim.RunUntil(Seconds(2.5));  // one control tick
   EXPECT_EQ(array.disk(0).target_rpm(), 12000);  // one step, not a plunge
 }
 
@@ -151,15 +151,15 @@ TEST(Drpm, QueueBuildupJumpsToFullSpeed) {
   Simulator sim;
   ArrayController array(&sim, TestArray());
   DrpmParams params;
-  params.control_period_ms = SecondsToMs(2.0);
+  params.control_period_ms = Seconds(2.0);
   params.queue_up_watermark = 3;
   DrpmPolicy policy(params);
   policy.Attach(&sim, &array);
-  sim.RunUntil(SecondsToMs(60.0));  // everyone slow now
+  sim.RunUntil(Seconds(60.0));  // everyone slow now
   ASSERT_EQ(array.disk(0).target_rpm(), 3000);
   // Flood group 0's first disk with reads of one extent.
-  sim.SchedulePeriodic(SecondsToMs(60.0), 2.0, [&] { array.Submit(MakeRecord(0)); });
-  sim.RunUntil(SecondsToMs(70.0));
+  sim.SchedulePeriodic(Seconds(60.0), Ms(2.0), [&] { array.Submit(MakeRecord(0)); });
+  sim.RunUntil(Seconds(70.0));
   bool any_full = false;
   for (int i = 0; i < 4; ++i) {
     any_full |= array.disk(i).target_rpm() == 15000;
@@ -172,10 +172,10 @@ TEST(Drpm, ManyTransitionsUnderOscillatingLoad) {
   Simulator sim;
   ArrayController array(&sim, TestArray());
   DrpmParams params;
-  params.control_period_ms = SecondsToMs(2.0);
+  params.control_period_ms = Seconds(2.0);
   DrpmPolicy policy(params);
   policy.Attach(&sim, &array);
-  sim.RunUntil(SecondsToMs(300.0));
+  sim.RunUntil(Seconds(300.0));
   std::int64_t changes = 0;
   for (int i = 0; i < array.num_data_disks(); ++i) {
     changes += array.disk(i).stats().rpm_changes;
@@ -189,8 +189,8 @@ TEST(Pdc, MigratesHotExtentsToFirstDisks) {
   Simulator sim;
   ArrayController array(&sim, TestArray(1));
   PdcParams params;
-  params.reorg_period_ms = SecondsToMs(60.0);
-  params.idle_threshold_ms = HoursToMs(10.0);  // disable spin-down for this test
+  params.reorg_period_ms = Seconds(60.0);
+  params.idle_threshold_ms = Hours(10.0);  // disable spin-down for this test
   PdcPolicy policy(params);
   policy.Attach(&sim, &array);
 
@@ -198,8 +198,8 @@ TEST(Pdc, MigratesHotExtentsToFirstDisks) {
   std::int64_t hot_extent = 5;  // round-robin start: group 5
   ASSERT_EQ(array.layout().GroupOf(hot_extent), 5);
   SectorAddr hot_lba = hot_extent * array.params().extent_sectors;
-  sim.SchedulePeriodic(100.0, 100.0, [&] { array.Submit(MakeRecord(hot_lba)); });
-  sim.RunUntil(SecondsToMs(180.0));
+  sim.SchedulePeriodic(Ms(100.0), Ms(100.0), [&] { array.Submit(MakeRecord(hot_lba)); });
+  sim.RunUntil(Seconds(180.0));
   EXPECT_EQ(array.layout().GroupOf(hot_extent), 0);
   EXPECT_GT(array.stats().migrations_completed, 0);
 }
@@ -208,11 +208,11 @@ TEST(Pdc, ColdDisksSpinDown) {
   Simulator sim;
   ArrayController array(&sim, TestArray(1));
   PdcParams params;
-  params.reorg_period_ms = SecondsToMs(60.0);
-  params.idle_threshold_ms = SecondsToMs(10.0);
+  params.reorg_period_ms = Seconds(60.0);
+  params.idle_threshold_ms = Seconds(10.0);
   PdcPolicy policy(params);
   policy.Attach(&sim, &array);
-  sim.RunUntil(SecondsToMs(40.0));
+  sim.RunUntil(Seconds(40.0));
   int asleep = 0;
   for (int i = 0; i < array.num_data_disks(); ++i) {
     asleep += array.disk(i).state() == DiskPowerState::kStandby ? 1 : 0;
@@ -224,12 +224,12 @@ TEST(Pdc, RespectsMigrationBudget) {
   Simulator sim;
   ArrayController array(&sim, TestArray(1));
   PdcParams params;
-  params.reorg_period_ms = SecondsToMs(30.0);
+  params.reorg_period_ms = Seconds(30.0);
   params.migration_budget_extents = 3;
-  params.idle_threshold_ms = HoursToMs(10.0);
+  params.idle_threshold_ms = Hours(10.0);
   PdcPolicy policy(params);
   policy.Attach(&sim, &array);
-  sim.RunUntil(SecondsToMs(59.0));  // one reorg pass, time to drain 3 moves
+  sim.RunUntil(Seconds(59.0));  // one reorg pass, time to drain 3 moves
   EXPECT_LE(array.stats().migrations_completed, 3);
 }
 
@@ -239,11 +239,11 @@ TEST(Maid, CopiesReadExtentToCacheDisk) {
   Simulator sim;
   ArrayController array(&sim, TestArray(1, /*cache_disks=*/1));
   MaidParams params;
-  params.idle_threshold_ms = HoursToMs(10.0);
+  params.idle_threshold_ms = Hours(10.0);
   MaidPolicy policy(params);
   policy.Attach(&sim, &array);
   array.Submit(MakeRecord(0));
-  sim.RunUntil(SecondsToMs(30.0));
+  sim.RunUntil(Seconds(30.0));
   EXPECT_EQ(policy.copies_started(), 1);
   EXPECT_GT(array.disk(array.cache_disk_id(0)).stats().sectors_written, 0);
 }
@@ -252,14 +252,14 @@ TEST(Maid, SecondReadHitsCacheDisk) {
   Simulator sim;
   ArrayController array(&sim, TestArray(1, 1));
   MaidParams params;
-  params.idle_threshold_ms = HoursToMs(10.0);
+  params.idle_threshold_ms = Hours(10.0);
   MaidPolicy policy(params);
   policy.Attach(&sim, &array);
   array.Submit(MakeRecord(0));
-  sim.RunUntil(SecondsToMs(30.0));
+  sim.RunUntil(Seconds(30.0));
   std::int64_t data_reads_before = array.disk(0).stats().foreground_completed;
   array.Submit(MakeRecord(0));
-  sim.RunUntil(SecondsToMs(60.0));
+  sim.RunUntil(Seconds(60.0));
   EXPECT_EQ(policy.cache_hits(), 1);
   // The second read went to the cache disk, not back to data disk 0.
   EXPECT_EQ(array.disk(0).stats().foreground_completed, data_reads_before);
@@ -269,15 +269,15 @@ TEST(Maid, WriteInvalidatesCachedExtent) {
   Simulator sim;
   ArrayController array(&sim, TestArray(1, 1));
   MaidParams params;
-  params.idle_threshold_ms = HoursToMs(10.0);
+  params.idle_threshold_ms = Hours(10.0);
   MaidPolicy policy(params);
   policy.Attach(&sim, &array);
   array.Submit(MakeRecord(0));
-  sim.RunUntil(SecondsToMs(30.0));
+  sim.RunUntil(Seconds(30.0));
   array.Submit(MakeRecord(0, /*write=*/true));
-  sim.RunUntil(SecondsToMs(60.0));
+  sim.RunUntil(Seconds(60.0));
   array.Submit(MakeRecord(0));
-  sim.RunUntil(SecondsToMs(90.0));
+  sim.RunUntil(Seconds(90.0));
   EXPECT_EQ(policy.cache_hits(), 0);
   EXPECT_EQ(policy.copies_started(), 2);  // re-cached after invalidation
 }
@@ -287,16 +287,16 @@ TEST(Maid, LruEvictionWhenCacheFull) {
   ArrayController array(&sim, TestArray(1, 1));
   MaidParams params;
   params.cache_extents = 2;
-  params.idle_threshold_ms = HoursToMs(10.0);
+  params.idle_threshold_ms = Hours(10.0);
   MaidPolicy policy(params);
   policy.Attach(&sim, &array);
   SectorCount ext = array.params().extent_sectors;
   for (std::int64_t e : {0, 1, 2}) {  // third insert evicts extent 0
     array.Submit(MakeRecord(e * ext));
-    sim.RunUntil(sim.Now() + SecondsToMs(20.0));
+    sim.RunUntil(sim.Now() + Seconds(20.0));
   }
   array.Submit(MakeRecord(0));
-  sim.RunUntil(sim.Now() + SecondsToMs(20.0));
+  sim.RunUntil(sim.Now() + Seconds(20.0));
   EXPECT_EQ(policy.cache_hits(), 0);
   EXPECT_EQ(policy.copies_started(), 4);
 }
@@ -305,10 +305,10 @@ TEST(Maid, DataDisksSleepCacheDisksStayOn) {
   Simulator sim;
   ArrayController array(&sim, TestArray(1, 1));
   MaidParams params;
-  params.idle_threshold_ms = SecondsToMs(10.0);
+  params.idle_threshold_ms = Seconds(10.0);
   MaidPolicy policy(params);
   policy.Attach(&sim, &array);
-  sim.RunUntil(SecondsToMs(60.0));
+  sim.RunUntil(Seconds(60.0));
   for (int i = 0; i < array.num_data_disks(); ++i) {
     EXPECT_EQ(array.disk(i).state(), DiskPowerState::kStandby);
   }
@@ -325,7 +325,7 @@ TEST(AdaptiveTpm, StartsAtWeightedMeanOfExperts) {
   // Uniform weights: threshold = break-even * mean(multipliers).
   DiskParams dp = array.params().disk;
   double mean_mult = (0.25 + 0.5 + 1.0 + 2.0 + 4.0) / 5.0;
-  EXPECT_NEAR(policy.ThresholdOf(0), TpmBreakEvenMs(dp) * mean_mult, 1.0);
+  EXPECT_NEAR(policy.ThresholdOf(0).value(), (TpmBreakEvenMs(dp) * mean_mult).value(), 1.0);
 }
 
 TEST(AdaptiveTpm, SpinsDownAfterLearnedThreshold) {
@@ -333,7 +333,7 @@ TEST(AdaptiveTpm, SpinsDownAfterLearnedThreshold) {
   ArrayController array(&sim, TestArray());
   AdaptiveTpmPolicy policy;
   policy.Attach(&sim, &array);
-  sim.RunUntil(HoursToMs(1.0));  // totally idle
+  sim.RunUntil(Hours(1.0));  // totally idle
   for (int i = 0; i < array.num_data_disks(); ++i) {
     EXPECT_EQ(array.disk(i).state(), DiskPowerState::kStandby) << "disk " << i;
   }
@@ -347,13 +347,13 @@ TEST(AdaptiveTpm, LongGapsLowerTheThreshold) {
   Duration initial = policy.ThresholdOf(0);
   // A request every 30 minutes leaves gaps far beyond every expert: the
   // aggressive (small) experts have the least regret and gain weight.
-  sim.SchedulePeriodic(HoursToMs(0.5), HoursToMs(0.5), [&] {
+  sim.SchedulePeriodic(Hours(0.5), Hours(0.5), [&] {
     TraceRecord rec;
     rec.lba = 0;
     rec.count = 8;
     array.Submit(rec);
   });
-  sim.RunUntil(HoursToMs(8.0));
+  sim.RunUntil(Hours(8.0));
   EXPECT_LT(policy.ThresholdOf(0), initial);
 }
 
@@ -372,7 +372,7 @@ TEST(AdaptiveTpm, ShortGapsRaiseTheThreshold) {
     rec.count = 8;
     array.Submit(rec);
   });
-  sim.RunUntil(HoursToMs(8.0));
+  sim.RunUntil(Hours(8.0));
   EXPECT_GT(policy.ThresholdOf(0), initial);
 }
 
@@ -391,7 +391,7 @@ TEST(FullPower, NeverChangesAnything) {
   ArrayController array(&sim, TestArray());
   FullPowerPolicy policy;
   policy.Attach(&sim, &array);
-  sim.RunUntil(HoursToMs(1.0));
+  sim.RunUntil(Hours(1.0));
   for (int i = 0; i < array.num_data_disks(); ++i) {
     EXPECT_EQ(array.disk(i).current_rpm(), 15000);
     EXPECT_EQ(array.disk(i).stats().rpm_changes, 0);

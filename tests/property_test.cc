@@ -27,7 +27,7 @@ TEST_P(DiskEnergyAtLevel, LedgerBalancesAtEveryLevel) {
   DiskParams params = MakeUltrastar36Z15MultiSpeed(5);
   Disk disk(&sim, params, 0, 11);
   disk.SetTargetRpm(params.speeds[static_cast<std::size_t>(level)].rpm);
-  sim.RunUntil(SecondsToMs(30.0));
+  sim.RunUntil(Seconds(30.0));
   ASSERT_EQ(disk.current_level(), level);
 
   for (int i = 0; i < 40; ++i) {
@@ -37,19 +37,19 @@ TEST_P(DiskEnergyAtLevel, LedgerBalancesAtEveryLevel) {
     req.is_write = (i % 3 == 0);
     disk.Submit(std::move(req));
   }
-  sim.RunUntil(SecondsToMs(600.0));
+  sim.RunUntil(Seconds(600.0));
 
   DiskEnergy e = disk.MeteredEnergy();
   // Ledger closes: total time fully attributed.
-  EXPECT_NEAR(e.TotalMs(), SecondsToMs(600.0), 1e-6);
+  EXPECT_NEAR(e.TotalMs().value(), Seconds(600.0).value(), 1e-6);
   // Idle segments drew exactly the level's idle power.
   const SpeedLevel& lvl = params.speeds[static_cast<std::size_t>(level)];
   Joules idle_expected = EnergyOf(lvl.idle_power, e.idle_ms);
   // Idle before the transition was at 15k; allow that prefix.
-  EXPECT_GE(e.idle + 1e-9, idle_expected * 0.99);
+  EXPECT_GE(e.idle + Joules(1e-9), idle_expected * 0.99);
   // Busy time drew active power of some level in range.
-  EXPECT_LE(e.active, EnergyOf(params.speeds.back().active_power, e.active_ms) + 1e-6);
-  EXPECT_GE(e.active, EnergyOf(params.speeds.front().active_power, e.active_ms) - 1e-6);
+  EXPECT_LE(e.active, EnergyOf(params.speeds.back().active_power, e.active_ms) + Joules(1e-6));
+  EXPECT_GE(e.active, EnergyOf(params.speeds.front().active_power, e.active_ms) - Joules(1e-6));
   EXPECT_EQ(disk.stats().requests_completed, 40);
 }
 
@@ -123,20 +123,20 @@ class Gg1Burstiness : public ::testing::TestWithParam<double> {};
 
 TEST_P(Gg1Burstiness, BurstierNeverFaster) {
   double ca2 = GetParam();
-  double s = 10.0;
+  Duration s = Ms(10.0);
   double cs2 = 0.3;
   for (double rho : {0.1, 0.4, 0.8}) {
-    double lambda = rho / s;
-    double bursty = Mg1Model::Gg1ResponseTime(lambda, s, cs2, ca2);
-    double poisson = Mg1Model::Gg1ResponseTime(lambda, s, cs2, 1.0);
+    Frequency lambda = rho / s;
+    Duration bursty = Mg1Model::Gg1ResponseTime(lambda, s, cs2, ca2);
+    Duration poisson = Mg1Model::Gg1ResponseTime(lambda, s, cs2, 1.0);
     if (ca2 >= 1.0) {
-      EXPECT_GE(bursty, poisson - 1e-12) << "rho=" << rho;
+      EXPECT_GE(bursty, poisson - Ms(1e-12)) << "rho=" << rho;
     } else {
-      EXPECT_LE(bursty, poisson + 1e-12) << "rho=" << rho;
+      EXPECT_LE(bursty, poisson + Ms(1e-12)) << "rho=" << rho;
     }
     // Poisson case collapses to M/G/1 exactly.
-    EXPECT_NEAR(Mg1Model::Gg1ResponseTime(lambda, s, cs2, 1.0),
-                Mg1Model::ResponseTime(lambda, s, cs2), 1e-12);
+    EXPECT_NEAR(Mg1Model::Gg1ResponseTime(lambda, s, cs2, 1.0).value(),
+                Mg1Model::ResponseTime(lambda, s, cs2).value(), 1e-12);
   }
 }
 
@@ -174,17 +174,17 @@ TEST_P(HibernatorGoalSweep, CumulativeMeanStaysNearGoal) {
   ap.cache_lines = 0;
   ArrayController array(&sim, ap);
 
-  double base_response = 7.0;  // approximate; the goal just scales with it
+  Duration base_response = Ms(7.0);  // approximate; the goal just scales with it
   HibernatorParams hp;
   hp.goal_ms = multiplier * base_response;
-  hp.epoch_ms = HoursToMs(0.5);
+  hp.epoch_ms = Hours(0.5);
   HibernatorPolicy* policy = new HibernatorPolicy(hp);  // owned below
   std::unique_ptr<PowerPolicy> owner(policy);
   policy->Attach(&sim, &array);
 
   OltpWorkloadParams wp;
   wp.address_space_sectors = ap.DataSectors();
-  wp.duration_ms = HoursToMs(3.0);
+  wp.duration_ms = Hours(3.0);
   wp.peak_iops = 60.0;
   wp.trough_iops = 30.0;
   OltpWorkload workload(wp);
@@ -199,7 +199,7 @@ TEST_P(HibernatorGoalSweep, CumulativeMeanStaysNearGoal) {
     }
   };
   next();
-  sim.RunUntil(HoursToMs(3.0) + SecondsToMs(30.0));
+  sim.RunUntil(Hours(3.0) + Seconds(30.0));
 
   // The credit account bounds the cumulative mean near the goal (the bank
   // starts empty, so overspending is impossible; small overshoot can persist

@@ -12,70 +12,70 @@ namespace {
 // ------------------------------------------------------------ Mg1Model -----
 
 TEST(Mg1, UtilizationIsLambdaTimesService) {
-  EXPECT_DOUBLE_EQ(Mg1Model::Utilization(0.05, 10.0), 0.5);
-  EXPECT_DOUBLE_EQ(Mg1Model::Utilization(0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(Mg1Model::Utilization(PerMs(0.05), Ms(10.0)), 0.5);
+  EXPECT_DOUBLE_EQ(Mg1Model::Utilization(Frequency{}, Ms(10.0)), 0.0);
 }
 
 TEST(Mg1, ZeroLoadResponseIsServiceTime) {
-  EXPECT_DOUBLE_EQ(Mg1Model::ResponseTime(0.0, 8.0, 0.5), 8.0);
-  EXPECT_DOUBLE_EQ(Mg1Model::WaitTime(0.0, 8.0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Mg1Model::ResponseTime(Frequency{}, Ms(8.0), 0.5).value(), 8.0);
+  EXPECT_DOUBLE_EQ(Mg1Model::WaitTime(Frequency{}, Ms(8.0), 0.5).value(), 0.0);
 }
 
 TEST(Mg1, MatchesMm1WhenScvIsOne) {
   // M/M/1: R = S / (1 - rho).
-  double s = 10.0;
+  Duration s = Ms(10.0);
   for (double rho : {0.1, 0.3, 0.5, 0.7, 0.9}) {
-    double lambda = rho / s;
-    EXPECT_NEAR(Mg1Model::ResponseTime(lambda, s, 1.0), s / (1.0 - rho), 1e-9)
+    Frequency lambda = rho / s;
+    EXPECT_NEAR(Mg1Model::ResponseTime(lambda, s, 1.0).value(), (s / (1.0 - rho)).value(), 1e-9)
         << "rho=" << rho;
   }
 }
 
 TEST(Mg1, MatchesMd1WhenScvIsZero) {
   // M/D/1: W = rho S / (2 (1 - rho)).
-  double s = 10.0;
+  Duration s = Ms(10.0);
   double rho = 0.6;
-  double lambda = rho / s;
-  EXPECT_NEAR(Mg1Model::WaitTime(lambda, s, 0.0), rho * s / (2.0 * (1.0 - rho)), 1e-9);
+  Frequency lambda = rho / s;
+  EXPECT_NEAR(Mg1Model::WaitTime(lambda, s, 0.0).value(), (s * (rho / (2.0 * (1.0 - rho)))).value(), 1e-9);
 }
 
 TEST(Mg1, DivergesAtSaturation) {
-  EXPECT_TRUE(std::isinf(Mg1Model::ResponseTime(0.1, 10.0, 1.0)));  // rho = 1
-  EXPECT_TRUE(std::isinf(Mg1Model::ResponseTime(0.2, 10.0, 1.0)));  // rho = 2
+  EXPECT_TRUE(std::isinf(Mg1Model::ResponseTime(PerMs(0.1), Ms(10.0), 1.0).value()));  // rho = 1
+  EXPECT_TRUE(std::isinf(Mg1Model::ResponseTime(PerMs(0.2), Ms(10.0), 1.0).value()));  // rho = 2
 }
 
 TEST(Mg1, MonotoneInLambda) {
-  double prev = 0.0;
+  Duration prev;
   for (double lambda = 0.0; lambda < 0.099; lambda += 0.01) {
-    double r = Mg1Model::ResponseTime(lambda, 10.0, 0.8);
+    Duration r = Mg1Model::ResponseTime(PerMs(lambda), Ms(10.0), 0.8);
     EXPECT_GE(r, prev);
     prev = r;
   }
 }
 
 TEST(Mg1, MonotoneInScv) {
-  EXPECT_LT(Mg1Model::ResponseTime(0.05, 10.0, 0.2),
-            Mg1Model::ResponseTime(0.05, 10.0, 2.0));
+  EXPECT_LT(Mg1Model::ResponseTime(PerMs(0.05), Ms(10.0), 0.2),
+            Mg1Model::ResponseTime(PerMs(0.05), Ms(10.0), 2.0));
 }
 
 TEST(Mg1, MaxArrivalRateInvertsResponse) {
-  double s = 8.0;
+  Duration s = Ms(8.0);
   double scv = 0.7;
   for (double target : {9.0, 12.0, 20.0, 50.0}) {
-    double lambda = Mg1Model::MaxArrivalRate(target, s, scv);
-    ASSERT_GT(lambda, 0.0);
-    EXPECT_NEAR(Mg1Model::ResponseTime(lambda, s, scv), target, 1e-6) << "target=" << target;
+    Frequency lambda = Mg1Model::MaxArrivalRate(Ms(target), s, scv);
+    ASSERT_GT(lambda, Frequency{});
+    EXPECT_NEAR(Mg1Model::ResponseTime(lambda, s, scv).value(), target, 1e-6) << "target=" << target;
   }
 }
 
 TEST(Mg1, MaxArrivalRateZeroWhenUnreachable) {
-  EXPECT_DOUBLE_EQ(Mg1Model::MaxArrivalRate(5.0, 8.0, 1.0), 0.0);   // target < S
-  EXPECT_DOUBLE_EQ(Mg1Model::MaxArrivalRate(8.0, 8.0, 1.0), 0.0);   // target == S
+  EXPECT_DOUBLE_EQ(Mg1Model::MaxArrivalRate(Ms(5.0), Ms(8.0), 1.0).value(), 0.0);   // target < S
+  EXPECT_DOUBLE_EQ(Mg1Model::MaxArrivalRate(Ms(8.0), Ms(8.0), 1.0).value(), 0.0);   // target == S
 }
 
 TEST(Mg1, MaxArrivalRateBelowSaturation) {
-  double s = 8.0;
-  double lambda = Mg1Model::MaxArrivalRate(1000.0, s, 1.0);
+  Duration s = Ms(8.0);
+  Frequency lambda = Mg1Model::MaxArrivalRate(Ms(1000.0), s, 1.0);
   EXPECT_LT(lambda * s, 1.0);
 }
 
@@ -102,11 +102,11 @@ TEST(SpeedServiceModel, FullSpeedServiceIsPlausible) {
   // 3.4 ms seek + 2 ms rotation + small transfer => ~5.5-6 ms.
   DiskParams disk = MakeUltrastar36Z15MultiSpeed(5);
   SpeedServiceModel m = SpeedServiceModel::FromDisk(disk, 8.0, 0.0);
-  EXPECT_GT(m.Level(4).mean_ms, 5.0);
-  EXPECT_LT(m.Level(4).mean_ms, 7.0);
+  EXPECT_GT(m.Level(4).mean_ms, Ms(5.0));
+  EXPECT_LT(m.Level(4).mean_ms, Ms(7.0));
   // 3k rpm: 3.4 + 10 + transfer => ~14 ms.
-  EXPECT_GT(m.Level(0).mean_ms, 13.0);
-  EXPECT_LT(m.Level(0).mean_ms, 16.0);
+  EXPECT_GT(m.Level(0).mean_ms, Ms(13.0));
+  EXPECT_LT(m.Level(0).mean_ms, Ms(16.0));
 }
 
 TEST(SpeedServiceModel, ScvPositiveAndBounded) {
@@ -122,7 +122,7 @@ TEST(SpeedServiceModel, WriteFractionAddsSettle) {
   DiskParams disk = MakeUltrastar36Z15MultiSpeed(5);
   SpeedServiceModel reads = SpeedServiceModel::FromDisk(disk, 8.0, 0.0);
   SpeedServiceModel writes = SpeedServiceModel::FromDisk(disk, 8.0, 1.0);
-  EXPECT_NEAR(writes.Level(4).mean_ms - reads.Level(4).mean_ms, disk.write_settle_ms, 1e-9);
+  EXPECT_NEAR((writes.Level(4).mean_ms - reads.Level(4).mean_ms).value(), disk.write_settle_ms.value(), 1e-9);
 }
 
 TEST(SpeedServiceModel, LargerRequestsSlower) {

@@ -26,7 +26,7 @@ ArrayParams MiniArray() {
 OltpWorkloadParams MiniOltp(SectorAddr space) {
   OltpWorkloadParams p;
   p.address_space_sectors = space;
-  p.duration_ms = HoursToMs(4.0);
+  p.duration_ms = Hours(4.0);
   p.peak_iops = 70.0;
   p.trough_iops = 20.0;
   return p;
@@ -34,14 +34,14 @@ OltpWorkloadParams MiniOltp(SectorAddr space) {
 
 struct MiniRun {
   ExperimentResult result;
-  Duration goal_ms = 0.0;
+  Duration goal_ms;
 };
 
 MiniRun RunMini(Scheme scheme, Duration goal_ms) {
   SchemeConfig cfg;
   cfg.scheme = scheme;
   cfg.goal_ms = goal_ms;
-  cfg.epoch_ms = HoursToMs(0.5);
+  cfg.epoch_ms = Hours(0.5);
   ArrayParams array = ArrayFor(cfg, MiniArray());
   auto policy = MakePolicy(cfg);
   OltpWorkload workload(MiniOltp(array.DataSectors()));
@@ -51,7 +51,7 @@ MiniRun RunMini(Scheme scheme, Duration goal_ms) {
 class RegressionBands : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    base_ = new MiniRun(RunMini(Scheme::kBase, 0.0));
+    base_ = new MiniRun(RunMini(Scheme::kBase, Duration{}));
     goal_ = 2.5 * base_->result.mean_response_ms;
   }
   static void TearDownTestSuite() {
@@ -59,19 +59,19 @@ class RegressionBands : public ::testing::Test {
     base_ = nullptr;
   }
   static MiniRun* base_;
-  static double goal_;
+  static Duration goal_;
 };
 
 MiniRun* RegressionBands::base_ = nullptr;
-double RegressionBands::goal_ = 0.0;
+Duration RegressionBands::goal_;
 
 TEST_F(RegressionBands, BaseResponseInExpectedBand) {
   // Full-speed small random I/O on this disk model: mean a few ms.
-  EXPECT_GT(base_->result.mean_response_ms, 4.0);
-  EXPECT_LT(base_->result.mean_response_ms, 14.0);
+  EXPECT_GT(base_->result.mean_response_ms, Ms(4.0));
+  EXPECT_LT(base_->result.mean_response_ms, Ms(14.0));
   // Mean power near 8 idle-ish disks.
-  EXPECT_GT(base_->result.MeanPower(), 80.0);
-  EXPECT_LT(base_->result.MeanPower(), 112.0);
+  EXPECT_GT(base_->result.MeanPower(), Watts(80.0));
+  EXPECT_LT(base_->result.MeanPower(), Watts(112.0));
 }
 
 TEST_F(RegressionBands, HibernatorSavesWhileMeetingGoal) {
@@ -83,8 +83,8 @@ TEST_F(RegressionBands, HibernatorSavesWhileMeetingGoal) {
 
 TEST_F(RegressionBands, TpmIsNoOpOnBusyArray) {
   MiniRun tpm = RunMini(Scheme::kTpm, goal_);
-  EXPECT_NEAR(tpm.result.energy_total, base_->result.energy_total,
-              0.03 * base_->result.energy_total);
+  EXPECT_NEAR(tpm.result.energy_total.value(), base_->result.energy_total.value(),
+              (0.03 * base_->result.energy_total).value());
 }
 
 TEST_F(RegressionBands, DrpmSavesButDegradesLatency) {

@@ -16,9 +16,9 @@ namespace {
 TEST(EventQueue, PopsInTimeOrder) {
   EventQueue q;
   std::vector<int> fired;
-  q.Schedule(30.0, [&] { fired.push_back(3); });
-  q.Schedule(10.0, [&] { fired.push_back(1); });
-  q.Schedule(20.0, [&] { fired.push_back(2); });
+  q.Schedule(Ms(30.0), [&] { fired.push_back(3); });
+  q.Schedule(Ms(10.0), [&] { fired.push_back(1); });
+  q.Schedule(Ms(20.0), [&] { fired.push_back(2); });
   while (!q.empty()) {
     q.PopNext().callback();
   }
@@ -29,7 +29,7 @@ TEST(EventQueue, TiesBreakByInsertionOrder) {
   EventQueue q;
   std::vector<int> fired;
   for (int i = 0; i < 10; ++i) {
-    q.Schedule(5.0, [&fired, i] { fired.push_back(i); });
+    q.Schedule(Ms(5.0), [&fired, i] { fired.push_back(i); });
   }
   while (!q.empty()) {
     q.PopNext().callback();
@@ -42,7 +42,7 @@ TEST(EventQueue, TiesBreakByInsertionOrder) {
 TEST(EventQueue, CancelPreventsFiring) {
   EventQueue q;
   bool fired = false;
-  EventId id = q.Schedule(1.0, [&] { fired = true; });
+  EventId id = q.Schedule(Ms(1.0), [&] { fired = true; });
   EXPECT_TRUE(q.Cancel(id));
   EXPECT_TRUE(q.empty());
   EXPECT_FALSE(fired);
@@ -50,14 +50,14 @@ TEST(EventQueue, CancelPreventsFiring) {
 
 TEST(EventQueue, CancelTwiceFails) {
   EventQueue q;
-  EventId id = q.Schedule(1.0, [] {});
+  EventId id = q.Schedule(Ms(1.0), [] {});
   EXPECT_TRUE(q.Cancel(id));
   EXPECT_FALSE(q.Cancel(id));
 }
 
 TEST(EventQueue, CancelAfterFireFails) {
   EventQueue q;
-  EventId id = q.Schedule(1.0, [] {});
+  EventId id = q.Schedule(Ms(1.0), [] {});
   q.PopNext().callback();
   EXPECT_FALSE(q.Cancel(id));
 }
@@ -70,9 +70,9 @@ TEST(EventQueue, CancelUnknownIdFails) {
 TEST(EventQueue, CancelMiddleKeepsOthers) {
   EventQueue q;
   std::vector<int> fired;
-  q.Schedule(1.0, [&] { fired.push_back(1); });
-  EventId mid = q.Schedule(2.0, [&] { fired.push_back(2); });
-  q.Schedule(3.0, [&] { fired.push_back(3); });
+  q.Schedule(Ms(1.0), [&] { fired.push_back(1); });
+  EventId mid = q.Schedule(Ms(2.0), [&] { fired.push_back(2); });
+  q.Schedule(Ms(3.0), [&] { fired.push_back(3); });
   q.Cancel(mid);
   EXPECT_EQ(q.size(), 2u);
   while (!q.empty()) {
@@ -83,17 +83,17 @@ TEST(EventQueue, CancelMiddleKeepsOthers) {
 
 TEST(EventQueue, NextTimeSkipsCancelledHead) {
   EventQueue q;
-  EventId head = q.Schedule(1.0, [] {});
-  q.Schedule(2.0, [] {});
+  EventId head = q.Schedule(Ms(1.0), [] {});
+  q.Schedule(Ms(2.0), [] {});
   q.Cancel(head);
-  EXPECT_DOUBLE_EQ(q.NextTime(), 2.0);
+  EXPECT_DOUBLE_EQ(q.NextTime().value(), 2.0);
 }
 
 TEST(EventQueue, SizeTracksLiveEvents) {
   EventQueue q;
   EXPECT_EQ(q.size(), 0u);
-  EventId a = q.Schedule(1.0, [] {});
-  q.Schedule(2.0, [] {});
+  EventId a = q.Schedule(Ms(1.0), [] {});
+  q.Schedule(Ms(2.0), [] {});
   EXPECT_EQ(q.size(), 2u);
   q.Cancel(a);
   EXPECT_EQ(q.size(), 1u);
@@ -103,11 +103,11 @@ TEST(EventQueue, SizeTracksLiveEvents) {
 
 TEST(EventQueue, StaleIdCannotCancelSlotReuse) {
   EventQueue q;
-  EventId a = q.Schedule(5.0, [] {});
+  EventId a = q.Schedule(Ms(5.0), [] {});
   ASSERT_TRUE(q.Cancel(a));
   // b reuses a's arena slot but carries a fresh generation; a's id is dead.
   bool b_fired = false;
-  EventId b = q.Schedule(6.0, [&] { b_fired = true; });
+  EventId b = q.Schedule(Ms(6.0), [&] { b_fired = true; });
   EXPECT_FALSE(q.Cancel(a));
   ASSERT_EQ(q.size(), 1u);
   auto fired = q.PopNext();
@@ -125,9 +125,9 @@ TEST(EventQueue, ManyEqualTimestampsFireInInsertionOrder) {
   std::vector<int> fired;
   fired.reserve(kEvents);
   for (int i = 0; i < kEvents; ++i) {
-    q.Schedule(static_cast<SimTime>(i % 5), [i, &fired] { fired.push_back(i); });
+    q.Schedule(Ms(i % 5), [i, &fired] { fired.push_back(i); });
   }
-  SimTime now = 0.0;
+  SimTime now;
   while (!q.empty()) {
     q.FireNext(&now);
   }
@@ -192,7 +192,7 @@ TEST(EventQueue, DifferentialAgainstNaiveReference) {
     double r = rng.NextDouble();
     if (ref.empty() || r < 0.42) {
       // Quantized times produce frequent exact ties.
-      schedule(std::floor(rng.NextDouble() * 512.0));
+      schedule(Ms(std::floor(rng.NextDouble() * 512.0)));
     } else if (r < 0.55) {
       std::size_t pick =
           static_cast<std::size_t>(rng.NextDouble() * static_cast<double>(ref.size()));
@@ -209,7 +209,7 @@ TEST(EventQueue, DifferentialAgainstNaiveReference) {
   // Phase 2: a burst larger than any internal batch cap, a third cancelled,
   // then a full drain.
   for (int i = 0; i < 6000; ++i) {
-    schedule(std::floor(rng.NextDouble() * 64.0));
+    schedule(Ms(std::floor(rng.NextDouble() * 64.0)));
   }
   for (int i = 0; i < 2000; ++i) {
     std::size_t pick =
@@ -229,23 +229,23 @@ TEST(EventQueue, DifferentialAgainstNaiveReference) {
 TEST(Simulator, ClockAdvancesToEventTimes) {
   Simulator sim;
   std::vector<SimTime> seen;
-  sim.ScheduleIn(10.0, [&] { seen.push_back(sim.Now()); });
-  sim.ScheduleIn(5.0, [&] { seen.push_back(sim.Now()); });
+  sim.ScheduleIn(Ms(10.0), [&] { seen.push_back(sim.Now()); });
+  sim.ScheduleIn(Ms(5.0), [&] { seen.push_back(sim.Now()); });
   sim.RunUntil();
   ASSERT_EQ(seen.size(), 2u);
-  EXPECT_DOUBLE_EQ(seen[0], 5.0);
-  EXPECT_DOUBLE_EQ(seen[1], 10.0);
+  EXPECT_DOUBLE_EQ(seen[0].value(), 5.0);
+  EXPECT_DOUBLE_EQ(seen[1].value(), 10.0);
 }
 
 TEST(Simulator, RunUntilStopsAtBoundary) {
   Simulator sim;
   int fired = 0;
-  sim.ScheduleIn(10.0, [&] { ++fired; });
-  sim.ScheduleIn(20.0, [&] { ++fired; });
-  sim.RunUntil(15.0);
+  sim.ScheduleIn(Ms(10.0), [&] { ++fired; });
+  sim.ScheduleIn(Ms(20.0), [&] { ++fired; });
+  sim.RunUntil(Ms(15.0));
   EXPECT_EQ(fired, 1);
-  EXPECT_DOUBLE_EQ(sim.Now(), 15.0);
-  sim.RunUntil(25.0);
+  EXPECT_DOUBLE_EQ(sim.Now().value(), 15.0);
+  sim.RunUntil(Ms(25.0));
   EXPECT_EQ(fired, 2);
 }
 
@@ -254,61 +254,61 @@ TEST(Simulator, EventsScheduledDuringRunFire) {
   int depth = 0;
   std::function<void()> recurse = [&] {
     if (++depth < 5) {
-      sim.ScheduleIn(1.0, recurse);
+      sim.ScheduleIn(Ms(1.0), recurse);
     }
   };
-  sim.ScheduleIn(1.0, recurse);
-  sim.RunUntil(100.0);
+  sim.ScheduleIn(Ms(1.0), recurse);
+  sim.RunUntil(Ms(100.0));
   EXPECT_EQ(depth, 5);
   EXPECT_EQ(sim.events_fired(), 5u);
 }
 
 TEST(Simulator, NegativeDelayClampsToNow) {
   Simulator sim;
-  sim.ScheduleIn(10.0, [] {});
-  sim.RunUntil(10.0);
+  sim.ScheduleIn(Ms(10.0), [] {});
+  sim.RunUntil(Ms(10.0));
   bool fired = false;
-  sim.ScheduleIn(-5.0, [&] { fired = true; });
-  sim.RunUntil(10.0);
+  sim.ScheduleIn(Ms(-5.0), [&] { fired = true; });
+  sim.RunUntil(Ms(10.0));
   EXPECT_TRUE(fired);
-  EXPECT_DOUBLE_EQ(sim.Now(), 10.0);
+  EXPECT_DOUBLE_EQ(sim.Now().value(), 10.0);
 }
 
 TEST(Simulator, ScheduleAtPastClampsToNow) {
   Simulator sim;
-  sim.ScheduleIn(10.0, [] {});
+  sim.ScheduleIn(Ms(10.0), [] {});
   sim.RunUntil();
-  SimTime fired_at = -1.0;
-  sim.ScheduleAt(3.0, [&] { fired_at = sim.Now(); });
+  SimTime fired_at = Ms(-1.0);
+  sim.ScheduleAt(Ms(3.0), [&] { fired_at = sim.Now(); });
   sim.RunUntil();
-  EXPECT_DOUBLE_EQ(fired_at, 10.0);
+  EXPECT_DOUBLE_EQ(fired_at.value(), 10.0);
 }
 
 TEST(Simulator, CancelStopsEvent) {
   Simulator sim;
   bool fired = false;
-  EventId id = sim.ScheduleIn(5.0, [&] { fired = true; });
+  EventId id = sim.ScheduleIn(Ms(5.0), [&] { fired = true; });
   EXPECT_TRUE(sim.Cancel(id));
-  sim.RunUntil(10.0);
+  sim.RunUntil(Ms(10.0));
   EXPECT_FALSE(fired);
 }
 
 TEST(Simulator, PeriodicFiresAtPeriod) {
   Simulator sim;
   std::vector<SimTime> times;
-  sim.SchedulePeriodic(10.0, 10.0, [&] { times.push_back(sim.Now()); });
-  sim.RunUntil(45.0);
+  sim.SchedulePeriodic(Ms(10.0), Ms(10.0), [&] { times.push_back(sim.Now()); });
+  sim.RunUntil(Ms(45.0));
   ASSERT_EQ(times.size(), 4u);
-  EXPECT_DOUBLE_EQ(times[0], 10.0);
-  EXPECT_DOUBLE_EQ(times[3], 40.0);
+  EXPECT_DOUBLE_EQ(times[0].value(), 10.0);
+  EXPECT_DOUBLE_EQ(times[3].value(), 40.0);
 }
 
 TEST(Simulator, StopPeriodicHalts) {
   Simulator sim;
   int count = 0;
-  Simulator::PeriodicHandle handle = sim.SchedulePeriodic(1.0, 1.0, [&] { ++count; });
-  sim.ScheduleAt(5.5, [&] { sim.StopPeriodic(handle); });
-  sim.RunUntil(100.0);
+  Simulator::PeriodicHandle handle = sim.SchedulePeriodic(Ms(1.0), Ms(1.0), [&] { ++count; });
+  sim.ScheduleAt(Ms(5.5), [&] { sim.StopPeriodic(handle); });
+  sim.RunUntil(Ms(100.0));
   EXPECT_EQ(count, 5);
 }
 
@@ -316,12 +316,12 @@ TEST(Simulator, PeriodicCanStopItself) {
   Simulator sim;
   int count = 0;
   Simulator::PeriodicHandle handle{};
-  handle = sim.SchedulePeriodic(1.0, 1.0, [&] {
+  handle = sim.SchedulePeriodic(Ms(1.0), Ms(1.0), [&] {
     if (++count == 3) {
       sim.StopPeriodic(handle);
     }
   });
-  sim.RunUntil(100.0);
+  sim.RunUntil(Ms(100.0));
   EXPECT_EQ(count, 3);
 }
 
@@ -329,9 +329,9 @@ TEST(Simulator, MultiplePeriodicsIndependent) {
   Simulator sim;
   int fast = 0;
   int slow = 0;
-  sim.SchedulePeriodic(1.0, 1.0, [&] { ++fast; });
-  sim.SchedulePeriodic(5.0, 5.0, [&] { ++slow; });
-  sim.RunUntil(20.5);
+  sim.SchedulePeriodic(Ms(1.0), Ms(1.0), [&] { ++fast; });
+  sim.SchedulePeriodic(Ms(5.0), Ms(5.0), [&] { ++slow; });
+  sim.RunUntil(Ms(20.5));
   EXPECT_EQ(fast, 20);
   EXPECT_EQ(slow, 4);
 }
@@ -339,8 +339,8 @@ TEST(Simulator, MultiplePeriodicsIndependent) {
 TEST(Simulator, StepFiresOne) {
   Simulator sim;
   int fired = 0;
-  sim.ScheduleIn(1.0, [&] { ++fired; });
-  sim.ScheduleIn(2.0, [&] { ++fired; });
+  sim.ScheduleIn(Ms(1.0), [&] { ++fired; });
+  sim.ScheduleIn(Ms(2.0), [&] { ++fired; });
   EXPECT_TRUE(sim.Step());
   EXPECT_EQ(fired, 1);
   EXPECT_TRUE(sim.Step());
@@ -350,16 +350,16 @@ TEST(Simulator, StepFiresOne) {
 
 TEST(Simulator, RunUntilAdvancesClockToBoundEvenWhenIdle) {
   Simulator sim;
-  sim.RunUntil(1234.0);
-  EXPECT_DOUBLE_EQ(sim.Now(), 1234.0);
+  sim.RunUntil(Ms(1234.0));
+  EXPECT_DOUBLE_EQ(sim.Now().value(), 1234.0);
 }
 
 TEST(Simulator, ReturnsEventsFiredCount) {
   Simulator sim;
   for (int i = 0; i < 7; ++i) {
-    sim.ScheduleIn(static_cast<double>(i), [] {});
+    sim.ScheduleIn(Ms(i), [] {});
   }
-  EXPECT_EQ(sim.RunUntil(100.0), 7u);
+  EXPECT_EQ(sim.RunUntil(Ms(100.0)), 7u);
 }
 
 }  // namespace

@@ -16,7 +16,7 @@ constexpr SectorAddr kSpace = 1 << 24;  // 8 GB logical space
 OltpWorkloadParams SmallOltp() {
   OltpWorkloadParams p;
   p.address_space_sectors = kSpace;
-  p.duration_ms = HoursToMs(1.0);
+  p.duration_ms = Hours(1.0);
   p.peak_iops = 100.0;
   p.trough_iops = 40.0;
   return p;
@@ -25,7 +25,7 @@ OltpWorkloadParams SmallOltp() {
 CelloWorkloadParams SmallCello() {
   CelloWorkloadParams p;
   p.address_space_sectors = kSpace;
-  p.duration_ms = HoursToMs(1.0);
+  p.duration_ms = Hours(1.0);
   p.peak_iops = 60.0;
   p.trough_iops = 4.0;
   return p;
@@ -59,11 +59,11 @@ TEST(ScrambleRank, SpreadsNeighbors) {
 TEST(OltpWorkload, TimesNondecreasingAndBounded) {
   OltpWorkload w(SmallOltp());
   TraceRecord rec;
-  SimTime prev = 0.0;
+  SimTime prev;
   int count = 0;
   while (w.Next(&rec)) {
     EXPECT_GE(rec.time, prev);
-    EXPECT_LT(rec.time, HoursToMs(1.0));
+    EXPECT_LT(rec.time, Hours(1.0));
     EXPECT_GE(rec.lba, 0);
     EXPECT_LE(rec.lba + rec.count, kSpace);
     prev = rec.time;
@@ -82,7 +82,7 @@ TEST(OltpWorkload, ResetReproducesIdenticalStream) {
   w.Reset();
   for (const TraceRecord& expected : first) {
     ASSERT_TRUE(w.Next(&rec));
-    EXPECT_DOUBLE_EQ(rec.time, expected.time);
+    EXPECT_EQ(rec.time, expected.time);
     EXPECT_EQ(rec.lba, expected.lba);
     EXPECT_EQ(rec.count, expected.count);
     EXPECT_EQ(rec.is_write, expected.is_write);
@@ -91,7 +91,7 @@ TEST(OltpWorkload, ResetReproducesIdenticalStream) {
 
 TEST(OltpWorkload, ReadFractionNearConfigured) {
   OltpWorkloadParams p = SmallOltp();
-  p.duration_ms = HoursToMs(4.0);
+  p.duration_ms = Hours(4.0);
   OltpWorkload w(p);
   TraceSummary s = Summarize(w);
   EXPECT_NEAR(s.read_fraction, p.read_fraction, 0.02);
@@ -118,20 +118,20 @@ TEST(OltpWorkload, RequestSizeMix) {
 
 TEST(OltpWorkload, RateFollowsDiurnalModel) {
   OltpWorkloadParams p = SmallOltp();
-  p.duration_ms = HoursToMs(24.0);
+  p.duration_ms = Hours(24.0);
   p.peak_iops = 100.0;
   p.trough_iops = 20.0;
   OltpWorkload w(p);
-  EXPECT_NEAR(w.RateAt(0.0), 20.0, 1e-9);
-  EXPECT_NEAR(w.RateAt(HoursToMs(12.0)), 100.0, 1e-9);
+  EXPECT_NEAR(w.RateAt(SimTime{}), 20.0, 1e-9);
+  EXPECT_NEAR(w.RateAt(Hours(12.0)), 100.0, 1e-9);
   // Count arrivals in the midnight hour vs the noon hour.
   TraceRecord rec;
   int night = 0;
   int noon = 0;
   while (w.Next(&rec)) {
-    if (rec.time < HoursToMs(1.0)) {
+    if (rec.time < Hours(1.0)) {
       ++night;
-    } else if (rec.time >= HoursToMs(11.5) && rec.time < HoursToMs(12.5)) {
+    } else if (rec.time >= Hours(11.5) && rec.time < Hours(12.5)) {
       ++noon;
     }
   }
@@ -140,22 +140,22 @@ TEST(OltpWorkload, RateFollowsDiurnalModel) {
 
 TEST(OltpWorkload, SurgeMultipliesRate) {
   OltpWorkloadParams p = SmallOltp();
-  p.duration_ms = HoursToMs(2.0);
+  p.duration_ms = Hours(2.0);
   p.peak_iops = 50.0;
   p.trough_iops = 50.0;  // flat base
-  p.surge_start_ms = HoursToMs(1.0);
-  p.surge_end_ms = HoursToMs(1.5);
+  p.surge_start_ms = Hours(1.0);
+  p.surge_end_ms = Hours(1.5);
   p.surge_factor = 4.0;
   OltpWorkload w(p);
-  EXPECT_NEAR(w.RateAt(HoursToMs(1.2)), 200.0, 1e-9);
-  EXPECT_NEAR(w.RateAt(HoursToMs(0.5)), 50.0, 1e-9);
+  EXPECT_NEAR(w.RateAt(Hours(1.2)), 200.0, 1e-9);
+  EXPECT_NEAR(w.RateAt(Hours(0.5)), 50.0, 1e-9);
   TraceRecord rec;
   int in_surge = 0;
   int before = 0;
   while (w.Next(&rec)) {
     if (rec.time >= p.surge_start_ms && rec.time < p.surge_end_ms) {
       ++in_surge;
-    } else if (rec.time >= HoursToMs(0.5) && rec.time < p.surge_start_ms) {
+    } else if (rec.time >= Hours(0.5) && rec.time < p.surge_start_ms) {
       ++before;
     }
   }
@@ -164,7 +164,7 @@ TEST(OltpWorkload, SurgeMultipliesRate) {
 
 TEST(OltpWorkload, SpatialSkewPresent) {
   OltpWorkloadParams p = SmallOltp();
-  p.duration_ms = HoursToMs(8.0);
+  p.duration_ms = Hours(8.0);
   OltpWorkload w(p);
   std::int64_t num_chunks = kSpace / p.chunk_sectors;
   std::vector<int> hits(static_cast<std::size_t>(num_chunks), 0);
@@ -188,7 +188,7 @@ TEST(OltpWorkload, SpatialSkewPresent) {
 TEST(CelloWorkload, BasicInvariants) {
   CelloWorkload w(SmallCello());
   TraceRecord rec;
-  SimTime prev = 0.0;
+  SimTime prev;
   int count = 0;
   while (w.Next(&rec)) {
     EXPECT_GE(rec.time, prev);
@@ -210,23 +210,23 @@ TEST(CelloWorkload, ResetReproduces) {
   w.Reset();
   for (const TraceRecord& expected : first) {
     ASSERT_TRUE(w.Next(&a));
-    EXPECT_DOUBLE_EQ(a.time, expected.time);
+    EXPECT_EQ(a.time, expected.time);
     EXPECT_EQ(a.lba, expected.lba);
   }
 }
 
 TEST(CelloWorkload, DeepNightValleys) {
   CelloWorkloadParams p = SmallCello();
-  p.duration_ms = HoursToMs(24.0);
+  p.duration_ms = Hours(24.0);
   CelloWorkload w(p);
   // The cubed diurnal shape keeps 6 am rates well below the linear blend.
-  EXPECT_LT(w.RateAt(HoursToMs(3.0)), 0.15 * p.peak_iops);
-  EXPECT_NEAR(w.RateAt(HoursToMs(12.0)), p.peak_iops, 1e-9);
+  EXPECT_LT(w.RateAt(Hours(3.0)), 0.15 * p.peak_iops);
+  EXPECT_NEAR(w.RateAt(Hours(12.0)), p.peak_iops, 1e-9);
 }
 
 TEST(CelloWorkload, IsBursty) {
   CelloWorkloadParams p = SmallCello();
-  p.duration_ms = HoursToMs(2.0);
+  p.duration_ms = Hours(2.0);
   CelloWorkload w(p);
   TraceRecord rec;
   std::vector<SimTime> times;
@@ -269,7 +269,7 @@ TEST(CelloWorkload, SequentialRunsExist) {
 TEST(ConstantWorkload, RateAndBounds) {
   ConstantWorkloadParams p;
   p.address_space_sectors = kSpace;
-  p.duration_ms = HoursToMs(2.0);
+  p.duration_ms = Hours(2.0);
   p.iops = 25.0;
   ConstantWorkload w(p);
   TraceSummary s = Summarize(w);
@@ -282,7 +282,7 @@ TEST(ConstantWorkload, RateAndBounds) {
 TEST(Summarize, CountsAndDuration) {
   ConstantWorkloadParams p;
   p.address_space_sectors = kSpace;
-  p.duration_ms = SecondsToMs(100.0);
+  p.duration_ms = Seconds(100.0);
   p.iops = 10.0;
   p.read_fraction = 1.0;
   ConstantWorkload w(p);
@@ -290,7 +290,7 @@ TEST(Summarize, CountsAndDuration) {
   EXPECT_GT(s.records, 800);
   EXPECT_LT(s.records, 1200);
   EXPECT_DOUBLE_EQ(s.read_fraction, 1.0);
-  EXPECT_LE(s.duration_ms, SecondsToMs(100.0));
+  EXPECT_LE(s.duration_ms, Seconds(100.0));
 }
 
 TEST(Summarize, MaxRecordsCap) {
@@ -315,7 +315,7 @@ TEST(SpcReader, ParsesWellFormedLines) {
   ASSERT_TRUE(reader->Next(&rec));
   EXPECT_EQ(rec.count, 8);  // 4096 bytes
   EXPECT_FALSE(rec.is_write);
-  EXPECT_DOUBLE_EQ(rec.time, 500.0);
+  EXPECT_DOUBLE_EQ(rec.time.value(), 500.0);
   EXPECT_EQ(rec.stream, 0);
   ASSERT_TRUE(reader->Next(&rec));
   EXPECT_TRUE(rec.is_write);
@@ -323,7 +323,7 @@ TEST(SpcReader, ParsesWellFormedLines) {
   EXPECT_EQ(rec.stream, 1);
   ASSERT_TRUE(reader->Next(&rec));
   EXPECT_EQ(rec.count, 1);
-  EXPECT_DOUBLE_EQ(rec.time, 2250.0);
+  EXPECT_DOUBLE_EQ(rec.time.value(), 2250.0);
   EXPECT_FALSE(reader->Next(&rec));
   EXPECT_EQ(reader->parse_errors(), 0);
 }
@@ -395,7 +395,7 @@ TEST(SpcReader, LbaStaysInsideSpace) {
 TEST(SpcWriter, RoundTripsThroughReader) {
   ConstantWorkloadParams p;
   p.address_space_sectors = kSpace;
-  p.duration_ms = SecondsToMs(60.0);
+  p.duration_ms = Seconds(60.0);
   p.iops = 20.0;
   ConstantWorkload source(p);
 
@@ -414,7 +414,7 @@ TEST(SpcWriter, RoundTripsThroughReader) {
     EXPECT_EQ(actual.lba, expected.lba);
     EXPECT_EQ(actual.count, expected.count);
     EXPECT_EQ(actual.is_write, expected.is_write);
-    EXPECT_NEAR(actual.time, expected.time, 0.01);  // 6-decimal seconds
+    EXPECT_NEAR(actual.time.value(), expected.time.value(), 0.01);  // 6-decimal seconds
     ++compared;
   }
   EXPECT_FALSE(reader->Next(&actual));
@@ -432,9 +432,9 @@ TEST(SpcWriter, RejectsMalformedRecords) {
   bad.count = 0;
   EXPECT_FALSE(writer.Write(bad));
   bad.count = 8;
-  bad.time = 10.0;
+  bad.time = Ms(10.0);
   EXPECT_TRUE(writer.Write(bad));
-  bad.time = 5.0;  // time went backwards
+  bad.time = Ms(5.0);  // time went backwards
   EXPECT_FALSE(writer.Write(bad));
   EXPECT_EQ(writer.records_written(), 1);
 }
@@ -442,7 +442,7 @@ TEST(SpcWriter, RejectsMalformedRecords) {
 TEST(SpcWriter, FileExportAndReadBack) {
   ConstantWorkloadParams p;
   p.address_space_sectors = kSpace;
-  p.duration_ms = SecondsToMs(10.0);
+  p.duration_ms = Seconds(10.0);
   p.iops = 10.0;
   ConstantWorkload source(p);
   std::string path = ::testing::TempDir() + "/hibernator_trace_test.spc";

@@ -18,16 +18,49 @@ namespace {
 // ------------------------------------------------------------- units -------
 
 TEST(Units, Conversions) {
-  EXPECT_DOUBLE_EQ(MsToSeconds(1500.0), 1.5);
-  EXPECT_DOUBLE_EQ(SecondsToMs(2.0), 2000.0);
-  EXPECT_DOUBLE_EQ(HoursToMs(1.0), 3600000.0);
-  EXPECT_DOUBLE_EQ(HoursToMs(0.5), 1800000.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(Ms(1500.0)), 1.5);
+  EXPECT_DOUBLE_EQ(Seconds(2.0).value(), 2000.0);
+  EXPECT_DOUBLE_EQ(Hours(1.0).value(), 3600000.0);
+  EXPECT_DOUBLE_EQ(Hours(0.5).value(), 1800000.0);
+  EXPECT_DOUBLE_EQ(Minutes(2.0).value(), 120000.0);
+  EXPECT_DOUBLE_EQ(PerSecond(500.0).value(), 0.5);
+  EXPECT_DOUBLE_EQ(ToPerSecond(PerMs(0.5)), 500.0);
 }
 
 TEST(Units, EnergyOfIsPowerTimesSeconds) {
-  EXPECT_DOUBLE_EQ(EnergyOf(10.0, 1000.0), 10.0);
-  EXPECT_DOUBLE_EQ(EnergyOf(0.0, 123456.0), 0.0);
-  EXPECT_DOUBLE_EQ(EnergyOf(13.5, HoursToMs(1.0)), 13.5 * 3600.0);
+  EXPECT_DOUBLE_EQ(EnergyOf(Watts(10.0), Seconds(1.0)).value(), 10.0);
+  EXPECT_DOUBLE_EQ(EnergyOf(Watts(0.0), Ms(123456.0)).value(), 0.0);
+  EXPECT_DOUBLE_EQ(EnergyOf(Watts(13.5), Hours(1.0)).value(), 13.5 * 3600.0);
+}
+
+TEST(Units, DimensionalArithmetic) {
+  // Energy / time and energy / power round-trip.
+  EXPECT_DOUBLE_EQ((Joules(20.0) / Seconds(2.0)).value(), 10.0);
+  EXPECT_DOUBLE_EQ((Joules(20.0) / Watts(10.0)).value(), Seconds(2.0).value());
+  // Rho = lambda * service time is a plain double.
+  double rho = PerSecond(100.0) * Ms(5.0);
+  EXPECT_DOUBLE_EQ(rho, 0.5);
+  // One revolution at 6000 RPM takes 10 ms.
+  EXPECT_DOUBLE_EQ((Rev(1.0) / Rpm(6000.0)).value(), 10.0);
+  // count / Duration -> Frequency.
+  Frequency f = 10.0 / Ms(20.0);
+  EXPECT_DOUBLE_EQ(ToPerSecond(f), 500.0);
+  // Same-dimension comparisons and accumulation.
+  Duration d = Ms(1.0);
+  d += Seconds(1.0);
+  EXPECT_EQ(d, Ms(1001.0));
+  EXPECT_LT(Ms(999.0), Seconds(1.0));
+}
+
+TEST(Units, ZeroOverheadRepresentation) {
+  static_assert(sizeof(Duration) == sizeof(double));
+  static_assert(sizeof(Joules) == sizeof(double));
+  static_assert(std::is_trivially_copyable_v<Watts>);
+  EXPECT_EQ(std::numeric_limits<SimTime>::infinity().value(),
+            std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(IsFinite(Ms(1.0)));
+  EXPECT_FALSE(IsFinite(std::numeric_limits<Duration>::infinity()));
+  EXPECT_EQ(Abs(Ms(-3.0)), Ms(3.0));
 }
 
 // -------------------------------------------------------------- Pcg32 ------
@@ -414,7 +447,7 @@ TEST(Ewma, FirstValueInitializes) {
   Ewma e(0.5);
   EXPECT_TRUE(e.empty());
   e.Add(10.0);
-  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+  EXPECT_DOUBLE_EQ(e.current(), 10.0);
   EXPECT_FALSE(e.empty());
 }
 
@@ -423,14 +456,14 @@ TEST(Ewma, ConvergesToConstant) {
   for (int i = 0; i < 100; ++i) {
     e.Add(7.0);
   }
-  EXPECT_NEAR(e.value(), 7.0, 1e-9);
+  EXPECT_NEAR(e.current(), 7.0, 1e-9);
 }
 
 TEST(Ewma, SmoothingFactorApplied) {
   Ewma e(0.5);
   e.Add(0.0);
   e.Add(10.0);
-  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+  EXPECT_DOUBLE_EQ(e.current(), 5.0);
 }
 
 // ----------------------------------------------------------- Histogram -----

@@ -58,14 +58,14 @@ TEST(SimValidatorTest, CleanDiskLifecyclePassesEveryAudit) {
     req.is_write = (i % 2) == 0;
     disk.Submit(req);
   }
-  sim.RunUntil(SecondsToMs(10.0));
+  sim.RunUntil(Seconds(10.0));
   disk.SetTargetRpm(params.speeds[0].rpm);
-  sim.RunUntil(SecondsToMs(60.0));
+  sim.RunUntil(Seconds(60.0));
   ASSERT_TRUE(disk.SpinDown());
-  sim.RunUntil(SecondsToMs(120.0));
+  sim.RunUntil(Seconds(120.0));
   EXPECT_EQ(disk.state(), DiskPowerState::kStandby);
   disk.SpinUp();
-  sim.RunUntil(SecondsToMs(600.0));
+  sim.RunUntil(Seconds(600.0));
   EXPECT_EQ(disk.state(), DiskPowerState::kIdle);
 
   ASSERT_NE(sim.validator(), nullptr);
@@ -77,13 +77,13 @@ TEST(SimValidatorTest, CleanDiskLifecyclePassesEveryAudit) {
 TEST(SimValidatorTest, MatchingLedgerWithinToleranceIsAccepted) {
   SimValidator validator;
   int key = 0;
-  validator.OnDiskAttached(&key, 7, ValidatorDiskState::kIdle, /*power=*/10.0,
-                           /*now=*/0.0);
+  validator.OnDiskAttached(&key, 7, ValidatorDiskState::kIdle, /*power=*/Watts(10.0),
+                           /*now=*/SimTime{});
   // 10 W for 1 s = 10 J; a ledger within 1e-6 relative drift must pass.
   validator.OnDiskTransition(&key, ValidatorDiskState::kIdle,
-                             ValidatorDiskState::kBusy, /*now=*/1000.0,
-                             /*new_power=*/13.5,
-                             /*metered_total=*/10.0 + 5e-6,
+                             ValidatorDiskState::kBusy, /*now=*/Ms(1000.0),
+                             /*new_power=*/Watts(13.5),
+                             /*metered_total=*/Joules(10.0 + 5e-6),
                              /*queue_depth=*/1);
   EXPECT_EQ(validator.transitions_checked(), 1);
 }
@@ -91,52 +91,69 @@ TEST(SimValidatorTest, MatchingLedgerWithinToleranceIsAccepted) {
 TEST(SimValidatorDeathTest, StandbyDirectlyToBusyAborts) {
   SimValidator validator;
   int key = 0;
-  validator.OnDiskAttached(&key, 3, ValidatorDiskState::kStandby, 0.9, 0.0);
+  validator.OnDiskAttached(&key, 3, ValidatorDiskState::kStandby, Watts(0.9), SimTime{});
   EXPECT_DEATH(
       validator.OnDiskTransition(&key, ValidatorDiskState::kStandby,
-                                 ValidatorDiskState::kBusy, 10.0, 13.5,
-                                 EnergyOf(0.9, 10.0), 1),
+                                 ValidatorDiskState::kBusy, Ms(10.0), Watts(13.5),
+                                 EnergyOf(Watts(0.9), Ms(10.0)), 1),
       "illegal transition STANDBY -> BUSY");
 }
 
 TEST(SimValidatorDeathTest, EnergyLedgerDriftAborts) {
   SimValidator validator;
   int key = 0;
-  validator.OnDiskAttached(&key, 4, ValidatorDiskState::kIdle, 10.0, 0.0);
+  validator.OnDiskAttached(&key, 4, ValidatorDiskState::kIdle, Watts(10.0), SimTime{});
   // The disk claims 11 J where integrating 10 W over 1 s gives 10 J.
   EXPECT_DEATH(
       validator.OnDiskTransition(&key, ValidatorDiskState::kIdle,
-                                 ValidatorDiskState::kBusy, 1000.0, 13.5,
-                                 /*metered_total=*/11.0, 0),
+                                 ValidatorDiskState::kBusy, Ms(1000.0), Watts(13.5),
+                                 /*metered_total=*/Joules(11.0), 0),
+      "energy ledger drift");
+}
+
+TEST(SimValidatorDeathTest, MisScaledTransitionEnergyAborts) {
+  // Unit-mixup injection: a ledger integrated as "watts times milliseconds"
+  // (1000x the true joules) must trip the 1e-6 relative energy audit.  This
+  // is exactly the bug class the Quantity types exclude at compile time; the
+  // validator is the runtime backstop at the .value() boundaries.
+  SimValidator validator;
+  int key = 0;
+  validator.OnDiskAttached(&key, 9, ValidatorDiskState::kIdle, Watts(10.0), SimTime{});
+  Joules true_energy = EnergyOf(Watts(10.0), Seconds(1.0));
+  Joules mis_scaled = Joules(true_energy.value() * kMsPerSecond);
+  EXPECT_DEATH(
+      validator.OnDiskTransition(&key, ValidatorDiskState::kIdle,
+                                 ValidatorDiskState::kBusy, Seconds(1.0), Watts(13.5),
+                                 /*metered_total=*/mis_scaled, 0),
       "energy ledger drift");
 }
 
 TEST(SimValidatorDeathTest, NegativeQueueDepthAborts) {
   SimValidator validator;
   int key = 0;
-  validator.OnDiskAttached(&key, 5, ValidatorDiskState::kIdle, 10.0, 0.0);
+  validator.OnDiskAttached(&key, 5, ValidatorDiskState::kIdle, Watts(10.0), SimTime{});
   EXPECT_DEATH(
       validator.OnDiskTransition(&key, ValidatorDiskState::kIdle,
-                                 ValidatorDiskState::kBusy, 1000.0, 13.5,
-                                 EnergyOf(10.0, 1000.0), /*queue_depth=*/-1),
+                                 ValidatorDiskState::kBusy, Ms(1000.0), Watts(13.5),
+                                 EnergyOf(Watts(10.0), Ms(1000.0)), /*queue_depth=*/-1),
       "negative queue depth");
 }
 
 TEST(SimValidatorDeathTest, SpinningDownWithQueuedRequestsAborts) {
   SimValidator validator;
   int key = 0;
-  validator.OnDiskAttached(&key, 6, ValidatorDiskState::kIdle, 10.0, 0.0);
+  validator.OnDiskAttached(&key, 6, ValidatorDiskState::kIdle, Watts(10.0), SimTime{});
   EXPECT_DEATH(
       validator.OnDiskTransition(&key, ValidatorDiskState::kIdle,
-                                 ValidatorDiskState::kSpinningDown, 1000.0, 2.0,
-                                 EnergyOf(10.0, 1000.0), /*queue_depth=*/3),
+                                 ValidatorDiskState::kSpinningDown, Ms(1000.0), Watts(2.0),
+                                 EnergyOf(Watts(10.0), Ms(1000.0)), /*queue_depth=*/3),
       "spinning down with queued requests");
 }
 
 TEST(SimValidatorDeathTest, NonMonotonicDispatchAborts) {
   SimValidator validator;
-  validator.OnDispatch(10.0);
-  EXPECT_DEATH(validator.OnDispatch(5.0), "dispatch went backwards");
+  validator.OnDispatch(Ms(10.0));
+  EXPECT_DEATH(validator.OnDispatch(Ms(5.0)), "dispatch went backwards");
 }
 
 TEST(SimValidatorDeathTest, TransitionOnUnknownDiskAborts) {
@@ -144,7 +161,7 @@ TEST(SimValidatorDeathTest, TransitionOnUnknownDiskAborts) {
   int key = 0;
   EXPECT_DEATH(
       validator.OnDiskTransition(&key, ValidatorDiskState::kIdle,
-                                 ValidatorDiskState::kBusy, 0.0, 1.0, 0.0, 0),
+                                 ValidatorDiskState::kBusy, SimTime{}, Watts(1.0), Joules{}, 0),
       "never attached");
 }
 

@@ -34,6 +34,22 @@ express because they need repo-level knowledge:
                          synchronization primitives (std::atomic, std::mutex,
                          std::once_flag) are exempt, as are tests/bench/
                          examples, which own their process.
+  HIB007 raw-unit-fn     Functions whose name says they deal in a physical
+                         quantity (power/energy/latency/duration/response, or
+                         ending in Time/Ms) must not take or return raw
+                         `double`/`float`: use the Quantity aliases from
+                         src/util/units.h (Watts, Joules, Duration, ...).
+                         Library code only; tests/bench/examples are exempt.
+  HIB008 value-escape    `.value()` unwraps a Quantity to a raw double and is
+                         reserved for the I/O and statistics boundaries
+                         (src/util/units.h, stats.h, table.*, log.*, and the
+                         trace layer's parse/generate edges).  Anywhere else
+                         in library code it defeats the dimensional checking.
+  HIB009 hand-conversion Unit-suffixed identifiers combined with bare
+                         conversion literals (`* 1000`, `/ 3600.0`, ...) are
+                         hand-rolled unit conversions; go through the units.h
+                         factories/accessors (Seconds, Hours, ToSeconds, ...)
+                         so the ms<->s scale lives in exactly one place.
 
 Usage:
   tools/simlint.py [paths...]      # files or directories; default: src tests bench examples
@@ -72,6 +88,38 @@ STATIC_EXEMPT_RE = re.compile(
     r"|std::(?:atomic|mutex|shared_mutex|recursive_mutex|once_flag|condition_variable)\b")
 # Processes that own their stdout also own their statics.
 STATIC_MUT_EXEMPT_PREFIXES = ("tests/", "bench/", "examples/")
+# Physical-quantity naming for HIB007: the function name itself announces a
+# dimensioned result/operand.
+UNIT_FN_NAME_RE = re.compile(
+    r"(?i:power|energy|latency|duration|response)|(?:Time|Ms)$")
+# ...unless the name also says the result is a pure number (a scale, ratio,
+# utilization, count) — those legitimately traffic in raw doubles.
+DIMENSIONLESS_NAME_RE = re.compile(r"(?i:scale|ratio|fraction|factor|util|count|scv|rho)")
+# `double Foo(` / `float Foo(` — a raw-double return on a declaration.
+RAW_RETURN_RE = re.compile(r"\b(double|float)\s+([A-Za-z_]\w*)\s*\(")
+# `Foo(... double bar ...)` — a raw-double parameter declaration (the
+# `double <identifier>` shape cannot appear in a call's argument list).
+FN_WITH_PARAMS_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(([^()]*)\)")
+RAW_PARAM_RE = re.compile(r"\b(?:double|float)\s+([A-Za-z_]\w*)")
+# units.h itself hosts the double->Quantity factories (Ms, Watts, PerMs, ...).
+UNIT_FN_EXEMPT_PREFIXES = ("tests/", "bench/", "examples/", "src/util/units.h")
+
+# HIB008: the sanctioned .value() boundaries.  units.h defines it; stats and
+# table consume quantities into plain-double accumulators/cells; the logger
+# prints; the trace layer parses raw files and feeds the PRNG.
+VALUE_ESCAPE_RE = re.compile(r"\.\s*value\s*\(\s*\)")
+VALUE_ALLOWED_PREFIXES = ("src/util/units.h", "src/util/stats.", "src/util/table.",
+                          "src/util/log.", "src/trace/",
+                          "tests/", "bench/", "examples/")
+
+# HIB009: a unit-suffixed identifier multiplied/divided by a bare conversion
+# constant, in either order.
+CONVERSION_LITERAL = r"(?:1000(?:\.0+)?|3600(?:\.0+)?|60(?:\.0+)?|1e-?3|3\.6e6|0\.001)"
+UNIT_SUFFIX_NAME = r"[A-Za-z_]\w*_(?:ms|sec|seconds|hours|joules|watts|rpm)"
+HAND_CONVERSION_RE = re.compile(
+    r"\b" + UNIT_SUFFIX_NAME + r"\b\s*[*/]\s*" + CONVERSION_LITERAL + r"(?![\w.])"
+    r"|\b" + CONVERSION_LITERAL + r"\s*[*/]\s*" + UNIT_SUFFIX_NAME + r"\b")
+HAND_CONVERSION_EXEMPT_PREFIXES = ("src/util/units.h", "tests/", "bench/", "examples/")
 LINE_COMMENT_RE = re.compile(r"//.*$")
 STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
 
@@ -82,6 +130,9 @@ RULES = {
     "HIB004": "raw double/float where a units.h alias (Duration/Joules/Watts) is meant",
     "HIB005": "bare assert(); use HIB_CHECK / HIB_DCHECK from src/util/check.h",
     "HIB006": "mutable static-duration variable in library code",
+    "HIB007": "raw double param/return on a power/energy/latency/duration function",
+    "HIB008": ".value() escape outside the sanctioned I/O and stats boundaries",
+    "HIB009": "hand-rolled unit conversion; use the units.h factories/accessors",
 }
 
 
@@ -187,6 +238,42 @@ def check_file(path, findings):
                         f"mutable static-duration variable '{static_decl.group(1)}'; "
                         "make it const/constexpr, wrap it in std::atomic/std::mutex, "
                         "or pass the state explicitly"))
+
+        if not rel.startswith(UNIT_FN_EXEMPT_PREFIXES) and "HIB007" not in allowed:
+            ret = RAW_RETURN_RE.search(line)
+            if (ret and UNIT_FN_NAME_RE.search(ret.group(2))
+                    and not DIMENSIONLESS_NAME_RE.search(ret.group(2))):
+                findings.append(Finding(
+                    rel, number, "HIB007",
+                    f"'{ret.group(2)}' returns raw {ret.group(1)}; its name says it is "
+                    "a physical quantity — return a units.h type"))
+            else:
+                for fn in FN_WITH_PARAMS_RE.finditer(line):
+                    if (not UNIT_FN_NAME_RE.search(fn.group(1))
+                            or DIMENSIONLESS_NAME_RE.search(fn.group(1))):
+                        continue
+                    params = [param for param in RAW_PARAM_RE.findall(fn.group(2))
+                              if not DIMENSIONLESS_NAME_RE.search(param)]
+                    if params:
+                        findings.append(Finding(
+                            rel, number, "HIB007",
+                            f"'{fn.group(1)}' takes raw double '{params[0]}'; its name "
+                            "says it deals in a physical quantity — take a units.h type"))
+                        break
+
+        if (VALUE_ESCAPE_RE.search(line) and not rel.startswith(VALUE_ALLOWED_PREFIXES)
+                and "HIB008" not in allowed):
+            findings.append(Finding(
+                rel, number, "HIB008",
+                ".value() strips the dimension; stay in the typed world, or move the "
+                "raw-double need to a sanctioned boundary (units/stats/table/log/trace)"))
+
+        if (not rel.startswith(HAND_CONVERSION_EXEMPT_PREFIXES)
+                and HAND_CONVERSION_RE.search(line) and "HIB009" not in allowed):
+            findings.append(Finding(
+                rel, number, "HIB009",
+                "hand-rolled unit conversion; use Seconds()/Hours()/ToSeconds() etc. "
+                "so the scale lives only in units.h"))
 
 
 def check_include_guard(rel, lines, findings):

@@ -1,0 +1,4 @@
+// HIB009 fixture: hand-rolled unit conversion instead of units.h helpers.
+inline double GapScaled(double idle_seconds) {
+  return idle_seconds * 1000.0;
+}

@@ -1,0 +1,3 @@
+// HIB007 fixture: the function name announces a physical quantity, but the
+// signature deals in a raw double instead of the units.h types.
+double TransitionEnergyOf(int from_rpm, int to_rpm);

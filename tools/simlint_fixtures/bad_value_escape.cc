@@ -1,0 +1,6 @@
+// HIB008 fixture: .value() outside the sanctioned I/O and stats boundaries.
+#include "src/util/units.h"
+
+inline bool LongerThanRaw(hib::Duration d, double raw) {
+  return d.value() > raw;
+}

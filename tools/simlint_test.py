@@ -22,6 +22,9 @@ EXPECTED = {
     "bad_units.h": "HIB004",
     "bad_assert.cc": "HIB005",
     "bad_static_mutable.cc": "HIB006",
+    "bad_raw_unit_fn.cc": "HIB007",
+    "bad_value_escape.cc": "HIB008",
+    "bad_hand_conversion.cc": "HIB009",
 }
 
 FINDING_RE = re.compile(r"^(\S+):(\d+): \[(HIB\d+)\] ")
