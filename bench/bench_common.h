@@ -26,7 +26,9 @@
 #include "src/harness/experiment.h"
 #include "src/harness/parallel.h"
 #include "src/harness/schemes.h"
+#include "src/obs/export.h"
 #include "src/trace/synthetic.h"
+#include "src/util/json.h"
 #include "src/util/table.h"
 
 namespace hib {
@@ -38,117 +40,7 @@ inline void PrintHeader(const std::string& experiment_id, const std::string& tit
 }
 
 // --- machine-readable bench output (BENCH_<name>.json) ---------------------
-
-// Minimal order-preserving JSON builder: objects, arrays and scalars, eagerly
-// serialized.  Deliberately tiny — the benches only ever *write* flat
-// records, so a full JSON library would be dead weight (and a dependency the
-// container may not have).
-class JsonValue {
- public:
-  static JsonValue Number(double v) {
-    char buf[40];
-    if (v != v || v > 1.7e308 || v < -1.7e308) {  // NaN / +-Inf have no JSON form
-      return JsonValue("null");
-    }
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return JsonValue(buf);
-  }
-  static JsonValue Int(std::int64_t v) {
-    char buf[24];
-    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
-    return JsonValue(buf);
-  }
-  static JsonValue UInt(std::uint64_t v) {
-    char buf[24];
-    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
-    return JsonValue(buf);
-  }
-  static JsonValue Bool(bool v) { return JsonValue(v ? "true" : "false"); }
-  static JsonValue Str(const std::string& s) {
-    std::string out = "\"";
-    for (char c : s) {
-      switch (c) {
-        case '"':
-          out += "\\\"";
-          break;
-        case '\\':
-          out += "\\\\";
-          break;
-        case '\n':
-          out += "\\n";
-          break;
-        case '\t':
-          out += "\\t";
-          break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-            out += buf;
-          } else {
-            out += c;
-          }
-      }
-    }
-    out += "\"";
-    return JsonValue(out);
-  }
-  static JsonValue Raw(std::string serialized) { return JsonValue(std::move(serialized)); }
-
-  const std::string& raw() const { return raw_; }
-
- private:
-  explicit JsonValue(std::string raw) : raw_(std::move(raw)) {}
-  std::string raw_;
-};
-
-class JsonArray {
- public:
-  JsonArray& Push(const JsonValue& v) {
-    items_.push_back(v.raw());
-    return *this;
-  }
-  std::string Dump() const {
-    std::string out = "[";
-    for (std::size_t i = 0; i < items_.size(); ++i) {
-      out += (i ? "," : "") + items_[i];
-    }
-    return out + "]";
-  }
-
- private:
-  std::vector<std::string> items_;
-};
-
-class JsonObject {
- public:
-  JsonObject& Set(const std::string& key, const JsonValue& v) {
-    members_.emplace_back(key, v.raw());
-    return *this;
-  }
-  JsonObject& Set(const std::string& key, const JsonObject& v) {
-    members_.emplace_back(key, v.Dump());
-    return *this;
-  }
-  JsonObject& Set(const std::string& key, const JsonArray& v) {
-    members_.emplace_back(key, v.Dump());
-    return *this;
-  }
-  JsonObject& Set(const std::string& key, double v) { return Set(key, JsonValue::Number(v)); }
-  JsonObject& Set(const std::string& key, const std::string& v) {
-    return Set(key, JsonValue::Str(v));
-  }
-  std::string Dump() const {
-    std::string out = "{";
-    for (std::size_t i = 0; i < members_.size(); ++i) {
-      out += (i ? "," : "") + JsonValue::Str(members_[i].first).raw() + ":" + members_[i].second;
-    }
-    return out + "}";
-  }
-
- private:
-  std::vector<std::pair<std::string, std::string>> members_;
-};
+// The JSON builder lives in src/util/json.h (shared with src/obs exporters).
 
 // Per-run metrics block shared by every bench's JSON output.
 inline JsonObject ResultJson(const std::string& name, const ExperimentResult& r) {
@@ -168,7 +60,8 @@ inline JsonObject ResultJson(const std::string& name, const ExperimentResult& r)
       .Set("spin_downs", JsonValue::Int(r.spin_downs))
       .Set("rpm_changes", JsonValue::Int(r.rpm_changes))
       .Set("migrations", JsonValue::Int(r.migrations))
-      .Set("migrated_sectors", JsonValue::Int(r.migrated_sectors));
+      .Set("migrated_sectors", JsonValue::Int(r.migrated_sectors))
+      .Set("metrics", MetricsSnapshotJson(r.metrics));
   return o;
 }
 
@@ -356,12 +249,15 @@ inline void WriteComparisonJson(const std::string& bench_name, double wall_secon
   JsonObject payload = BenchPayload(bench_name, wall_seconds, total_events);
   payload.Set("goal_ms", goal_ms.value());
   JsonArray runs;
+  MetricsSnapshot merged;
   for (const auto& row : rows) {
     JsonObject run = ResultJson(row.result.policy_name, row.result);
     run.Set("scheme", std::string(SchemeName(row.scheme)));
     runs.Push(JsonValue::Raw(run.Dump()));
+    merged.MergeFrom(row.result.metrics);
   }
   payload.Set("runs", runs);
+  payload.Set("metrics", MetricsSnapshotJson(merged));
   WriteBenchJson(bench_name, payload);
 }
 

@@ -1,16 +1,22 @@
 // hibersim: config-file-driven simulator front end.
 //
-//   ./hibersim <config-file>
+//   ./hibersim [<config-file>] [--trace-out <file>] [--metrics-out <file>]
 //   ./hibersim --print-default-config
 //
 // Everything the harness can do — array shape, disk speed levels, workload
 // (synthetic or trace file), scheme, goal, epochs, series output — from one
 // declarative key=value file, so experiments can be versioned and shared
 // without recompiling.  See --print-default-config for the full key list.
+// With no config file, the defaults run as-is.
+//
+// --trace-out writes a Chrome/Perfetto trace_event JSON timeline of the run
+// (open it at https://ui.perfetto.dev); --metrics-out writes the metrics
+// registry snapshot as JSON.
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/harness/experiment.h"
 #include "src/harness/schemes.h"
@@ -124,17 +130,41 @@ std::unique_ptr<hib::WorkloadSource> MakeWorkload(hib::Config& config,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 2 && std::strcmp(argv[1], "--print-default-config") == 0) {
-    std::printf("%s", kDefaultConfig);
-    return 0;
+  std::string trace_out;
+  std::string metrics_out;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--print-default-config") == 0) {
+      std::printf("%s", kDefaultConfig);
+      return 0;
+    }
+    std::string* sink = nullptr;
+    if (std::strcmp(arg, "--trace-out") == 0) {
+      sink = &trace_out;
+    } else if (std::strcmp(arg, "--metrics-out") == 0) {
+      sink = &metrics_out;
+    }
+    if (sink != nullptr) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a file argument\n", arg);
+        return 1;
+      }
+      *sink = argv[++i];
+      continue;
+    }
+    positional.push_back(arg);
   }
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <config-file> | --print-default-config\n", argv[0]);
+  if (positional.size() > 1) {
+    std::fprintf(stderr,
+                 "usage: %s [<config-file>] [--trace-out <file>] [--metrics-out <file>]\n"
+                 "       %s --print-default-config\n",
+                 argv[0], argv[0]);
     return 1;
   }
 
   hib::Config config;
-  if (!config.ParseFile(argv[1])) {
+  if (!positional.empty() && !config.ParseFile(positional[0])) {
     for (const std::string& err : config.errors()) {
       std::fprintf(stderr, "config: %s\n", err.c_str());
     }
@@ -182,6 +212,8 @@ int main(int argc, char** argv) {
   hib::ExperimentOptions options;
   options.collect_series = want_series;
   options.sample_period_ms = hib::Hours(1.0);
+  options.trace_out = trace_out;
+  options.metrics_out = metrics_out;
   hib::ExperimentResult r = hib::RunExperiment(*workload, *policy, array, options);
 
   hib::Table summary({"metric", "value"});
@@ -211,6 +243,12 @@ int main(int argc, char** argv) {
           .Add(p.disks_standby);
     }
     std::printf("\n%s", want_csv ? series.ToCsv().c_str() : series.ToString().c_str());
+  }
+  if (!trace_out.empty()) {
+    std::printf("\n[trace: %s — open at https://ui.perfetto.dev]\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    std::printf("[metrics: %s]\n", metrics_out.c_str());
   }
   return 0;
 }

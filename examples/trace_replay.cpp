@@ -1,16 +1,19 @@
 // Example: replay a real block trace under any scheme.
 //
-//   ./trace_replay <trace.spc> [scheme] [goal_ms] [num_disks]
+//   ./trace_replay [<trace.spc>] [scheme] [goal_ms] [num_disks]
+//                  [--trace-out <file>] [--metrics-out <file>]
 //
 // The trace is SPC-1-style ASCII: "asu,lba,size_bytes,opcode,timestamp"
 // (see src/trace/spc_reader.h).  With no arguments, a small demonstration
 // trace is generated in memory so the example is runnable out of the box.
+// --trace-out writes a Chrome/Perfetto timeline of the replay itself.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/harness/experiment.h"
 #include "src/harness/schemes.h"
@@ -50,10 +53,32 @@ std::string MakeDemoTrace() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* path = argc > 1 ? argv[1] : nullptr;
-  hib::Scheme scheme = argc > 2 ? ParseScheme(argv[2]) : hib::Scheme::kHibernator;
-  hib::Duration goal_ms = hib::Ms(argc > 3 ? std::atof(argv[3]) : 0.0);
-  int num_disks = argc > 4 ? std::atoi(argv[4]) : 8;
+  // Pull the output flags out first; what remains is positional.
+  std::string trace_out;
+  std::string metrics_out;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string* sink = nullptr;
+    if (std::strcmp(argv[i], "--trace-out") == 0) {
+      sink = &trace_out;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      sink = &metrics_out;
+    }
+    if (sink != nullptr) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a file argument\n", argv[i]);
+        return 1;
+      }
+      *sink = argv[++i];
+      continue;
+    }
+    positional.push_back(argv[i]);
+  }
+  const char* path = positional.size() > 0 ? positional[0] : nullptr;
+  hib::Scheme scheme =
+      positional.size() > 1 ? ParseScheme(positional[1]) : hib::Scheme::kHibernator;
+  hib::Duration goal_ms = hib::Ms(positional.size() > 2 ? std::atof(positional[2]) : 0.0);
+  int num_disks = positional.size() > 3 ? std::atoi(positional[3]) : 8;
 
   hib::ArrayParams array;
   array.num_disks = num_disks;
@@ -84,7 +109,10 @@ int main(int argc, char** argv) {
 
   auto policy = hib::MakePolicy(cfg);
   reader->Reset();
-  hib::ExperimentResult r = hib::RunExperiment(*reader, *policy, array);
+  hib::ExperimentOptions options;
+  options.trace_out = trace_out;
+  options.metrics_out = metrics_out;
+  hib::ExperimentResult r = hib::RunExperiment(*reader, *policy, array, options);
 
   hib::Table table({"metric", "value"});
   table.NewRow().Add("policy").Add(r.policy_desc);

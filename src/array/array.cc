@@ -35,6 +35,8 @@ struct ArrayController::RequestContext {
   SimTime arrival;
   int pending = 0;
   std::function<void(Duration)> done;
+  std::int64_t obs_id = 0;
+  bool cache_hit = false;
 
   struct PendingWrite {
     int disk_id;
@@ -60,6 +62,20 @@ ArrayController::ArrayController(Simulator* sim, ArrayParams params)
     disks_.push_back(std::make_unique<Disk>(sim_, params_.disk, i,
                                             params_.seed + static_cast<std::uint64_t>(i)));
   }
+  MetricsRegistry& metrics = sim_->obs().metrics;
+  obs_reads_ = &metrics.GetCounter("array.reads");
+  obs_writes_ = &metrics.GetCounter("array.writes");
+  obs_cache_hits_ = &metrics.GetCounter("array.cache_hits");
+  obs_subops_ = &metrics.GetCounter("array.subops");
+  obs_migrations_ = &metrics.GetCounter("array.migrations");
+  obs_rebuilt_extents_ = &metrics.GetCounter("array.rebuilt_extents");
+  obs_response_ms_ = &metrics.GetHistogram("array.response_ms");
+}
+
+void ArrayController::FlushObs() {
+  for (auto& d : disks_) {
+    d->FlushObs();
+  }
 }
 
 void ArrayController::Submit(const TraceRecord& record, std::function<void(Duration)> done) {
@@ -69,8 +85,10 @@ void ArrayController::Submit(const TraceRecord& record, std::function<void(Durat
 
   if (record.is_write) {
     ++stats_.writes;
+    HIB_COUNTER_INC(obs_writes_);
   } else {
     ++stats_.reads;
+    HIB_COUNTER_INC(obs_reads_);
   }
 
   // Temperature accounting per touched extent.
@@ -83,11 +101,14 @@ void ArrayController::Submit(const TraceRecord& record, std::function<void(Durat
 
   if (!record.is_write && cache_.Lookup(record.lba, record.count)) {
     ++stats_.cache_hits;
+    HIB_COUNTER_INC(obs_cache_hits_);
     auto ctx = std::make_shared<RequestContext>();
     ctx->record = record;
     ctx->arrival = sim_->Now();
     ctx->done = std::move(done);
     ctx->pending = 1;
+    ctx->obs_id = obs_req_seq_++;
+    ctx->cache_hit = true;
     sim_->ScheduleIn(params_.cache_hit_ms, [this, ctx] {
       if (--ctx->pending == 0) {
         FinishLogical(ctx);
@@ -105,6 +126,7 @@ void ArrayController::Submit(const TraceRecord& record, std::function<void(Durat
   ctx->record = record;
   ctx->arrival = sim_->Now();
   ctx->done = std::move(done);
+  ctx->obs_id = obs_req_seq_++;
 
   // Split into stripe-unit-aligned pieces and plan the sub-I/Os.  The
   // pending counter starts at 1 so completions racing the planning loop
@@ -211,6 +233,7 @@ void ArrayController::Submit(const TraceRecord& record, std::function<void(Durat
 void ArrayController::IssueRead(const std::shared_ptr<RequestContext>& ctx, int disk_id,
                                 SectorAddr sector, SectorCount count) {
   ++stats_.subops;
+  HIB_COUNTER_INC(obs_subops_);
   DiskRequest req;
   req.sector = sector;
   req.count = count;
@@ -233,6 +256,7 @@ void ArrayController::IssueWritePhase(const std::shared_ptr<RequestContext>& ctx
   writes.swap(ctx->phase2);
   for (const auto& w : writes) {
     ++stats_.subops;
+    HIB_COUNTER_INC(obs_subops_);
     DiskRequest req;
     req.sector = w.sector;
     req.count = w.count;
@@ -248,6 +272,11 @@ void ArrayController::IssueWritePhase(const std::shared_ptr<RequestContext>& ctx
 
 void ArrayController::FinishLogical(const std::shared_ptr<RequestContext>& ctx) {
   Duration response = sim_->Now() - ctx->arrival;
+  HIB_HIST_RECORD(obs_response_ms_, response / Ms(1.0));
+  HIB_TRACE_SPAN(sim_->obs().tracer, SpanKind::kRequest, kTrackArray,
+                 ctx->record.is_write ? "write" : (ctx->cache_hit ? "read(hit)" : "read"),
+                 ctx->arrival, sim_->Now(), ctx->obs_id,
+                 static_cast<double>(ctx->record.count));
   stats_.response_ms.Add(response);
   stats_.response_pct.Add(response);
   stats_.window_response_sum_ms += response;
@@ -269,6 +298,7 @@ void ArrayController::FinishLogical(const std::shared_ptr<RequestContext>& ctx) 
 void ArrayController::SubmitRaw(int disk_id, DiskRequest request) {
   HIB_CHECK(disk_id >= 0 && disk_id < num_disks_total()) << "disk id " << disk_id;
   ++stats_.subops;
+  HIB_COUNTER_INC(obs_subops_);
   disks_[static_cast<std::size_t>(disk_id)]->Submit(std::move(request));
 }
 
@@ -345,6 +375,7 @@ void ArrayController::ReplaceDisk(int disk_id, std::function<void()> on_complete
   rebuild_worklist_[disk_id] = std::move(worklist);
   rebuild_cursor_[disk_id] = 0;
   rebuild_callback_[disk_id] = std::move(on_complete);
+  rebuild_started_[disk_id] = sim_->Now();
   RebuildNextExtent(disk_id);
 }
 
@@ -382,6 +413,7 @@ void ArrayController::RebuildNextExtent(int disk_id) {
     req.background = true;
     req.on_complete = [this, disk_id](SimTime) {
       ++stats_.rebuilt_extents;
+      HIB_COUNTER_INC(obs_rebuilt_extents_);
       RebuildNextExtent(disk_id);
     };
     SubmitRaw(disk_id, std::move(req));
@@ -389,6 +421,7 @@ void ArrayController::RebuildNextExtent(int disk_id) {
   if (sources.empty()) {
     // Nothing to reconstruct from; count the extent and move on.
     ++stats_.rebuilt_extents;
+    HIB_COUNTER_INC(obs_rebuilt_extents_);
     RebuildNextExtent(disk_id);
     return;
   }
@@ -408,6 +441,12 @@ void ArrayController::RebuildNextExtent(int disk_id) {
 }
 
 void ArrayController::FinishRebuild(int disk_id) {
+  auto started = rebuild_started_.find(disk_id);
+  if (started != rebuild_started_.end()) {
+    HIB_TRACE_SPAN(sim_->obs().tracer, SpanKind::kRebuild, disk_id, "rebuild",
+                   started->second, sim_->Now(), disk_id, 0.0);
+    rebuild_started_.erase(started);
+  }
   disk_failed_[static_cast<std::size_t>(disk_id)] = false;
   disk_rebuilding_[static_cast<std::size_t>(disk_id)] = false;
   rebuild_worklist_.erase(disk_id);
@@ -465,8 +504,9 @@ void ArrayController::StartMigration(std::int64_t extent, int target_group) {
   SectorAddr base = layout_.Map(extent, 0).data_sector;
 
   // Phase 1: background reads of the extent's share on every source disk.
+  SimTime mig_start = sim_->Now();
   auto reads_left = std::make_shared<int>(static_cast<int>(src_disks.size()));
-  auto do_writes = [this, extent, target_group, dst_disks, share_dst, base] {
+  auto do_writes = [this, extent, target_group, dst_disks, share_dst, base, mig_start] {
     std::vector<int> live_dsts;
     for (int d : dst_disks) {
       if (!disk_failed_[static_cast<std::size_t>(d)]) {
@@ -486,11 +526,14 @@ void ArrayController::StartMigration(std::int64_t extent, int target_group) {
       req.count = share_dst;
       req.is_write = true;
       req.background = true;
-      req.on_complete = [this, extent, target_group, writes_left](SimTime) {
+      req.on_complete = [this, extent, target_group, writes_left, mig_start](SimTime) {
         if (--*writes_left == 0) {
           layout_.SetGroup(extent, target_group);
           ++stats_.migrations_completed;
           stats_.migrated_sectors += params_.extent_sectors;
+          HIB_COUNTER_INC(obs_migrations_);
+          HIB_TRACE_SPAN(sim_->obs().tracer, SpanKind::kMigration, kTrackArray, "migrate",
+                         mig_start, sim_->Now(), extent, static_cast<double>(target_group));
           --active_migrations_;
           PumpMigrations();
         }

@@ -165,6 +165,10 @@ class ArrayController {
   // Sum of per-disk metered energy (data + cache disks), through now.
   DiskEnergy TotalEnergy() const;
 
+  // Closes every disk's open power-state span.  Call once at end of run,
+  // before exporting a trace.
+  void FlushObs();
+
  private:
   struct RequestContext;
 
@@ -200,6 +204,17 @@ class ArrayController {
   std::unordered_map<int, std::vector<std::int64_t>> rebuild_worklist_;
   std::unordered_map<int, std::size_t> rebuild_cursor_;
   std::unordered_map<int, std::function<void()>> rebuild_callback_;
+  std::unordered_map<int, SimTime> rebuild_started_;  // for the rebuild trace span
+
+  // Observability instruments (resolved once; bumped via the HIB_* macros).
+  Counter* obs_reads_;
+  Counter* obs_writes_;
+  Counter* obs_cache_hits_;
+  Counter* obs_subops_;
+  Counter* obs_migrations_;
+  Counter* obs_rebuilt_extents_;
+  LogLinearHistogram* obs_response_ms_;
+  std::int64_t obs_req_seq_ = 0;  // logical-request trace id counter
 };
 
 }  // namespace hib

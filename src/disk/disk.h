@@ -182,6 +182,10 @@ class Disk {
   // mechanically at the given level, with average rotational latency?
   Duration ExpectedServiceTime(SectorCount count, int level) const;
 
+  // Emits the still-open power-state residency span (the tail of the
+  // timeline).  Call once at end of run, before exporting a trace.
+  void FlushObs();
+
  private:
   void EnterState(DiskPowerState next);
   Watts StatePower(DiskPowerState state) const;
@@ -217,6 +221,16 @@ class Disk {
 
   SimTime last_activity_;
   DiskStats stats_;
+
+  // Observability instruments, resolved once from the simulator's registry;
+  // bumps go through the HIB_* macros (no-ops when HIB_OBS=0).
+  Counter* obs_spin_ups_;
+  Counter* obs_spin_downs_;
+  Counter* obs_rpm_changes_;
+  LogLinearHistogram* obs_queue_wait_ms_;
+  LogLinearHistogram* obs_service_ms_;
+  SimTime obs_state_since_;           // start of the current power-state span
+  std::uint32_t obs_subop_seq_ = 0;   // per-disk sub-op trace id counter
 };
 
 }  // namespace hib

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/export.h"
 #include "src/policy/full_power.h"
 #include "src/trace/synthetic.h"
 
@@ -42,6 +43,10 @@ ExperimentResult RunExperiment(WorkloadSource& workload, PowerPolicy& policy,
                                const ExperimentOptions& options) {
   Simulator sim;
   sim.ReserveEvents(options.event_capacity_hint);
+  if (options.trace_events > 0 || !options.trace_out.empty()) {
+    sim.obs().tracer.Enable(options.trace_events > 0 ? options.trace_events
+                                                     : Tracer::kDefaultCapacity);
+  }
   ArrayController array(&sim, array_params);
   policy.Attach(&sim, &array);
 
@@ -114,6 +119,7 @@ ExperimentResult RunExperiment(WorkloadSource& workload, PowerPolicy& policy,
     sim.RunUntil(sim.Now() + options.drain_ms);
   }
   policy.Finish();
+  array.FlushObs();  // close every disk's open power-state span
 
   result.sim_duration_ms = sim.Now();
   result.events = sim.events_fired();
@@ -135,6 +141,13 @@ ExperimentResult RunExperiment(WorkloadSource& workload, PowerPolicy& policy,
     result.spin_ups += ds.spin_ups;
     result.spin_downs += ds.spin_downs;
     result.rpm_changes += ds.rpm_changes;
+  }
+  result.metrics = sim.obs().metrics.Snapshot();
+  if (!options.trace_out.empty()) {
+    WriteChromeTraceFile(options.trace_out, sim.obs().tracer);
+  }
+  if (!options.metrics_out.empty()) {
+    WriteMetricsJsonFile(options.metrics_out, result.metrics);
   }
   return result;
 }

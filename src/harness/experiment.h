@@ -49,6 +49,11 @@ struct ExperimentResult {
 
   std::vector<SeriesPoint> series;
 
+  // Snapshot of the run's metrics registry (counters/gauges/histograms from
+  // src/obs).  Always populated; empty when HIB_OBS=0 compiled the
+  // instrumentation out.
+  MetricsSnapshot metrics;
+
   // Mean power over the run; Joules / Duration is a Watts.
   Watts MeanPower() const {
     return sim_duration_ms > Duration{} ? energy_total / sim_duration_ms : Watts{};
@@ -68,6 +73,14 @@ struct ExperimentOptions {
   // policy timers and the injector's next arrival, so multi-million-event
   // runs never reallocate the heap or the slot arena mid-run.
   std::size_t event_capacity_hint = 4096;
+
+  // Tracing: a nonzero `trace_events` (ring capacity) or a nonempty
+  // `trace_out` enables the tracer for the run.  `trace_out` writes a
+  // Chrome/Perfetto trace_event JSON file at the end; `metrics_out` writes
+  // the metrics snapshot as JSON.
+  std::size_t trace_events = 0;
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 // Replays `workload` (from its current position; call Reset() first for a

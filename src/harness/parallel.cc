@@ -69,6 +69,14 @@ std::vector<ExperimentResult> RunAll(const std::vector<ExperimentSpec>& specs,
   return results;
 }
 
+MetricsSnapshot MergeMetrics(const std::vector<ExperimentResult>& results) {
+  MetricsSnapshot merged;
+  for (const ExperimentResult& result : results) {
+    merged.MergeFrom(result.metrics);
+  }
+  return merged;
+}
+
 ExperimentSpec SpecForScheme(const SchemeConfig& config, const ArrayParams& base_array,
                              std::function<std::unique_ptr<WorkloadSource>(const ArrayParams&)>
                                  make_workload,

@@ -46,6 +46,12 @@ int DefaultParallelism();
 std::vector<ExperimentResult> RunAll(const std::vector<ExperimentSpec>& specs,
                                      int max_threads = 0);
 
+// Folds every shard's metrics snapshot into one, in spec order.  Because
+// RunAll's results are bit-identical to a sequential run and land in spec
+// order, this merge is deterministic regardless of thread count or
+// scheduling (tests/obs_test.cc pins this).
+MetricsSnapshot MergeMetrics(const std::vector<ExperimentResult>& results);
+
 // Convenience: the scheme-comparison spec used by the paper benches.
 ExperimentSpec SpecForScheme(const SchemeConfig& config, const ArrayParams& base_array,
                              std::function<std::unique_ptr<WorkloadSource>(const ArrayParams&)>

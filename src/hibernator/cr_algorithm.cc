@@ -47,6 +47,8 @@ struct SearchState {
 void SearchState::Dfs(int pos, int cap, double resp_sum, Watts power_sum) {
   if (pos == num_groups) {
     ++evaluated;
+    QueueingTelemetry telemetry = input->telemetry;
+    telemetry.Observe(total_weight > Frequency{} ? resp_sum / total_weight : Duration{});
     double goal_sum = input->goal_ms * total_weight;
     if (resp_sum <= goal_sum + 1e-9 && power_sum < best_power) {
       best_power = power_sum;

@@ -50,6 +50,9 @@ struct CrInput {
   // When true, search all K^G assignments instead of monotone ones (test /
   // validation mode; exponential, keep G*K tiny).
   bool exhaustive = false;
+  // Optional instrumentation: per-candidate evaluation count and predicted
+  // response distribution (see src/queueing/mg1.h).
+  QueueingTelemetry telemetry;
 };
 
 struct CrResult {

@@ -1,7 +1,6 @@
 #include "src/hibernator/hibernator_policy.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
 #include <sstream>
@@ -45,6 +44,9 @@ void HibernatorPolicy::Attach(Simulator* sim, ArrayController* array) {
 void HibernatorPolicy::Finish() {
   if (boosted_) {
     boosted_ms_total_ += sim_->Now() - boost_started_;
+    // Close the still-open boost interval so the trace timeline is complete.
+    HIB_TRACE_SPAN(sim_->obs().tracer, SpanKind::kBoost, kTrackPolicy, "boost",
+                   boost_started_, sim_->Now(), boosts_, 0.0);
     boost_started_ = sim_->Now();
   }
 }
@@ -211,9 +213,18 @@ void HibernatorPolicy::EpochTick() {
       input.epoch_ms = params_.epoch_ms;
       input.current_levels = group_levels_;
       input.disk = &array_->params().disk;
+#if HIB_OBS
+      input.telemetry.evaluations =
+          &sim_->obs().metrics.GetCounter("hibernator.cr_candidates");
+      input.telemetry.predicted_response_ms =
+          &sim_->obs().metrics.GetHistogram("hibernator.cr_predicted_response_ms");
+#endif
       CrResult result = SolveCr(input);
       levels = result.levels;
       last_predicted_response_ms_ = result.predicted_response_ms * last_scale_;
+      HIB_TRACE_INSTANT(sim_->obs().tracer, SpanKind::kEpoch, kTrackPolicy,
+                        result.feasible ? "epoch" : "epoch(infeasible)", sim_->Now(),
+                        epochs_completed_, last_predicted_response_ms_ / Ms(1.0));
       HIB_LOG(kInfo) << Name() << " epoch " << epochs_completed_ << ": predicted "
                      << last_predicted_response_ms_ << "ms vs goal " << params_.goal_ms
                      << "ms, power " << result.predicted_power << "W, feasible "
@@ -233,6 +244,7 @@ void HibernatorPolicy::EpochTick() {
   }
   array_->stats().ResetWindow();
   ++epochs_completed_;
+  HIB_COUNTER_INC(&sim_->obs().metrics.GetCounter("hibernator.epochs"));
 }
 
 void HibernatorPolicy::ApplyGroupLevel(int group, int level) {
@@ -306,6 +318,8 @@ void HibernatorPolicy::PlanMigrations() {
       --budget;
     }
   }
+  HIB_COUNTER_ADD(&sim_->obs().metrics.GetCounter("hibernator.migrations_requested"),
+                  params_.migration_budget_extents - budget);
 }
 
 void HibernatorPolicy::GuaranteeTick() {
@@ -320,6 +334,7 @@ void HibernatorPolicy::GuaranteeTick() {
     boosted_ = true;
     ++boosts_;
     boost_started_ = sim_->Now();
+    HIB_COUNTER_INC(&sim_->obs().metrics.GetCounter("hibernator.boosts"));
     BoostAllFull();
     array_->PauseMigration(true);
     HIB_LOG(kInfo) << Name() << " BOOST at " << sim_->Now() / Hours(1.0) << "h (credit "
@@ -331,6 +346,8 @@ void HibernatorPolicy::GuaranteeTick() {
     // rebuilt).
     boosted_ = false;
     boosted_ms_total_ += sim_->Now() - boost_started_;
+    HIB_TRACE_SPAN(sim_->obs().tracer, SpanKind::kBoost, kTrackPolicy, "boost",
+                   boost_started_, sim_->Now(), boosts_, 0.0);
     array_->PauseMigration(false);
     HIB_LOG(kInfo) << Name() << " resume at " << sim_->Now() / Hours(1.0) << "h";
   }

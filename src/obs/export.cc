@@ -1,0 +1,227 @@
+#include "src/obs/export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace hib {
+
+namespace {
+
+// Lane layout inside the single trace "process": shared lanes first, then two
+// lanes per disk (power-state residency above the disk's I/O activity).
+constexpr int kTidArray = 1;
+constexpr int kTidPolicy = 2;
+constexpr int kTidDiskBase = 10;
+
+int LaneOf(const TraceEvent& event) {
+  if (event.track == kTrackArray) {
+    return kTidArray;
+  }
+  if (event.track == kTrackPolicy) {
+    return kTidPolicy;
+  }
+  int power_lane = kTidDiskBase + 2 * event.track;
+  return event.kind == SpanKind::kPowerState ? power_lane : power_lane + 1;
+}
+
+std::string LaneName(const TraceEvent& event, int tid) {
+  if (tid == kTidArray) {
+    return "array";
+  }
+  if (tid == kTidPolicy) {
+    return "policy";
+  }
+  std::string label = "disk " + std::to_string(event.track);
+  label += event.kind == SpanKind::kPowerState ? " power" : " io";
+  return label;
+}
+
+// Chrome trace_event timestamps are microseconds; sim time is milliseconds.
+double ToMicros(Duration d) { return d.value() * 1000.0; }
+
+bool IsAsyncKind(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kQueueWait:
+    case SpanKind::kRequest:
+    case SpanKind::kRebuild:
+    case SpanKind::kMigration:
+      return true;
+    default:
+      return false;
+  }
+}
+
+JsonObject EventCommon(const TraceEvent& event, int tid) {
+  JsonObject o;
+  o.Set("name", JsonValue::Str(event.name));
+  o.Set("cat", JsonValue::Str(SpanKindName(event.kind)));
+  o.Set("pid", JsonValue::Int(0));
+  o.Set("tid", JsonValue::Int(tid));
+  return o;
+}
+
+JsonObject EventArgs(const TraceEvent& event) {
+  JsonObject args;
+  args.Set("arg", event.arg);
+  return args;
+}
+
+}  // namespace
+
+void WriteChromeTrace(std::ostream& os, const Tracer& tracer) {
+  std::vector<TraceEvent> events = tracer.Events();
+
+  // Discover the lanes in play so the viewer shows named, stably ordered rows.
+  std::map<int, std::string> lanes;
+  for (const TraceEvent& event : events) {
+    int tid = LaneOf(event);
+    lanes.emplace(tid, LaneName(event, tid));
+  }
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const JsonObject& o) {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    os << o.Dump();
+  };
+
+  for (const auto& [tid, label] : lanes) {
+    JsonObject name_meta;
+    name_meta.Set("ph", std::string("M"));
+    name_meta.Set("name", std::string("thread_name"));
+    name_meta.Set("pid", JsonValue::Int(0));
+    name_meta.Set("tid", JsonValue::Int(tid));
+    name_meta.Set("args", JsonObject().Set("name", label));
+    emit(name_meta);
+    JsonObject sort_meta;
+    sort_meta.Set("ph", std::string("M"));
+    sort_meta.Set("name", std::string("thread_sort_index"));
+    sort_meta.Set("pid", JsonValue::Int(0));
+    sort_meta.Set("tid", JsonValue::Int(tid));
+    sort_meta.Set("args", JsonObject().Set("sort_index", JsonValue::Int(tid)));
+    emit(sort_meta);
+  }
+
+  for (const TraceEvent& event : events) {
+    int tid = LaneOf(event);
+    if (event.instant) {
+      JsonObject o = EventCommon(event, tid);
+      o.Set("ph", std::string("i"));
+      o.Set("s", std::string("t"));
+      o.Set("ts", ToMicros(event.start));
+      o.Set("args", EventArgs(event));
+      emit(o);
+    } else if (IsAsyncKind(event.kind)) {
+      // Async begin/end pairs (matched by cat+id) let overlapping intervals —
+      // queued sub-ops, in-flight logical requests — nest instead of
+      // corrupting a single lane's stack.
+      JsonObject begin = EventCommon(event, tid);
+      begin.Set("ph", std::string("b"));
+      begin.Set("id", JsonValue::Int(event.id));
+      begin.Set("ts", ToMicros(event.start));
+      begin.Set("args", EventArgs(event));
+      emit(begin);
+      JsonObject end = EventCommon(event, tid);
+      end.Set("ph", std::string("e"));
+      end.Set("id", JsonValue::Int(event.id));
+      end.Set("ts", ToMicros(event.start + event.dur));
+      emit(end);
+    } else {
+      JsonObject o = EventCommon(event, tid);
+      o.Set("ph", std::string("X"));
+      o.Set("ts", ToMicros(event.start));
+      o.Set("dur", ToMicros(event.dur));
+      o.Set("args", EventArgs(event));
+      emit(o);
+    }
+  }
+  os << "]}\n";
+}
+
+void WriteChromeTraceFile(const std::string& path, const Tracer& tracer) {
+  std::ofstream os(path);
+  HIB_CHECK(os.good()) << "cannot open trace output '" << path << "'";
+  WriteChromeTrace(os, tracer);
+  os.flush();
+  HIB_CHECK(os.good()) << "failed writing trace output '" << path << "'";
+}
+
+JsonObject MetricsSnapshotJson(const MetricsSnapshot& snapshot) {
+  JsonObject counters;
+  for (const auto& point : snapshot.counters) {
+    counters.Set(point.name, JsonValue::Int(point.count));
+  }
+  JsonObject gauges;
+  for (const auto& point : snapshot.gauges) {
+    gauges.Set(point.name, point.current);
+  }
+  JsonObject histograms;
+  for (const auto& point : snapshot.histograms) {
+    // An empty histogram of the same shape resolves bucket bounds/quantiles
+    // for the snapshot's dense counts.
+    LogLinearHistogram shape(point.options);
+    JsonObject h;
+    h.Set("count", JsonValue::Int(point.count));
+    h.Set("sum", point.sum);
+    h.Set("min", point.min_seen);
+    h.Set("max", point.max_seen);
+    h.Set("mean", point.count > 0 ? point.sum / static_cast<double>(point.count) : 0.0);
+    auto quantile = [&](double q) {
+      if (point.count == 0) {
+        return 0.0;
+      }
+      auto target = std::max<std::int64_t>(
+          static_cast<std::int64_t>(std::ceil(q * static_cast<double>(point.count))), 1);
+      std::int64_t seen = 0;
+      for (std::size_t i = 0; i < point.buckets.size(); ++i) {
+        seen += point.buckets[i];
+        if (seen >= target) {
+          return shape.BucketLowerBound(static_cast<int>(i));
+        }
+      }
+      return shape.BucketLowerBound(point.options.NumBuckets() - 1);
+    };
+    h.Set("p50", quantile(0.50));
+    h.Set("p95", quantile(0.95));
+    h.Set("p99", quantile(0.99));
+    JsonArray buckets;
+    for (std::size_t i = 0; i < point.buckets.size(); ++i) {
+      if (point.buckets[i] != 0) {
+        JsonArray pair;
+        pair.Push(JsonValue::Int(static_cast<std::int64_t>(i)));
+        pair.Push(JsonValue::Int(point.buckets[i]));
+        buckets.Push(JsonValue::Raw(pair.Dump()));
+      }
+    }
+    h.Set("buckets", buckets);
+    histograms.Set(point.name, h);
+  }
+  JsonObject out;
+  out.Set("counters", counters);
+  out.Set("gauges", gauges);
+  out.Set("histograms", histograms);
+  return out;
+}
+
+void WriteMetricsJsonFile(const std::string& path, const MetricsSnapshot& snapshot) {
+  std::ofstream os(path);
+  HIB_CHECK(os.good()) << "cannot open metrics output '" << path << "'";
+  JsonObject root;
+  root.Set("metrics", MetricsSnapshotJson(snapshot));
+  os << root.Dump() << "\n";
+  os.flush();
+  HIB_CHECK(os.good()) << "failed writing metrics output '" << path << "'";
+}
+
+}  // namespace hib

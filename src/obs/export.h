@@ -1,0 +1,45 @@
+// Exporters: Chrome/Perfetto trace_event JSON for Tracer rings, and a flat
+// metrics JSON block for MetricsSnapshot (merged into BENCH_<name>.json and
+// the harness --metrics-out files).
+//
+// The trace format is the Chrome "JSON Array Format" (trace_event), which
+// Perfetto's UI (https://ui.perfetto.dev) opens directly:
+//   - kPowerState / kService / kSeek / kTransfer / kBoost become complete
+//     ("X") events on per-disk or shared lanes;
+//   - kQueueWait / kRequest / kRebuild / kMigration become async ("b"/"e")
+//     pairs so overlapping intervals nest by id instead of garbling a lane;
+//   - kEpoch / kDecision become instants ("i");
+//   - lanes carry thread_name metadata ("disk 3 power", "array", "policy").
+// Timestamps convert ms -> microseconds (the format's unit) at this boundary.
+#ifndef HIBERNATOR_SRC_OBS_EXPORT_H_
+#define HIBERNATOR_SRC_OBS_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/tracer.h"
+#include "src/util/json.h"
+
+namespace hib {
+
+// Streams the retained events as a complete Chrome trace_event JSON document
+// (object form: {"traceEvents":[...], "displayTimeUnit":"ms"}).
+void WriteChromeTrace(std::ostream& os, const Tracer& tracer);
+
+// Writes the trace to `path`; aborts on I/O failure (a requested trace that
+// silently vanishes is worse than a crash).
+void WriteChromeTraceFile(const std::string& path, const Tracer& tracer);
+
+// Snapshot as a JSON object: {"counters":{...}, "gauges":{...},
+// "histograms":{name:{count,sum,min,max,mean,p50,p95,p99,buckets:[[i,n]...]}}}.
+// Histogram buckets are sparse [index, count] pairs (the dense vector is
+// mostly zeros).
+JsonObject MetricsSnapshotJson(const MetricsSnapshot& snapshot);
+
+// Writes `{"metrics": <snapshot>}` to `path`; aborts on I/O failure.
+void WriteMetricsJsonFile(const std::string& path, const MetricsSnapshot& snapshot);
+
+}  // namespace hib
+
+#endif  // HIBERNATOR_SRC_OBS_EXPORT_H_

@@ -1,0 +1,183 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace hib {
+
+LogLinearHistogram::LogLinearHistogram(HistogramOptions options) : options_(options) {
+  HIB_CHECK(options_.min_bound > 0.0) << "histogram min_bound must be positive";
+  HIB_CHECK(options_.octaves > 0 && options_.sub_buckets > 0) << "degenerate histogram shape";
+  HIB_CHECK_EQ(options_.sub_buckets & (options_.sub_buckets - 1), 0)
+      << "sub_buckets must be a power of two for exact boundaries";
+  buckets_.assign(static_cast<std::size_t>(options_.NumBuckets()), 0);
+}
+
+int LogLinearHistogram::BucketIndex(double v) const {
+  if (!(v >= options_.min_bound)) {  // also catches NaN
+    return 0;
+  }
+  // v / min_bound = m * 2^e with m in [0.5, 1): the octave is e - 1 and the
+  // linear sub-bucket is floor((2m - 1) * sub_buckets).  For boundary values
+  // min_bound * 2^o * (1 + s / sub_buckets) every step is exact in binary
+  // (sub_buckets is a power of two), so boundaries never straddle buckets.
+  int exp = 0;
+  double mantissa = std::frexp(v / options_.min_bound, &exp);
+  int octave = exp - 1;
+  if (octave >= options_.octaves) {
+    return options_.NumBuckets() - 1;
+  }
+  int sub = static_cast<int>((mantissa * 2.0 - 1.0) * options_.sub_buckets);
+  sub = std::clamp(sub, 0, options_.sub_buckets - 1);
+  return 1 + octave * options_.sub_buckets + sub;
+}
+
+double LogLinearHistogram::BucketLowerBound(int index) const {
+  if (index <= 0) {
+    return 0.0;
+  }
+  if (index >= options_.NumBuckets() - 1) {
+    return std::ldexp(options_.min_bound, options_.octaves);
+  }
+  int octave = (index - 1) / options_.sub_buckets;
+  int sub = (index - 1) % options_.sub_buckets;
+  double base = 1.0 + static_cast<double>(sub) / static_cast<double>(options_.sub_buckets);
+  return std::ldexp(options_.min_bound * base, octave);
+}
+
+void LogLinearHistogram::Record(double v) {
+  if (count_ == 0) {
+    min_seen_ = v;
+    max_seen_ = v;
+  } else {
+    min_seen_ = std::min(min_seen_, v);
+    max_seen_ = std::max(max_seen_, v);
+  }
+  ++count_;
+  sum_ += v;
+  ++buckets_[static_cast<std::size_t>(BucketIndex(v))];
+}
+
+double LogLinearHistogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  auto target = static_cast<std::int64_t>(std::ceil(q * static_cast<double>(count_)));
+  target = std::max<std::int64_t>(target, 1);
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return BucketLowerBound(static_cast<int>(i));
+    }
+  }
+  return BucketLowerBound(options_.NumBuckets() - 1);
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) { return counters_[name]; }
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) { return gauges_[name]; }
+
+LogLinearHistogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                                  HistogramOptions options) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, LogLinearHistogram(options)).first;
+  } else {
+    HIB_CHECK(it->second.options() == options)
+        << "histogram '" << name << "' registered twice with different shapes";
+  }
+  return it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter.count()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    if (gauge.set()) {
+      snap.gauges.push_back({name, gauge.current()});
+    }
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    MetricsSnapshot::HistogramPoint point;
+    point.name = name;
+    point.options = hist.options();
+    point.count = hist.count();
+    point.sum = hist.sum();
+    point.min_seen = hist.min_seen();
+    point.max_seen = hist.max_seen();
+    point.buckets = hist.buckets();
+    snap.histograms.push_back(std::move(point));
+  }
+  return snap;
+}
+
+namespace {
+
+// Merge walk over two name-sorted series.  `combine(mine, theirs)` runs for
+// names present on both sides; unmatched entries from `other` are inserted
+// in order.
+template <typename Point, typename Combine>
+void MergeSeries(std::vector<Point>* mine, const std::vector<Point>& other, Combine combine) {
+  std::vector<Point> merged;
+  merged.reserve(mine->size() + other.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < mine->size() && j < other.size()) {
+    if ((*mine)[i].name < other[j].name) {
+      merged.push_back(std::move((*mine)[i++]));
+    } else if (other[j].name < (*mine)[i].name) {
+      merged.push_back(other[j++]);
+    } else {
+      Point combined = std::move((*mine)[i++]);
+      combine(&combined, other[j++]);
+      merged.push_back(std::move(combined));
+    }
+  }
+  for (; i < mine->size(); ++i) {
+    merged.push_back(std::move((*mine)[i]));
+  }
+  for (; j < other.size(); ++j) {
+    merged.push_back(other[j]);
+  }
+  *mine = std::move(merged);
+}
+
+}  // namespace
+
+void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
+  MergeSeries(&counters, other.counters,
+              [](CounterPoint* mine, const CounterPoint& theirs) { mine->count += theirs.count; });
+  MergeSeries(&gauges, other.gauges, [](GaugePoint* mine, const GaugePoint& theirs) {
+    mine->current = theirs.current;  // last merged shard wins
+  });
+  MergeSeries(&histograms, other.histograms,
+              [](HistogramPoint* mine, const HistogramPoint& theirs) {
+                HIB_CHECK(mine->options == theirs.options)
+                    << "merging histograms '" << mine->name << "' with different shapes";
+                if (theirs.count > 0) {
+                  if (mine->count == 0) {
+                    mine->min_seen = theirs.min_seen;
+                    mine->max_seen = theirs.max_seen;
+                  } else {
+                    mine->min_seen = std::min(mine->min_seen, theirs.min_seen);
+                    mine->max_seen = std::max(mine->max_seen, theirs.max_seen);
+                  }
+                }
+                mine->count += theirs.count;
+                mine->sum += theirs.sum;
+                for (std::size_t b = 0; b < mine->buckets.size(); ++b) {
+                  mine->buckets[b] += theirs.buckets[b];
+                }
+              });
+}
+
+}  // namespace hib

@@ -36,9 +36,11 @@ void MaidPolicy::Attach(Simulator* sim, ArrayController* array) {
     int cache_disk = LookupCache(extent);
     if (cache_disk >= 0) {
       ++cache_hits_;
+      HIB_COUNTER_INC(&sim_->obs().metrics.GetCounter("policy.maid_cache_hits"));
       return cache_disk;
     }
     ++cache_misses_;
+    HIB_COUNTER_INC(&sim_->obs().metrics.GetCounter("policy.maid_cache_misses"));
     return intended_disk;
   });
 
@@ -78,6 +80,7 @@ void MaidPolicy::InsertCache(std::int64_t extent) {
   lru_.push_front(extent);
   resident_[extent] = CacheEntry{cache_disk, lru_.begin()};
   ++copies_started_;
+  HIB_COUNTER_INC(&sim_->obs().metrics.GetCounter("policy.maid_copies_started"));
 
   // Background copy-in: one streaming write of the extent image.  (The read
   // side already happened — the demand miss fetched the data.)
@@ -101,7 +104,11 @@ void MaidPolicy::Poll() {
   for (int i = 0; i < array_->num_data_disks(); ++i) {
     Disk& disk = array_->disk(i);
     if (disk.FullyIdle() && sim_->Now() - disk.last_activity() >= threshold_ms_) {
-      disk.SpinDown();
+      if (disk.SpinDown()) {
+        HIB_COUNTER_INC(&sim_->obs().metrics.GetCounter("policy.spin_down_decisions"));
+        HIB_TRACE_INSTANT(sim_->obs().tracer, SpanKind::kDecision, kTrackPolicy, "spin-down",
+                          sim_->Now(), i, static_cast<double>(i));
+      }
     }
   }
 }

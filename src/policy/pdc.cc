@@ -45,16 +45,24 @@ void PdcPolicy::Reorganize() {
     int target = static_cast<int>(static_cast<std::int64_t>(rank) / per_group);
     if (layout.GroupOf(extent) != target) {
       array_->RequestMigration(extent, target);
+      HIB_COUNTER_INC(&sim_->obs().metrics.GetCounter("policy.migrations_requested"));
       --budget;
     }
   }
+  HIB_TRACE_INSTANT(sim_->obs().tracer, SpanKind::kDecision, kTrackPolicy, "reorganize",
+                    sim_->Now(), 0,
+                    static_cast<double>(params_.migration_budget_extents - budget));
 }
 
 void PdcPolicy::Poll() {
   for (int i = 0; i < array_->num_data_disks(); ++i) {
     Disk& disk = array_->disk(i);
     if (disk.FullyIdle() && sim_->Now() - disk.last_activity() >= threshold_ms_) {
-      disk.SpinDown();
+      if (disk.SpinDown()) {
+        HIB_COUNTER_INC(&sim_->obs().metrics.GetCounter("policy.spin_down_decisions"));
+        HIB_TRACE_INSTANT(sim_->obs().tracer, SpanKind::kDecision, kTrackPolicy, "spin-down",
+                          sim_->Now(), i, static_cast<double>(i));
+      }
     }
   }
 }

@@ -34,7 +34,11 @@ void TpmPolicy::Poll() {
   for (int i = first; i < last; ++i) {
     Disk& disk = array_->disk(i);
     if (disk.FullyIdle() && sim_->Now() - disk.last_activity() >= threshold_ms_) {
-      disk.SpinDown();
+      if (disk.SpinDown()) {
+        HIB_COUNTER_INC(&sim_->obs().metrics.GetCounter("policy.spin_down_decisions"));
+        HIB_TRACE_INSTANT(sim_->obs().tracer, SpanKind::kDecision, kTrackPolicy, "spin-down",
+                          sim_->Now(), i, static_cast<double>(i));
+      }
     }
   }
 }

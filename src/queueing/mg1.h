@@ -15,9 +15,28 @@
 #include <vector>
 
 #include "src/disk/disk_params.h"
+#include "src/obs/metrics.h"
 #include "src/util/units.h"
 
 namespace hib {
+
+// Optional instrumentation feed for analytic evaluations (CR's candidate
+// search).  Null pointers make Observe a no-op, so callers wire it only when
+// a registry is in play; the policy leaves both null when HIB_OBS=0.
+struct QueueingTelemetry {
+  Counter* evaluations = nullptr;
+  LogLinearHistogram* predicted_response_ms = nullptr;
+
+  void Observe(Duration predicted) {
+    if (evaluations != nullptr) {
+      evaluations->Add(1);
+    }
+    if (predicted_response_ms != nullptr && IsFinite(predicted)) {
+      // Duration / Duration is dimensionless: this is metric output.
+      predicted_response_ms->Record(predicted / Ms(1.0));
+    }
+  }
+};
 
 class Mg1Model {
  public:

@@ -11,6 +11,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "src/obs/obs.h"
 #include "src/sim/event_queue.h"
 #include "src/util/check.h"
 #include "src/util/units.h"
@@ -68,6 +69,12 @@ class Simulator {
   SimValidator* validator() { return validator_.get(); }
 #endif
 
+  // Per-simulation metrics registry + tracer.  Components resolve their
+  // instruments here at construction; instrumentation call sites go through
+  // the HIB_COUNTER_* / HIB_TRACE_* macros (no-ops when HIB_OBS=0).
+  Observability& obs() { return obs_; }
+  const Observability& obs() const { return obs_; }
+
  private:
   struct PeriodicState {
     Duration period;
@@ -81,6 +88,7 @@ class Simulator {
   std::uint64_t events_fired_ = 0;
   std::uint64_t next_periodic_key_ = 0;
   std::unordered_map<std::uint64_t, PeriodicState> periodics_;
+  Observability obs_;
 #if HIB_VALIDATE
   std::unique_ptr<SimValidator> validator_ = std::make_unique<SimValidator>();
 #endif

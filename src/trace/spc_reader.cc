@@ -95,7 +95,14 @@ bool SpcTraceReader::Next(TraceRecord* out) {
   }
   std::string line;
   while (std::getline(*stream_, line)) {
-    if (line.empty() || line[0] == '#') {
+    // CRLF traces (SPC files often come from Windows tooling): getline stops
+    // at '\n' and leaves the '\r' on the line — strip it so it neither turns
+    // a blank line into a "parse error" nor rides into the last field.
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    // Skip blank (including whitespace-only) and comment lines.
+    if (line.find_first_not_of(" \t") == std::string::npos || line[0] == '#') {
       continue;
     }
     if (ParseLine(line, out)) {

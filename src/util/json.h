@@ -1,0 +1,129 @@
+// Minimal order-preserving JSON builder: objects, arrays and scalars, eagerly
+// serialized.  Deliberately tiny — the repo only ever *writes* flat records
+// (BENCH_<name>.json, metrics exports, Chrome traces), so a full JSON library
+// would be dead weight (and a dependency the container may not have).
+//
+// Moved here from bench/bench_common.h so the observability exporters
+// (src/obs/export.h) and the benches share one serializer.
+#ifndef HIBERNATOR_SRC_UTIL_JSON_H_
+#define HIBERNATOR_SRC_UTIL_JSON_H_
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hib {
+
+class JsonValue {
+ public:
+  static JsonValue Number(double v) {
+    char buf[40];
+    if (v != v || v > 1.7e308 || v < -1.7e308) {  // NaN / +-Inf have no JSON form
+      return JsonValue("null");
+    }
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return JsonValue(buf);
+  }
+  static JsonValue Int(std::int64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    return JsonValue(buf);
+  }
+  static JsonValue UInt(std::uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    return JsonValue(buf);
+  }
+  static JsonValue Bool(bool v) { return JsonValue(v ? "true" : "false"); }
+  static JsonValue Str(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += "\"";
+    return JsonValue(out);
+  }
+  static JsonValue Raw(std::string serialized) { return JsonValue(std::move(serialized)); }
+
+  const std::string& raw() const { return raw_; }
+
+ private:
+  explicit JsonValue(std::string raw) : raw_(std::move(raw)) {}
+  std::string raw_;
+};
+
+class JsonArray {
+ public:
+  JsonArray& Push(const JsonValue& v) {
+    items_.push_back(v.raw());
+    return *this;
+  }
+  std::string Dump() const {
+    std::string out = "[";
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      out += (i ? "," : "") + items_[i];
+    }
+    return out + "]";
+  }
+
+ private:
+  std::vector<std::string> items_;
+};
+
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, const JsonValue& v) {
+    members_.emplace_back(key, v.raw());
+    return *this;
+  }
+  JsonObject& Set(const std::string& key, const JsonObject& v) {
+    members_.emplace_back(key, v.Dump());
+    return *this;
+  }
+  JsonObject& Set(const std::string& key, const JsonArray& v) {
+    members_.emplace_back(key, v.Dump());
+    return *this;
+  }
+  JsonObject& Set(const std::string& key, double v) { return Set(key, JsonValue::Number(v)); }
+  JsonObject& Set(const std::string& key, const std::string& v) {
+    return Set(key, JsonValue::Str(v));
+  }
+  std::string Dump() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      out += (i ? "," : "") + JsonValue::Str(members_[i].first).raw() + ":" + members_[i].second;
+    }
+    return out + "}";
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> members_;
+};
+
+}  // namespace hib
+
+#endif  // HIBERNATOR_SRC_UTIL_JSON_H_

@@ -381,6 +381,70 @@ TEST(SpcReader, MissingFileYieldsNothing) {
   EXPECT_FALSE(reader.Next(&rec));
 }
 
+TEST(SpcReader, CrlfLineEndingsParseCleanly) {
+  // Windows-tooling exports: every line (including the blank one) ends \r\n.
+  // The \r must neither corrupt the trailing timestamp field nor turn blank
+  // lines into parse errors.
+  std::string trace =
+      "# comment\r\n"
+      "0,1000,4096,r,0.5\r\n"
+      "\r\n"
+      "1,2000,8192,w,1.25\r\n";
+  auto reader = SpcTraceReader::FromString(trace, kSpace, 4);
+  TraceRecord rec;
+  ASSERT_TRUE(reader->Next(&rec));
+  EXPECT_DOUBLE_EQ(rec.time.value(), 500.0);
+  ASSERT_TRUE(reader->Next(&rec));
+  EXPECT_TRUE(rec.is_write);
+  EXPECT_DOUBLE_EQ(rec.time.value(), 1250.0);
+  EXPECT_FALSE(reader->Next(&rec));
+  EXPECT_EQ(reader->parse_errors(), 0);
+}
+
+TEST(SpcReader, TrailingBlankLinesAreNotErrors) {
+  std::string trace =
+      "0,1000,4096,r,0.5\n"
+      "\n"
+      "   \n"
+      "\t\n";
+  auto reader = SpcTraceReader::FromString(trace, kSpace, 4);
+  TraceRecord rec;
+  ASSERT_TRUE(reader->Next(&rec));
+  EXPECT_FALSE(reader->Next(&rec));
+  EXPECT_EQ(reader->parse_errors(), 0);
+}
+
+TEST(SpcReader, MissingFieldCountsAsErrorAndSkips) {
+  std::string trace =
+      "0,1000,4096,r\n"     // no timestamp
+      "0,1000,4096\n"       // no opcode either
+      "0,1000,4096,r,0.5\n";
+  auto reader = SpcTraceReader::FromString(trace, kSpace, 4);
+  TraceRecord rec;
+  ASSERT_TRUE(reader->Next(&rec));  // skips the two bad lines
+  EXPECT_DOUBLE_EQ(rec.time.value(), 500.0);
+  EXPECT_FALSE(reader->Next(&rec));
+  EXPECT_EQ(reader->parse_errors(), 2);
+}
+
+TEST(SpcReader, OutOfOrderTimestampsClampAndResetClears) {
+  std::string trace =
+      "0,0,4096,r,5.0\n"
+      "0,0,4096,r,1.0\n"   // back in time: clamped to 5.0
+      "0,0,4096,r,6.0\n";  // forward again: taken as-is
+  auto reader = SpcTraceReader::FromString(trace, kSpace, 4);
+  TraceRecord a, b, c;
+  ASSERT_TRUE(reader->Next(&a));
+  ASSERT_TRUE(reader->Next(&b));
+  ASSERT_TRUE(reader->Next(&c));
+  EXPECT_DOUBLE_EQ(b.time.value(), a.time.value());
+  EXPECT_DOUBLE_EQ(c.time.value(), 6000.0);
+  // Reset clears the clamp: the first record's own timestamp comes back.
+  reader->Reset();
+  ASSERT_TRUE(reader->Next(&a));
+  EXPECT_DOUBLE_EQ(a.time.value(), 5000.0);
+}
+
 TEST(SpcReader, LbaStaysInsideSpace) {
   std::string trace = "3,99999999999,1048576,w,0.1\n";  // huge lba, 1 MB write
   auto reader = SpcTraceReader::FromString(trace, kSpace, 4);

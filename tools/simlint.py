@@ -50,6 +50,11 @@ express because they need repo-level knowledge:
                          hand-rolled unit conversions; go through the units.h
                          factories/accessors (Seconds, Hours, ToSeconds, ...)
                          so the ms<->s scale lives in exactly one place.
+  HIB010 raw-output      The C output primitives HIB003's printf/cout patterns
+                         miss (fputs, fputc, putchar, putc, fwrite, perror)
+                         are raw output all the same; together the two rules
+                         keep every byte of library output flowing through
+                         util/log, util/table, or the src/obs/ exporters.
 
 Usage:
   tools/simlint.py [paths...]      # files or directories; default: src tests bench examples
@@ -108,8 +113,10 @@ UNIT_FN_EXEMPT_PREFIXES = ("tests/", "bench/", "examples/", "src/util/units.h")
 # table consume quantities into plain-double accumulators/cells; the logger
 # prints; the trace layer parses raw files and feeds the PRNG.
 VALUE_ESCAPE_RE = re.compile(r"\.\s*value\s*\(\s*\)")
+# src/obs/ is a sanctioned boundary: the exporters serialize Quantity values
+# into trace/metrics JSON, which is exactly where the dimension leaves C++.
 VALUE_ALLOWED_PREFIXES = ("src/util/units.h", "src/util/stats.", "src/util/table.",
-                          "src/util/log.", "src/trace/",
+                          "src/util/log.", "src/trace/", "src/obs/",
                           "tests/", "bench/", "examples/")
 
 # HIB009: a unit-suffixed identifier multiplied/divided by a bare conversion
@@ -120,6 +127,14 @@ HAND_CONVERSION_RE = re.compile(
     r"\b" + UNIT_SUFFIX_NAME + r"\b\s*[*/]\s*" + CONVERSION_LITERAL + r"(?![\w.])"
     r"|\b" + CONVERSION_LITERAL + r"\s*[*/]\s*" + UNIT_SUFFIX_NAME + r"\b")
 HAND_CONVERSION_EXEMPT_PREFIXES = ("src/util/units.h", "tests/", "bench/", "examples/")
+
+# HIB010: output primitives HIB003's patterns do not reach.  `putchar` must
+# precede `putc` in the alternation; `fputs` never matches HIB003's `\bputs`
+# (no word boundary after the `f`).  src/obs/ exporters write the trace and
+# metrics files, so they own their output stream.
+RAW_OUTPUT_PRIM_RE = re.compile(
+    r"\b(?:std::)?(?:fputs|fputc|putchar|putc|fwrite|perror)\s*\(")
+RAW_OUTPUT_ALLOWED_PREFIXES = RAW_IO_ALLOWED_PREFIXES + ("src/obs/",)
 LINE_COMMENT_RE = re.compile(r"//.*$")
 STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
 
@@ -133,6 +148,7 @@ RULES = {
     "HIB007": "raw double param/return on a power/energy/latency/duration function",
     "HIB008": ".value() escape outside the sanctioned I/O and stats boundaries",
     "HIB009": "hand-rolled unit conversion; use the units.h factories/accessors",
+    "HIB010": "raw output primitive (fputs/fwrite/perror/...) outside the output boundaries",
 }
 
 
@@ -274,6 +290,14 @@ def check_file(path, findings):
                 rel, number, "HIB009",
                 "hand-rolled unit conversion; use Seconds()/Hours()/ToSeconds() etc. "
                 "so the scale lives only in units.h"))
+
+        if (RAW_OUTPUT_PRIM_RE.search(line)
+                and not rel.startswith(RAW_OUTPUT_ALLOWED_PREFIXES)
+                and "HIB010" not in allowed):
+            findings.append(Finding(
+                rel, number, "HIB010",
+                "raw output primitive; route output through HIB_LOG, util/table, "
+                "or an src/obs/ exporter"))
 
 
 def check_include_guard(rel, lines, findings):

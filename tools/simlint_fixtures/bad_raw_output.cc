@@ -1,0 +1,11 @@
+// Known-bad fixture for HIB010: a raw C output primitive that slips past
+// HIB003's printf/cout patterns.
+#include <cstdio>
+
+namespace hib {
+
+void ReportFailure(const char* what) {
+  std::fputs(what, stderr);  // should be HIB_LOG(kError) << what
+}
+
+}  // namespace hib

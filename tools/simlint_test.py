@@ -25,6 +25,7 @@ EXPECTED = {
     "bad_raw_unit_fn.cc": "HIB007",
     "bad_value_escape.cc": "HIB008",
     "bad_hand_conversion.cc": "HIB009",
+    "bad_raw_output.cc": "HIB010",
 }
 
 FINDING_RE = re.compile(r"^(\S+):(\d+): \[(HIB\d+)\] ")

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validates BENCH_<name>.json artifacts against tools/bench_schema.json.
+
+Dependency-free on purpose (CI containers carry no jsonschema package): this
+implements exactly the JSON Schema subset the checked-in schema uses —
+type, required, properties, additionalProperties, items, minItems, maxItems,
+minimum, and $ref into #/definitions.  Unknown schema keywords are a hard
+error, so the schema cannot silently grow past what is enforced.
+
+Usage:
+  tools/validate_bench_json.py [--schema tools/bench_schema.json] FILE...
+
+Exit status: 0 when every file validates, 1 otherwise.
+"""
+
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_SCHEMA = os.path.join(HERE, "bench_schema.json")
+
+HANDLED_KEYWORDS = {
+    "$comment", "$ref", "type", "required", "properties", "additionalProperties",
+    "items", "minItems", "maxItems", "minimum", "definitions",
+}
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; exclude it from both numeric types.
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def resolve_ref(ref, root):
+    if not ref.startswith("#/definitions/"):
+        raise ValueError(f"unsupported $ref '{ref}' (only #/definitions/* is implemented)")
+    name = ref[len("#/definitions/"):]
+    try:
+        return root["definitions"][name]
+    except KeyError:
+        raise ValueError(f"$ref '{ref}' has no matching definition") from None
+
+
+def validate(value, schema, root, path, errors):
+    unknown = set(schema) - HANDLED_KEYWORDS
+    if unknown:
+        raise ValueError(f"schema at {path or '$'} uses unimplemented keywords: {sorted(unknown)}")
+
+    if "$ref" in schema:
+        validate(value, resolve_ref(schema["$ref"], root), root, path, errors)
+        return
+
+    where = path or "$"
+    expected = schema.get("type")
+    if expected is not None and not TYPE_CHECKS[expected](value):
+        errors.append(f"{where}: expected {expected}, got {type(value).__name__}")
+        return
+
+    if expected == "object":
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{where}: missing required key '{key}'")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, item in value.items():
+            if key in props:
+                validate(item, props[key], root, f"{where}.{key}", errors)
+            elif isinstance(extra, dict):
+                validate(item, extra, root, f"{where}.{key}", errors)
+            elif extra is False:
+                errors.append(f"{where}: unexpected key '{key}'")
+    elif expected == "array":
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(f"{where}: fewer than {schema['minItems']} items")
+        if "maxItems" in schema and len(value) > schema["maxItems"]:
+            errors.append(f"{where}: more than {schema['maxItems']} items")
+        item_schema = schema.get("items")
+        if item_schema is not None:
+            for i, item in enumerate(value):
+                validate(item, item_schema, root, f"{where}[{i}]", errors)
+    elif expected in ("number", "integer"):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{where}: {value} is below the minimum {schema['minimum']}")
+
+
+def main(argv):
+    args = argv[1:]
+    schema_path = DEFAULT_SCHEMA
+    if args and args[0] == "--schema":
+        if len(args) < 2:
+            print("--schema requires a path", file=sys.stderr)
+            return 2
+        schema_path = args[1]
+        args = args[2:]
+    if not args:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    with open(schema_path, encoding="utf-8") as fh:
+        schema = json.load(fh)
+
+    failed = False
+    for path in args:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                value = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"FAIL {path}: {err}")
+            failed = True
+            continue
+        errors = []
+        validate(value, schema, schema, "", errors)
+        if errors:
+            failed = True
+            print(f"FAIL {path}:")
+            for error in errors:
+                print(f"  {error}")
+        else:
+            print(f"ok: {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
