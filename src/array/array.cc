@@ -39,9 +39,9 @@ struct ArrayController::RequestContext {
   bool cache_hit = false;
 
   struct PendingWrite {
-    int disk_id;
-    SectorAddr sector;
-    SectorCount count;
+    int disk_id = -1;
+    SectorAddr sector = 0;
+    SectorCount count = 0;
   };
   std::vector<PendingWrite> phase2;
 };
@@ -372,16 +372,18 @@ void ArrayController::ReplaceDisk(int disk_id, std::function<void()> on_complete
       worklist.push_back(e);
     }
   }
-  rebuild_worklist_[disk_id] = std::move(worklist);
-  rebuild_cursor_[disk_id] = 0;
-  rebuild_callback_[disk_id] = std::move(on_complete);
-  rebuild_started_[disk_id] = sim_->Now();
+  RebuildState& rebuild = rebuilds_[disk_id];
+  rebuild.worklist = std::move(worklist);
+  rebuild.cursor = 0;
+  rebuild.on_complete = std::move(on_complete);
+  rebuild.started = sim_->Now();
   RebuildNextExtent(disk_id);
 }
 
 void ArrayController::RebuildNextExtent(int disk_id) {
-  std::vector<std::int64_t>& worklist = rebuild_worklist_[disk_id];
-  std::size_t& cursor = rebuild_cursor_[disk_id];
+  RebuildState& rebuild = rebuilds_[disk_id];
+  std::vector<std::int64_t>& worklist = rebuild.worklist;
+  std::size_t& cursor = rebuild.cursor;
   int group = disk_id / layout_.group_width();
   // Skip extents that migrated away since the worklist was built.
   while (cursor < worklist.size() && layout_.GroupOf(worklist[cursor]) != group) {
@@ -441,23 +443,18 @@ void ArrayController::RebuildNextExtent(int disk_id) {
 }
 
 void ArrayController::FinishRebuild(int disk_id) {
-  auto started = rebuild_started_.find(disk_id);
-  if (started != rebuild_started_.end()) {
+  std::function<void()> fn;
+  auto it = rebuilds_.find(disk_id);
+  if (it != rebuilds_.end()) {
     HIB_TRACE_SPAN(sim_->obs().tracer, SpanKind::kRebuild, disk_id, "rebuild",
-                   started->second, sim_->Now(), disk_id, 0.0);
-    rebuild_started_.erase(started);
+                   it->second.started, sim_->Now(), disk_id, 0.0);
+    fn = std::move(it->second.on_complete);
+    rebuilds_.erase(it);
   }
   disk_failed_[static_cast<std::size_t>(disk_id)] = false;
   disk_rebuilding_[static_cast<std::size_t>(disk_id)] = false;
-  rebuild_worklist_.erase(disk_id);
-  rebuild_cursor_.erase(disk_id);
-  auto cb = rebuild_callback_.find(disk_id);
-  if (cb != rebuild_callback_.end()) {
-    auto fn = std::move(cb->second);
-    rebuild_callback_.erase(cb);
-    if (fn) {
-      fn();
-    }
+  if (fn) {
+    fn();
   }
 }
 

@@ -19,8 +19,8 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/array/cache.h"
@@ -200,11 +200,15 @@ class ArrayController {
 
   std::vector<bool> disk_failed_;
   std::vector<bool> disk_rebuilding_;
-  // Rebuild cursors: next extent index (into rebuild_extents_[disk]) to copy.
-  std::unordered_map<int, std::vector<std::int64_t>> rebuild_worklist_;
-  std::unordered_map<int, std::size_t> rebuild_cursor_;
-  std::unordered_map<int, std::function<void()>> rebuild_callback_;
-  std::unordered_map<int, SimTime> rebuild_started_;  // for the rebuild trace span
+  // Per-disk rebuild progress, keyed by disk id; ordered so concurrent
+  // rebuilds are always walked in disk order (HIB011).
+  struct RebuildState {
+    std::vector<std::int64_t> worklist;
+    std::size_t cursor = 0;  // next index into worklist to copy
+    std::function<void()> on_complete;
+    SimTime started;  // for the rebuild trace span
+  };
+  std::map<int, RebuildState> rebuilds_;
 
   // Observability instruments (resolved once; bumped via the HIB_* macros).
   Counter* obs_reads_;

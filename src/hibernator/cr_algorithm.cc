@@ -19,9 +19,9 @@ Watts DiskPowerAt(const DiskParams& disk, const SpeedServiceModel& service, int 
 namespace {
 
 struct SearchState {
-  const CrInput* input;
-  int num_groups;
-  int num_levels;
+  const CrInput* input = nullptr;
+  int num_groups = 0;
+  int num_levels = 0;
   // Sum of per-group arrival rates; response sums weighted by it are
   // dimensionless (Frequency * Duration), and dividing one back out yields
   // the predicted mean response as a Duration.

@@ -14,7 +14,7 @@
 
 #include <list>
 #include <string>
-#include <unordered_map>
+#include <map>
 
 #include "src/policy/policy.h"
 
@@ -57,11 +57,13 @@ class MaidPolicy : public PowerPolicy {
   int next_cache_disk_ = 0;
 
   struct CacheEntry {
-    int cache_disk;
+    int cache_disk = -1;
     std::list<std::int64_t>::iterator lru_it;
   };
   std::list<std::int64_t> lru_;  // front = most recent
-  std::unordered_map<std::int64_t, CacheEntry> resident_;
+  // Ordered by extent id so any iteration over the resident set (stats,
+  // future shard merges) is deterministic (HIB011).
+  std::map<std::int64_t, CacheEntry> resident_;
 
   std::int64_t cache_hits_ = 0;
   std::int64_t cache_misses_ = 0;

@@ -151,7 +151,7 @@ class EventQueue {
   // immediately anyway.
   struct Fired {
     SimTime time;
-    EventId id;
+    EventId id = 0;
     EventCallback callback;
   };
   Fired PopNext() {
@@ -172,7 +172,7 @@ class EventQueue {
 
   struct Entry {
     SimTime time;
-    std::uint64_t key;  // (seq << kSlotBits) | slot — also the EventId
+    std::uint64_t key = 0;  // (seq << kSlotBits) | slot — also the EventId
   };
   struct Slot {
     EventCallback callback;

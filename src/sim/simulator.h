@@ -9,7 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <unordered_map>
+#include <map>
 
 #include "src/obs/obs.h"
 #include "src/sim/event_queue.h"
@@ -48,7 +48,7 @@ class Simulator {
   // Schedules `cb` every `period` ms starting at `start`; the callback may
   // call StopPeriodic with the returned handle to stop the series.
   struct PeriodicHandle {
-    std::uint64_t key;
+    std::uint64_t key = 0;
   };
   PeriodicHandle SchedulePeriodic(SimTime start, Duration period, EventCallback cb);
   void StopPeriodic(PeriodicHandle handle);
@@ -87,7 +87,9 @@ class Simulator {
   EventQueue queue_;
   std::uint64_t events_fired_ = 0;
   std::uint64_t next_periodic_key_ = 0;
-  std::unordered_map<std::uint64_t, PeriodicState> periodics_;
+  // Keyed by the monotonic next_periodic_key_, ordered so any walk over
+  // the live periodic series is registration-ordered (HIB011).
+  std::map<std::uint64_t, PeriodicState> periodics_;
   Observability obs_;
 #if HIB_VALIDATE
   std::unique_ptr<SimValidator> validator_ = std::make_unique<SimValidator>();

@@ -39,17 +39,25 @@ void SimValidator::OnDispatch(SimTime when) {
 void SimValidator::OnDiskAttached(const void* disk, int disk_id,
                                   ValidatorDiskState state, Watts power,
                                   SimTime now) {
-  HIB_CHECK(disks_.find(disk) == disks_.end())
+  HIB_CHECK(track_index_.find(disk) == track_index_.end())
       << "disk " << disk_id << " attached twice";
   DiskTrack track;
   track.disk_id = disk_id;
   track.state = state;
   track.power = power;
   track.last_change = now;
-  disks_.emplace(disk, track);
+  std::uint64_t index = next_track_index_++;
+  track_index_.emplace(disk, index);
+  disks_.emplace(index, track);
 }
 
-void SimValidator::OnDiskDetached(const void* disk) { disks_.erase(disk); }
+void SimValidator::OnDiskDetached(const void* disk) {
+  auto it = track_index_.find(disk);
+  if (it != track_index_.end()) {
+    disks_.erase(it->second);
+    track_index_.erase(it);
+  }
+}
 
 bool SimValidator::IsLegalTransition(ValidatorDiskState from, ValidatorDiskState to) {
   switch (from) {
@@ -74,9 +82,10 @@ void SimValidator::OnDiskTransition(const void* disk, ValidatorDiskState from,
                                     ValidatorDiskState to, SimTime now,
                                     Watts new_power, Joules metered_total,
                                     std::int64_t queue_depth) {
-  auto it = disks_.find(disk);
-  HIB_CHECK(it != disks_.end()) << "transition on a disk that was never attached";
-  DiskTrack& track = it->second;
+  auto indexed = track_index_.find(disk);
+  HIB_CHECK(indexed != track_index_.end())
+      << "transition on a disk that was never attached";
+  DiskTrack& track = disks_.at(indexed->second);
 
   HIB_CHECK(IsLegalTransition(from, to))
       << "disk " << track.disk_id << ": illegal transition "

@@ -21,6 +21,7 @@
 #define HIBERNATOR_SRC_SIM_VALIDATOR_H_
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 
 #include "src/util/units.h"
@@ -90,7 +91,14 @@ class SimValidator {
   bool dispatched_any_ = false;
   std::int64_t dispatches_checked_ = 0;
   std::int64_t transitions_checked_ = 0;
-  std::unordered_map<const void*, DiskTrack> disks_;
+  // Tracks are keyed by a monotonically assigned registration index, so
+  // any walk over them reports in attach order regardless of where the
+  // disks live in memory.  The pointer handle the simulator hands us is
+  // resolved through a side index that is only ever used for lookups,
+  // never iterated (HIB011/HIB012).
+  std::uint64_t next_track_index_ = 0;
+  std::map<std::uint64_t, DiskTrack> disks_;
+  std::unordered_map<const void*, std::uint64_t> track_index_;
 };
 
 }  // namespace hib

@@ -101,7 +101,7 @@ class InplaceFunction<R(Args...), Capacity> {
     // path takes an inline memcpy instead of two indirect calls.  This is
     // the common case: most simulator callbacks capture only pointers,
     // indices, and PODs.
-    bool trivial;
+    bool trivial = false;
   };
 
   template <typename Fn>

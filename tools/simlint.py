@@ -1,69 +1,99 @@
 #!/usr/bin/env python3
-"""simlint: repo-specific lint rules for the Hibernator simulator.
+"""simlint v2: token-based repo lint for the Hibernator simulator.
 
-Enforces conventions that generic tools (clang-tidy, clang-format) cannot
-express because they need repo-level knowledge:
+The v1 engine matched regexes against raw lines; v2 tokenizes the C++
+(comment-, string-, raw-string- and preprocessor-aware), builds a per-file
+declaration model plus a cross-file symbol index, and runs the rules on
+tokens and declarations.  That removes the classic regex false positives
+(rules firing inside comments, strings, `#if 0` regions) and enables checks
+that need to know what a name *is* (HIB011/HIB014 resolve the container type
+behind an identifier before flagging iteration over it).
+
+Style / hygiene rules (ported from v1):
 
   HIB001 include-guard   Headers must use the guard derived from their path:
                          src/disk/disk.h -> HIBERNATOR_SRC_DISK_DISK_H_.
   HIB002 iostream-header No `#include <iostream>` in headers; only the
                          diagnostics sinks src/util/log.h and src/util/check.h
-                         may pull it in (headers are included everywhere, and
-                         <iostream> injects a static initializer per TU).
+                         may pull it in.
   HIB003 raw-io          No std::cout / std::cerr / printf-family calls in
                          library or test code outside src/util/log.* and
-                         src/util/table.* (and the fatal-check sink
-                         src/util/check.h).  All simulator output must go
-                         through the leveled logger or the table renderer so
-                         runs stay machine-parseable.  CLI entry points under
-                         bench/ and examples/ are exempt: their stdout is the
-                         deliverable.
+                         src/util/table.* (and src/util/check.h).  CLI entry
+                         points under bench/ and examples/ are exempt.
   HIB004 units-alias     No raw `double`/`float` declarations whose name says
                          they hold a unit (`*_ms`, `*_joules`, `*_watts`):
-                         use the SimTime / Duration / Joules / Watts aliases
-                         from src/util/units.h.  Rates like `lambda_per_ms`
-                         are exempt.
-  HIB005 bare-assert     No bare `assert()`: use HIB_CHECK / HIB_DCHECK from
-                         src/util/check.h, which survive NDEBUG policy
-                         decisions explicitly and print operand values.
-  HIB006 static-mutable  No mutable static-duration variables in library code
-                         (file-scope statics or function-local statics).
-                         Hidden mutable globals break run-to-run determinism
-                         and make parallel experiment runs (harness/parallel.h)
-                         racy.  `const`/`constexpr`/`constinit`, and
-                         synchronization primitives (std::atomic, std::mutex,
-                         std::once_flag) are exempt, as are tests/bench/
-                         examples, which own their process.
-  HIB007 raw-unit-fn     Functions whose name says they deal in a physical
-                         quantity (power/energy/latency/duration/response, or
-                         ending in Time/Ms) must not take or return raw
-                         `double`/`float`: use the Quantity aliases from
-                         src/util/units.h (Watts, Joules, Duration, ...).
-                         Library code only; tests/bench/examples are exempt.
-  HIB008 value-escape    `.value()` unwraps a Quantity to a raw double and is
-                         reserved for the I/O and statistics boundaries
-                         (src/util/units.h, stats.h, table.*, log.*, and the
-                         trace layer's parse/generate edges).  Anywhere else
-                         in library code it defeats the dimensional checking.
+                         use the aliases from src/util/units.h.
+  HIB005 bare-assert     No bare `assert()`: use HIB_CHECK / HIB_DCHECK.
+  HIB006 static-mutable  No mutable static-duration variables in library code.
+  HIB007 raw-unit-fn     Quantity-named functions must not take or return raw
+                         `double`/`float`; use the units.h types.
+  HIB008 value-escape    `.value()` is reserved for the I/O and statistics
+                         boundaries (units/stats/table/log/trace/obs).
   HIB009 hand-conversion Unit-suffixed identifiers combined with bare
                          conversion literals (`* 1000`, `/ 3600.0`, ...) are
-                         hand-rolled unit conversions; go through the units.h
-                         factories/accessors (Seconds, Hours, ToSeconds, ...)
-                         so the ms<->s scale lives in exactly one place.
-  HIB010 raw-output      The C output primitives HIB003's printf/cout patterns
-                         miss (fputs, fputc, putchar, putc, fwrite, perror)
-                         are raw output all the same; together the two rules
-                         keep every byte of library output flowing through
-                         util/log, util/table, or the src/obs/ exporters.
+                         hand-rolled unit conversions; use units.h factories.
+  HIB010 raw-output      The C output primitives HIB003 misses (fputs, fputc,
+                         putchar, putc, fwrite, perror).
+
+Determinism-hazard rules (new in v2 — they guard the bit-identical-parallel
+contract the sharded fleet simulator depends on; library code only):
+
+  HIB011 unordered-iter  Iterating a std::unordered_map/unordered_set
+                         (range-for or .begin()/.cbegin()) in library code:
+                         iteration order depends on hashing/insertion history,
+                         so downstream state diverges between runs.  Membership
+                         lookups (find/count/contains/operator[]) are fine.
+  HIB012 pointer-key     Pointer keys in *ordered* associative containers
+                         (std::map<const T*, ...>, std::set<T*>): the order is
+                         the allocation order of the heap, different every run.
+  HIB013 wall-clock      Ambient time or randomness in library code: time(),
+                         clock(), std::chrono::{system,steady,high_resolution}
+                         _clock, std::random_device, rand()/srand().  All
+                         simulator time is SimTime; all randomness flows from
+                         the seeded SplitMix/Xoshiro PRNGs in src/util/random.h.
+  HIB014 float-accum     `+=` into a floating/Quantity accumulator inside a
+                         loop over an unordered container: float addition is
+                         not associative, so a nondeterministic visit order
+                         changes the sum bit-for-bit.  Iterate a sorted
+                         container or merge in spec order (harness/parallel).
+  HIB015 uninit-member   Scalar member (int/double/bool/pointer/alias of one)
+                         without a default member initializer in a class with
+                         no real user-provided constructor: the value is
+                         whatever the allocator left there — the classic
+                         run-to-run divergence seed.
+  HIB016 exception-sink  `catch` of an exception by value (slices, copies at
+                         an unpredictable point) or a catch with an empty
+                         body (swallows the error, sim continues on corrupt
+                         state).  Catch by reference and handle or rethrow.
+
+Meta:
+
+  HIB099 unused-suppression  A suppression comment whose rule never fired on
+                         its target line.  Stale suppressions hide future
+                         regressions, so they are findings themselves.
+
+Suppressions (inline, per line):
+  ... code ...            // NOLINT(HIB011)
+  ... code ...            // NOLINT(HIB011, HIB014)
+  // NOLINTNEXTLINE(HIB012)
+  ... code ...
+The v1 spelling `// simlint: allow(HIB004)` remains supported as an alias.
+Only NOLINT comments that explicitly name HIB rules belong to simlint; bare
+`NOLINT` and clang-tidy rule lists are ignored (and never flagged as unused).
 
 Usage:
-  tools/simlint.py [paths...]      # files or directories; default: src tests bench examples
+  tools/simlint.py [paths...]         # files or dirs; default: src tests bench examples
   tools/simlint.py --list-rules
+  tools/simlint.py --sarif out.sarif  # also write SARIF 2.1.0 (code scanning)
+  tools/simlint.py --fix              # apply mechanical fixes (HIB001, HIB009)
+  tools/simlint.py --jobs N           # parallel file scanning (default: cpus)
 
-Suppress a finding by appending `// simlint: allow(HIB00N)` to the line.
 Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
 """
 
+import argparse
+import concurrent.futures
+import json
 import os
 import re
 import sys
@@ -73,94 +103,772 @@ DEFAULT_PATHS = ["src", "tests", "bench", "examples"]
 SOURCE_EXTENSIONS = (".h", ".cc", ".cpp")
 SKIP_DIR_PATTERNS = re.compile(r"^(build.*|\.git|\.cache|__pycache__|Testing)$")
 
-ALLOW_RE = re.compile(r"//\s*simlint:\s*allow\(([A-Z0-9, ]+)\)")
+RULES = {
+    "HIB001": ("include-guard", "include guard must be HIBERNATOR_<PATH>_H_"),
+    "HIB002": ("iostream-header",
+               "#include <iostream> in a header (only src/util/log.h, src/util/check.h)"),
+    "HIB003": ("raw-io", "raw stdio outside src/util/log.* / src/util/table.*"),
+    "HIB004": ("units-alias",
+               "raw double/float where a units.h alias (Duration/Joules/Watts) is meant"),
+    "HIB005": ("bare-assert", "bare assert(); use HIB_CHECK / HIB_DCHECK from src/util/check.h"),
+    "HIB006": ("static-mutable", "mutable static-duration variable in library code"),
+    "HIB007": ("raw-unit-fn", "raw double param/return on a power/energy/latency/duration function"),
+    "HIB008": ("value-escape", ".value() escape outside the sanctioned I/O and stats boundaries"),
+    "HIB009": ("hand-conversion", "hand-rolled unit conversion; use the units.h factories/accessors"),
+    "HIB010": ("raw-output",
+               "raw output primitive (fputs/fwrite/perror/...) outside the output boundaries"),
+    "HIB011": ("unordered-iter",
+               "iteration over an unordered container in library code (nondeterministic order)"),
+    "HIB012": ("pointer-key",
+               "pointer key in an ordered associative container (address-dependent order)"),
+    "HIB013": ("wall-clock",
+               "wall-clock time or ambient randomness in library code (breaks replayability)"),
+    "HIB014": ("float-accum",
+               "float/Quantity accumulation inside an unordered-container loop (order-dependent sum)"),
+    "HIB015": ("uninit-member",
+               "scalar member without default initializer in a constructor-less class"),
+    "HIB016": ("exception-sink", "exception caught by value or silently swallowed"),
+    "HIB099": ("unused-suppression", "suppression comment that suppresses nothing"),
+}
 
-# Files allowed to include <iostream> from a header / write to stdio directly.
+# --- per-rule path scoping (rel-path prefixes) ------------------------------
 IOSTREAM_HEADER_ALLOWED = {"src/util/log.h", "src/util/check.h"}
 RAW_IO_ALLOWED_PREFIXES = ("src/util/log.", "src/util/table.", "src/util/check.",
                            "bench/", "examples/")
-
-RAW_IO_RE = re.compile(r"std::(cout|cerr|clog)\b|\b(?:f|s)?printf\s*\(|\bputs\s*\(")
-UNITS_RE = re.compile(r"\b(double|float)\s+([A-Za-z_][A-Za-z0-9_]*_(?:ms|joules|watts)_?)\b")
-UNITS_EXEMPT_RE = re.compile(r"per_ms")
-ASSERT_RE = re.compile(r"(?<![_A-Za-z0-9])assert\s*\(")
-# A `static` declarator that ends in a variable (name then = ; { or [), never a
-# function (name then `(`): the type part cannot cross parentheses.
-STATIC_DECL_RE = re.compile(
-    r"\bstatic\s+[A-Za-z_][\w:<>,\s\*&]*?[\s\*&]([A-Za-z_]\w*)\s*(?:=|;|\{|\[)")
-STATIC_EXEMPT_RE = re.compile(
-    r"\b(?:const|constexpr|constinit|thread_local)\b"
-    r"|std::(?:atomic|mutex|shared_mutex|recursive_mutex|once_flag|condition_variable)\b")
-# Processes that own their stdout also own their statics.
 STATIC_MUT_EXEMPT_PREFIXES = ("tests/", "bench/", "examples/")
-# Physical-quantity naming for HIB007: the function name itself announces a
-# dimensioned result/operand.
-UNIT_FN_NAME_RE = re.compile(
-    r"(?i:power|energy|latency|duration|response)|(?:Time|Ms)$")
-# ...unless the name also says the result is a pure number (a scale, ratio,
-# utilization, count) — those legitimately traffic in raw doubles.
-DIMENSIONLESS_NAME_RE = re.compile(r"(?i:scale|ratio|fraction|factor|util|count|scv|rho)")
-# `double Foo(` / `float Foo(` — a raw-double return on a declaration.
-RAW_RETURN_RE = re.compile(r"\b(double|float)\s+([A-Za-z_]\w*)\s*\(")
-# `Foo(... double bar ...)` — a raw-double parameter declaration (the
-# `double <identifier>` shape cannot appear in a call's argument list).
-FN_WITH_PARAMS_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(([^()]*)\)")
-RAW_PARAM_RE = re.compile(r"\b(?:double|float)\s+([A-Za-z_]\w*)")
-# units.h itself hosts the double->Quantity factories (Ms, Watts, PerMs, ...).
 UNIT_FN_EXEMPT_PREFIXES = ("tests/", "bench/", "examples/", "src/util/units.h")
-
-# HIB008: the sanctioned .value() boundaries.  units.h defines it; stats and
-# table consume quantities into plain-double accumulators/cells; the logger
-# prints; the trace layer parses raw files and feeds the PRNG.
-VALUE_ESCAPE_RE = re.compile(r"\.\s*value\s*\(\s*\)")
-# src/obs/ is a sanctioned boundary: the exporters serialize Quantity values
-# into trace/metrics JSON, which is exactly where the dimension leaves C++.
 VALUE_ALLOWED_PREFIXES = ("src/util/units.h", "src/util/stats.", "src/util/table.",
                           "src/util/log.", "src/trace/", "src/obs/",
                           "tests/", "bench/", "examples/")
-
-# HIB009: a unit-suffixed identifier multiplied/divided by a bare conversion
-# constant, in either order.
-CONVERSION_LITERAL = r"(?:1000(?:\.0+)?|3600(?:\.0+)?|60(?:\.0+)?|1e-?3|3\.6e6|0\.001)"
-UNIT_SUFFIX_NAME = r"[A-Za-z_]\w*_(?:ms|sec|seconds|hours|joules|watts|rpm)"
-HAND_CONVERSION_RE = re.compile(
-    r"\b" + UNIT_SUFFIX_NAME + r"\b\s*[*/]\s*" + CONVERSION_LITERAL + r"(?![\w.])"
-    r"|\b" + CONVERSION_LITERAL + r"\s*[*/]\s*" + UNIT_SUFFIX_NAME + r"\b")
 HAND_CONVERSION_EXEMPT_PREFIXES = ("src/util/units.h", "tests/", "bench/", "examples/")
-
-# HIB010: output primitives HIB003's patterns do not reach.  `putchar` must
-# precede `putc` in the alternation; `fputs` never matches HIB003's `\bputs`
-# (no word boundary after the `f`).  src/obs/ exporters write the trace and
-# metrics files, so they own their output stream.
-RAW_OUTPUT_PRIM_RE = re.compile(
-    r"\b(?:std::)?(?:fputs|fputc|putchar|putc|fwrite|perror)\s*\(")
 RAW_OUTPUT_ALLOWED_PREFIXES = RAW_IO_ALLOWED_PREFIXES + ("src/obs/",)
-LINE_COMMENT_RE = re.compile(r"//.*$")
-STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+# The determinism family applies to library code; processes that own their
+# run (tests, benches, examples) may use wall clocks and unordered iteration.
+DETERMINISM_EXEMPT_PREFIXES = ("tests/", "bench/", "examples/")
 
-RULES = {
-    "HIB001": "include guard must be HIBERNATOR_<PATH>_H_",
-    "HIB002": "#include <iostream> in a header (only src/util/log.h, src/util/check.h)",
-    "HIB003": "raw stdio outside src/util/log.* / src/util/table.*",
-    "HIB004": "raw double/float where a units.h alias (Duration/Joules/Watts) is meant",
-    "HIB005": "bare assert(); use HIB_CHECK / HIB_DCHECK from src/util/check.h",
-    "HIB006": "mutable static-duration variable in library code",
-    "HIB007": "raw double param/return on a power/energy/latency/duration function",
-    "HIB008": ".value() escape outside the sanctioned I/O and stats boundaries",
-    "HIB009": "hand-rolled unit conversion; use the units.h factories/accessors",
-    "HIB010": "raw output primitive (fputs/fwrite/perror/...) outside the output boundaries",
+UNIT_FN_NAME_RE = re.compile(r"(?i:power|energy|latency|duration|response)|(?:Time|Ms)$")
+DIMENSIONLESS_NAME_RE = re.compile(r"(?i:scale|ratio|fraction|factor|util|count|scv|rho)")
+UNIT_SUFFIX_NAME_RE = re.compile(r"_(?:ms|sec|seconds|hours|joules|watts|rpm)_?$")
+UNITS_DECL_NAME_RE = re.compile(r"_(?:ms|joules|watts)_?$")
+CONVERSION_VALUES = {60.0, 1000.0, 3600.0, 1e-3, 3.6e6}
+
+PRINTF_FAMILY = {"printf", "fprintf", "sprintf", "puts"}
+RAW_OUTPUT_PRIMS = {"fputs", "fputc", "putchar", "putc", "fwrite", "perror"}
+WALL_CLOCK_CALLS = {"time", "clock", "rand", "srand", "gettimeofday",
+                    "clock_gettime", "timespec_get", "localtime", "gmtime"}
+WALL_CLOCK_IDS = {"system_clock", "steady_clock", "high_resolution_clock",
+                  "random_device"}
+ORDERED_ASSOC = {"map", "set", "multimap", "multiset"}
+UNORDERED_TYPE_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
+FLOATY_TYPE_RE = re.compile(
+    r"\b(?:double|float|Duration|SimTime|Joules|Watts|Frequency|AngularVelocity|"
+    r"Revolutions|DiskEnergy|Quantity)\b")
+
+SCALAR_TYPES = {
+    "int", "bool", "double", "float", "char", "short", "long", "unsigned", "signed",
+    "size_t", "ptrdiff_t", "uintptr_t", "intptr_t", "wchar_t", "char8_t", "char16_t",
+    "char32_t", "int8_t", "int16_t", "int32_t", "int64_t",
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t",
 }
+STATIC_EXEMPT_TYPE_RE = re.compile(
+    r"\b(?:const|constexpr|constinit|thread_local)\b"
+    r"|\b(?:atomic|mutex|shared_mutex|recursive_mutex|once_flag|condition_variable)\b")
 
+CXX_KEYWORDS = frozenset("""
+    alignas alignof and and_eq asm auto bitand bitor bool break case catch char
+    char8_t char16_t char32_t class compl concept const consteval constexpr
+    constinit const_cast continue co_await co_return co_yield decltype default
+    delete do double dynamic_cast else enum explicit export extern false float
+    for friend goto if inline int long mutable namespace new noexcept not
+    not_eq nullptr operator or or_eq private protected public register
+    reinterpret_cast requires return short signed sizeof static static_assert
+    static_cast struct switch template this thread_local throw true try
+    typedef typeid typename union unsigned using virtual void volatile wchar_t
+    while xor xor_eq final override
+""".split())
+
+TYPE_INTRO_KEYWORDS = frozenset(
+    ["const", "volatile", "constexpr", "constinit", "consteval", "inline", "static",
+     "mutable", "extern", "register", "thread_local", "virtual", "explicit",
+     "typename", "unsigned", "signed", "long", "short", "struct", "class", "enum"])
+
+
+# ============================ tokenizer =====================================
+
+# Order matters: raw strings before plain strings; numbers before identifiers
+# so digit separators (1'000) never open a char literal.
+MASTER_RE = re.compile(
+    r"""
+      (?P<lcomment>//[^\n]*)
+    | (?P<bcomment>/\*.*?\*/)
+    | (?P<rawstr>(?:u8|u|U|L)?R"(?P<delim>[^()\s\\]{0,16})\(.*?\)(?P=delim)")
+    | (?P<str>(?:u8|u|U|L)?"(?:[^"\\\n]|\\.)*")
+    | (?P<char>(?:u8|u|U|L)?'(?:[^'\\\n]|\\.)+?')
+    | (?P<num>\.?[0-9](?:[eEpP][+-]|[0-9a-zA-Z_.'])*)
+    | (?P<id>[A-Za-z_-\U0010FFFF][0-9A-Za-z_-\U0010FFFF]*)
+    | (?P<punct><<=|>>=|->\*|\.\.\.|::|->|\+\+|--|\+=|-=|\*=|/=|%=|&=|\|=|\^=|==|!=|<=|>=|&&|\|\||<<|>>|\#\#|[^\sA-Za-z_0-9])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+PP_DISABLED_VALUES = {"0", "false", "(0)", "(false)"}
+
+
+def tokenize(text):
+    """Returns (tokens, comments, directives).
+
+    tokens:     list of (kind, text, line, col) with kind in
+                {'id', 'num', 'str', 'char', 'punct'}.
+    comments:   dict line -> concatenated comment text on that line.
+    directives: list of (name, rest, line) for active preprocessor lines;
+                `#if 0` / `#if false` regions are skipped entirely (their
+                contents produce no tokens, comments, or directives).
+    """
+    tokens = []
+    comments = {}
+    directives = []
+    pos = 0
+    line = 1
+    line_start = 0  # offset of the current line's first char
+    bol = True      # only whitespace seen since the line started
+    n = len(text)
+
+    def note_comment(ln, body):
+        comments[ln] = comments.get(ln, "") + " " + body
+
+    while pos < n:
+        ch = text[pos]
+        if ch == "\n":
+            pos += 1
+            line += 1
+            line_start = pos
+            bol = True
+            continue
+        if ch in " \t\r\f\v":
+            pos += 1
+            continue
+        if ch == "\\" and pos + 1 < n and text[pos + 1] == "\n":
+            pos += 2
+            line += 1
+            line_start = pos
+            continue
+        if ch == "#" and bol:
+            # Preprocessor directive: consume the logical line (honouring
+            # backslash continuations), strip any trailing // comment.
+            start_line = line
+            end = pos
+            while end < n:
+                nl = text.find("\n", end)
+                if nl == -1:
+                    nl = n
+                if nl > end and text[nl - 1] == "\\":
+                    line += 1
+                    end = nl + 1
+                    continue
+                end = nl
+                break
+            raw = text[pos:end].replace("\\\n", " ")
+            body = raw[1:].strip()
+            comment_at = body.find("//")
+            if comment_at != -1:
+                note_comment(start_line, body[comment_at + 2:])
+                body = body[:comment_at].rstrip()
+            body = re.sub(r"/\*.*?\*/", " ", body)
+            parts = body.split(None, 1)
+            name = parts[0] if parts else ""
+            rest = parts[1] if len(parts) > 1 else ""
+            pos = end
+            if name == "if" and rest.strip() in PP_DISABLED_VALUES:
+                # Skip the disabled region line-by-line until the matching
+                # #endif (or the #else branch, which is live).
+                depth = 1
+                while pos < n and depth > 0:
+                    nl = text.find("\n", pos)
+                    if nl == -1:
+                        nl = n
+                    else:
+                        line += 1
+                    stripped = text[pos:nl].lstrip()
+                    pos = nl + 1 if nl < n else n
+                    if stripped.startswith("#"):
+                        word = stripped[1:].lstrip().split(None, 1)
+                        word = word[0] if word else ""
+                        if word in ("if", "ifdef", "ifndef"):
+                            depth += 1
+                        elif word == "endif":
+                            depth -= 1
+                        elif word in ("else", "elif") and depth == 1:
+                            break
+                line_start = pos
+                bol = True
+                continue
+            directives.append((name, rest, start_line))
+            continue
+
+        m = MASTER_RE.match(text, pos)
+        if not m:  # stray byte; skip it
+            pos += 1
+            bol = False
+            continue
+        kind = m.lastgroup
+        tok = m.group()
+        col = pos - line_start + 1
+        if kind == "lcomment":
+            note_comment(line, tok[2:])
+        elif kind == "bcomment":
+            note_comment(line, tok[2:-2])
+            line += tok.count("\n")
+            if "\n" in tok:
+                line_start = m.end() - (len(tok) - tok.rfind("\n") - 1)
+        elif kind == "rawstr":
+            tokens.append(("str", tok, line, col))
+            line += tok.count("\n")
+            if "\n" in tok:
+                line_start = m.end() - (len(tok) - tok.rfind("\n") - 1)
+        elif kind == "delim":
+            pass
+        else:
+            if kind == "str" or kind == "char":
+                tokens.append((kind, tok, line, col))
+            else:
+                tokens.append((kind, tok, line, col))
+        if kind not in ("lcomment", "bcomment"):
+            bol = False
+        pos = m.end()
+    return tokens, comments, directives
+
+
+# ============================ suppressions ==================================
+
+SUPPRESS_RE = re.compile(
+    r"(?P<nextline>NOLINTNEXTLINE)\s*\((?P<nl_rules>[^)]*)\)"
+    r"|NOLINT\s*\((?P<rules>[^)]*)\)"
+    r"|simlint:\s*allow\((?P<legacy>[^)]*)\)")
+
+
+def parse_suppressions(comments):
+    """Returns a list of suppression dicts:
+    {decl_line, target_line, rules (frozenset), used (mutable)}.
+
+    Only NOLINT comments that explicitly name HIBxxx rules belong to simlint;
+    bare NOLINT and foreign rule lists (clang-tidy's
+    `NOLINT(google-explicit-constructor)` etc.) are left alone.
+    """
+    sups = []
+    for ln, body in comments.items():
+        for m in SUPPRESS_RE.finditer(body):
+            nextline = m.group("nextline") is not None
+            ruletext = m.group("nl_rules") if nextline else (
+                m.group("rules") if m.group("rules") is not None
+                else m.group("legacy"))
+            rules = frozenset(r.strip() for r in (ruletext or "").split(",")
+                              if r.strip().startswith("HIB"))
+            if not rules:
+                continue
+            sups.append({"decl_line": ln,
+                         "target_line": ln + 1 if nextline else ln,
+                         "rules": rules, "used": False})
+    return sups
+
+
+# ============================ declaration model =============================
+
+class FileModel:
+    """Per-file declaration summary (pickleable via __dict__)."""
+
+    def __init__(self, rel):
+        self.rel = rel
+        self.classes = []          # {name, line, has_real_ctor, members: [...]}
+        self.functions = []        # {name, line, ret, params: [(type, name, line)]}
+        self.locals = {}           # identifier -> type string (locals/file scope)
+        self.aliases = {}          # using Alias = Type;
+        self.context_classes = []  # classes declared here + X from X:: defs
+        self.static_decls = []     # {name, line, type} mutable static candidates
+
+
+def _match_forward(toks, i, opens, closes):
+    """Index just past the bracket group starting at toks[i] (which is in
+    `opens`).  Treats '>>' as two closes when matching angle brackets."""
+    depth = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i][1]
+        if t in opens:
+            depth += 1
+        elif t in closes:
+            depth -= 1
+            if depth <= 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def _find_matching_close(toks, i):
+    """toks[i] is '(' '[' or '{'; returns index of the matching closer."""
+    open_t = toks[i][1]
+    close_t = {"(": ")", "[": "]", "{": "}"}[open_t]
+    depth = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i][1]
+        if t == open_t:
+            depth += 1
+        elif t == close_t:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return n - 1
+
+
+class Parser:
+    """Heuristic single-pass structural parser: classes, members, functions,
+    local declarations.  Not a C++ front end — just enough shape recovery for
+    the HIB rules, tuned to this repo's idiom."""
+
+    def __init__(self, toks, rel):
+        self.toks = toks
+        self.model = FileModel(rel)
+
+    def parse(self):
+        self._region(0, len(self.toks), class_name=None)
+        return self.model
+
+    # -- region = sequence of statements between braces ----------------------
+    def _region(self, i, end, class_name):
+        toks = self.toks
+        current = None
+        for c in self.model.classes:
+            if c["name"] == class_name:
+                current = c
+        while i < end:
+            kind, text, line, _ = toks[i]
+            if text in (";", "}"):
+                i += 1
+                continue
+            if kind == "id" and text in ("public", "private", "protected") \
+                    and i + 1 < end and toks[i + 1][1] == ":":
+                i += 2
+                continue
+            if kind == "id" and text == "namespace":
+                j = i + 1
+                while j < end and toks[j][1] not in ("{", ";", "="):
+                    j += 1
+                if j >= end or toks[j][1] != "{":
+                    i = j + 1
+                    continue
+                close = _find_matching_close(toks, j)
+                self._region(j + 1, close, None)
+                i = close + 1
+                continue
+            if kind == "id" and text == "template":
+                if i + 1 < end and toks[i + 1][1] == "<":
+                    i = self._skip_angles(i + 1, end)
+                else:
+                    i += 1
+                continue
+            if kind == "id" and text in ("class", "struct") \
+                    and self._is_class_def(i, end):
+                i = self._parse_class(i, end)
+                continue
+            if kind == "id" and text in ("enum", "union"):
+                j = i + 1
+                while j < end and toks[j][1] not in ("{", ";"):
+                    j += 1
+                if j < end and toks[j][1] == "{":
+                    j = _find_matching_close(toks, j)
+                i = j + 1
+                continue
+            if kind == "id" and text in ("if", "for", "while", "switch", "catch"):
+                j = i + 1
+                if j < end and toks[j][1] == "(":
+                    j = _find_matching_close(toks, j) + 1
+                i = j
+                continue
+            if kind == "id" and text in ("return", "throw", "goto", "delete",
+                                         "case", "break", "continue", "do", "else",
+                                         "try", "default", "co_return", "co_yield"):
+                while i < end and toks[i][1] not in (";", "{", "}"):
+                    i += 1
+                if i < end and toks[i][1] == ";":
+                    i += 1
+                continue
+            i = self._statement(i, end, class_name, current)
+
+    def _skip_angles(self, i, end):
+        """toks[i] == '<'; returns index past the matching '>' ('>>' counts 2)."""
+        depth = 0
+        while i < end:
+            t = self.toks[i][1]
+            if t == "<":
+                depth += 1
+            elif t == ">":
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+            elif t == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return i + 1
+            elif t in (";", "{"):
+                return i  # lost: bail out
+            i += 1
+        return end
+
+    def _is_class_def(self, i, end):
+        """class/struct at i introduces a definition (not `struct X* p` etc.)."""
+        j = i + 1
+        while j < end and (self.toks[j][1] == "[" or self.toks[j][0] == "id"
+                           or self.toks[j][1] == "::"):
+            if self.toks[j][1] == "[":
+                j = _find_matching_close(self.toks, j) + 1
+                continue
+            if self.toks[j][0] == "id" and self.toks[j][1] not in ("final", "alignas"):
+                j += 1
+                # after the name: {, : bases, or something else
+                while j < end and self.toks[j][1] == "::":
+                    j += 2
+                if j < end and self.toks[j][0] == "id" and self.toks[j][1] == "final":
+                    j += 1
+                return j < end and self.toks[j][1] in ("{", ":")
+            j += 1
+        return False
+
+    def _parse_class(self, i, end):
+        toks = self.toks
+        j = i + 1
+        name = None
+        while j < end and toks[j][1] not in ("{", ";"):
+            if toks[j][1] == ":" and toks[j + 1][1] != ":":
+                break
+            if toks[j][0] == "id" and toks[j][1] not in ("final", "alignas"):
+                name = toks[j][1]
+            j += 1
+        while j < end and toks[j][1] != "{":
+            if toks[j][1] == ";":  # forward declaration
+                return j + 1
+            j += 1
+        if j >= end:
+            return end
+        close = _find_matching_close(toks, j)
+        cls = {"name": name, "line": toks[i][2], "has_real_ctor": False, "members": []}
+        self.model.classes.append(cls)
+        if name:
+            self.model.context_classes.append(name)
+        self._region(j + 1, close, class_name=name)
+        return close + 1
+
+    # -- one declaration/expression statement --------------------------------
+    def _statement(self, i, end, class_name, current_class):
+        toks = self.toks
+        start = i
+        head = toks[i][1]
+        if head in ("using", "typedef"):
+            j = i
+            while j < end and toks[j][1] != ";":
+                j += 1
+            if head == "using" and j - i >= 4 and toks[i + 1][0] == "id" \
+                    and toks[i + 2][1] == "=":
+                alias = toks[i + 1][1]
+                target = " ".join(t[1] for t in toks[i + 3:j])
+                self.model.aliases[alias] = target
+            return j + 1
+        if head in ("friend", "static_assert", "extern"):
+            j = i
+            while j < end and toks[j][1] not in (";", "{"):
+                if toks[j][1] == "(":
+                    j = _find_matching_close(toks, j)
+                j += 1
+            if j < end and toks[j][1] == "{":
+                j = _find_matching_close(toks, j)
+            return j + 1
+
+        # Scan to the statement end: ';' or a body '{' (an initializer '{'
+        # after '=' or after the declarator name is consumed in place).
+        j = i
+        saw_eq = False
+        body_open = -1
+        while j < end:
+            t = toks[j][1]
+            if t == "(" or t == "[":
+                j = _find_matching_close(toks, j) + 1
+                continue
+            if t == "=":
+                saw_eq = True
+                j += 1
+                continue
+            if t == "{":
+                if saw_eq or (j > i and toks[j - 1][0] == "id" and j - 1 > i
+                              and toks[j - 2][1] not in (")",)):
+                    prev = toks[j - 1][1]
+                    if not saw_eq and prev in (")", "const", "noexcept", "override",
+                                               "final", "try"):
+                        body_open = j
+                        break
+                    j = _find_matching_close(toks, j) + 1
+                    continue
+                body_open = j
+                break
+            if t == ";":
+                break
+            if t == "}":
+                break
+            j += 1
+        stmt = toks[start:j]
+        stmt_end = j
+
+        if body_open != -1:
+            close = _find_matching_close(toks, body_open)
+            self._classify(stmt, class_name, current_class, has_body=True)
+            self._region(body_open + 1, close, class_name=None)
+            return close + 1
+        self._classify(stmt, class_name, current_class, has_body=False)
+        return stmt_end + 1
+
+    def _classify(self, stmt, class_name, current_class, has_body):
+        if not stmt:
+            return
+        toks = stmt
+        # Strip leading attributes [[...]] and label-ish noise.
+        while len(toks) >= 2 and toks[0][1] == "[" and toks[1][1] == "[":
+            k = 0
+            depth = 0
+            while k < len(toks):
+                if toks[k][1] == "[":
+                    depth += 1
+                elif toks[k][1] == "]":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k += 1
+            toks = toks[k + 1:]
+        if not toks:
+            return
+
+        texts = [t[1] for t in toks]
+        line = toks[0][2]
+
+        # Constructor?  First id equal to the class name, directly followed by
+        # '(' (allowing leading explicit/inline/constexpr), not preceded by '~'.
+        if class_name:
+            for k, t in enumerate(toks):
+                if t[0] != "id":
+                    if t[1] == "~":
+                        break
+                    if t[1] not in (":",):
+                        continue
+                if t[0] == "id" and t[1] in ("explicit", "inline", "constexpr",
+                                             "consteval"):
+                    continue
+                if t[0] == "id":
+                    if t[1] == class_name and k + 1 < len(toks) and toks[k + 1][1] == "(":
+                        if current_class is not None:
+                            is_real = not ("delete" in texts or "default" in texts)
+                            if is_real:
+                                current_class["has_real_ctor"] = True
+                        return
+                    break
+
+        # Function (decl or def): declarator ends with (...) [cv].
+        fn = self._try_function(toks, has_body)
+        if fn is not None:
+            self.model.functions.append(fn)
+            if fn.get("method_class"):
+                if fn["method_class"] not in self.model.context_classes:
+                    self.model.context_classes.append(fn["method_class"])
+            return
+
+        # Variable / member declaration.
+        decl = self._try_var_decl(toks)
+        if decl is None:
+            return
+        name, type_tokens, has_init = decl
+        type_str = " ".join(type_tokens)
+        is_static = "static" in type_tokens
+        if current_class is not None:
+            current_class["members"].append(
+                {"name": name, "type": type_str, "has_init": has_init,
+                 "line": line, "is_static": is_static})
+        if type_tokens:
+            self.model.locals.setdefault(name, type_str)
+        if is_static:
+            self.model.static_decls.append({"name": name, "line": line, "type": type_str})
+
+    def _try_function(self, toks, has_body):
+        texts = [t[1] for t in toks]
+        # Trim trailing "= 0" / "= default" / "= delete" and cv-ish ids.
+        endk = len(texts)
+        cut = None
+        depth = 0
+        for k, t in enumerate(texts):
+            if t in ("(", "[", "{"):
+                depth += 1
+            elif t in (")", "]", "}"):
+                depth -= 1
+            elif t == "=" and depth == 0:
+                cut = k
+                break
+        if cut is not None:
+            endk = cut
+        while endk > 0 and texts[endk - 1] in ("const", "noexcept", "override",
+                                               "final", "try", "&", "&&"):
+            endk -= 1
+        if endk == 0 or texts[endk - 1] != ")":
+            return None
+        # Find the matching '(' for that trailing ')'.
+        depth = 0
+        openk = None
+        for k in range(endk - 1, -1, -1):
+            t = texts[k]
+            if t == ")":
+                depth += 1
+            elif t == "(":
+                depth -= 1
+                if depth == 0:
+                    openk = k
+                    break
+        if openk is None or openk == 0:
+            return None
+        namek = openk - 1
+        if toks[namek][0] != "id" or texts[namek] in CXX_KEYWORDS:
+            return None
+        name = texts[namek]
+        method_class = None
+        retk = namek
+        if namek >= 2 and texts[namek - 1] == "::" and toks[namek - 2][0] == "id":
+            method_class = texts[namek - 2]
+            retk = namek - 2
+        ret = [t for t in texts[:retk]
+               if t not in ("inline", "static", "virtual", "explicit", "constexpr",
+                            "consteval", "friend", "extern")]
+        params = self._parse_params(toks[openk + 1:endk - 1])
+        return {"name": name, "line": toks[namek][2], "ret": ret, "params": params,
+                "method_class": method_class, "has_body": has_body}
+
+    def _parse_params(self, ptoks):
+        params = []
+        if not ptoks:
+            return params
+        # split on top-level commas (tracking (), [], {}, <>)
+        groups = [[]]
+        depth_round = depth_angle = 0
+        for t in ptoks:
+            x = t[1]
+            if x in ("(", "[", "{"):
+                depth_round += 1
+            elif x in (")", "]", "}"):
+                depth_round -= 1
+            elif x == "<":
+                depth_angle += 1
+            elif x == ">":
+                depth_angle = max(0, depth_angle - 1)
+            elif x == ">>":
+                depth_angle = max(0, depth_angle - 2)
+            elif x == "," and depth_round == 0 and depth_angle == 0:
+                groups.append([])
+                continue
+            groups[-1].append(t)
+        for g in groups:
+            if not g:
+                continue
+            # drop default argument
+            for k, t in enumerate(g):
+                if t[1] == "=":
+                    g = g[:k]
+                    break
+            if not g:
+                continue
+            if g[-1][0] == "id" and g[-1][1] not in CXX_KEYWORDS and len(g) > 1:
+                pname = g[-1][1]
+                ptype = [t[1] for t in g[:-1]]
+            else:
+                pname = ""
+                ptype = [t[1] for t in g]
+            params.append((ptype, pname, g[0][2]))
+        return params
+
+    def _try_var_decl(self, toks):
+        texts = [t[1] for t in toks]
+        if any(t in ("new", "delete", "operator", "throw", "return") for t in texts):
+            return None
+        # locate top-level '=' (assignment/initializer)
+        depth = 0
+        eqk = None
+        for k, t in enumerate(texts):
+            if t in ("(", "[", "{"):
+                depth += 1
+            elif t in (")", "]", "}"):
+                depth -= 1
+            elif t == "=" and depth == 0:
+                eqk = k
+                break
+        declarator = texts[:eqk] if eqk is not None else texts[:]
+        decl_toks = toks[:eqk] if eqk is not None else toks[:]
+        has_init = eqk is not None
+        if not declarator:
+            return None
+        # strip a trailing brace-initializer {...}
+        if declarator and declarator[-1] == "}":
+            depth = 0
+            for k in range(len(declarator) - 1, -1, -1):
+                if declarator[k] == "}":
+                    depth += 1
+                elif declarator[k] == "{":
+                    depth -= 1
+                    if depth == 0:
+                        declarator = declarator[:k]
+                        decl_toks = decl_toks[:k]
+                        has_init = True
+                        break
+        # strip trailing array extents [...]
+        while declarator and declarator[-1] == "]":
+            depth = 0
+            for k in range(len(declarator) - 1, -1, -1):
+                if declarator[k] == "]":
+                    depth += 1
+                elif declarator[k] == "[":
+                    depth -= 1
+                    if depth == 0:
+                        declarator = declarator[:k]
+                        decl_toks = decl_toks[:k]
+                        break
+            else:
+                break
+        if not declarator or declarator[-1] == ")":
+            return None
+        if decl_toks[-1][0] != "id" or declarator[-1] in CXX_KEYWORDS:
+            return None
+        name = declarator[-1]
+        type_tokens = declarator[:-1]
+        if not type_tokens:
+            return None  # plain assignment `x = y;`
+        # A declaration's type must start with an id/keyword, not an operator.
+        first = type_tokens[0]
+        if not (re.match(r"[A-Za-z_:~]", first) or first in ("const",)):
+            return None
+        if "::" == type_tokens[-1]:
+            return None
+        return name, type_tokens, has_init
+
+
+# ============================ findings ======================================
 
 class Finding:
-    def __init__(self, path, line, rule, message):
+    __slots__ = ("path", "line", "col", "rule", "message", "fix")
+
+    def __init__(self, path, line, rule, message, col=1, fix=None):
         self.path = path
         self.line = line
+        self.col = col
         self.rule = rule
         self.message = message
+        self.fix = fix  # optional (kind, *args) tuple for --fix
 
     def __str__(self):
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def key(self):
+        return (self.path, self.line, self.rule, self.message)
 
 
 def rel_path(path):
@@ -175,153 +883,613 @@ def expected_guard(rel):
     return "HIBERNATOR_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_H_"
 
 
-def allowed_rules(line):
-    match = ALLOW_RE.search(line)
-    if not match:
-        return set()
-    return {token.strip() for token in match.group(1).split(",")}
+# ============================ per-file analysis =============================
 
+def analyze_file(path):
+    """Worker entry point: tokenize, model, run index-free checks.
 
-def strip_code_noise(line):
-    """Drops string literals and trailing // comments so rule regexes don't
-    fire on prose (e.g. a comment mentioning std::cout)."""
-    line = STRING_RE.sub('""', line)
-    return LINE_COMMENT_RE.sub("", line)
-
-
-def check_file(path, findings):
+    Returns a pickleable dict with findings plus everything the main process
+    needs for the cross-file checks (HIB011/HIB014/HIB015) and suppressions.
+    """
     rel = rel_path(path)
+    out = {
+        "rel": rel,
+        "findings": [],       # (line, col, rule, message, fix)
+        "suppressions": [],
+        "classes": [],
+        "aliases": {},
+        "locals": {},
+        "context_classes": [],
+        "rangefors": [],      # (line, col, ident, body_start, body_end)
+        "begin_calls": [],    # (line, col, ident)
+        "accums": [],         # (line, col, ident)
+        "error": None,
+    }
     try:
         with open(path, encoding="utf-8", errors="replace") as fh:
-            lines = fh.read().splitlines()
+            text = fh.read()
     except OSError as err:
-        findings.append(Finding(rel, 0, "HIB000", f"unreadable: {err}"))
-        return
+        out["error"] = f"unreadable: {err}"
+        return out
+
+    tokens, comments, directives = tokenize(text)
+    out["suppressions"] = parse_suppressions(comments)
+
+    findings = []
+
+    def add(line, col, rule, message, fix=None):
+        findings.append((line, col, rule, message, fix))
 
     is_header = rel.endswith(".h")
-
     if is_header:
-        check_include_guard(rel, lines, findings)
+        check_include_guard(rel, text, directives, add)
 
-    in_block_comment = False
-    for number, raw in enumerate(lines, start=1):
-        allowed = allowed_rules(raw)
-        line = strip_code_noise(raw)
+    check_directives(rel, is_header, directives, add)
 
-        # Cheap block-comment tracking: ignore lines fully inside /* ... */.
-        if in_block_comment:
-            if "*/" in line:
-                in_block_comment = False
-            continue
-        if line.lstrip().startswith("/*") or (line.count("/*") > line.count("*/")):
-            if "*/" not in line:
-                in_block_comment = True
-            continue
+    model = Parser(tokens, rel).parse()
+    out["classes"] = model.classes
+    out["aliases"] = model.aliases
+    out["locals"] = model.locals
+    out["context_classes"] = model.context_classes
 
-        if is_header and "#include <iostream>" in line and rel not in IOSTREAM_HEADER_ALLOWED:
-            if "HIB002" not in allowed:
-                findings.append(Finding(rel, number, "HIB002",
-                                        "headers must not include <iostream>; "
-                                        "stream through src/util/log.h instead"))
+    check_static_mutable(rel, model, add)
+    check_unit_functions(rel, model, add)
+    token_checks(rel, tokens, add, out)
 
-        if RAW_IO_RE.search(line) and not rel.startswith(RAW_IO_ALLOWED_PREFIXES):
-            if "HIB003" not in allowed:
-                findings.append(Finding(rel, number, "HIB003",
-                                        "raw stdio; route output through HIB_LOG "
-                                        "or util/table"))
-
-        units = UNITS_RE.search(line)
-        if units and not UNITS_EXEMPT_RE.search(units.group(2)):
-            if "HIB004" not in allowed:
-                alias = "Joules" if "joules" in units.group(2) else (
-                    "Watts" if "watts" in units.group(2) else "Duration (or SimTime)")
-                findings.append(Finding(rel, number, "HIB004",
-                                        f"'{units.group(1)} {units.group(2)}' should use "
-                                        f"the {alias} alias from src/util/units.h"))
-
-        if ASSERT_RE.search(line) and "static_assert" not in line:
-            if "HIB005" not in allowed:
-                findings.append(Finding(rel, number, "HIB005",
-                                        "bare assert(); use HIB_CHECK / HIB_DCHECK "
-                                        "from src/util/check.h"))
-
-        if not rel.startswith(STATIC_MUT_EXEMPT_PREFIXES):
-            static_decl = STATIC_DECL_RE.search(line)
-            if static_decl and not STATIC_EXEMPT_RE.search(line):
-                if "HIB006" not in allowed:
-                    findings.append(Finding(
-                        rel, number, "HIB006",
-                        f"mutable static-duration variable '{static_decl.group(1)}'; "
-                        "make it const/constexpr, wrap it in std::atomic/std::mutex, "
-                        "or pass the state explicitly"))
-
-        if not rel.startswith(UNIT_FN_EXEMPT_PREFIXES) and "HIB007" not in allowed:
-            ret = RAW_RETURN_RE.search(line)
-            if (ret and UNIT_FN_NAME_RE.search(ret.group(2))
-                    and not DIMENSIONLESS_NAME_RE.search(ret.group(2))):
-                findings.append(Finding(
-                    rel, number, "HIB007",
-                    f"'{ret.group(2)}' returns raw {ret.group(1)}; its name says it is "
-                    "a physical quantity — return a units.h type"))
-            else:
-                for fn in FN_WITH_PARAMS_RE.finditer(line):
-                    if (not UNIT_FN_NAME_RE.search(fn.group(1))
-                            or DIMENSIONLESS_NAME_RE.search(fn.group(1))):
-                        continue
-                    params = [param for param in RAW_PARAM_RE.findall(fn.group(2))
-                              if not DIMENSIONLESS_NAME_RE.search(param)]
-                    if params:
-                        findings.append(Finding(
-                            rel, number, "HIB007",
-                            f"'{fn.group(1)}' takes raw double '{params[0]}'; its name "
-                            "says it deals in a physical quantity — take a units.h type"))
-                        break
-
-        if (VALUE_ESCAPE_RE.search(line) and not rel.startswith(VALUE_ALLOWED_PREFIXES)
-                and "HIB008" not in allowed):
-            findings.append(Finding(
-                rel, number, "HIB008",
-                ".value() strips the dimension; stay in the typed world, or move the "
-                "raw-double need to a sanctioned boundary (units/stats/table/log/trace)"))
-
-        if (not rel.startswith(HAND_CONVERSION_EXEMPT_PREFIXES)
-                and HAND_CONVERSION_RE.search(line) and "HIB009" not in allowed):
-            findings.append(Finding(
-                rel, number, "HIB009",
-                "hand-rolled unit conversion; use Seconds()/Hours()/ToSeconds() etc. "
-                "so the scale lives only in units.h"))
-
-        if (RAW_OUTPUT_PRIM_RE.search(line)
-                and not rel.startswith(RAW_OUTPUT_ALLOWED_PREFIXES)
-                and "HIB010" not in allowed):
-            findings.append(Finding(
-                rel, number, "HIB010",
-                "raw output primitive; route output through HIB_LOG, util/table, "
-                "or an src/obs/ exporter"))
+    out["findings"] = findings
+    return out
 
 
-def check_include_guard(rel, lines, findings):
+def check_include_guard(rel, text, directives, add):
     want = expected_guard(rel)
-    ifndef_line = 0
-    got = None
-    for number, line in enumerate(lines, start=1):
-        match = re.match(r"\s*#ifndef\s+(\S+)", line)
-        if match:
-            ifndef_line = number
-            got = match.group(1)
+    ifndef = None
+    for name, rest, line in directives:
+        if name == "ifndef":
+            ifndef = (rest.split()[0] if rest.split() else "", line)
             break
-    if got is None:
-        findings.append(Finding(rel, 1, "HIB001", f"missing include guard {want}"))
+    if ifndef is None:
+        add(1, 1, "HIB001", f"missing include guard {want}", ("guard_insert", want))
         return
+    got, line = ifndef
     if got != want:
-        findings.append(Finding(rel, ifndef_line, "HIB001",
-                                f"include guard is {got}, expected {want}"))
+        add(line, 1, "HIB001", f"include guard is {got}, expected {want}",
+            ("guard_rename", got, want))
         return
-    define_re = re.compile(r"\s*#define\s+" + re.escape(want) + r"\b")
-    if not any(define_re.match(line) for line in lines):
-        findings.append(Finding(rel, ifndef_line, "HIB001",
-                                f"#ifndef {want} has no matching #define"))
+    for name, rest, _ in directives:
+        if name == "define" and rest.split() and rest.split()[0] == want:
+            return
+    add(line, 1, "HIB001", f"#ifndef {want} has no matching #define",
+        ("guard_add_define", want, line))
 
+
+def check_directives(rel, is_header, directives, add):
+    if not is_header or rel in IOSTREAM_HEADER_ALLOWED:
+        return
+    for name, rest, line in directives:
+        if name == "include" and rest.strip().startswith("<iostream>"):
+            add(line, 1, "HIB002",
+                "headers must not include <iostream>; stream through "
+                "src/util/log.h instead")
+
+
+def check_static_mutable(rel, model, add):
+    if rel.startswith(STATIC_MUT_EXEMPT_PREFIXES):
+        return
+    for decl in model.static_decls:
+        if STATIC_EXEMPT_TYPE_RE.search(decl["type"]):
+            continue
+        add(decl["line"], 1, "HIB006",
+            f"mutable static-duration variable '{decl['name']}'; make it "
+            "const/constexpr, wrap it in std::atomic/std::mutex, or pass the "
+            "state explicitly")
+
+
+def check_unit_functions(rel, model, add):
+    if rel.startswith(UNIT_FN_EXEMPT_PREFIXES):
+        return
+    for fn in model.functions:
+        name = fn["name"]
+        if not UNIT_FN_NAME_RE.search(name) or DIMENSIONLESS_NAME_RE.search(name):
+            continue
+        ret = [t for t in fn["ret"] if t not in ("const", "&", "*", "constexpr")]
+        if ret and ret[-1] in ("double", "float"):
+            add(fn["line"], 1, "HIB007",
+                f"'{name}' returns raw {ret[-1]}; its name says it is a "
+                "physical quantity — return a units.h type")
+            continue
+        for ptype, pname, pline in fn["params"]:
+            base = [t for t in ptype if t not in ("const", "&", "*")]
+            if base and base[-1] in ("double", "float") \
+                    and not DIMENSIONLESS_NAME_RE.search(pname or ""):
+                add(pline, 1, "HIB007",
+                    f"'{name}' takes raw double '{pname or '<param>'}'; its name "
+                    "says it deals in a physical quantity — take a units.h type")
+                break
+
+
+def _num_value(text):
+    try:
+        return float(text.replace("'", "").rstrip("fFlLuUzZ"))
+    except ValueError:
+        return None
+
+
+def token_checks(rel, tokens, add, out):
+    """Single linear pass over the token stream for the token-shaped rules,
+    plus extraction of the deferred (index-needing) sites."""
+    n = len(tokens)
+    lib = not rel.startswith(DETERMINISM_EXEMPT_PREFIXES)
+    raw_io_ok = rel.startswith(RAW_IO_ALLOWED_PREFIXES)
+    raw_out_ok = rel.startswith(RAW_OUTPUT_ALLOWED_PREFIXES)
+    value_ok = rel.startswith(VALUE_ALLOWED_PREFIXES)
+    conv_ok = rel.startswith(HAND_CONVERSION_EXEMPT_PREFIXES)
+
+    def tk(i):
+        return tokens[i] if 0 <= i < n else ("", "", 0, 0)
+
+    unordered_loop_bodies = []  # (start_line, end_line) for HIB014
+
+    i = 0
+    while i < n:
+        kind, text, line, col = tokens[i]
+
+        if kind == "id":
+            nxt = tk(i + 1)[1]
+            prv = tk(i - 1)[1]
+            prv2 = tk(i - 2)[1]
+
+            # HIB003: std::cout/cerr/clog and printf-family calls.
+            if not raw_io_ok:
+                if text in ("cout", "cerr", "clog") and prv == "::" and prv2 == "std":
+                    add(line, col, "HIB003",
+                        "raw stdio; route output through HIB_LOG or util/table")
+                elif text in PRINTF_FAMILY and nxt == "(" and prv not in (".", "->") \
+                        and (prv != "::" or prv2 == "std"):
+                    add(line, col, "HIB003",
+                        "raw stdio; route output through HIB_LOG or util/table")
+
+            # HIB010: the remaining C output primitives.
+            if not raw_out_ok and text in RAW_OUTPUT_PRIMS and nxt == "(" \
+                    and prv not in (".", "->") and (prv != "::" or prv2 == "std"):
+                add(line, col, "HIB010",
+                    "raw output primitive; route output through HIB_LOG, "
+                    "util/table, or an src/obs/ exporter")
+
+            # HIB005: bare assert().
+            if text == "assert" and nxt == "(" and prv not in (".", "->", "::"):
+                add(line, col, "HIB005",
+                    "bare assert(); use HIB_CHECK / HIB_DCHECK from src/util/check.h")
+
+            # HIB004: double/float with a unit-suffixed name.
+            if prv in ("double", "float") and UNITS_DECL_NAME_RE.search(text) \
+                    and "per_ms" not in text:
+                alias = "Joules" if "joules" in text else (
+                    "Watts" if "watts" in text else "Duration (or SimTime)")
+                add(line, col, "HIB004",
+                    f"'{prv} {text}' should use the {alias} alias from src/util/units.h")
+
+            # HIB008: .value() escape.
+            if text == "value" and prv in (".", "->") and nxt == "(" \
+                    and tk(i + 2)[1] == ")" and not value_ok:
+                add(line, col, "HIB008",
+                    ".value() strips the dimension; stay in the typed world, or "
+                    "move the raw-double need to a sanctioned boundary "
+                    "(units/stats/table/log/trace)")
+
+            # HIB009: unit-suffixed identifier * / conversion literal.
+            if not conv_ok and UNIT_SUFFIX_NAME_RE.search(text):
+                if nxt in ("*", "/") and tk(i + 2)[0] == "num" \
+                        and _num_value(tk(i + 2)[1]) in CONVERSION_VALUES:
+                    add(line, col, "HIB009",
+                        "hand-rolled unit conversion; use Seconds()/Hours()/"
+                        "ToSeconds() etc. so the scale lives only in units.h",
+                        ("conversion",))
+                elif prv in ("*", "/") and tk(i - 2)[0] == "num" \
+                        and _num_value(tk(i - 2)[1]) in CONVERSION_VALUES:
+                    add(tk(i - 2)[2], tk(i - 2)[3], "HIB009",
+                        "hand-rolled unit conversion; use Seconds()/Hours()/"
+                        "ToSeconds() etc. so the scale lives only in units.h",
+                        ("conversion",))
+
+            # HIB013: wall-clock / ambient randomness (library code).
+            if lib:
+                if text in WALL_CLOCK_IDS and (prv != "::" or prv2 == "std" or prv2 == "chrono"):
+                    add(line, col, "HIB013",
+                        f"'{text}' is ambient nondeterminism; simulated time is "
+                        "SimTime and randomness must flow from the seeded PRNGs "
+                        "in src/util/random.h")
+                elif text in WALL_CLOCK_CALLS and nxt == "(" \
+                        and prv not in (".", "->") and (prv != "::" or prv2 == "std"):
+                    add(line, col, "HIB013",
+                        f"'{text}()' reads the wall clock / ambient randomness; "
+                        "library code must use SimTime and the seeded PRNGs")
+
+            # HIB012: pointer key in an ordered associative container.
+            if lib and text in ORDERED_ASSOC and prv == "::" and prv2 == "std" \
+                    and nxt == "<":
+                j = i + 2
+                depth = 1
+                saw_ptr = False
+                while j < n and depth > 0:
+                    t = tokens[j][1]
+                    if t == "<":
+                        depth += 1
+                    elif t == ">":
+                        depth -= 1
+                    elif t == ">>":
+                        depth -= 2
+                    elif t == "," and depth == 1:
+                        break
+                    elif t == "*" and depth == 1:
+                        saw_ptr = True
+                    j += 1
+                if saw_ptr:
+                    add(line, col, "HIB012",
+                        f"std::{text} keyed by a pointer orders entries by heap "
+                        "address (different every run); key by a stable id "
+                        "(registration-order index) instead")
+
+            # HIB016: catch-by-value / swallowed exception.
+            if lib and text == "catch" and nxt == "(":
+                close = _find_matching_close(tokens, i + 1)
+                ptoks = tokens[i + 2:close]
+                ptexts = [t[1] for t in ptoks]
+                if ptexts and ptexts != ["..."] and "&" not in ptexts \
+                        and "*" not in ptexts:
+                    add(line, col, "HIB016",
+                        "exception caught by value (slicing copy); catch by "
+                        "const reference")
+                bi = close + 1
+                if tk(bi)[1] == "{":
+                    bclose = _find_matching_close(tokens, bi)
+                    if bclose == bi + 1:
+                        add(line, col, "HIB016",
+                            "swallowed exception: empty catch body lets the "
+                            "simulation continue on corrupt state; handle, "
+                            "log fatally, or rethrow")
+                i = close + 1
+                continue
+
+            # Deferred HIB011 sites: range-for and .begin()/.cbegin().
+            if lib and text == "for" and nxt == "(":
+                close = _find_matching_close(tokens, i + 1)
+                colon = None
+                depth = 0
+                for k in range(i + 2, close):
+                    t = tokens[k][1]
+                    if t in ("(", "[", "{"):
+                        depth += 1
+                    elif t in (")", "]", "}"):
+                        depth -= 1
+                    elif t == ":" and depth == 0 and tokens[k - 1][1] != ":" \
+                            and tk(k + 1)[1] != ":":
+                        colon = k
+                        break
+                if colon is not None:
+                    expr = tokens[colon + 1:close]
+                    ident = None
+                    if not any(t[1] == "(" for t in expr):
+                        ids = [t for t in expr if t[0] == "id" and t[1] != "this"]
+                        if ids:
+                            ident = ids[-1][1]
+                    body_start_line = tokens[close][2]
+                    bi = close + 1
+                    if tk(bi)[1] == "{":
+                        bclose = _find_matching_close(tokens, bi)
+                        body_end_line = tokens[bclose][2]
+                    else:
+                        k = bi
+                        while k < n and tokens[k][1] != ";":
+                            k += 1
+                        body_end_line = tk(k)[2] or body_start_line
+                    if ident:
+                        out["rangefors"].append(
+                            (line, col, ident, body_start_line, body_end_line))
+                i += 1
+                continue
+
+            if lib and text in ("begin", "cbegin") and nxt == "(" \
+                    and prv in (".", "->") and tk(i - 2)[0] == "id":
+                out["begin_calls"].append((line, col, tk(i - 2)[1]))
+
+        elif kind == "punct" and text == "+=" and lib:
+            k = i - 1
+            # step back over a balanced [...] subscript
+            if tk(k)[1] == "]":
+                depth = 0
+                while k >= 0:
+                    t = tk(k)[1]
+                    if t == "]":
+                        depth += 1
+                    elif t == "[":
+                        depth -= 1
+                        if depth == 0:
+                            k -= 1
+                            break
+                    k -= 1
+            if tk(k)[0] == "id":
+                out["accums"].append((line, col, tk(k)[1]))
+
+        i += 1
+
+    out["_unused"] = unordered_loop_bodies  # kept for symmetry; unused
+
+
+# ============================ cross-file resolution =========================
+
+def build_index(results):
+    class_members = {}
+    aliases = {}
+    member_types = {}
+    for r in results:
+        for cls in r["classes"]:
+            if not cls["name"]:
+                continue
+            m = class_members.setdefault(cls["name"], {})
+            for mem in cls["members"]:
+                m[mem["name"]] = mem["type"]
+                member_types.setdefault(mem["name"], set()).add(mem["type"])
+        aliases.update(r["aliases"])
+    return {"class_members": class_members, "aliases": aliases,
+            "member_types": member_types}
+
+
+def resolve_type(name, fileres, index):
+    t = fileres["locals"].get(name)
+    if t:
+        return t
+    for cls in fileres["context_classes"]:
+        t = index["class_members"].get(cls, {}).get(name)
+        if t:
+            return t
+    types = index["member_types"].get(name)
+    if types and len(types) == 1:
+        return next(iter(types))
+    return None
+
+
+def resolve_alias(type_str, aliases, depth=0):
+    if type_str is None or depth > 4:
+        return type_str
+    parts = type_str.split()
+    base = parts[-1] if parts else type_str
+    if base in aliases:
+        resolved = resolve_alias(aliases[base], aliases, depth + 1)
+        return " ".join(parts[:-1] + [resolved])
+    return type_str
+
+
+def is_scalar_type(type_str, aliases):
+    resolved = resolve_alias(type_str, aliases)
+    if resolved is None:
+        return False
+    toks = resolved.replace("std ::", "").replace("std::", "").split()
+    toks = [t for t in toks if t not in ("const", "volatile", "mutable", "inline")]
+    if not toks:
+        return False
+    if toks[-1] == "*":
+        return True
+    if any(t in ("constexpr", "constinit") for t in toks):
+        return False
+    return all(t in SCALAR_TYPES or t == "*" for t in toks)
+
+
+def cross_file_checks(results, index):
+    """HIB011 / HIB014 / HIB015 need the merged symbol index."""
+    aliases = index["aliases"]
+    for r in results:
+        rel = r["rel"]
+        add = lambda line, col, rule, msg: r["findings"].append(
+            (line, col, rule, msg, None))
+
+        if not rel.startswith(DETERMINISM_EXEMPT_PREFIXES):
+            unordered_bodies = []
+            for line, col, ident, bstart, bend in r["rangefors"]:
+                t = resolve_alias(resolve_type(ident, r, index), aliases)
+                if t and UNORDERED_TYPE_RE.search(t):
+                    add(line, col, "HIB011",
+                        f"range-for over unordered container '{ident}' "
+                        f"({t.replace(' ', '')}): iteration order is "
+                        "nondeterministic — use a sorted/insertion-ordered "
+                        "container or iterate sorted keys")
+                    unordered_bodies.append((bstart, bend))
+            for line, col, ident in r["begin_calls"]:
+                t = resolve_alias(resolve_type(ident, r, index), aliases)
+                if t and UNORDERED_TYPE_RE.search(t):
+                    add(line, col, "HIB011",
+                        f"'{ident}.begin()' walks an unordered container in "
+                        "nondeterministic order — use a sorted/insertion-ordered "
+                        "container or iterate sorted keys")
+            for line, col, ident in r["accums"]:
+                if not any(bs <= line <= be for bs, be in unordered_bodies):
+                    continue
+                t = resolve_alias(resolve_type(ident, r, index), aliases)
+                if t and FLOATY_TYPE_RE.search(t):
+                    add(line, col, "HIB014",
+                        f"'{ident} +=' accumulates a floating/Quantity value "
+                        "inside an unordered-container loop: float addition is "
+                        "not associative, so the visit order changes the sum — "
+                        "iterate in a deterministic order or merge in spec order")
+
+            for cls in r["classes"]:
+                if cls["has_real_ctor"]:
+                    continue
+                for mem in cls["members"]:
+                    if mem["has_init"] or mem["is_static"]:
+                        continue
+                    if is_scalar_type(mem["type"], aliases):
+                        cname = cls["name"] or "<anonymous>"
+                        add(mem["line"], 1, "HIB015",
+                            f"scalar member '{mem['name']}' of '{cname}' has no "
+                            "default member initializer; an indeterminate value "
+                            "is a run-to-run divergence seed")
+
+
+# ============================ suppression filtering =========================
+
+def apply_suppressions(results):
+    final = []
+    for r in results:
+        rel = r["rel"]
+        if r["error"]:
+            final.append(Finding(rel, 0, "HIB000", r["error"]))
+            continue
+        sups = r["suppressions"]
+        by_line = {}
+        for s in sups:
+            by_line.setdefault(s["target_line"], []).append(s)
+        for line, col, rule, msg, fix in r["findings"]:
+            suppressed = False
+            for s in by_line.get(line, []):
+                if s["rules"] == "*" or rule in s["rules"]:
+                    s["used"] = True
+                    suppressed = True
+            if not suppressed:
+                final.append(Finding(rel, line, rule, msg, col, fix))
+        for s in sups:
+            if not s["used"]:
+                rules = "all rules" if s["rules"] == "*" else ", ".join(sorted(s["rules"]))
+                final.append(Finding(
+                    rel, s["decl_line"], "HIB099",
+                    f"unused suppression ({rules}): nothing on the target line "
+                    "triggers it — remove the stale comment"))
+    return final
+
+
+# ============================ SARIF output ==================================
+
+def write_sarif(path, findings, files_scanned):
+    rules = []
+    for rule_id in sorted(RULES):
+        name, desc = RULES[rule_id]
+        rules.append({
+            "id": rule_id,
+            "name": name,
+            "shortDescription": {"text": desc},
+            "fullDescription": {"text": desc},
+            "defaultConfiguration": {"level": "error"},
+        })
+    results = []
+    for f in findings:
+        results.append({
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path, "uriBaseId": "%SRCROOT%"},
+                    "region": {"startLine": max(1, f.line),
+                               "startColumn": max(1, f.col)},
+                }
+            }],
+        })
+    doc = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "simlint",
+                    "version": "2.0.0",
+                    "informationUri":
+                        "https://github.com/hibernator-sim/hibernator"
+                        "#verification--static-analysis",
+                    "rules": rules,
+                }
+            },
+            "columnKind": "utf16CodeUnits",
+            "originalUriBaseIds": {"%SRCROOT%": {"uri": "file://" + REPO_ROOT + "/"}},
+            "properties": {"filesScanned": files_scanned},
+            "results": results,
+        }],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# ============================ --fix =========================================
+
+CONVERSION_FIXES = [
+    # to-seconds family only: the rewrites below keep the expression a raw
+    # double (no .value() escapes) and route the scale through units.h.
+    (re.compile(r"\b([A-Za-z_]\w*_ms)\s*/\s*1000(?:\.0+)?(?![\w.])"),
+     r"ToSeconds(Ms(\1))"),
+    (re.compile(r"\b([A-Za-z_]\w*_hours)\s*\*\s*3600(?:\.0+)?(?![\w.])"),
+     r"ToSeconds(Hours(\1))"),
+]
+
+
+def apply_fixes(findings):
+    """Applies the mechanical fixes (HIB001 guards, HIB009 to-seconds
+    conversions).  Returns (num_fixed, set_of_fixed_finding_keys)."""
+    by_file = {}
+    for f in findings:
+        if f.fix is not None:
+            by_file.setdefault(f.path, []).append(f)
+    fixed = set()
+    for relp, flist in by_file.items():
+        path = os.path.join(REPO_ROOT, relp) if not os.path.isabs(relp) else relp
+        if not os.path.exists(path):
+            path = relp
+        try:
+            with open(path, encoding="utf-8") as fh:
+                lines = fh.read().splitlines(keepends=True)
+        except OSError:
+            continue
+        changed = False
+        for f in sorted(flist, key=lambda x: -x.line):
+            kind = f.fix[0]
+            if kind == "guard_rename":
+                old, want = f.fix[1], f.fix[2]
+                pat = re.compile(r"\b" + re.escape(old) + r"\b")
+                hits = 0
+                for i, ln in enumerate(lines):
+                    if pat.search(ln) and re.match(r"\s*#\s*(ifndef|define|endif)|.*//",
+                                                   ln):
+                        lines[i] = pat.sub(want, ln)
+                        hits += 1
+                if hits:
+                    changed = True
+                    fixed.add(f.key())
+            elif kind == "guard_add_define":
+                want, ifndef_line = f.fix[1], f.fix[2]
+                idx = min(ifndef_line, len(lines))
+                lines.insert(idx, f"#define {want}\n")
+                changed = True
+                fixed.add(f.key())
+            elif kind == "guard_insert":
+                want = f.fix[1]
+                insert_at = 0
+                for i, ln in enumerate(lines):
+                    s = ln.strip()
+                    if s.startswith("//") or not s:
+                        insert_at = i + 1
+                    else:
+                        break
+                lines.insert(insert_at, f"#ifndef {want}\n#define {want}\n\n")
+                if lines and not lines[-1].endswith("\n"):
+                    lines[-1] += "\n"
+                lines.append(f"\n#endif  // {want}\n")
+                changed = True
+                fixed.add(f.key())
+            elif kind == "conversion":
+                i = f.line - 1
+                if 0 <= i < len(lines):
+                    new = lines[i]
+                    for pat, repl in CONVERSION_FIXES:
+                        new = pat.sub(repl, new)
+                    if new != lines[i]:
+                        lines[i] = new
+                        changed = True
+                        fixed.add(f.key())
+        if changed:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write("".join(lines))
+    return len(fixed), fixed
+
+
+# ============================ driver ========================================
 
 def gather_files(paths):
     files = []
@@ -340,29 +1508,65 @@ def gather_files(paths):
     return files
 
 
+def run_analysis(files, jobs):
+    if jobs > 1 and len(files) > 8:
+        try:
+            with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+                results = list(pool.map(analyze_file, files, chunksize=4))
+        except (OSError, concurrent.futures.process.BrokenProcessPool):
+            results = [analyze_file(p) for p in files]
+    else:
+        results = [analyze_file(p) for p in files]
+    index = build_index(results)
+    cross_file_checks(results, index)
+    return apply_suppressions(results)
+
+
 def main(argv):
-    args = argv[1:]
-    if "--list-rules" in args:
-        for rule, description in sorted(RULES.items()):
-            print(f"{rule}  {description}")
+    parser = argparse.ArgumentParser(prog="simlint", add_help=True,
+                                     description="Hibernator repo lint (token engine)")
+    parser.add_argument("paths", nargs="*", help="files or directories to scan")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--sarif", metavar="FILE",
+                        help="write findings as SARIF 2.1.0 to FILE")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply mechanical fixes (HIB001 guards, HIB009 "
+                             "to-seconds conversions), then report the rest")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
+                        help="parallel worker processes (default: cpu count)")
+    try:
+        args = parser.parse_args(argv[1:])
+    except SystemExit as e:
+        return 2 if e.code not in (0, None) else 0
+
+    if args.list_rules:
+        for rule, (name, description) in sorted(RULES.items()):
+            print(f"{rule}  {name:<20} {description}")
         return 0
-    paths = [a for a in args if not a.startswith("-")]
-    if any(a.startswith("-") for a in args):
-        print(__doc__, file=sys.stderr)
-        return 2
+
+    paths = args.paths
     if not paths:
         os.chdir(REPO_ROOT)
         paths = DEFAULT_PATHS
-
-    findings = []
     files = gather_files(paths)
-    for path in files:
-        check_file(path, findings)
+    findings = run_analysis(files, max(1, args.jobs))
 
+    if args.fix:
+        num_fixed, fixed_keys = apply_fixes(findings)
+        if num_fixed:
+            print(f"simlint: fixed {num_fixed} finding(s); re-checking", file=sys.stderr)
+            findings = run_analysis(files, max(1, args.jobs))
+        else:
+            print("simlint: nothing fixable", file=sys.stderr)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
     for finding in findings:
         print(finding)
+    if args.sarif:
+        write_sarif(args.sarif, findings, len(files))
     if findings:
-        print(f"simlint: {len(findings)} finding(s) in {len(files)} file(s)", file=sys.stderr)
+        print(f"simlint: {len(findings)} finding(s) in {len(files)} file(s)",
+              file=sys.stderr)
         return 1
     return 0
 

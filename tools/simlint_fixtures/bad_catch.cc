@@ -1,0 +1,15 @@
+// Known-bad fixture: HIB016 — catching an exception by value slices and
+// copies at an unpredictable point; catch by const reference.
+#include <stdexcept>
+
+namespace fixture {
+
+int Guarded(int (*risky)()) {
+  try {
+    return risky();
+  } catch (std::exception e) {
+    return -1;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Known-bad fixture: HIB014 — accumulating a double inside a loop over an
+// unordered container makes the sum depend on the visit order (float
+// addition is not associative).  The loop itself is suppressed so this
+// fixture isolates the accumulation check.
+#include <unordered_map>
+
+namespace fixture {
+
+class EnergyRollup {
+ public:
+  double Sum() const {
+    double total = 0.0;
+    for (const auto& entry : per_disk_) {  // NOLINT(HIB011)
+      total += entry.second;
+    }
+    return total;
+  }
+
+ private:
+  std::unordered_map<int, double> per_disk_;
+};
+
+}  // namespace fixture

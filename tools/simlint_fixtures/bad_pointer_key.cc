@@ -1,0 +1,16 @@
+// Known-bad fixture: HIB012 — a pointer key in an ordered associative
+// container sorts entries by heap address, which differs every run.
+#include <map>
+
+namespace fixture {
+
+struct Widget {
+  int id = 0;
+};
+
+class Registry {
+ private:
+  std::map<const Widget*, int> priorities_;
+};
+
+}  // namespace fixture

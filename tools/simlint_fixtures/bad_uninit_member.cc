@@ -1,0 +1,11 @@
+// Known-bad fixture: HIB015 — a scalar member without a default member
+// initializer in a constructor-less struct starts life indeterminate.
+
+namespace fixture {
+
+struct FixtureConfig {
+  int retries;
+  bool verbose = false;
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Known-bad fixture: HIB011 — range-for over an unordered container in
+// library code visits elements in a hash/insertion-history-dependent order.
+#include <unordered_map>
+
+namespace fixture {
+
+class ShardLedger {
+ public:
+  long Total() const {
+    long total = 0;
+    for (const auto& entry : balances_) {
+      total += entry.second;
+    }
+    return total;
+  }
+
+ private:
+  std::unordered_map<int, long> balances_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Known-bad fixture: HIB013 — ambient randomness in library code breaks
+// replayability; randomness must come from the seeded PRNGs.
+#include <random>
+
+namespace fixture {
+
+unsigned AmbientSeed() {
+  std::random_device entropy;
+  return entropy();
+}
+
+}  // namespace fixture

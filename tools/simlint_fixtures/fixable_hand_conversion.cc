@@ -1,0 +1,12 @@
+// Known-bad fixture: HIB009 with a mechanical fix available.  --fix rewrites
+// the division through the units.h factories (`ToSeconds(Ms(...))`), after
+// which the file must come back clean and a second --fix must be a no-op.
+#include "src/util/units.h"
+
+namespace fixture {
+
+double UptimeSeconds(long uptime_ms) {
+  return uptime_ms / 1000.0;
+}
+
+}  // namespace fixture

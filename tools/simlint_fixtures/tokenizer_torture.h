@@ -1,0 +1,55 @@
+// Clean fixture: every construct below LOOKS like a violation to a line-regex
+// scanner but sits in a comment, string, raw string, or disabled region.  The
+// token engine must report nothing here.
+#ifndef HIBERNATOR_TOOLS_SIMLINT_FIXTURES_TOKENIZER_TORTURE_H_
+#define HIBERNATOR_TOOLS_SIMLINT_FIXTURES_TOKENIZER_TORTURE_H_
+
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+// A raw string whose body contains line-comment markers, stdio calls, and a
+// fake include guard — none of it is code.
+inline const char* kRawDoc = R"doc(
+  // std::cout << "not real code" << std::endl;
+  printf("also not real: %d\n", 42);
+  assert(false);
+  #ifndef WRONG_GUARD_H_
+  for (const auto& kv : fake_unordered_map_) {}
+)doc";
+
+// A delimiter-bearing raw string: the `)"` inside must not end it early.
+inline const char* kTricky = R"x(ends with )" but not here)x";
+
+/* A multi-line block comment:
+   assert(should_not_fire);
+   double latency_ms = 3600.0 * elapsed_hours;
+   std::random_device entropy;  still a comment
+*/
+
+#if 0
+// Disabled region: the preprocessor never compiles this, simlint must skip it.
+#include <iostream>
+static int mutable_counter = 0;
+inline double BadLatencyOf(double raw) { return raw * 1000.0; }
+inline void Walk(const std::unordered_map<int, int>& m) {
+  for (const auto& kv : m) {
+    (void)kv;
+  }
+}
+#endif
+
+// Digit separators must lex as one number (no char-literal confusion).
+inline constexpr long kSectorsPerExtent = 1'000'000;
+inline constexpr unsigned kMask = 0xFF'FF'00'00;
+
+// UTF-8 in a string literal, including quotes and comment markers.
+inline const char* kLabel = "énergie — 消費電力 // \"quoted\" …";
+
+// A string containing what would be an HIB009 conversion.
+inline const char* kFormula = "seconds = total_ms / 1000.0";
+
+}  // namespace fixture
+
+#endif  // HIBERNATOR_TOOLS_SIMLINT_FIXTURES_TOKENIZER_TORTURE_H_

@@ -1,0 +1,11 @@
+// Known-bad fixture: HIB099 — a suppression whose rule never fires on its
+// target line is stale and must be removed.
+
+namespace fixture {
+
+int Plain() {
+  int x = 2 + 2;  // NOLINT(HIB013)
+  return x;
+}
+
+}  // namespace fixture

@@ -1,72 +1,205 @@
 #!/usr/bin/env python3
-"""Self-test for tools/simlint.py.
+"""Self-test for tools/simlint.py (the v2 token engine).
 
-Each known-bad fixture in tools/simlint_fixtures/ must trip *exactly one*
-finding of its expected rule; the clean fixture must produce none.  Run from
-anywhere; registered in ctest as `simlint_selftest`.
+Covers:
+  * every known-bad fixture trips *exactly* its expected rule(s);
+  * the clean fixtures (clean.h, tokenizer_torture.h) produce nothing —
+    tokenizer_torture.h packs raw strings containing `//`, multi-line block
+    comments, `#if 0` regions, digit separators, and UTF-8 literals;
+  * the advertised rule set and the fixture set stay in sync;
+  * suppression semantics: NOLINT silences the rule, a stale NOLINT is HIB099,
+    clang-tidy NOLINTs are ignored;
+  * SARIF output is structurally sound;
+  * --fix repairs HIB001 guards and HIB009 conversions and is idempotent.
+
+Run from anywhere; registered in ctest as `simlint_selftest`.
 """
 
+import json
 import os
 import re
+import shutil
 import subprocess
 import sys
+import tempfile
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 SIMLINT = os.path.join(HERE, "simlint.py")
 FIXTURES = os.path.join(HERE, "simlint_fixtures")
 
+# fixture -> exact ordered list of expected rules (most have exactly one).
 EXPECTED = {
-    "bad_guard.h": "HIB001",
-    "bad_iostream.h": "HIB002",
-    "bad_raw_io.cc": "HIB003",
-    "bad_units.h": "HIB004",
-    "bad_assert.cc": "HIB005",
-    "bad_static_mutable.cc": "HIB006",
-    "bad_raw_unit_fn.cc": "HIB007",
-    "bad_value_escape.cc": "HIB008",
-    "bad_hand_conversion.cc": "HIB009",
-    "bad_raw_output.cc": "HIB010",
+    "bad_guard.h": ["HIB001"],
+    "bad_iostream.h": ["HIB002"],
+    "bad_raw_io.cc": ["HIB003"],
+    "bad_units.h": ["HIB004"],
+    "bad_assert.cc": ["HIB005"],
+    "bad_static_mutable.cc": ["HIB006"],
+    "bad_raw_unit_fn.cc": ["HIB007"],
+    "bad_value_escape.cc": ["HIB008"],
+    "bad_hand_conversion.cc": ["HIB009"],
+    "bad_raw_output.cc": ["HIB010"],
+    "bad_unordered_iter.cc": ["HIB011"],
+    "bad_pointer_key.cc": ["HIB012"],
+    "bad_wall_clock.cc": ["HIB013"],
+    "bad_float_accum.cc": ["HIB014"],
+    "bad_uninit_member.cc": ["HIB015"],
+    "bad_catch.cc": ["HIB016"],
+    "unused_suppression.cc": ["HIB099"],
+    "fixable_hand_conversion.cc": ["HIB009"],
 }
+CLEAN = ["clean.h", "tokenizer_torture.h"]
 
 FINDING_RE = re.compile(r"^(\S+):(\d+): \[(HIB\d+)\] ")
 
 
-def run_simlint(path):
-    proc = subprocess.run([sys.executable, SIMLINT, path],
+def run_simlint(*argv):
+    proc = subprocess.run([sys.executable, SIMLINT, *argv],
                           capture_output=True, text=True)
     findings = [FINDING_RE.match(line) for line in proc.stdout.splitlines()]
     return proc.returncode, [m.group(3) for m in findings if m]
 
 
-def main():
-    failures = []
-
-    for name, want_rule in sorted(EXPECTED.items()):
+def check_fixtures(failures):
+    for name, want in sorted(EXPECTED.items()):
         code, rules = run_simlint(os.path.join(FIXTURES, name))
         if code == 0:
             failures.append(f"{name}: expected nonzero exit, got 0")
-        if rules != [want_rule]:
-            failures.append(f"{name}: expected exactly [{want_rule}], got {rules}")
+        if rules != want:
+            failures.append(f"{name}: expected exactly {want}, got {rules}")
+    for name in CLEAN:
+        code, rules = run_simlint(os.path.join(FIXTURES, name))
+        if code != 0 or rules:
+            failures.append(f"{name}: expected clean exit, got code={code} rules={rules}")
 
-    code, rules = run_simlint(os.path.join(FIXTURES, "clean.h"))
-    if code != 0 or rules:
-        failures.append(f"clean.h: expected clean exit, got code={code} rules={rules}")
 
-    # The fixture list and the rule set must stay in sync: every rule has a
-    # known-bad fixture proving it still fires.
+def check_rule_sync(failures):
+    # Every advertised rule must have a fixture proving it still fires.
     listing = subprocess.run([sys.executable, SIMLINT, "--list-rules"],
                              capture_output=True, text=True).stdout
     advertised = set(re.findall(r"^(HIB\d+)", listing, flags=re.M))
-    covered = set(EXPECTED.values())
+    covered = set(r for rules in EXPECTED.values() for r in rules)
     if advertised != covered:
         failures.append(f"rules without fixtures: {sorted(advertised - covered)}; "
                         f"fixtures for unknown rules: {sorted(covered - advertised)}")
+
+
+def check_suppressions(failures):
+    with tempfile.TemporaryDirectory(dir=HERE) as tmp:
+        # NOLINT on the finding line silences the rule.
+        path = os.path.join(tmp, "suppressed.cc")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('#include <cassert>\n'
+                     'void F(bool ok) { assert(ok); }  // NOLINT(HIB005)\n')
+        code, rules = run_simlint(path)
+        if code != 0 or rules:
+            failures.append(f"NOLINT(HIB005) not honoured: code={code} rules={rules}")
+
+        # NOLINTNEXTLINE applies to the following line only.
+        path = os.path.join(tmp, "nextline.cc")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('#include <cassert>\n'
+                     '// NOLINTNEXTLINE(HIB005)\n'
+                     'void F(bool ok) { assert(ok); }\n')
+        code, rules = run_simlint(path)
+        if code != 0 or rules:
+            failures.append(f"NOLINTNEXTLINE not honoured: code={code} rules={rules}")
+
+        # A clang-tidy NOLINT is not ours: ignored, and never flagged HIB099.
+        path = os.path.join(tmp, "tidy.cc")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('struct S { S(int) {} };  '
+                     '// NOLINT(google-explicit-constructor)\n')
+        code, rules = run_simlint(path)
+        if code != 0 or rules:
+            failures.append(f"clang-tidy NOLINT misclaimed: code={code} rules={rules}")
+
+        # NOLINT for the wrong rule: the finding survives AND the
+        # suppression is reported stale.
+        path = os.path.join(tmp, "wrongrule.cc")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('#include <cassert>\n'
+                     'void F(bool ok) { assert(ok); }  // NOLINT(HIB013)\n')
+        code, rules = run_simlint(path)
+        if sorted(rules) != ["HIB005", "HIB099"]:
+            failures.append(f"wrong-rule NOLINT: expected [HIB005, HIB099], got {rules}")
+
+
+def check_sarif(failures):
+    with tempfile.TemporaryDirectory(dir=HERE) as tmp:
+        out = os.path.join(tmp, "out.sarif")
+        subprocess.run([sys.executable, SIMLINT, "--sarif", out,
+                        os.path.join(FIXTURES, "bad_assert.cc")],
+                       capture_output=True, text=True)
+        try:
+            with open(out, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            failures.append(f"sarif: unreadable output: {err}")
+            return
+        try:
+            if doc["version"] != "2.1.0":
+                failures.append(f"sarif: version {doc['version']}")
+            run = doc["runs"][0]
+            driver = run["tool"]["driver"]
+            if driver["name"] != "simlint":
+                failures.append("sarif: wrong driver name")
+            rule_ids = {r["id"] for r in driver["rules"]}
+            results = run["results"]
+            if not results:
+                failures.append("sarif: no results for a known-bad fixture")
+            for res in results:
+                if res["ruleId"] not in rule_ids:
+                    failures.append(f"sarif: result rule {res['ruleId']} not declared")
+                loc = res["locations"][0]["physicalLocation"]
+                if not loc["artifactLocation"]["uri"]:
+                    failures.append("sarif: empty artifact uri")
+                if loc["region"]["startLine"] < 1:
+                    failures.append("sarif: non-positive startLine")
+        except (KeyError, IndexError) as err:
+            failures.append(f"sarif: missing structure: {err!r}")
+
+
+def check_fix(failures):
+    # --fix must repair the fixable fixtures inside the repo tree (the guard
+    # check derives the expected macro from the repo-relative path) and must
+    # be a no-op the second time.
+    with tempfile.TemporaryDirectory(dir=HERE) as tmp:
+        guard = os.path.join(tmp, "bad_guard.h")
+        conv = os.path.join(tmp, "fixable_hand_conversion.cc")
+        shutil.copy(os.path.join(FIXTURES, "bad_guard.h"), guard)
+        shutil.copy(os.path.join(FIXTURES, "fixable_hand_conversion.cc"), conv)
+
+        code, rules = run_simlint("--fix", guard, conv)
+        if code != 0 or rules:
+            failures.append(f"--fix pass 1: expected clean after fixing, "
+                            f"got code={code} rules={rules}")
+        before = open(guard).read() + open(conv).read()
+        code, rules = run_simlint("--fix", guard, conv)
+        after = open(guard).read() + open(conv).read()
+        if code != 0 or rules:
+            failures.append(f"--fix pass 2: expected clean, got code={code} rules={rules}")
+        if before != after:
+            failures.append("--fix is not idempotent: second pass changed the files")
+        if "ToSeconds(Ms(uptime_ms))" not in open(conv).read():
+            failures.append("--fix did not rewrite the hand conversion through units.h")
+
+
+def main():
+    failures = []
+    check_fixtures(failures)
+    check_rule_sync(failures)
+    check_suppressions(failures)
+    check_sarif(failures)
+    check_fix(failures)
 
     if failures:
         for failure in failures:
             print(f"FAIL {failure}")
         return 1
-    print(f"ok: {len(EXPECTED)} bad fixtures each tripped exactly their rule; clean fixture clean")
+    print(f"ok: {len(EXPECTED)} bad fixtures tripped exactly their rules; "
+          f"{len(CLEAN)} clean fixtures clean; suppressions, SARIF, and --fix "
+          "behave")
     return 0
 
 

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Self-test for tools/validate_bench_json.py against the checked-in schema.
+
+The good fixture (a full metrics subtree: counters/gauges/histograms at both
+the top level and per run) must validate; each bad fixture must be rejected
+for the documented reason — a typoed subtree key, a mistyped counter value,
+and a malformed histogram bucket.  Registered in ctest as
+`validate_bench_json_selftest`.
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+VALIDATOR = os.path.join(HERE, "validate_bench_json.py")
+FIXTURES = os.path.join(HERE, "bench_json_fixtures")
+
+# fixture -> fragment that must appear in the failure report (None = passes).
+CASES = {
+    "good_metrics.json": None,
+    "bad_metrics_typo_key.json": "unexpected key 'guages'",
+    "bad_metrics_counter_type.json": "expected integer, got str",
+    "bad_metrics_histogram.json": "below the minimum",
+}
+
+
+def main():
+    failures = []
+    for name, want_error in sorted(CASES.items()):
+        path = os.path.join(FIXTURES, name)
+        proc = subprocess.run([sys.executable, VALIDATOR, path],
+                              capture_output=True, text=True)
+        out = proc.stdout + proc.stderr
+        if want_error is None:
+            if proc.returncode != 0:
+                failures.append(f"{name}: expected pass, got exit "
+                                f"{proc.returncode}: {out.strip()}")
+        else:
+            if proc.returncode == 0:
+                failures.append(f"{name}: expected rejection, validated clean")
+            elif want_error not in out:
+                failures.append(f"{name}: expected error mentioning "
+                                f"{want_error!r}, got: {out.strip()}")
+
+    # The bad-bucket fixture must also be caught for its short bucket pair.
+    proc = subprocess.run(
+        [sys.executable, VALIDATOR,
+         os.path.join(FIXTURES, "bad_metrics_histogram.json")],
+        capture_output=True, text=True)
+    if "fewer than 2 items" not in proc.stdout + proc.stderr:
+        failures.append("bad_metrics_histogram.json: short bucket pair not caught")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    print(f"ok: {len(CASES)} bench-json fixtures validated as expected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
