@@ -1,0 +1,81 @@
+// F1 — fleet-scale simulation throughput: N arrays (default 52 x 20 disks =
+// 1,040 disks) run as independent shards over the parallel harness, each
+// under the Hibernator policy on a phase-staggered, rate-varied OLTP stream.
+//
+// This is the scale ROADMAP item 1 asks for (thousands of disks on one
+// machine) and the capacity baseline for fleet-coordination work: the
+// aggregate events/s number in BENCH_fleet.json is regression-gated in CI
+// (tools/check_bench_regression.py vs tools/bench_baselines/).
+//
+// Knobs: HIB_FLEET_ARRAYS (shard count, default 52), HIB_BENCH_HOURS
+// (simulated horizon), HIB_JOBS (thread cap).
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+#include "src/harness/fleet.h"
+
+int main() {
+  hib::PrintHeader("F1 (fleet capacity baseline)",
+                   "Sharded multi-array fleet on phase-staggered OLTP");
+
+  hib::FleetSpec spec;
+  spec.num_arrays = 52;
+  if (const char* env = std::getenv("HIB_FLEET_ARRAYS")) {
+    int n = std::atoi(env);
+    if (n > 0) {
+      spec.num_arrays = n;
+    }
+  }
+  hib::OltpSetup setup = hib::MakeOltpSetup();
+  spec.base_array = setup.array;
+  spec.scheme.scheme = hib::Scheme::kHibernator;
+  spec.scheme.goal_ms = hib::Ms(20.0);
+  spec.peak_iops = setup.peak_iops;
+  spec.trough_iops = setup.trough_iops;
+  spec.duration_ms = hib::BenchDurationMs(setup.duration_ms);
+  // A geo-distributed fleet: rates vary ±25% per array, diurnal valleys
+  // staggered across the full day so they never line up fleet-wide.
+  spec.rate_spread = 0.5;
+  spec.phase_spread_ms = hib::Hours(24.0);
+
+  std::printf("fleet: %d arrays x %d disks = %d disks, %.1f sim hours, %d threads\n",
+              spec.num_arrays, spec.DisksPerArray(), spec.TotalDisks(),
+              spec.duration_ms.value() / 3600000.0, hib::DefaultParallelism());
+
+  hib::WallTimer timer;
+  hib::FleetSimulator fleet(spec);
+  hib::FleetResult result = fleet.Run();
+  double wall = timer.Seconds();
+
+  std::printf("\naggregate: %" PRIu64 " events, %" PRId64 " requests, %.1f kJ\n",
+              result.events, result.requests, result.energy_total.value() / 1000.0);
+  std::printf("mean response %.2f ms (worst per-array p99 %.2f ms)\n",
+              result.mean_response_ms.value(), result.worst_p99_response_ms.value());
+  std::printf("wall %.2f s -> %.0f events/s aggregate\n", wall,
+              wall > 0.0 ? static_cast<double>(result.events) / wall : 0.0);
+
+  hib::JsonObject payload = hib::BenchPayload("fleet", wall, result.events);
+  payload.Set("arrays", hib::JsonValue::Int(result.arrays))
+      .Set("disks", hib::JsonValue::Int(result.disks))
+      .Set("requests", hib::JsonValue::Int(result.requests))
+      .Set("energy_j", result.energy_total.value())
+      .Set("mean_response_ms", result.mean_response_ms.value())
+      .Set("worst_p99_response_ms", result.worst_p99_response_ms.value());
+  hib::JsonArray per_array;
+  for (std::size_t i = 0; i < result.per_array.size(); ++i) {
+    const hib::ExperimentResult& r = result.per_array[i];
+    hib::JsonObject row;
+    row.Set("name", fleet.specs()[i].name)
+        .Set("events", hib::JsonValue::UInt(r.events))
+        .Set("requests", hib::JsonValue::Int(r.requests))
+        .Set("energy_j", r.energy_total.value())
+        .Set("mean_response_ms", r.mean_response_ms.value())
+        .Set("p99_response_ms", r.p99_response_ms.value());
+    per_array.Push(hib::JsonValue::Raw(row.Dump()));
+  }
+  payload.Set("per_array", per_array);
+  payload.Set("metrics", hib::MetricsSnapshotJson(result.metrics));
+  hib::WriteBenchJson("fleet", payload);
+  return 0;
+}

@@ -27,25 +27,6 @@ LayoutParams MakeLayoutParams(const ArrayParams& p) {
 }
 }  // namespace
 
-// Tracks one logical request across its sub-I/Os.  For RAID5 small writes the
-// pre-read phase (old data + old parity) runs first; the write phase is
-// stashed in `phase2` and issued when the pre-reads drain.
-struct ArrayController::RequestContext {
-  TraceRecord record;
-  SimTime arrival;
-  int pending = 0;
-  std::function<void(Duration)> done;
-  std::int64_t obs_id = 0;
-  bool cache_hit = false;
-
-  struct PendingWrite {
-    int disk_id = -1;
-    SectorAddr sector = 0;
-    SectorCount count = 0;
-  };
-  std::vector<PendingWrite> phase2;
-};
-
 ArrayController::ArrayController(Simulator* sim, ArrayParams params)
     : sim_(sim),
       params_(params),
@@ -78,6 +59,18 @@ void ArrayController::FlushObs() {
   }
 }
 
+PoolHandle ArrayController::AcquireContext(const TraceRecord& record,
+                                           std::function<void(Duration)> done) {
+  PoolHandle h = request_pool_.Acquire();
+  RequestContext& ctx = request_pool_.Get(h);
+  ctx.Reset();
+  ctx.record = record;
+  ctx.arrival = sim_->Now();
+  ctx.done = std::move(done);
+  ctx.obs_id = obs_req_seq_++;
+  return h;
+}
+
 void ArrayController::Submit(const TraceRecord& record, std::function<void(Duration)> done) {
   HIB_DCHECK(record.lba >= 0 && record.count > 0) << "malformed trace record";
   HIB_DCHECK_LE(record.lba + record.count, params_.DataSectors())
@@ -102,16 +95,13 @@ void ArrayController::Submit(const TraceRecord& record, std::function<void(Durat
   if (!record.is_write && cache_.Lookup(record.lba, record.count)) {
     ++stats_.cache_hits;
     HIB_COUNTER_INC(obs_cache_hits_);
-    auto ctx = std::make_shared<RequestContext>();
-    ctx->record = record;
-    ctx->arrival = sim_->Now();
-    ctx->done = std::move(done);
-    ctx->pending = 1;
-    ctx->obs_id = obs_req_seq_++;
-    ctx->cache_hit = true;
-    sim_->ScheduleIn(params_.cache_hit_ms, [this, ctx] {
-      if (--ctx->pending == 0) {
-        FinishLogical(ctx);
+    PoolHandle h = AcquireContext(record, std::move(done));
+    RequestContext& ctx = request_pool_.Get(h);
+    ctx.pending = 1;
+    ctx.cache_hit = true;
+    sim_->ScheduleIn(params_.cache_hit_ms, [this, h] {
+      if (--request_pool_.Get(h).pending == 0) {
+        FinishLogical(h);
       }
     });
     return;
@@ -122,16 +112,13 @@ void ArrayController::Submit(const TraceRecord& record, std::function<void(Durat
     cache_.Invalidate(record.lba, record.count);
   }
 
-  auto ctx = std::make_shared<RequestContext>();
-  ctx->record = record;
-  ctx->arrival = sim_->Now();
-  ctx->done = std::move(done);
-  ctx->obs_id = obs_req_seq_++;
+  PoolHandle h = AcquireContext(record, std::move(done));
+  RequestContext& ctx = request_pool_.Get(h);
 
   // Split into stripe-unit-aligned pieces and plan the sub-I/Os.  The
   // pending counter starts at 1 so completions racing the planning loop
   // cannot finish the request early; the guard is released at the end.
-  ctx->pending = 1;
+  ctx.pending = 1;
   SectorAddr addr = record.lba;
   SectorCount remaining = record.count;
   while (remaining > 0) {
@@ -158,8 +145,8 @@ void ArrayController::Submit(const TraceRecord& record, std::function<void(Durat
         }
       }
       if (!disk_failed_[static_cast<std::size_t>(disk_id)]) {
-        ++ctx->pending;
-        IssueRead(ctx, disk_id, target.data_sector, len);
+        ++ctx.pending;
+        IssueRead(h, disk_id, target.data_sector, len);
       } else if (layout_.group_width() == 1) {
         ++stats_.lost_accesses;  // no redundancy to reconstruct from
       } else if (layout_.group_width() == 2) {
@@ -167,26 +154,26 @@ void ArrayController::Submit(const TraceRecord& record, std::function<void(Durat
           ++stats_.lost_accesses;
         } else {
           ++stats_.degraded_reads;
-          ++ctx->pending;
-          IssueRead(ctx, target.parity_disk, target.parity_sector, len);
+          ++ctx.pending;
+          IssueRead(h, target.parity_disk, target.parity_sector, len);
         }
       } else {
-        IssueDegradedRead(ctx, group, disk_id, target.data_sector, len);
+        IssueDegradedRead(h, group, disk_id, target.data_sector, len);
       }
     } else if (target.parity_disk < 0) {
       // Unprotected layout (group width 1): plain write.
       if (data_failed) {
         ++stats_.lost_accesses;
       } else {
-        ctx->phase2.push_back({target.data_disk, target.data_sector, len});
+        ctx.phase2.push_back({target.data_disk, target.data_sector, len});
       }
     } else if (layout_.group_width() == 2) {
       // Mirroring: write the surviving copies, no pre-read.
       if (!data_failed) {
-        ctx->phase2.push_back({target.data_disk, target.data_sector, len});
+        ctx.phase2.push_back({target.data_disk, target.data_sector, len});
       }
       if (!parity_failed) {
-        ctx->phase2.push_back({target.parity_disk, target.parity_sector, len});
+        ctx.phase2.push_back({target.parity_disk, target.parity_sector, len});
       }
       if (data_failed && parity_failed) {
         ++stats_.lost_accesses;
@@ -203,21 +190,21 @@ void ArrayController::Submit(const TraceRecord& record, std::function<void(Durat
             disk_failed_[static_cast<std::size_t>(peer)]) {
           continue;
         }
-        ++ctx->pending;
-        IssueRead(ctx, peer, target.data_sector, len);
+        ++ctx.pending;
+        IssueRead(h, peer, target.data_sector, len);
       }
-      ctx->phase2.push_back({target.parity_disk, target.parity_sector, len});
+      ctx.phase2.push_back({target.parity_disk, target.parity_sector, len});
     } else if (parity_failed) {
       // Parity lost: the data write proceeds without parity maintenance.
-      ctx->phase2.push_back({target.data_disk, target.data_sector, len});
+      ctx.phase2.push_back({target.data_disk, target.data_sector, len});
     } else {
       // RAID5 small write: pre-read old data and old parity...
-      ctx->pending += 2;
-      IssueRead(ctx, target.data_disk, target.data_sector, len);
-      IssueRead(ctx, target.parity_disk, target.parity_sector, len);
+      ctx.pending += 2;
+      IssueRead(h, target.data_disk, target.data_sector, len);
+      IssueRead(h, target.parity_disk, target.parity_sector, len);
       // ...then write new data and new parity.
-      ctx->phase2.push_back({target.data_disk, target.data_sector, len});
-      ctx->phase2.push_back({target.parity_disk, target.parity_sector, len});
+      ctx.phase2.push_back({target.data_disk, target.data_sector, len});
+      ctx.phase2.push_back({target.parity_disk, target.parity_sector, len});
     }
 
     addr += len;
@@ -225,58 +212,64 @@ void ArrayController::Submit(const TraceRecord& record, std::function<void(Durat
   }
 
   // Release the planning guard.
-  if (--ctx->pending == 0) {
-    IssueWritePhase(ctx);
+  if (--ctx.pending == 0) {
+    IssueWritePhase(h);
   }
 }
 
-void ArrayController::IssueRead(const std::shared_ptr<RequestContext>& ctx, int disk_id,
-                                SectorAddr sector, SectorCount count) {
+void ArrayController::IssueRead(PoolHandle h, int disk_id, SectorAddr sector,
+                                SectorCount count) {
   ++stats_.subops;
   HIB_COUNTER_INC(obs_subops_);
   DiskRequest req;
   req.sector = sector;
   req.count = count;
   req.is_write = false;
-  req.on_complete = [this, ctx](SimTime) {
-    if (--ctx->pending == 0) {
-      IssueWritePhase(ctx);
+  // [this, handle] is 16 trivially-copyable bytes: fits std::function's SSO
+  // buffer, so this closure never touches the heap.
+  req.on_complete = [this, h](SimTime) {
+    if (--request_pool_.Get(h).pending == 0) {
+      IssueWritePhase(h);
     }
   };
   disks_[static_cast<std::size_t>(disk_id)]->Submit(std::move(req));
 }
 
-void ArrayController::IssueWritePhase(const std::shared_ptr<RequestContext>& ctx) {
-  if (ctx->phase2.empty()) {
-    FinishLogical(ctx);
+void ArrayController::IssueWritePhase(PoolHandle h) {
+  RequestContext& ctx = request_pool_.Get(h);
+  if (ctx.phase2.empty()) {
+    FinishLogical(h);
     return;
   }
-  ctx->pending = static_cast<int>(ctx->phase2.size());
-  std::vector<RequestContext::PendingWrite> writes;
-  writes.swap(ctx->phase2);
-  for (const auto& w : writes) {
+  ctx.pending = static_cast<int>(ctx.phase2.size());
+  // Disk completions only ever fire from the event loop, never inside
+  // Submit(), so iterating the plan in place is safe; clear() afterwards
+  // keeps any spilled capacity for the slot's next tenant.
+  for (const PendingWrite& w : ctx.phase2) {
     ++stats_.subops;
     HIB_COUNTER_INC(obs_subops_);
     DiskRequest req;
     req.sector = w.sector;
     req.count = w.count;
     req.is_write = true;
-    req.on_complete = [this, ctx](SimTime) {
-      if (--ctx->pending == 0) {
-        FinishLogical(ctx);
+    req.on_complete = [this, h](SimTime) {
+      if (--request_pool_.Get(h).pending == 0) {
+        FinishLogical(h);
       }
     };
     disks_[static_cast<std::size_t>(w.disk_id)]->Submit(std::move(req));
   }
+  ctx.phase2.clear();
 }
 
-void ArrayController::FinishLogical(const std::shared_ptr<RequestContext>& ctx) {
-  Duration response = sim_->Now() - ctx->arrival;
+void ArrayController::FinishLogical(PoolHandle h) {
+  RequestContext& ctx = request_pool_.Get(h);
+  Duration response = sim_->Now() - ctx.arrival;
   HIB_HIST_RECORD(obs_response_ms_, response / Ms(1.0));
   HIB_TRACE_SPAN(sim_->obs().tracer, SpanKind::kRequest, kTrackArray,
-                 ctx->record.is_write ? "write" : (ctx->cache_hit ? "read(hit)" : "read"),
-                 ctx->arrival, sim_->Now(), ctx->obs_id,
-                 static_cast<double>(ctx->record.count));
+                 ctx.record.is_write ? "write" : (ctx.cache_hit ? "read(hit)" : "read"),
+                 ctx.arrival, sim_->Now(), ctx.obs_id,
+                 static_cast<double>(ctx.record.count));
   stats_.response_ms.Add(response);
   stats_.response_pct.Add(response);
   stats_.window_response_sum_ms += response;
@@ -284,14 +277,20 @@ void ArrayController::FinishLogical(const std::shared_ptr<RequestContext>& ctx) 
   stats_.total_response_sum_ms += response;
   ++stats_.total_responses;
 
-  if (!ctx->record.is_write) {
-    cache_.Insert(ctx->record.lba, ctx->record.count);
+  // Copy out what outlives the slot, release, then run side effects: the
+  // completion hook or `done` may Submit() reentrantly and reuse this slot.
+  TraceRecord record = ctx.record;
+  std::function<void(Duration)> done = std::move(ctx.done);
+  request_pool_.Release(h);
+
+  if (!record.is_write) {
+    cache_.Insert(record.lba, record.count);
   }
   if (completion_hook_) {
-    completion_hook_(ctx->record, response);
+    completion_hook_(record, response);
   }
-  if (ctx->done) {
-    ctx->done(response);
+  if (done) {
+    done(response);
   }
 }
 
@@ -318,8 +317,8 @@ DiskEnergy ArrayController::TotalEnergy() const {
   return total;
 }
 
-void ArrayController::IssueDegradedRead(const std::shared_ptr<RequestContext>& ctx, int group,
-                                        int failed_disk, SectorAddr sector, SectorCount count) {
+void ArrayController::IssueDegradedRead(PoolHandle h, int group, int failed_disk,
+                                        SectorAddr sector, SectorCount count) {
   // Reconstruction needs every surviving unit of the row: one read per
   // surviving disk in the group.
   int issued = 0;
@@ -336,11 +335,11 @@ void ArrayController::IssueDegradedRead(const std::shared_ptr<RequestContext>& c
     ++issued;
   }
   ++stats_.degraded_reads;
-  ctx->pending += issued;
+  request_pool_.Get(h).pending += issued;
   for (int slot = 0; slot < layout_.group_width(); ++slot) {
     int peer = layout_.GroupDisk(group, slot);
     if (peer != failed_disk) {
-      IssueRead(ctx, peer, sector, count);
+      IssueRead(h, peer, sector, count);
     }
   }
 }
@@ -396,50 +395,60 @@ void ArrayController::RebuildNextExtent(int disk_id) {
   std::int64_t extent = worklist[cursor];
   ++cursor;
 
-  SectorCount share = params_.extent_sectors / layout_.group_width();
-  SectorAddr base = layout_.Map(extent, 0).data_sector;
-  auto reads_left = std::make_shared<int>(0);
-  std::vector<int> sources;
+  rebuild.share = params_.extent_sectors / layout_.group_width();
+  rebuild.base = layout_.Map(extent, 0).data_sector;
+  // Fan-in for this extent's source reads lives in the rebuild state itself
+  // (one extent in flight per rebuilding disk), not a heap counter.
+  rebuild.reads_left = 0;
   for (int slot = 0; slot < layout_.group_width(); ++slot) {
     int peer = layout_.GroupDisk(group, slot);
     if (peer != disk_id && !disk_failed_[static_cast<std::size_t>(peer)]) {
-      sources.push_back(peer);
+      ++rebuild.reads_left;
     }
   }
-  *reads_left = static_cast<int>(sources.size());
-  auto write_share = [this, disk_id, base, share] {
-    DiskRequest req;
-    req.sector = base;
-    req.count = share;
-    req.is_write = true;
-    req.background = true;
-    req.on_complete = [this, disk_id](SimTime) {
-      ++stats_.rebuilt_extents;
-      HIB_COUNTER_INC(obs_rebuilt_extents_);
-      RebuildNextExtent(disk_id);
-    };
-    SubmitRaw(disk_id, std::move(req));
-  };
-  if (sources.empty()) {
+  if (rebuild.reads_left == 0) {
     // Nothing to reconstruct from; count the extent and move on.
     ++stats_.rebuilt_extents;
     HIB_COUNTER_INC(obs_rebuilt_extents_);
     RebuildNextExtent(disk_id);
     return;
   }
-  for (std::size_t i = 0; i < sources.size(); ++i) {
+  int i = 0;
+  for (int slot = 0; slot < layout_.group_width(); ++slot) {
+    int peer = layout_.GroupDisk(group, slot);
+    if (peer == disk_id || disk_failed_[static_cast<std::size_t>(peer)]) {
+      continue;
+    }
     DiskRequest req;
-    req.sector = base + static_cast<SectorAddr>(i) * share;
-    req.count = share;
+    req.sector = rebuild.base + static_cast<SectorAddr>(i) * rebuild.share;
+    req.count = rebuild.share;
     req.is_write = false;
     req.background = true;
-    req.on_complete = [reads_left, write_share](SimTime) {
-      if (--*reads_left == 0) {
-        write_share();
+    req.on_complete = [this, disk_id](SimTime) {
+      auto it = rebuilds_.find(disk_id);
+      HIB_DCHECK(it != rebuilds_.end()) << "rebuild read completed after rebuild finished";
+      if (--it->second.reads_left == 0) {
+        WriteRebuildShare(disk_id);
       }
     };
-    SubmitRaw(sources[i], std::move(req));
+    SubmitRaw(peer, std::move(req));
+    ++i;
   }
+}
+
+void ArrayController::WriteRebuildShare(int disk_id) {
+  RebuildState& rebuild = rebuilds_[disk_id];
+  DiskRequest req;
+  req.sector = rebuild.base;
+  req.count = rebuild.share;
+  req.is_write = true;
+  req.background = true;
+  req.on_complete = [this, disk_id](SimTime) {
+    ++stats_.rebuilt_extents;
+    HIB_COUNTER_INC(obs_rebuilt_extents_);
+    RebuildNextExtent(disk_id);
+  };
+  SubmitRaw(disk_id, std::move(req));
 }
 
 void ArrayController::FinishRebuild(int disk_id) {
@@ -496,48 +505,18 @@ void ArrayController::StartMigration(std::int64_t extent, int target_group) {
   std::vector<int> dst_disks = layout_.GroupDisks(target_group);
   SectorCount share_src =
       params_.extent_sectors / static_cast<SectorCount>(src_disks.size());
-  SectorCount share_dst =
-      params_.extent_sectors / static_cast<SectorCount>(dst_disks.size());
-  SectorAddr base = layout_.Map(extent, 0).data_sector;
+
+  PoolHandle mig = migration_pool_.Acquire();
+  MigrationState& st = migration_pool_.Get(mig);
+  st.extent = extent;
+  st.target_group = target_group;
+  st.reads_left = 0;
+  st.writes_left = 0;
+  st.base = layout_.Map(extent, 0).data_sector;
+  st.share_dst = params_.extent_sectors / static_cast<SectorCount>(dst_disks.size());
+  st.started = sim_->Now();
 
   // Phase 1: background reads of the extent's share on every source disk.
-  SimTime mig_start = sim_->Now();
-  auto reads_left = std::make_shared<int>(static_cast<int>(src_disks.size()));
-  auto do_writes = [this, extent, target_group, dst_disks, share_dst, base, mig_start] {
-    std::vector<int> live_dsts;
-    for (int d : dst_disks) {
-      if (!disk_failed_[static_cast<std::size_t>(d)]) {
-        live_dsts.push_back(d);
-      }
-    }
-    if (live_dsts.empty()) {
-      // Nowhere to write; abandon the move (the extent stays put).
-      --active_migrations_;
-      PumpMigrations();
-      return;
-    }
-    auto writes_left = std::make_shared<int>(static_cast<int>(live_dsts.size()));
-    for (std::size_t i = 0; i < live_dsts.size(); ++i) {
-      DiskRequest req;
-      req.sector = base + static_cast<SectorAddr>(i) * share_dst;
-      req.count = share_dst;
-      req.is_write = true;
-      req.background = true;
-      req.on_complete = [this, extent, target_group, writes_left, mig_start](SimTime) {
-        if (--*writes_left == 0) {
-          layout_.SetGroup(extent, target_group);
-          ++stats_.migrations_completed;
-          stats_.migrated_sectors += params_.extent_sectors;
-          HIB_COUNTER_INC(obs_migrations_);
-          HIB_TRACE_SPAN(sim_->obs().tracer, SpanKind::kMigration, kTrackArray, "migrate",
-                         mig_start, sim_->Now(), extent, static_cast<double>(target_group));
-          --active_migrations_;
-          PumpMigrations();
-        }
-      };
-      SubmitRaw(live_dsts[i], std::move(req));
-    }
-  };
   // Failed disks contribute nothing (their share is reconstructable);
   // prune them up front so the completion count matches issued requests.
   std::vector<int> live_sources;
@@ -546,23 +525,70 @@ void ArrayController::StartMigration(std::int64_t extent, int target_group) {
       live_sources.push_back(d);
     }
   }
-  *reads_left = static_cast<int>(live_sources.size());
+  st.reads_left = static_cast<int>(live_sources.size());
   if (live_sources.empty()) {
-    do_writes();
+    DoMigrationWrites(mig);
     return;
   }
   for (std::size_t i = 0; i < live_sources.size(); ++i) {
     DiskRequest req;
-    req.sector = base + static_cast<SectorAddr>(i) * share_src;
+    req.sector = st.base + static_cast<SectorAddr>(i) * share_src;
     req.count = share_src;
     req.is_write = false;
     req.background = true;
-    req.on_complete = [reads_left, do_writes](SimTime) {
-      if (--*reads_left == 0) {
-        do_writes();
+    req.on_complete = [this, mig](SimTime) {
+      if (--migration_pool_.Get(mig).reads_left == 0) {
+        DoMigrationWrites(mig);
       }
     };
     SubmitRaw(live_sources[i], std::move(req));
+  }
+}
+
+void ArrayController::DoMigrationWrites(PoolHandle mig) {
+  MigrationState& st = migration_pool_.Get(mig);
+  // Group membership is static, so the destination set recomputed here is the
+  // one StartMigration saw; only the failure mask can have changed.
+  std::vector<int> dst_disks = layout_.GroupDisks(st.target_group);
+  std::vector<int> live_dsts;
+  for (int d : dst_disks) {
+    if (!disk_failed_[static_cast<std::size_t>(d)]) {
+      live_dsts.push_back(d);
+    }
+  }
+  if (live_dsts.empty()) {
+    // Nowhere to write; abandon the move (the extent stays put).
+    migration_pool_.Release(mig);
+    --active_migrations_;
+    PumpMigrations();
+    return;
+  }
+  st.writes_left = static_cast<int>(live_dsts.size());
+  for (std::size_t i = 0; i < live_dsts.size(); ++i) {
+    DiskRequest req;
+    req.sector = st.base + static_cast<SectorAddr>(i) * st.share_dst;
+    req.count = st.share_dst;
+    req.is_write = true;
+    req.background = true;
+    req.on_complete = [this, mig](SimTime) {
+      MigrationState& mst = migration_pool_.Get(mig);
+      if (--mst.writes_left != 0) {
+        return;
+      }
+      std::int64_t extent = mst.extent;
+      int target_group = mst.target_group;
+      SimTime mig_start = mst.started;
+      migration_pool_.Release(mig);
+      layout_.SetGroup(extent, target_group);
+      ++stats_.migrations_completed;
+      stats_.migrated_sectors += params_.extent_sectors;
+      HIB_COUNTER_INC(obs_migrations_);
+      HIB_TRACE_SPAN(sim_->obs().tracer, SpanKind::kMigration, kTrackArray, "migrate",
+                     mig_start, sim_->Now(), extent, static_cast<double>(target_group));
+      --active_migrations_;
+      PumpMigrations();
+    };
+    SubmitRaw(live_dsts[i], std::move(req));
   }
 }
 

@@ -14,6 +14,13 @@
 // Policies interact through: per-disk speed/standby control (via disk(i)),
 // the read-routing hook (MAID cache disks), the completion hook, and the
 // migration queue (Hibernator and PDC data reorganization).
+//
+// Memory discipline: steady-state dispatch performs zero heap allocations.
+// Request contexts come from a generation-stamped SlotPool, sub-I/O plans
+// live in inline SmallVector storage, completion callbacks capture only
+// [this, PoolHandle] (16 bytes — inside every SSO buffer in the system), and
+// background fan-ins (rebuild, migration) use intrusive counters instead of
+// make_shared<int>.  simlint HIB017 keeps it that way.
 #ifndef HIBERNATOR_SRC_ARRAY_ARRAY_H_
 #define HIBERNATOR_SRC_ARRAY_ARRAY_H_
 
@@ -25,9 +32,11 @@
 
 #include "src/array/cache.h"
 #include "src/array/layout.h"
+#include "src/array/request_pool.h"
 #include "src/disk/disk.h"
 #include "src/sim/simulator.h"
 #include "src/trace/trace.h"
+#include "src/util/small_vector.h"
 #include "src/util/stats.h"
 
 namespace hib {
@@ -162,6 +171,10 @@ class ArrayController {
   ArrayStats& stats() { return stats_; }
   const ArrayStats& stats() const { return stats_; }
 
+  // Pool occupancy, for tests and leak hunting: every logical request in
+  // flight holds exactly one pooled context.
+  std::size_t InFlightRequests() const { return request_pool_.live(); }
+
   // Sum of per-disk metered energy (data + cache disks), through now.
   DiskEnergy TotalEnergy() const;
 
@@ -170,18 +183,60 @@ class ArrayController {
   void FlushObs();
 
  private:
-  struct RequestContext;
+  struct PendingWrite {
+    int disk_id = -1;
+    SectorAddr sector = 0;
+    SectorCount count = 0;
+  };
 
-  void IssueRead(const std::shared_ptr<RequestContext>& ctx, int disk_id, SectorAddr sector,
-                 SectorCount count);
-  void IssueWritePhase(const std::shared_ptr<RequestContext>& ctx);
-  void FinishLogical(const std::shared_ptr<RequestContext>& ctx);
+  // Tracks one logical request across its sub-I/Os.  For RAID5 small writes
+  // the pre-read phase (old data + old parity) runs first; the write phase is
+  // stashed in `phase2` and issued when the pre-reads drain.  Pooled: reused
+  // across requests, so Reset() clears only what Submit doesn't overwrite.
+  struct RequestContext {
+    TraceRecord record;
+    SimTime arrival;
+    int pending = 0;
+    std::function<void(Duration)> done;
+    std::int64_t obs_id = 0;
+    bool cache_hit = false;
+    // Four inline slots cover every single-stripe-unit request (RAID5 small
+    // write = 2 writes); multi-unit requests spill once, then the grown
+    // buffer is reused by the slot's later tenants.
+    SmallVector<PendingWrite, 4> phase2;
+
+    void Reset() {
+      pending = 0;
+      done = nullptr;
+      cache_hit = false;
+      phase2.clear();
+    }
+  };
+
+  // One in-flight extent move: phase 1 reads every live source share, phase 2
+  // writes every live destination share, then the extent flips groups.
+  struct MigrationState {
+    std::int64_t extent = 0;
+    int target_group = 0;
+    int reads_left = 0;
+    int writes_left = 0;
+    SectorAddr base = 0;
+    SectorCount share_dst = 0;
+    SimTime started;
+  };
+
+  PoolHandle AcquireContext(const TraceRecord& record, std::function<void(Duration)> done);
+  void IssueRead(PoolHandle ctx, int disk_id, SectorAddr sector, SectorCount count);
+  void IssueWritePhase(PoolHandle ctx);
+  void FinishLogical(PoolHandle ctx);
   void PumpMigrations();
   void StartMigration(std::int64_t extent, int target_group);
+  void DoMigrationWrites(PoolHandle mig);
   // Reads the stripe unit degraded: one read per surviving group disk.
-  void IssueDegradedRead(const std::shared_ptr<RequestContext>& ctx, int group,
-                         int failed_disk, SectorAddr sector, SectorCount count);
+  void IssueDegradedRead(PoolHandle ctx, int group, int failed_disk, SectorAddr sector,
+                         SectorCount count);
   void RebuildNextExtent(int disk_id);
+  void WriteRebuildShare(int disk_id);
   void FinishRebuild(int disk_id);
 
   Simulator* sim_;
@@ -193,6 +248,9 @@ class ArrayController {
   ReadRouter read_router_;
   CompletionHook completion_hook_;
   ArrayStats stats_;
+
+  SlotPool<RequestContext> request_pool_;
+  SlotPool<MigrationState, 16> migration_pool_;
 
   std::deque<std::pair<std::int64_t, int>> migration_queue_;
   int active_migrations_ = 0;
@@ -206,7 +264,10 @@ class ArrayController {
     std::vector<std::int64_t> worklist;
     std::size_t cursor = 0;  // next index into worklist to copy
     std::function<void()> on_complete;
-    SimTime started;  // for the rebuild trace span
+    SimTime started;         // for the rebuild trace span
+    int reads_left = 0;      // fan-in for the current extent's source reads
+    SectorAddr base = 0;     // current extent's base sector
+    SectorCount share = 0;   // per-disk share of the current extent
   };
   std::map<int, RebuildState> rebuilds_;
 

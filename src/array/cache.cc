@@ -1,9 +1,170 @@
 #include "src/array/cache.h"
 
+#include "src/util/check.h"
+
 namespace hib {
 
+namespace {
+
+std::size_t NextPow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
 LruCache::LruCache(std::size_t lines, SectorCount line_sectors)
-    : capacity_(lines), line_sectors_(line_sectors > 0 ? line_sectors : 1) {}
+    : capacity_(lines), line_sectors_(line_sectors > 0 ? line_sectors : 1) {
+  if (capacity_ == 0) {
+    return;
+  }
+  HIB_CHECK_LT(capacity_, std::size_t{1} << 31) << "cache line count overflows slot indices";
+  // 2x headroom keeps the live load factor <= 50%; the whole table is
+  // allocated here, so no insert ever grows or rehashes it.
+  std::size_t slots = NextPow2(capacity_ * 2 < 16 ? 16 : capacity_ * 2);
+  table_.assign(slots, Slot{});
+  mask_ = static_cast<std::uint32_t>(slots - 1);
+  scratch_.reserve(capacity_);
+}
+
+std::uint32_t LruCache::Bucket(LineId line) const {
+  // splitmix64 finalizer: line ids are dense and sequential, so the table
+  // needs real avalanche to avoid clustering whole extents into one run.
+  std::uint64_t x = static_cast<std::uint64_t>(line);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return static_cast<std::uint32_t>(x) & mask_;
+}
+
+std::uint32_t LruCache::FindSlot(LineId line) const {
+  std::uint32_t i = Bucket(line);
+  for (;;) {
+    const Slot& slot = table_[i];
+    if (slot.state == kEmpty) {
+      return kNil;
+    }
+    if (slot.state == kLive && slot.line == line) {
+      return i;
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+void LruCache::LinkFront(std::uint32_t s) {
+  Slot& slot = table_[s];
+  slot.prev = kNil;
+  slot.next = head_;
+  if (head_ != kNil) {
+    table_[head_].prev = s;
+  }
+  head_ = s;
+  if (tail_ == kNil) {
+    tail_ = s;
+  }
+}
+
+void LruCache::Unlink(std::uint32_t s) {
+  Slot& slot = table_[s];
+  if (slot.prev != kNil) {
+    table_[slot.prev].next = slot.next;
+  } else {
+    head_ = slot.next;
+  }
+  if (slot.next != kNil) {
+    table_[slot.next].prev = slot.prev;
+  } else {
+    tail_ = slot.prev;
+  }
+}
+
+void LruCache::MoveToFront(std::uint32_t s) {
+  if (head_ == s) {
+    return;
+  }
+  Unlink(s);
+  LinkFront(s);
+}
+
+void LruCache::EvictTail() {
+  HIB_DCHECK(tail_ != kNil) << "evicting from an empty cache";
+  std::uint32_t s = tail_;
+  Unlink(s);
+  table_[s].state = kTombstone;
+  --size_;
+  ++tombstones_;
+}
+
+void LruCache::InsertFresh(LineId line) {
+  // Reuse the first tombstone on the probe path when there is one; otherwise
+  // claim the terminating empty slot.
+  std::uint32_t i = Bucket(line);
+  std::uint32_t grave = kNil;
+  for (;;) {
+    Slot& slot = table_[i];
+    if (slot.state == kEmpty) {
+      break;
+    }
+    if (slot.state == kTombstone && grave == kNil) {
+      grave = i;
+    }
+    i = (i + 1) & mask_;
+  }
+  if (grave != kNil) {
+    i = grave;
+    --tombstones_;
+  }
+  Slot& slot = table_[i];
+  slot.line = line;
+  slot.state = kLive;
+  ++size_;
+  LinkFront(i);
+  // Tombstones only accumulate past this bound when Invalidate churns lines
+  // without reusing their probe paths; compacting at 1/4 of the table keeps
+  // the worst-case probe short while staying O(1) amortized per erase.
+  if (tombstones_ > table_.size() / 4) {
+    Compact();
+  }
+}
+
+void LruCache::Compact() {
+  scratch_.clear();
+  for (std::uint32_t s = head_; s != kNil; s = table_[s].next) {
+    scratch_.push_back(table_[s].line);
+  }
+  for (Slot& slot : table_) {
+    slot = Slot{};
+  }
+  head_ = kNil;
+  tail_ = kNil;
+  size_ = 0;
+  tombstones_ = 0;
+  // Reinsert in MRU->LRU order, appending at the tail, so the recency order
+  // is reproduced exactly.
+  for (LineId line : scratch_) {
+    std::uint32_t i = Bucket(line);
+    while (table_[i].state != kEmpty) {
+      i = (i + 1) & mask_;
+    }
+    Slot& slot = table_[i];
+    slot.line = line;
+    slot.state = kLive;
+    slot.prev = tail_;
+    slot.next = kNil;
+    if (tail_ != kNil) {
+      table_[tail_].next = i;
+    } else {
+      head_ = i;
+    }
+    tail_ = i;
+    ++size_;
+  }
+}
 
 bool LruCache::Lookup(SectorAddr lba, SectorCount count) {
   if (capacity_ == 0 || count <= 0) {
@@ -14,14 +175,13 @@ bool LruCache::Lookup(SectorAddr lba, SectorCount count) {
   LineId last = LastLine(lba, count);
   // All lines must be resident for the request to be a hit.
   for (LineId line = first; line <= last; ++line) {
-    if (map_.find(line) == map_.end()) {
+    if (FindSlot(line) == kNil) {
       ++misses_;
       return false;
     }
   }
   for (LineId line = first; line <= last; ++line) {
-    auto it = map_.find(line);
-    lru_.splice(lru_.begin(), lru_, it->second);
+    MoveToFront(FindSlot(line));
   }
   ++hits_;
   return true;
@@ -34,17 +194,15 @@ void LruCache::Insert(SectorAddr lba, SectorCount count) {
   LineId first = FirstLine(lba);
   LineId last = LastLine(lba, count);
   for (LineId line = first; line <= last; ++line) {
-    auto it = map_.find(line);
-    if (it != map_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
+    std::uint32_t s = FindSlot(line);
+    if (s != kNil) {
+      MoveToFront(s);
       continue;
     }
-    while (map_.size() >= capacity_) {
-      map_.erase(lru_.back());
-      lru_.pop_back();
+    while (size_ >= capacity_) {
+      EvictTail();
     }
-    lru_.push_front(line);
-    map_[line] = lru_.begin();
+    InsertFresh(line);
   }
 }
 
@@ -55,10 +213,12 @@ void LruCache::Invalidate(SectorAddr lba, SectorCount count) {
   LineId first = FirstLine(lba);
   LineId last = LastLine(lba, count);
   for (LineId line = first; line <= last; ++line) {
-    auto it = map_.find(line);
-    if (it != map_.end()) {
-      lru_.erase(it->second);
-      map_.erase(it);
+    std::uint32_t s = FindSlot(line);
+    if (s != kNil) {
+      Unlink(s);
+      table_[s].state = kTombstone;
+      --size_;
+      ++tombstones_;
     }
   }
 }

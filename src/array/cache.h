@@ -5,12 +5,23 @@
 // modest and identical for every policy (it affects all schemes equally).
 // Reads that fully hit are served at `cache_hit_ms`; writes invalidate any
 // overlapping lines (write-through, no allocate).
+//
+// Layout: a single flat open-addressing table.  Each slot carries the line
+// id plus intrusive prev/next slot indices forming the LRU list, so a lookup
+// touches one contiguous array instead of a std::list node + unordered_map
+// bucket chain (three dependent cache misses per line in the old layout).
+// The table is sized for `lines` at construction and never grows: warmup
+// never rehashes, and steady state holds size() == capacity() while every
+// insert recycles the LRU tail.  Erasure leaves a tombstone (the LRU links
+// of live slots must not move); tombstones are compacted in place — walking
+// the LRU list to preserve exact recency order — once they would start to
+// hurt probe lengths.  Hit/miss/eviction semantics are identical to the old
+// list+map implementation (tests/cache_diff_test.cc pins this).
 #ifndef HIBERNATOR_SRC_ARRAY_CACHE_H_
 #define HIBERNATOR_SRC_ARRAY_CACHE_H_
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 #include "src/util/units.h"
 
@@ -30,7 +41,7 @@ class LruCache {
   // Drops all lines overlapping [lba, lba+count).
   void Invalidate(SectorAddr lba, SectorCount count);
 
-  std::size_t size() const { return map_.size(); }
+  std::size_t size() const { return size_; }
   std::size_t capacity() const { return capacity_; }
   std::int64_t hits() const { return hits_; }
   std::int64_t misses() const { return misses_; }
@@ -38,17 +49,45 @@ class LruCache {
 
  private:
   using LineId = std::int64_t;
-  using LruList = std::list<LineId>;
+
+  enum SlotState : std::uint8_t { kEmpty = 0, kLive = 1, kTombstone = 2 };
+
+  struct Slot {
+    LineId line = 0;
+    std::uint32_t prev = 0;  // LRU links: slot indices, kNil at the ends
+    std::uint32_t next = 0;
+    SlotState state = kEmpty;
+  };
+
+  static constexpr std::uint32_t kNil = 0xffffffffu;
 
   LineId FirstLine(SectorAddr lba) const { return lba / line_sectors_; }
   LineId LastLine(SectorAddr lba, SectorCount count) const {
     return (lba + count - 1) / line_sectors_;
   }
 
+  std::uint32_t Bucket(LineId line) const;
+  // Index of the live slot holding `line`, or kNil.
+  std::uint32_t FindSlot(LineId line) const;
+  void LinkFront(std::uint32_t s);
+  void Unlink(std::uint32_t s);
+  void MoveToFront(std::uint32_t s);
+  // Evicts the LRU tail (leaves a tombstone).
+  void EvictTail();
+  // Places `line` (must be absent, size_ < capacity_) and links it MRU.
+  void InsertFresh(LineId line);
+  // Rebuilds the table without tombstones, preserving exact LRU order.
+  void Compact();
+
   std::size_t capacity_;
   SectorCount line_sectors_;
-  LruList lru_;  // front = most recent
-  std::unordered_map<LineId, LruList::iterator> map_;
+  std::vector<Slot> table_;          // power-of-two flat open-addressing table
+  std::uint32_t mask_ = 0;           // table_.size() - 1
+  std::uint32_t head_ = kNil;        // most recently used
+  std::uint32_t tail_ = kNil;        // least recently used
+  std::size_t size_ = 0;
+  std::size_t tombstones_ = 0;
+  std::vector<LineId> scratch_;      // Compact() staging, allocated once
   std::int64_t hits_ = 0;
   std::int64_t misses_ = 0;
 };

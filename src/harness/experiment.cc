@@ -38,11 +38,25 @@ class TraceInjector {
 
 }  // namespace
 
+std::size_t EventCapacityHintFor(const ArrayParams& array_params, double peak_iops) {
+  // Pending (not total) events: one injector arrival, at most a handful of
+  // timers per disk (service completion, spin/speed transitions), policy
+  // timers, and one cache-hit completion per in-flight request — the latter
+  // scales with the arrival rate.  The floor keeps the hint no smaller than
+  // the old fixed default, so existing runs can only gain headroom.
+  int disks = array_params.num_disks + array_params.num_cache_disks;
+  std::size_t hint = static_cast<std::size_t>(64 * disks) +
+                     static_cast<std::size_t>(4.0 * (peak_iops > 0.0 ? peak_iops : 0.0));
+  return hint < 4096 ? 4096 : hint;
+}
+
 ExperimentResult RunExperiment(WorkloadSource& workload, PowerPolicy& policy,
                                const ArrayParams& array_params,
                                const ExperimentOptions& options) {
   Simulator sim;
-  sim.ReserveEvents(options.event_capacity_hint);
+  sim.ReserveEvents(options.event_capacity_hint > 0
+                        ? options.event_capacity_hint
+                        : EventCapacityHintFor(array_params, workload.PeakIopsHint()));
   if (options.trace_events > 0 || !options.trace_out.empty()) {
     sim.obs().tracer.Enable(options.trace_events > 0 ? options.trace_events
                                                      : Tracer::kDefaultCapacity);

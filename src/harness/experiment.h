@@ -71,8 +71,10 @@ struct ExperimentOptions {
   // Capacity hint for the event queue (concurrently *pending* events, not
   // total events fired): covers per-disk in-flight service completions,
   // policy timers and the injector's next arrival, so multi-million-event
-  // runs never reallocate the heap or the slot arena mid-run.
-  std::size_t event_capacity_hint = 4096;
+  // runs never reallocate the heap or the slot arena mid-run.  0 = auto:
+  // derived from the array size and the workload's PeakIopsHint() (see
+  // EventCapacityHintFor), never below the old fixed default of 4096.
+  std::size_t event_capacity_hint = 0;
 
   // Tracing: a nonzero `trace_events` (ring capacity) or a nonempty
   // `trace_out` enables the tracer for the run.  `trace_out` writes a
@@ -82,6 +84,11 @@ struct ExperimentOptions {
   std::string trace_out;
   std::string metrics_out;
 };
+
+// Event-queue capacity to reserve for an array of this size under a workload
+// with the given peak arrival rate (requests/second; 0 = unknown).  Used when
+// ExperimentOptions::event_capacity_hint is 0.
+std::size_t EventCapacityHintFor(const ArrayParams& array_params, double peak_iops);
 
 // Replays `workload` (from its current position; call Reset() first for a
 // fresh pass) through a new array configured by `array_params`, managed by

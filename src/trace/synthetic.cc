@@ -43,7 +43,8 @@ OltpWorkload::OltpWorkload(OltpWorkloadParams params)
 }
 
 double OltpWorkload::RateAt(SimTime t) const {
-  double rate = params_.trough_iops + (params_.peak_iops - params_.trough_iops) * DiurnalShape(t);
+  double rate = params_.trough_iops +
+                (params_.peak_iops - params_.trough_iops) * DiurnalShape(t + params_.phase_ms);
   if (t >= params_.surge_start_ms && t < params_.surge_end_ms) {
     rate *= params_.surge_factor;
   }
@@ -90,7 +91,7 @@ CelloWorkload::CelloWorkload(CelloWorkloadParams params)
 }
 
 double CelloWorkload::RateAt(SimTime t) const {
-  double s = DiurnalShape(t);
+  double s = DiurnalShape(t + params_.phase_ms);
   // Cubing sharpens the valleys: nights sit near the trough for hours.
   return params_.trough_iops + (params_.peak_iops - params_.trough_iops) * s * s * s;
 }

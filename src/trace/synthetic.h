@@ -16,6 +16,7 @@
 #ifndef HIBERNATOR_SRC_TRACE_SYNTHETIC_H_
 #define HIBERNATOR_SRC_TRACE_SYNTHETIC_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 
@@ -53,6 +54,9 @@ struct OltpWorkloadParams {
   Duration surge_start_ms = Ms(-1.0);
   Duration surge_end_ms = Ms(-1.0);
   double surge_factor = 1.0;
+  // Diurnal phase shift: the daily cycle is evaluated at (t + phase_ms), so
+  // a fleet can stagger its arrays across timezones.  0 = the paper's shape.
+  Duration phase_ms = Ms(0.0);
   std::uint64_t seed = 42;
 };
 
@@ -64,6 +68,9 @@ class OltpWorkload : public WorkloadSource {
   void Reset() override;
   SectorAddr AddressSpaceSectors() const override { return params_.address_space_sectors; }
   Duration DurationHint() const override { return params_.duration_ms; }
+  double PeakIopsHint() const override {
+    return params_.peak_iops * std::max(1.0, params_.surge_factor);
+  }
 
   // Instantaneous arrival rate at time t (requests/second); exposed so the
   // tests can check the generator against its own model.
@@ -91,6 +98,8 @@ struct CelloWorkloadParams {
   // Some bursts are sequential runs (file reads/writes).
   double sequential_fraction = 0.3;
   SectorCount io_sectors = 16;  // 8 KB typical file-server block
+  // Diurnal phase shift, as in OltpWorkloadParams.
+  Duration phase_ms = Ms(0.0);
   std::uint64_t seed = 43;
 };
 
@@ -102,6 +111,7 @@ class CelloWorkload : public WorkloadSource {
   void Reset() override;
   SectorAddr AddressSpaceSectors() const override { return params_.address_space_sectors; }
   Duration DurationHint() const override { return params_.duration_ms; }
+  double PeakIopsHint() const override { return params_.peak_iops; }
 
   double RateAt(SimTime t) const;
 
@@ -138,6 +148,7 @@ class ConstantWorkload : public WorkloadSource {
   void Reset() override;
   SectorAddr AddressSpaceSectors() const override { return params_.address_space_sectors; }
   Duration DurationHint() const override { return params_.duration_ms; }
+  double PeakIopsHint() const override { return params_.iops; }
 
  private:
   ConstantWorkloadParams params_;

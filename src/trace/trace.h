@@ -43,6 +43,11 @@ class WorkloadSource {
   // Trace duration when known in advance (generators), else 0.  The harness
   // uses this to bound the replay horizon exactly.
   virtual Duration DurationHint() const { return Duration{}; }
+
+  // Upper bound on the instantaneous arrival rate (requests/second), or 0
+  // when unknown.  The harness sizes the event queue from this so fleet runs
+  // never grow it mid-run.
+  virtual double PeakIopsHint() const { return 0.0; }
 };
 
 // Summary statistics of a trace, as reported in the paper's workload table.

@@ -1,0 +1,115 @@
+// Small-buffer-optimized vector for trivially copyable elements.
+//
+// hib::SmallVector<T, N> keeps up to N elements inline (no heap traffic) and
+// spills to a heap buffer only beyond that.  The request hot path plans a
+// handful of sub-I/O targets per logical request; with std::vector every
+// request pays at least one allocation for that plan.  Restricting T to
+// trivially copyable types keeps growth a single memcpy and lets clear()
+// retain the spilled capacity, so a pooled owner amortizes the rare spill
+// across its whole lifetime.
+#ifndef HIBERNATOR_SRC_UTIL_SMALL_VECTOR_H_
+#define HIBERNATOR_SRC_UTIL_SMALL_VECTOR_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace hib {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is specialized for trivially copyable elements; "
+                "use std::vector for anything that needs real copy/move ctors");
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  SmallVector() = default;
+
+  SmallVector(const SmallVector&) = delete;
+  SmallVector& operator=(const SmallVector&) = delete;
+
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(other); }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) {
+      Grow();
+    }
+    data()[size_++] = value;
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) {
+      Grow();
+    }
+    T* slot = data() + size_++;
+    *slot = T{std::forward<Args>(args)...};
+    return *slot;
+  }
+
+  // Drops the elements but keeps any spilled capacity, so a reused owner
+  // (e.g. a pooled request context) never re-pays the spill.
+  void clear() { size_ = 0; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return capacity_; }
+  bool spilled() const { return heap_ != nullptr; }
+
+  T* data() { return heap_ ? heap_.get() : inline_; }
+  const T* data() const { return heap_ ? heap_.get() : inline_; }
+
+  T& operator[](std::size_t i) {
+    HIB_DCHECK_LT(i, size_);
+    return data()[i];
+  }
+  const T& operator[](std::size_t i) const {
+    HIB_DCHECK_LT(i, size_);
+    return data()[i];
+  }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+ private:
+  void Grow() {
+    std::size_t next = capacity_ * 2;
+    auto bigger = std::make_unique<T[]>(next);
+    std::memcpy(bigger.get(), data(), size_ * sizeof(T));
+    heap_ = std::move(bigger);
+    capacity_ = next;
+  }
+
+  void MoveFrom(SmallVector& other) noexcept {
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    heap_ = std::move(other.heap_);
+    if (!heap_) {
+      std::memcpy(inline_, other.inline_, size_ * sizeof(T));
+    }
+    other.size_ = 0;
+    other.capacity_ = N;
+  }
+
+  T inline_[N];
+  std::unique_ptr<T[]> heap_;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace hib
+
+#endif  // HIBERNATOR_SRC_UTIL_SMALL_VECTOR_H_

@@ -225,6 +225,25 @@ TEST(Cache, HitRate) {
   EXPECT_DOUBLE_EQ(cache.HitRate(), 0.5);
 }
 
+TEST(Cache, SteadyStateHoldsFullCapacity) {
+  // Once warmed, the cache sits at size() == capacity() forever: every
+  // insert of a new line recycles the LRU tail instead of shrinking or
+  // growing the table (the flat table is fully allocated up front).
+  LruCache cache(16, 128);
+  for (int i = 0; i < 64; ++i) {
+    cache.Insert(static_cast<SectorAddr>(i) * 128, 1);
+    if (i >= 15) {
+      ASSERT_EQ(cache.size(), cache.capacity()) << "insert " << i;
+    }
+  }
+  // Steady-state churn: lookups, re-inserts and fresh inserts never move it.
+  for (int i = 0; i < 256; ++i) {
+    cache.Lookup(static_cast<SectorAddr>(48 + i % 16) * 128, 1);
+    cache.Insert(static_cast<SectorAddr>(64 + i) * 128, 1);
+    ASSERT_EQ(cache.size(), cache.capacity()) << "churn " << i;
+  }
+}
+
 // ------------------------------------------------------ ArrayController ----
 
 class ArrayTest : public ::testing::Test {

@@ -65,6 +65,14 @@ contract the sharded fleet simulator depends on; library code only):
                          an unpredictable point) or a catch with an empty
                          body (swallows the error, sim continues on corrupt
                          state).  Catch by reference and handle or rethrow.
+  HIB017 hot-alloc       `std::make_shared` or a `new` expression in the
+                         per-request layers (src/array, src/sim).  The
+                         dispatch hot path is allocation-free by design
+                         (SlotPool handles, SmallVector inline storage);
+                         heap traffic there is a perf regression.  Setup-time
+                         allocation belongs in constructors via make_unique /
+                         containers; anything else needs a NOLINT(HIB017)
+                         with a justification.
 
 Meta:
 
@@ -128,6 +136,9 @@ RULES = {
     "HIB015": ("uninit-member",
                "scalar member without default initializer in a constructor-less class"),
     "HIB016": ("exception-sink", "exception caught by value or silently swallowed"),
+    "HIB017": ("hot-alloc",
+               "std::make_shared / new expression in the per-request layers "
+               "(src/array, src/sim); the hot path is allocation-free"),
     "HIB099": ("unused-suppression", "suppression comment that suppresses nothing"),
 }
 
@@ -145,6 +156,10 @@ RAW_OUTPUT_ALLOWED_PREFIXES = RAW_IO_ALLOWED_PREFIXES + ("src/obs/",)
 # The determinism family applies to library code; processes that own their
 # run (tests, benches, examples) may use wall clocks and unordered iteration.
 DETERMINISM_EXEMPT_PREFIXES = ("tests/", "bench/", "examples/")
+# The allocation-free hot path: per-request code in these layers must not
+# reach for the general-purpose heap (SlotPool / SmallVector instead).  The
+# fixtures dir is in scope so the rule's own fixture fires.
+HOT_ALLOC_PREFIXES = ("src/array/", "src/sim/", "tools/simlint_fixtures/")
 
 UNIT_FN_NAME_RE = re.compile(r"(?i:power|energy|latency|duration|response)|(?:Time|Ms)$")
 DIMENSIONLESS_NAME_RE = re.compile(r"(?i:scale|ratio|fraction|factor|util|count|scv|rho)")
@@ -1023,6 +1038,7 @@ def token_checks(rel, tokens, add, out):
     raw_out_ok = rel.startswith(RAW_OUTPUT_ALLOWED_PREFIXES)
     value_ok = rel.startswith(VALUE_ALLOWED_PREFIXES)
     conv_ok = rel.startswith(HAND_CONVERSION_EXEMPT_PREFIXES)
+    hot_alloc = rel.startswith(HOT_ALLOC_PREFIXES)
 
     def tk(i):
         return tokens[i] if 0 <= i < n else ("", "", 0, 0)
@@ -1059,6 +1075,22 @@ def token_checks(rel, tokens, add, out):
             if text == "assert" and nxt == "(" and prv not in (".", "->", "::"):
                 add(line, col, "HIB005",
                     "bare assert(); use HIB_CHECK / HIB_DCHECK from src/util/check.h")
+
+            # HIB017: heap allocation in the per-request layers.  Dispatch is
+            # allocation-free (SlotPool / SmallVector); make_shared and new
+            # expressions there reintroduce per-request heap traffic.
+            if hot_alloc:
+                if text == "make_shared" \
+                        and ((prv == "::" and prv2 == "std") or nxt == "<"):
+                    add(line, col, "HIB017",
+                        "std::make_shared in a per-request layer; use a "
+                        "SlotPool handle (src/array/request_pool.h) or "
+                        "setup-time make_unique in a constructor")
+                elif text == "new" and prv != "operator":
+                    add(line, col, "HIB017",
+                        "new expression in a per-request layer; the hot path "
+                        "is allocation-free — use SlotPool / SmallVector, or "
+                        "NOLINT(HIB017) a justified setup-time allocation")
 
             # HIB004: double/float with a unit-suffixed name.
             if prv in ("double", "float") and UNITS_DECL_NAME_RE.search(text) \

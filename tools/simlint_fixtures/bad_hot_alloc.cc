@@ -1,0 +1,25 @@
+// Known-bad fixture: HIB017 — heap allocation in a per-request layer.  The
+// dispatch hot path is allocation-free (SlotPool handles, SmallVector inline
+// storage); std::make_shared and new expressions there are perf regressions.
+#include <memory>
+
+namespace fixture {
+
+struct Context {
+  int pending = 0;
+};
+
+std::shared_ptr<Context> SharedPerRequest() {
+  return std::make_shared<Context>();  // finding: make_shared per request
+}
+
+Context* RawPerRequest() {
+  return new Context();  // finding: new expression per request
+}
+
+Context* JustifiedSetup() {
+  // Suppressed: a justified one-time allocation keeps the rule quiet.
+  return new Context();  // NOLINT(HIB017) setup-time, not per-request
+}
+
+}  // namespace fixture

@@ -45,6 +45,7 @@ EXPECTED = {
     "bad_float_accum.cc": ["HIB014"],
     "bad_uninit_member.cc": ["HIB015"],
     "bad_catch.cc": ["HIB016"],
+    "bad_hot_alloc.cc": ["HIB017", "HIB017"],
     "unused_suppression.cc": ["HIB099"],
     "fixable_hand_conversion.cc": ["HIB009"],
 }
