@@ -77,7 +77,8 @@ int main(int argc, char** argv) {
   hib::Table table({"metric", "value"});
   table.NewRow().Add("requests").Add(st.total_responses);
   table.NewRow().Add("mean response (ms)").Add(st.response_ms.mean(), 2);
-  table.NewRow().Add("goal met").Add(hib::Ms(st.response_ms.mean()) <= hp.goal_ms * 1.05 ? "yes" : "NO");
+  table.NewRow().Add("goal met").Add(
+      hib::Ms(st.response_ms.mean()) <= hp.goal_ms * 1.05 ? "yes" : "NO");
   table.NewRow().Add("degraded reads").Add(st.degraded_reads);
   table.NewRow().Add("parity-only writes").Add(st.parity_only_writes);
   table.NewRow().Add("lost accesses").Add(st.lost_accesses);

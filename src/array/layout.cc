@@ -107,7 +107,8 @@ void TemperatureTracker::Touch(std::int64_t extent, double weight) {
 
 void TemperatureTracker::EndEpoch() {
   for (std::size_t i = 0; i < temperature_.size(); ++i) {
-    temperature_[i] = static_cast<float>(decay_ * static_cast<double>(temperature_[i])) + window_[i];
+    temperature_[i] =
+        static_cast<float>(decay_ * static_cast<double>(temperature_[i])) + window_[i];
     window_[i] = 0.0f;
   }
 }

@@ -207,7 +207,8 @@ CrResult SolveCr(const CrInput& input) {
     Watts power_sum;
     for (int g = 0; g < num_groups; ++g) {
       Frequency w = input.group_lambda[static_cast<std::size_t>(g)];
-      Duration r = s.response[static_cast<std::size_t>(g)][static_cast<std::size_t>(num_levels) - 1];
+      Duration r =
+          s.response[static_cast<std::size_t>(g)][static_cast<std::size_t>(num_levels) - 1];
       if (w > Frequency{} && IsFinite(r)) {
         resp_sum += w * r;
       }

@@ -447,7 +447,8 @@ TEST_F(ArrayTest, TotalEnergySumsDisks) {
   ArrayController array(&sim_, params);
   sim_.RunUntil(Seconds(10.0));
   DiskEnergy total = array.TotalEnergy();
-  EXPECT_NEAR(total.idle.value(), (8.0 * EnergyOf(params.disk.speeds.back().idle_power, Seconds(10.0))).value(), 1e-6);
+  EXPECT_NEAR(total.idle.value(),
+              (8.0 * EnergyOf(params.disk.speeds.back().idle_power, Seconds(10.0))).value(), 1e-6);
   EXPECT_NEAR(total.TotalMs().value(), (8.0 * Seconds(10.0)).value(), 1e-6);
 }
 

@@ -248,7 +248,8 @@ TEST_F(DiskTest, EnergyEqualsIdlePowerWhenIdle) {
   Disk disk(&sim_, params_, 0, 1);
   sim_.RunUntil(Seconds(100.0));
   DiskEnergy e = disk.MeteredEnergy();
-  EXPECT_NEAR(e.idle.value(), EnergyOf(params_.speeds.back().idle_power, Seconds(100.0)).value(), 1e-6);
+  EXPECT_NEAR(e.idle.value(),
+              EnergyOf(params_.speeds.back().idle_power, Seconds(100.0)).value(), 1e-6);
   EXPECT_DOUBLE_EQ(e.active.value(), 0.0);
   EXPECT_NEAR(e.TotalMs().value(), Seconds(100.0).value(), 1e-6);
 }
@@ -357,7 +358,8 @@ TEST_F(DiskTest, StandbyDrawsStandbyPower) {
   DiskEnergy before = disk.MeteredEnergy();
   sim_.RunUntil(params_.spin_down_ms + Seconds(100.0));
   DiskEnergy after = disk.MeteredEnergy();
-  EXPECT_NEAR((after.standby - before.standby).value(), EnergyOf(params_.standby_power, Seconds(100.0)).value(), 1e-6);
+  EXPECT_NEAR((after.standby - before.standby).value(),
+              EnergyOf(params_.standby_power, Seconds(100.0)).value(), 1e-6);
 }
 
 TEST_F(DiskTest, DemandSpinUpFromStandby) {

@@ -172,8 +172,8 @@ TEST(MergeMetrics, DeterministicAcrossShardCounts) {
   ASSERT_EQ(sequential.counters.size(), threaded.counters.size());
   for (std::size_t i = 0; i < sequential.counters.size(); ++i) {
     EXPECT_EQ(sequential.counters[i].name, threaded.counters[i].name);
-    EXPECT_EQ(sequential.counters[i].count, threaded.counters[i].count) << "counter "
-                                                                        << sequential.counters[i].name;
+    EXPECT_EQ(sequential.counters[i].count, threaded.counters[i].count)
+        << "counter " << sequential.counters[i].name;
   }
   ASSERT_EQ(sequential.histograms.size(), threaded.histograms.size());
   for (std::size_t i = 0; i < sequential.histograms.size(); ++i) {

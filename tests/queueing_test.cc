@@ -36,7 +36,8 @@ TEST(Mg1, MatchesMd1WhenScvIsZero) {
   Duration s = Ms(10.0);
   double rho = 0.6;
   Frequency lambda = rho / s;
-  EXPECT_NEAR(Mg1Model::WaitTime(lambda, s, 0.0).value(), (s * (rho / (2.0 * (1.0 - rho)))).value(), 1e-9);
+  EXPECT_NEAR(Mg1Model::WaitTime(lambda, s, 0.0).value(),
+              (s * (rho / (2.0 * (1.0 - rho)))).value(), 1e-9);
 }
 
 TEST(Mg1, DivergesAtSaturation) {
@@ -64,7 +65,8 @@ TEST(Mg1, MaxArrivalRateInvertsResponse) {
   for (double target : {9.0, 12.0, 20.0, 50.0}) {
     Frequency lambda = Mg1Model::MaxArrivalRate(Ms(target), s, scv);
     ASSERT_GT(lambda, Frequency{});
-    EXPECT_NEAR(Mg1Model::ResponseTime(lambda, s, scv).value(), target, 1e-6) << "target=" << target;
+    EXPECT_NEAR(Mg1Model::ResponseTime(lambda, s, scv).value(), target, 1e-6)
+        << "target=" << target;
   }
 }
 
@@ -122,7 +124,8 @@ TEST(SpeedServiceModel, WriteFractionAddsSettle) {
   DiskParams disk = MakeUltrastar36Z15MultiSpeed(5);
   SpeedServiceModel reads = SpeedServiceModel::FromDisk(disk, 8.0, 0.0);
   SpeedServiceModel writes = SpeedServiceModel::FromDisk(disk, 8.0, 1.0);
-  EXPECT_NEAR((writes.Level(4).mean_ms - reads.Level(4).mean_ms).value(), disk.write_settle_ms.value(), 1e-9);
+  EXPECT_NEAR((writes.Level(4).mean_ms - reads.Level(4).mean_ms).value(),
+              disk.write_settle_ms.value(), 1e-9);
 }
 
 TEST(SpeedServiceModel, LargerRequestsSlower) {
