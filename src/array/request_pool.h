@@ -126,9 +126,15 @@ class SlotPool {
 
   void AddChunk() {
     HIB_CHECK_LT(size_, kMaxSlots) << "SlotPool exhausted (2^32 - chunk live objects)";
-    chunks_.push_back(std::make_unique<Slot[]>(ChunkSize));
+    // Amortized one-chunk growth: this is the only allocation the pool ever
+    // makes, and Reserve() lets callers front-load it at setup.
+    chunks_.push_back(std::make_unique<Slot[]>(ChunkSize));  // NOLINT(HIB018)
     std::uint32_t base = static_cast<std::uint32_t>(size_);
     size_ += ChunkSize;
+    // The free list can hold at most one entry per slot; reserving the full
+    // capacity here means the push_backs below — and the one in Release() on
+    // the dispatch path — can never reallocate.
+    free_.reserve(size_);
     // Newest indices go to the back of the LIFO free list, so low indices are
     // handed out first and reuse stays cache-dense under steady load.
     for (std::uint32_t i = ChunkSize; i > 0; --i) {

@@ -410,7 +410,9 @@ class EventQueue {
     }
     HIB_CHECK(num_slots_ < kSlotMask) << "event slot arena exhausted";
     if ((num_slots_ >> kSlotChunkShift) == slot_chunks_.size()) {
-      slot_chunks_.push_back(std::make_unique<Slot[]>(kSlotChunkSize));
+      // Amortized arena growth, once per kSlotChunkSize acquisitions; Reserve()
+      // front-loads it so a sized run never takes this branch.
+      slot_chunks_.push_back(std::make_unique<Slot[]>(kSlotChunkSize));  // NOLINT(HIB018)
     }
     return num_slots_++;
   }

@@ -7,7 +7,9 @@ namespace hib {
 
 namespace {
 std::atomic<LogLevel>& LevelStore() {
-  static std::atomic<LogLevel> level{LogLevel::kWarning};
+  // Output-only knob: set before any shard runs, relaxed loads thereafter.
+  // It never feeds simulation state, so it cannot break shard determinism.
+  static std::atomic<LogLevel> level{LogLevel::kWarning};  // NOLINT(HIB019)
   return level;
 }
 }  // namespace

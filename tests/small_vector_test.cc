@@ -1,0 +1,171 @@
+// SmallVector: the inline→heap spill boundary at the declared capacity,
+// move semantics across both storage modes, reference stability of inline
+// storage, and the clear()-keeps-spilled-capacity contract the pooled
+// request contexts rely on.
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "src/util/small_vector.h"
+
+namespace hib {
+namespace {
+
+using Vec4 = SmallVector<int, 4>;
+
+// The container's whole design leans on these: trivially copyable elements
+// (growth is one memcpy, teardown is free) and no accidental deep copies of
+// the container itself.
+static_assert(!std::is_copy_constructible_v<Vec4>);
+static_assert(!std::is_copy_assignable_v<Vec4>);
+static_assert(std::is_nothrow_move_constructible_v<Vec4>);
+static_assert(std::is_nothrow_move_assignable_v<Vec4>);
+
+TEST(SmallVectorTest, StartsEmptyAndInline) {
+  Vec4 v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+  EXPECT_FALSE(v.spilled());
+}
+
+TEST(SmallVectorTest, FillsInlineCapacityWithoutSpilling) {
+  Vec4 v;
+  for (int i = 0; i < 4; ++i) {
+    v.push_back(i);
+  }
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);
+  EXPECT_FALSE(v.spilled());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(SmallVectorTest, FifthElementSpillsToHeapAndPreservesContents) {
+  Vec4 v;
+  for (int i = 0; i < 4; ++i) {
+    v.push_back(i);
+  }
+  v.push_back(4);  // exactly the boundary: element N+1 triggers the spill
+  EXPECT_TRUE(v.spilled());
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v.capacity(), 8u);  // doubling growth
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(SmallVectorTest, InlineReferencesStableAcrossInlinePushes) {
+  // While the container stays inline, data() never moves: a pointer taken at
+  // size 1 must still be valid (and correct) at size N.
+  Vec4 v;
+  v.push_back(10);
+  int* first = &v[0];
+  v.push_back(11);
+  v.push_back(12);
+  v.push_back(13);
+  EXPECT_FALSE(v.spilled());
+  EXPECT_EQ(first, &v[0]);
+  EXPECT_EQ(*first, 10);
+}
+
+TEST(SmallVectorTest, EmplaceBackReturnsStableSlotReference) {
+  Vec4 v;
+  int& slot = v.emplace_back(7);
+  EXPECT_EQ(slot, 7);
+  slot = 9;
+  EXPECT_EQ(v[0], 9);
+}
+
+TEST(SmallVectorTest, ClearKeepsSpilledCapacity) {
+  Vec4 v;
+  for (int i = 0; i < 9; ++i) {
+    v.push_back(i);
+  }
+  EXPECT_TRUE(v.spilled());
+  std::size_t grown = v.capacity();
+  EXPECT_EQ(grown, 16u);
+
+  // clear() is the pooled-reuse path: size drops, the heap buffer stays, so
+  // refilling to the same depth performs zero allocations (same data()).
+  int* heap = v.data();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.spilled());
+  EXPECT_EQ(v.capacity(), grown);
+  for (int i = 0; i < 9; ++i) {
+    v.push_back(100 + i);
+  }
+  EXPECT_EQ(v.data(), heap);
+  EXPECT_EQ(v[8], 108);
+}
+
+TEST(SmallVectorTest, MoveConstructFromInlineCopiesElements) {
+  Vec4 a;
+  a.push_back(1);
+  a.push_back(2);
+  Vec4 b(std::move(a));
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_FALSE(b.spilled());
+  EXPECT_EQ(b[0], 1);
+  EXPECT_EQ(b[1], 2);
+  // The source is reset to a usable empty inline state.
+  EXPECT_TRUE(a.empty());       // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(a.capacity(), 4u);  // NOLINT(bugprone-use-after-move)
+  a.push_back(5);
+  EXPECT_EQ(a[0], 5);
+}
+
+TEST(SmallVectorTest, MoveConstructFromSpilledStealsHeapBuffer) {
+  Vec4 a;
+  for (int i = 0; i < 6; ++i) {
+    a.push_back(i);
+  }
+  int* heap = a.data();
+  Vec4 b(std::move(a));
+  EXPECT_TRUE(b.spilled());
+  EXPECT_EQ(b.data(), heap);  // no copy: the heap buffer moved wholesale
+  EXPECT_EQ(b.size(), 6u);
+  EXPECT_EQ(b[5], 5);
+  EXPECT_TRUE(a.empty());       // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(a.capacity(), 4u);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(SmallVectorTest, MoveAssignReplacesExistingContents) {
+  Vec4 a;
+  for (int i = 0; i < 5; ++i) {
+    a.push_back(i);
+  }
+  Vec4 b;
+  b.push_back(99);
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_TRUE(b.spilled());
+  EXPECT_EQ(b[0], 0);
+  EXPECT_EQ(b[4], 4);
+}
+
+TEST(SmallVectorTest, IterationCoversBothStorageModes) {
+  Vec4 v;
+  int inline_sum = 0;
+  for (int i = 1; i <= 4; ++i) {
+    v.push_back(i);
+  }
+  for (int x : v) {
+    inline_sum += x;
+  }
+  EXPECT_EQ(inline_sum, 10);
+
+  v.push_back(5);  // spill, then iterate the heap buffer
+  int heap_sum = 0;
+  for (int x : v) {
+    heap_sum += x;
+  }
+  EXPECT_EQ(heap_sum, 15);
+}
+
+}  // namespace
+}  // namespace hib

@@ -84,11 +84,23 @@ def main():
         code, out = run_gate([new_path, ok_path, bad_path], baselines)
         check("batch", code, 1, out)
 
+        # Multi-mix artifacts gate on aggregate_events_per_sec (the
+        # bench_eventqueue shape); a regression there must still fail.
+        write_json(os.path.join(baselines, "BENCH_agg.json"),
+                   {"bench": "agg", "aggregate_events_per_sec": 1000000.0})
+        agg_path = os.path.join(tmp, "BENCH_agg.json")
+        write_json(agg_path, {"bench": "agg", "aggregate_events_per_sec": 950000.0})
+        code, out = run_gate([agg_path], baselines)
+        check("aggregate-within", code, 0, out, "ok BENCH_agg.json")
+        write_json(agg_path, {"bench": "agg", "aggregate_events_per_sec": 850000.0})
+        code, out = run_gate([agg_path], baselines)
+        check("aggregate-regression", code, 1, out, "FAIL BENCH_agg.json")
+
     if failures:
         for failure in failures:
             print(f"FAIL {failure}")
         return 1
-    print("ok: 7 regression-gate scenarios behaved as expected")
+    print("ok: 9 regression-gate scenarios behaved as expected")
     return 0
 
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""simlint v2: token-based repo lint for the Hibernator simulator.
+"""simlint v3: interprocedural dataflow lint for the Hibernator simulator.
 
 The v1 engine matched regexes against raw lines; v2 tokenizes the C++
 (comment-, string-, raw-string- and preprocessor-aware), builds a per-file
@@ -8,6 +8,21 @@ tokens and declarations.  That removes the classic regex false positives
 (rules firing inside comments, strings, `#if 0` regions) and enables checks
 that need to know what a name *is* (HIB011/HIB014 resolve the container type
 behind an identifier before flagging iteration over it).
+
+v3 adds a cross-TU **call graph** on top of the v2 models: every function
+and method body (lambdas attributed to their enclosing function, so a
+callback registered inside `F` contributes edges from `F`), call sites
+resolved through the symbol index (receiver type -> class -> method), virtual
+calls fanned out to every overrider via the recorded base-class lists, and
+function-like `#define` macros treated as call-graph nodes so `HIB_LOG(...)`
+reaches `LogMessage`.  Four interprocedural rules run on the graph
+(HIB018-HIB021 below); their findings carry the full witness chain — the
+call path or taint path from root to violation — rendered as indented
+`note:` lines in text output and as SARIF `codeFlows`.  Per-file models are
+memoized in an on-disk cache keyed by content hash + engine version, so warm
+runs skip tokenizing/parsing entirely (the call graph and the
+interprocedural rules are recomputed every run: they are whole-program
+facts and are cheap next to parsing).
 
 Style / hygiene rules (ported from v1):
 
@@ -74,6 +89,39 @@ contract the sharded fleet simulator depends on; library code only):
                          containers; anything else needs a NOLINT(HIB017)
                          with a justification.
 
+Interprocedural rules (new in v3 — they run on the cross-TU call graph and
+report a full witness chain for every finding):
+
+  HIB018 transitive-hot-alloc  Any allocation (new expression, make_shared /
+                         make_unique, or container growth via push_back /
+                         emplace_back on a std::vector member no reserve()
+                         call ever touches) *reachable* from the dispatch
+                         roots (ArrayController::Submit, Disk::Submit,
+                         EventQueue::FireNext).  Subsumes the path-scoped
+                         HIB017, which stays as the fast syntactic tier: a
+                         helper in src/util that allocates is invisible to
+                         HIB017 the moment the hot path calls it.
+  HIB019 static-shard-race  Mutable static-duration or singleton state
+                         referenced by any function reachable from the shard
+                         entry points (RunAll, FleetSimulator::Run,
+                         RunExperiment) without going through the
+                         src/harness/parallel.* merge.  Synchronisation does
+                         not rescue the bit-identical guarantee — an atomic
+                         counter still makes shard results depend on
+                         interleaving — so HIB006's atomic/mutex exemptions
+                         do not apply here.
+  HIB020 determinism-taint  A value derived from a HIB013 source (time(),
+                         random_device, a pointer-to-integer cast) flowing
+                         through returns and locals into an event timestamp
+                         (Schedule/ScheduleAt/ScheduleIn argument), a seed
+                         assignment, or any call made from src/sim.
+  HIB021 handle-use-after-release  Intra-function def-use on SlotPool
+                         handles: any use of a PoolHandle lvalue after
+                         Release(handle) on the same lexical path (the
+                         released state dies with the enclosing scope and on
+                         reassignment).  Pins the reentrant-Submit ordering
+                         contract: Release must be the last touch.
+
 Meta:
 
   HIB099 unused-suppression  A suppression comment whose rule never fired on
@@ -92,19 +140,25 @@ Only NOLINT comments that explicitly name HIB rules belong to simlint; bare
 Usage:
   tools/simlint.py [paths...]         # files or dirs; default: src tests bench examples
   tools/simlint.py --list-rules
+  tools/simlint.py --explain HIB018   # rule rationale + its fixture's minimal repro
   tools/simlint.py --sarif out.sarif  # also write SARIF 2.1.0 (code scanning)
   tools/simlint.py --fix              # apply mechanical fixes (HIB001, HIB009)
   tools/simlint.py --jobs N           # parallel file scanning (default: cpus)
+  tools/simlint.py --cache FILE       # incremental cache (default: .simlint-cache.json)
+  tools/simlint.py --no-cache         # disable the incremental cache
 
 Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
 """
 
 import argparse
 import concurrent.futures
+import hashlib
 import json
 import os
 import re
 import sys
+
+SIMLINT_VERSION = "3.0.0"
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_PATHS = ["src", "tests", "bench", "examples"]
@@ -139,6 +193,18 @@ RULES = {
     "HIB017": ("hot-alloc",
                "std::make_shared / new expression in the per-request layers "
                "(src/array, src/sim); the hot path is allocation-free"),
+    "HIB018": ("transitive-hot-alloc",
+               "allocation (new/make_shared/make_unique/unreserved vector growth) "
+               "reachable from a dispatch root via the call graph"),
+    "HIB019": ("static-shard-race",
+               "mutable static/singleton state reachable from a shard entry point "
+               "(breaks the bit-identical parallel guarantee)"),
+    "HIB020": ("determinism-taint",
+               "value derived from a wall-clock/randomness source flows into an "
+               "event timestamp, seed, or src/sim call"),
+    "HIB021": ("handle-use-after-release",
+               "PoolHandle used on a path after Release(handle); Release must be "
+               "the last touch of a handle"),
     "HIB099": ("unused-suppression", "suppression comment that suppresses nothing"),
 }
 
@@ -160,6 +226,30 @@ DETERMINISM_EXEMPT_PREFIXES = ("tests/", "bench/", "examples/")
 # reach for the general-purpose heap (SlotPool / SmallVector instead).  The
 # fixtures dir is in scope so the rule's own fixture fires.
 HOT_ALLOC_PREFIXES = ("src/array/", "src/sim/", "tools/simlint_fixtures/")
+# The interprocedural fixtures exercise HIB018+ via the call graph; keep the
+# syntactic HIB017 tier out of them so each fixture trips exactly its rule.
+HIB017_EXEMPT_PREFIXES = ("tools/simlint_fixtures/interproc/",)
+
+# --- interprocedural rule configuration (v3) --------------------------------
+# Dispatch roots for HIB018: per-request entry points whose transitive callees
+# must stay off the general-purpose heap.
+HOT_PATH_ROOTS = (("ArrayController", "Submit"), ("ArrayController", "SubmitRaw"),
+                  ("Disk", "Submit"), ("EventQueue", "FireNext"),
+                  ("EventQueue", "Pop"))
+# Shard entry points for HIB019: everything these reach runs concurrently on
+# worker threads and must not touch static state outside the harness merge.
+SHARD_ROOTS = (("", "RunAll"), ("FleetSimulator", "Run"), ("", "RunExperiment"))
+SHARD_MERGE_PREFIXES = ("src/harness/parallel.",)
+# Interprocedural findings stay out of code that owns its process (mirrors the
+# determinism family's scoping).
+INTERPROC_EXEMPT_PREFIXES = ("tests/", "bench/", "examples/")
+# HIB020 sinks: the event-timestamp entry points and seed-looking lvalues.
+SCHEDULE_SINKS = {"Schedule", "ScheduleAt", "ScheduleIn"}
+SEED_NAME_RE = re.compile(r"(?i)seed")
+# Pointer-to-integer casts are a HIB013-class source for HIB020 (addresses
+# differ run to run).
+INT_CAST_TYPES = {"uintptr_t", "intptr_t", "size_t", "uint64_t", "int64_t",
+                  "uint32_t", "int32_t", "long", "unsigned", "int"}
 
 UNIT_FN_NAME_RE = re.compile(r"(?i:power|energy|latency|duration|response)|(?:Time|Ms)$")
 DIMENSIONLESS_NAME_RE = re.compile(r"(?i:scale|ratio|fraction|factor|util|count|scv|rho)")
@@ -363,11 +453,13 @@ SUPPRESS_RE = re.compile(
 
 def parse_suppressions(comments):
     """Returns a list of suppression dicts:
-    {decl_line, target_line, rules (frozenset), used (mutable)}.
+    {decl_line, target_line, rules (sorted list), used (mutable)}.
 
     Only NOLINT comments that explicitly name HIBxxx rules belong to simlint;
     bare NOLINT and foreign rule lists (clang-tidy's
-    `NOLINT(google-explicit-constructor)` etc.) are left alone.
+    `NOLINT(google-explicit-constructor)` etc.) are left alone.  Rules are a
+    sorted list (not a set) so the whole structure round-trips through the
+    JSON incremental cache.
     """
     sups = []
     for ln, body in comments.items():
@@ -376,8 +468,8 @@ def parse_suppressions(comments):
             ruletext = m.group("nl_rules") if nextline else (
                 m.group("rules") if m.group("rules") is not None
                 else m.group("legacy"))
-            rules = frozenset(r.strip() for r in (ruletext or "").split(",")
-                              if r.strip().startswith("HIB"))
+            rules = sorted({r.strip() for r in (ruletext or "").split(",")
+                            if r.strip().startswith("HIB")})
             if not rules:
                 continue
             sups.append({"decl_line": ln,
@@ -553,11 +645,27 @@ class Parser:
         toks = self.toks
         j = i + 1
         name = None
+        bases = []
+        in_bases = False
+        adepth = 0
         while j < end and toks[j][1] not in ("{", ";"):
-            if toks[j][1] == ":" and toks[j + 1][1] != ":":
-                break
+            if toks[j][1] == ":" and toks[j + 1][1] != ":" and not in_bases:
+                in_bases = True
+                j += 1
+                continue
             if toks[j][0] == "id" and toks[j][1] not in ("final", "alignas"):
-                name = toks[j][1]
+                if not in_bases:
+                    name = toks[j][1]
+                elif adepth == 0 and toks[j][1] not in (
+                        "public", "private", "protected", "virtual") \
+                        and (j + 1 >= end or toks[j + 1][1] != "::"):
+                    bases.append(toks[j][1])
+            elif toks[j][1] == "<":
+                adepth += 1
+            elif toks[j][1] == ">":
+                adepth = max(0, adepth - 1)
+            elif toks[j][1] == ">>":
+                adepth = max(0, adepth - 2)
             j += 1
         while j < end and toks[j][1] != "{":
             if toks[j][1] == ";":  # forward declaration
@@ -566,7 +674,8 @@ class Parser:
         if j >= end:
             return end
         close = _find_matching_close(toks, j)
-        cls = {"name": name, "line": toks[i][2], "has_real_ctor": False, "members": []}
+        cls = {"name": name, "line": toks[i][2], "has_real_ctor": False,
+               "members": [], "bases": bases}
         self.model.classes.append(cls)
         if name:
             self.model.context_classes.append(name)
@@ -634,7 +743,16 @@ class Parser:
 
         if body_open != -1:
             close = _find_matching_close(toks, body_open)
-            self._classify(stmt, class_name, current_class, has_body=True)
+            fn = self._classify(stmt, class_name, current_class, has_body=True)
+            if isinstance(fn, dict):
+                # Token range of the body (exclusive of the outer braces);
+                # lambdas inside it attribute their call sites to this
+                # function, which is exactly the registration-context edge
+                # the callback rules need.  Constructors start at the
+                # statement head so the member-initializer list's calls are
+                # theirs too.
+                fn["body_range"] = (start if fn.get("is_ctor") else body_open + 1,
+                                    close)
             self._region(body_open + 1, close, class_name=None)
             return close + 1
         self._classify(stmt, class_name, current_class, has_body=False)
@@ -681,17 +799,41 @@ class Parser:
                             is_real = not ("delete" in texts or "default" in texts)
                             if is_real:
                                 current_class["has_real_ctor"] = True
-                        return
+                        # Constructors are call-graph nodes too (a call
+                        # spelled `LogMessage(...)` resolves to this).
+                        fn = {"name": class_name, "line": t[2], "ret": [],
+                              "params": [], "method_class": class_name,
+                              "has_body": has_body, "is_virtual": False,
+                              "is_ctor": True}
+                        self.model.functions.append(fn)
+                        return fn
                     break
+
+        # Out-of-class constructor definition (`X::X(...) : inits... {`):
+        # the trailing (...) belongs to the last member initializer, so the
+        # generic declarator scan below would misname it.  Recognise the
+        # `X :: X (` shape directly and record a ctor node.
+        for k in range(len(toks) - 3):
+            if toks[k][0] == "id" and toks[k + 1][1] == "::" \
+                    and toks[k + 2][1] == toks[k][1] and toks[k + 3][1] == "(" \
+                    and (k == 0 or toks[k - 1][1] != "~"):
+                fn = {"name": toks[k][1], "line": toks[k][2], "ret": [],
+                      "params": [], "method_class": toks[k][1],
+                      "has_body": has_body, "is_virtual": False,
+                      "is_ctor": True}
+                self.model.functions.append(fn)
+                return fn
 
         # Function (decl or def): declarator ends with (...) [cv].
         fn = self._try_function(toks, has_body)
         if fn is not None:
+            if fn["method_class"] is None and class_name:
+                fn["method_class"] = class_name  # in-class method definition
             self.model.functions.append(fn)
             if fn.get("method_class"):
                 if fn["method_class"] not in self.model.context_classes:
                     self.model.context_classes.append(fn["method_class"])
-            return
+            return fn
 
         # Variable / member declaration.
         decl = self._try_var_decl(toks)
@@ -747,6 +889,8 @@ class Parser:
         namek = openk - 1
         if toks[namek][0] != "id" or texts[namek] in CXX_KEYWORDS:
             return None
+        if namek >= 1 and texts[namek - 1] == "~":
+            return None  # destructor: not a call-graph node, never "called"
         name = texts[namek]
         method_class = None
         retk = namek
@@ -757,8 +901,10 @@ class Parser:
                if t not in ("inline", "static", "virtual", "explicit", "constexpr",
                             "consteval", "friend", "extern")]
         params = self._parse_params(toks[openk + 1:endk - 1])
+        is_virtual = "virtual" in texts or "override" in texts or "final" in texts
         return {"name": name, "line": toks[namek][2], "ret": ret, "params": params,
-                "method_class": method_class, "has_body": has_body}
+                "method_class": method_class, "has_body": has_body,
+                "is_virtual": is_virtual}
 
     def _parse_params(self, ptoks):
         params = []
@@ -869,18 +1015,28 @@ class Parser:
 # ============================ findings ======================================
 
 class Finding:
-    __slots__ = ("path", "line", "col", "rule", "message", "fix")
+    __slots__ = ("path", "line", "col", "rule", "message", "fix", "flow")
 
-    def __init__(self, path, line, rule, message, col=1, fix=None):
+    def __init__(self, path, line, rule, message, col=1, fix=None, flow=None):
         self.path = path
         self.line = line
         self.col = col
         self.rule = rule
         self.message = message
         self.fix = fix  # optional (kind, *args) tuple for --fix
+        # Witness chain for the interprocedural rules: a list of
+        # [path, line, col, message] steps ordered source/root -> finding.
+        self.flow = flow or []
 
     def __str__(self):
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def render(self):
+        """Finding line plus its witness chain as indented note: lines."""
+        out = [str(self)]
+        for step in self.flow:
+            out.append(f"    note: {step[0]}:{step[1]}: {step[3]}")
+        return "\n".join(out)
 
     def key(self):
         return (self.path, self.line, self.rule, self.message)
@@ -909,7 +1065,7 @@ def analyze_file(path):
     rel = rel_path(path)
     out = {
         "rel": rel,
-        "findings": [],       # (line, col, rule, message, fix)
+        "findings": [],       # (line, col, rule, message, fix, flow)
         "suppressions": [],
         "classes": [],
         "aliases": {},
@@ -918,6 +1074,8 @@ def analyze_file(path):
         "rangefors": [],      # (line, col, ident, body_start, body_end)
         "begin_calls": [],    # (line, col, ident)
         "accums": [],         # (line, col, ident)
+        "functions": [],      # call-graph nodes with per-body facts (v3)
+        "reserved": [],       # member names some .reserve() call touches
         "error": None,
     }
     try:
@@ -932,8 +1090,8 @@ def analyze_file(path):
 
     findings = []
 
-    def add(line, col, rule, message, fix=None):
-        findings.append((line, col, rule, message, fix))
+    def add(line, col, rule, message, fix=None, flow=None):
+        findings.append((line, col, rule, message, fix, flow or []))
 
     is_header = rel.endswith(".h")
     if is_header:
@@ -950,9 +1108,287 @@ def analyze_file(path):
     check_static_mutable(rel, model, add)
     check_unit_functions(rel, model, add)
     token_checks(rel, tokens, add, out)
+    extract_function_facts(rel, tokens, model, directives, out, add)
 
     out["findings"] = findings
     return out
+
+
+# ----- v3: per-function fact extraction + HIB021 ----------------------------
+
+MACRO_DEF_RE = re.compile(r"^([A-Za-z_]\w*)\((.*?)\)\s*(.*)$", re.S)
+MACRO_CALL_RE = re.compile(r"([A-Za-z_]\w*)\s*\(")
+
+
+def _skip_angle_tokens(tokens, i, end):
+    """tokens[i] == '<'; index past the matching '>' ('>>' counts double),
+    or i if this is not a balanced template argument list."""
+    depth = 0
+    j = i
+    while j < end:
+        t = tokens[j][1]
+        if t == "<":
+            depth += 1
+        elif t == ">":
+            depth -= 1
+            if depth == 0:
+                return j + 1
+        elif t == ">>":
+            depth -= 2
+            if depth <= 0:
+                return j + 1
+        elif t in (";", "{", "}") or depth > 6:
+            return i
+        j += 1
+    return i
+
+
+def extract_function_facts(rel, tokens, model, directives, out, add):
+    """Walks every function body once, recording the facts the
+    interprocedural rules consume:
+
+      calls        [name, recv, qual, line, col]  (recv: `x.F()`; qual: `X::F()`)
+      allocs       ["new"|"make"|"growth", detail, line, col]
+      det_sources  [desc, line, col]              (HIB013-class sources)
+      static_refs  [name, line, col, decl_line]   (mutable statics only)
+      sinks        ["schedule", callee, arg_ids, arg_calls, line, col]
+      assigns      [lhs, rhs_calls, rhs_ids, line, col]  (in body order)
+
+    Function-like #define macros become pseudo-nodes whose calls are the
+    identifiers applied in the replacement text (so HIB_LOG(...) has edges to
+    LogMessage and GlobalLogLevel).  Also runs HIB021 (handle use after
+    release), which is purely intra-function.
+    """
+    n = len(tokens)
+
+    def tk(i):
+        return tokens[i] if 0 <= i < n else ("", "", 0, 0)
+
+    # Mutable statics in this file: file-scope ones match by name anywhere;
+    # function-local ones only inside the declaring body (identifiers like
+    # `level` are too common for cross-function name matching).
+    mutable_statics = []
+    for d in model.static_decls:
+        tl = d["type"]
+        if re.search(r"\b(?:const|constexpr|constinit)\b", tl):
+            continue
+        mutable_statics.append(d)
+
+    bodies = []
+    for fn in model.functions:
+        br = fn.get("body_range")
+        if br:
+            b0, b1 = br
+            fn["body_lines"] = (tk(b0)[2] or fn["line"], tk(b1)[2] or fn["line"])
+            bodies.append((fn, b0, b1))
+        fn.setdefault("calls", [])
+        fn.setdefault("allocs", [])
+        fn.setdefault("det_sources", [])
+        fn.setdefault("static_refs", [])
+        fn.setdefault("sinks", [])
+        fn.setdefault("assigns", [])
+
+    file_static_names = {d["name"]: d for d in mutable_statics
+                         if not any(f["body_lines"][0] <= d["line"] <= f["body_lines"][1]
+                                    for f, _, _ in bodies)}
+
+    # Function-like macros as pseudo call-graph nodes.
+    for name, rest, line in directives:
+        if name != "define":
+            continue
+        m = MACRO_DEF_RE.match(rest)
+        if not m or not m.group(3):
+            continue
+        callees = [c for c in MACRO_CALL_RE.findall(m.group(3))
+                   if c not in CXX_KEYWORDS]
+        if not callees:
+            continue
+        out["functions"].append({
+            "name": m.group(1), "method_class": None, "line": line,
+            "is_virtual": False, "is_macro": True, "has_body": True,
+            "params": [], "calls": [[c, None, None, line, 1] for c in callees],
+            "allocs": [], "det_sources": [], "static_refs": [], "sinks": [],
+            "assigns": []})
+
+    lib = not rel.startswith(DETERMINISM_EXEMPT_PREFIXES)
+
+    def handle_type(name):
+        t = model.locals.get(name) or ""
+        return "PoolHandle" in t
+
+    for fn, b0, b1 in bodies:
+        calls, allocs, det, statics, sinks, assigns = \
+            fn["calls"], fn["allocs"], fn["det_sources"], fn["static_refs"], \
+            fn["sinks"], fn["assigns"]
+        local_static_names = {d["name"]: d for d in mutable_statics
+                              if fn["body_lines"][0] <= d["line"] <= fn["body_lines"][1]}
+        depth = 0
+        released = {}  # handle name -> [depth, line, col, arg_token_index]
+        i = b0
+        while i < b1:
+            kind, text, line, col = tokens[i]
+            if text == "{":
+                depth += 1
+            elif text == "}":
+                depth -= 1
+                for h in [h for h, e in released.items() if e[0] > depth]:
+                    del released[h]  # the scope the release lived in ended
+            elif kind == "id":
+                nxt = tk(i + 1)[1]
+                prv = tk(i - 1)[1]
+
+                # Mutable static reference (reads, writes, and the local
+                # declaration itself).  One record per static per function:
+                # the first touch is the witness, more add only noise.
+                sd = local_static_names.get(text) or file_static_names.get(text)
+                if sd is not None and prv not in (".", "->") \
+                        and not any(s[0] == text for s in statics):
+                    statics.append([text, line, col, sd["line"]])
+
+                # Reassignment revives a released handle; record assigns for
+                # the intra-function taint step.
+                if nxt == "=" and text not in CXX_KEYWORDS:
+                    released.pop(text, None)
+                    rhs_calls, rhs_ids = [], []
+                    j = i + 2
+                    d2 = 0
+                    while j < b1:
+                        t2 = tokens[j][1]
+                        if t2 in ("(", "[", "{"):
+                            d2 += 1
+                        elif t2 in (")", "]", "}"):
+                            d2 -= 1
+                            if d2 < 0:
+                                break
+                        elif t2 in (";", ",") and d2 == 0:
+                            break
+                        elif tokens[j][0] == "id" and t2 not in CXX_KEYWORDS:
+                            j2 = j + 1
+                            if tk(j2)[1] == "<":
+                                j2 = _skip_angle_tokens(tokens, j2, b1)
+                            if tk(j2)[1] == "(":
+                                rhs_calls.append(t2)
+                            else:
+                                rhs_ids.append(t2)
+                        j += 1
+                    assigns.append([text, rhs_calls, rhs_ids, line, col])
+                    i += 1
+                    continue
+
+                # HIB021: a released handle touched again.
+                if text in released and i != released[text][3]:
+                    e = released[text]
+                    if not rel.startswith(INTERPROC_EXEMPT_PREFIXES):
+                        add(line, col, "HIB021",
+                            f"'{text}' is used after Release({text}); the pool "
+                            "slot may already be reacquired (generation bump) — "
+                            "Release must be the last touch of a handle",
+                            flow=[[rel, e[1], e[2], f"'{text}' released here"],
+                                  [rel, line, col, f"'{text}' used here"]])
+                    del released[text]  # one finding per release site
+
+                # Call site (including `F<T>(...)`).
+                callpos = None
+                if text not in CXX_KEYWORDS:
+                    if nxt == "(":
+                        callpos = i + 1
+                    elif nxt == "<":
+                        j2 = _skip_angle_tokens(tokens, i + 1, b1)
+                        if j2 > i + 1 and tk(j2)[1] == "(":
+                            callpos = j2
+                if callpos is not None:
+                    recv = qual = None
+                    if prv in (".", "->") and tk(i - 2)[0] == "id":
+                        recv = tk(i - 2)[1]
+                    elif prv == "::" and tk(i - 2)[0] == "id":
+                        qual = tk(i - 2)[1]
+                    calls.append([text, recv, qual, line, col])
+
+                    close = _find_matching_close(tokens, callpos)
+                    arg_ids, arg_calls = [], []
+                    d2 = 0
+                    for j in range(callpos + 1, close):
+                        t2 = tokens[j][1]
+                        if t2 in ("(", "[", "{"):
+                            d2 += 1
+                        elif t2 in (")", "]", "}"):
+                            d2 -= 1
+                        elif tokens[j][0] == "id" and t2 not in CXX_KEYWORDS:
+                            if tk(j + 1)[1] == "(":
+                                arg_calls.append(t2)
+                            elif d2 == 0:
+                                arg_ids.append(t2)
+
+                    if text == "reserve" and recv:
+                        out["reserved"].append(recv)
+                    elif text in ("push_back", "emplace_back") and recv:
+                        allocs.append(["growth", recv, line, col])
+                    elif text in ("make_shared", "make_unique"):
+                        allocs.append(["make", text, line, col])
+                    elif text in SCHEDULE_SINKS:
+                        sinks.append(["schedule", text, arg_ids, arg_calls,
+                                      line, col])
+                    elif text == "Release" and len(arg_ids) == 1 \
+                            and handle_type(arg_ids[0]):
+                        h = arg_ids[0]
+                        hidx = next((j for j in range(callpos + 1, close)
+                                     if tokens[j][1] == h), -1)
+                        if h in released:
+                            if not rel.startswith(INTERPROC_EXEMPT_PREFIXES):
+                                e = released[h]
+                                add(line, col, "HIB021",
+                                    f"double Release({h}): the handle was "
+                                    "already released on this path",
+                                    flow=[[rel, e[1], e[2],
+                                           f"'{h}' released here"],
+                                          [rel, line, col,
+                                           f"'{h}' released again here"]])
+                        released[h] = [depth, line, col, hidx]
+
+                    # Seed-flavoured setter calls count as seed sinks too
+                    # (SetSeed(t), Reseed(t), ...).
+                    if SEED_NAME_RE.search(text) and (arg_ids or arg_calls):
+                        sinks.append(["seedcall", text, arg_ids, arg_calls,
+                                      line, col])
+
+                # HIB013-class determinism sources (recorded everywhere;
+                # gated by path at finding time).
+                if text in WALL_CLOCK_IDS and (prv != "::" or tk(i - 2)[1]
+                                               in ("std", "chrono")):
+                    det.append([text, line, col])
+                elif text in WALL_CLOCK_CALLS and nxt == "(" \
+                        and prv not in (".", "->") \
+                        and (prv != "::" or tk(i - 2)[1] == "std"):
+                    det.append([text + "()", line, col])
+                elif text == "new" and prv != "operator":
+                    allocs.append(["new", None, line, col])
+                elif text == "reinterpret_cast" and nxt == "<":
+                    j2 = _skip_angle_tokens(tokens, i + 1, b1)
+                    inner = {tokens[j][1] for j in range(i + 2, max(i + 2, j2 - 1))}
+                    if inner & INT_CAST_TYPES:
+                        det.append(["pointer-to-integer cast", line, col])
+
+            i += 1
+
+        # Seed member assignment is a HIB020 sink; fold assign-shaped sinks
+        # out of the generic assign list.
+        for lhs, rhs_calls, rhs_ids, line, col in assigns:
+            if SEED_NAME_RE.search(lhs):
+                sinks.append(["seedassign", lhs, rhs_ids, rhs_calls, line, col])
+
+    # Publish pickle/JSON-clean nodes (drop parser-internal fields).
+    for fn in model.functions:
+        out["functions"].append({
+            "name": fn["name"], "method_class": fn.get("method_class"),
+            "line": fn["line"], "is_virtual": fn.get("is_virtual", False),
+            "is_macro": False, "has_body": bool(fn.get("body_range")),
+            "params": [[" ".join(pt) if not isinstance(pt, str) else pt, pn]
+                       for pt, pn, *_ in fn.get("params", [])],
+            "calls": fn.get("calls", []), "allocs": fn.get("allocs", []),
+            "det_sources": fn.get("det_sources", []),
+            "static_refs": fn.get("static_refs", []),
+            "sinks": fn.get("sinks", []), "assigns": fn.get("assigns", [])})
+    out["reserved"] = sorted(set(out["reserved"]))
 
 
 def check_include_guard(rel, text, directives, add):
@@ -1038,7 +1474,8 @@ def token_checks(rel, tokens, add, out):
     raw_out_ok = rel.startswith(RAW_OUTPUT_ALLOWED_PREFIXES)
     value_ok = rel.startswith(VALUE_ALLOWED_PREFIXES)
     conv_ok = rel.startswith(HAND_CONVERSION_EXEMPT_PREFIXES)
-    hot_alloc = rel.startswith(HOT_ALLOC_PREFIXES)
+    hot_alloc = rel.startswith(HOT_ALLOC_PREFIXES) \
+        and not rel.startswith(HIB017_EXEMPT_PREFIXES)
 
     def tk(i):
         return tokens[i] if 0 <= i < n else ("", "", 0, 0)
@@ -1253,6 +1690,7 @@ def build_index(results):
     class_members = {}
     aliases = {}
     member_types = {}
+    class_bases = {}
     for r in results:
         for cls in r["classes"]:
             if not cls["name"]:
@@ -1261,9 +1699,13 @@ def build_index(results):
             for mem in cls["members"]:
                 m[mem["name"]] = mem["type"]
                 member_types.setdefault(mem["name"], set()).add(mem["type"])
+            for b in cls.get("bases", []):
+                class_bases.setdefault(cls["name"], [])
+                if b not in class_bases[cls["name"]]:
+                    class_bases[cls["name"]].append(b)
         aliases.update(r["aliases"])
     return {"class_members": class_members, "aliases": aliases,
-            "member_types": member_types}
+            "member_types": member_types, "class_bases": class_bases}
 
 
 def resolve_type(name, fileres, index):
@@ -1307,12 +1749,17 @@ def is_scalar_type(type_str, aliases):
 
 
 def cross_file_checks(results, index):
-    """HIB011 / HIB014 / HIB015 need the merged symbol index."""
+    """HIB011 / HIB014 / HIB015 need the merged symbol index.
+
+    Findings go into r["xfindings"], not r["findings"]: the per-file lists
+    are what the incremental cache stores, and cross-file conclusions must
+    not be frozen into them (another file changing can change the verdict).
+    """
     aliases = index["aliases"]
     for r in results:
         rel = r["rel"]
-        add = lambda line, col, rule, msg: r["findings"].append(
-            (line, col, rule, msg, None))
+        add = lambda line, col, rule, msg: r["xfindings"].append(
+            (line, col, rule, msg, None, []))
 
         if not rel.startswith(DETERMINISM_EXEMPT_PREFIXES):
             unordered_bodies = []
@@ -1357,6 +1804,348 @@ def cross_file_checks(results, index):
                             "is a run-to-run divergence seed")
 
 
+# ============================ interprocedural (v3) ==========================
+
+def _node_name(key):
+    return f"{key[0]}::{key[1]}" if key[0] else key[1]
+
+
+def _ancestors(cls, class_bases):
+    seen = []
+    stack = list(class_bases.get(cls, []))
+    while stack:
+        b = stack.pop(0)
+        if b in seen:
+            continue
+        seen.append(b)
+        stack.extend(class_bases.get(b, []))
+    return seen
+
+
+def build_call_graph(results, index):
+    """Merges every file's function nodes into one graph.
+
+    Returns {"nodes", "edges", "resolve"}:
+      nodes:   (class, name) -> {"defs": [(fileres, fn)], "is_virtual": bool}
+               class is "" for free functions and function-like macros.
+      edges:   key -> [(target_key, (rel, line, col, callee_text)), ...]
+      resolve: (fileres, fn, name, recv, qual) -> [target keys] — the same
+               resolution the edges used, for on-demand queries (taint RHS).
+
+    Resolution order for `recv.F(...)`: the receiver's declared type (params,
+    then locals/members via the symbol index, aliases unwound), first known
+    class named in it, then that class's bases.  Virtual calls fan out to
+    every transitive overrider.  Unresolvable receivers fall back to the
+    unique class defining a method of that name (safe: ambiguity means no
+    edge, never a wrong-but-plausible one).
+    """
+    nodes = {}
+    for r in results:
+        for fn in r["functions"]:
+            key = (fn.get("method_class") or "", fn["name"])
+            node = nodes.setdefault(key, {"defs": [], "is_virtual": False})
+            node["defs"].append((r, fn))
+            node["is_virtual"] = node["is_virtual"] or fn.get("is_virtual", False)
+
+    class_bases = index["class_bases"]
+    class_set = {c for c, _ in nodes if c}
+    descendants = {}
+    for c in class_set | set(class_bases):
+        for a in _ancestors(c, class_bases):
+            descendants.setdefault(a, []).append(c)
+    methods_of = {}
+    for c, m in nodes:
+        if c:
+            methods_of.setdefault(m, []).append(c)
+
+    def find_method(cls, name):
+        for c in [cls] + _ancestors(cls, class_bases):
+            if (c, name) in nodes:
+                return (c, name)
+        return None
+
+    def unique_method(name):
+        cand = methods_of.get(name, [])
+        return (cand[0], name) if len(cand) == 1 else None
+
+    def resolve(r, fn, name, recv, qual):
+        base = None
+        if qual:
+            if qual in class_set or qual in class_bases:
+                base = find_method(qual, name)
+            if base is None and ("", name) in nodes:
+                base = ("", name)
+        elif recv is None or recv == "this":
+            mc = fn.get("method_class") or ""
+            if mc:
+                base = find_method(mc, name)
+            if base is None and ("", name) in nodes:
+                base = ("", name)
+            if base is None:
+                base = unique_method(name)
+        else:
+            tstr = None
+            for p in fn.get("params", []):
+                if len(p) >= 2 and p[1] == recv:
+                    tstr = p[0]
+                    break
+            if tstr is None:
+                tstr = resolve_type(recv, r, index)
+            tstr = resolve_alias(tstr, index["aliases"])
+            cls = None
+            if tstr:
+                for tok in re.findall(r"[A-Za-z_]\w*", tstr):
+                    if tok in class_set:
+                        cls = tok
+                        break
+            if cls:
+                base = find_method(cls, name)
+            if base is None:
+                base = unique_method(name)
+        if base is None:
+            return []
+        targets = [base]
+        if base[0] and nodes[base]["is_virtual"]:
+            for d in sorted(descendants.get(base[0], [])):
+                if (d, name) in nodes and (d, name) != base:
+                    targets.append((d, name))
+        return targets
+
+    edges = {}
+    for key in sorted(nodes):
+        elist = []
+        for r, fn in nodes[key]["defs"]:
+            for call in fn.get("calls", []):
+                name, recv, qual, line, col = call
+                for tgt in resolve(r, fn, name, recv, qual):
+                    elist.append((tgt, (r["rel"], line, col, name)))
+        edges[key] = elist
+    return {"nodes": nodes, "edges": edges, "resolve": resolve}
+
+
+def _reach(roots, graph):
+    """BFS; returns {key: None | (parent_key, callsite)} for every node
+    reachable from the roots that exist in the graph."""
+    nodes, edges = graph["nodes"], graph["edges"]
+    parents = {}
+    queue = []
+    for root in roots:
+        root = tuple(root)
+        if root in nodes and root not in parents:
+            parents[root] = None
+            queue.append(root)
+    qi = 0
+    while qi < len(queue):
+        cur = queue[qi]
+        qi += 1
+        for tgt, site in edges.get(cur, []):
+            if tgt not in parents:
+                parents[tgt] = (cur, site)
+                queue.append(tgt)
+    return parents
+
+
+def _chain(key, parents, graph, root_label):
+    """Witness steps (root first) from the entry point down to `key`.
+    Returns (steps, root_key)."""
+    steps = []
+    cur = key
+    while parents.get(cur) is not None:
+        prev, site = parents[cur]
+        steps.append([site[0], site[1], site[2],
+                      f"'{_node_name(prev)}' calls '{_node_name(cur)}' here"])
+        cur = prev
+    r, fn = graph["nodes"][cur]["defs"][0]
+    for rr, ff in graph["nodes"][cur]["defs"]:
+        if ff.get("has_body"):
+            r, fn = rr, ff
+            break
+    steps.append([r["rel"], fn["line"], 1,
+                  f"{root_label} '{_node_name(cur)}' defined here"])
+    steps.reverse()
+    return steps, cur
+
+
+def interprocedural_checks(results, index):
+    """HIB018 / HIB019 / HIB020 on the merged call graph.  Findings land in
+    the owning file's xfindings with a root->site witness chain."""
+    graph = build_call_graph(results, index)
+    nodes, resolve = graph["nodes"], graph["resolve"]
+    by_rel = {r["rel"]: r for r in results}
+    reserved = set()
+    for r in results:
+        reserved.update(r.get("reserved", []))
+
+    def emit(rel, line, col, rule, msg, flow):
+        r = by_rel.get(rel)
+        if r is not None:
+            r["xfindings"].append((line, col, rule, msg, None, flow))
+
+    # ---- HIB018: transitive hot-path allocation ----
+    parents = _reach(HOT_PATH_ROOTS, graph)
+    seen = set()
+    for key in sorted(parents):
+        for r, fn in nodes[key]["defs"]:
+            rel = r["rel"]
+            if rel.startswith(INTERPROC_EXEMPT_PREFIXES):
+                continue
+            for akind, detail, line, col in fn.get("allocs", []):
+                if (rel, line, col) in seen:
+                    continue
+                if akind == "growth":
+                    t = resolve_alias(resolve_type(detail, r, index),
+                                      index["aliases"]) or ""
+                    if "vector" not in t or "SmallVector" in t:
+                        continue  # SmallVector spill is the sanctioned path
+                    if detail in reserved:
+                        continue  # some reserve() call sizes this member
+                    msg = (f"'{detail}.push_back' grows an unreserved "
+                           "std::vector on the dispatch hot path; reserve() it "
+                           "at setup or use SmallVector")
+                elif akind == "make":
+                    msg = (f"'{detail}' allocates on the dispatch hot path; "
+                           "hoist to setup or route through SlotPool")
+                else:
+                    msg = ("new expression reachable from the dispatch hot "
+                           "path; the per-request layers are allocation-free "
+                           "by design — use SlotPool / SmallVector")
+                seen.add((rel, line, col))
+                steps, root = _chain(key, parents, graph, "dispatch root")
+                steps.append([rel, line, col, "allocation here"])
+                emit(rel, line, col, "HIB018",
+                     msg + f" (reachable from '{_node_name(root)}')", steps)
+
+    # ---- HIB019: mutable static state reachable from shard entry points ----
+    parents = _reach(SHARD_ROOTS, graph)
+    seen = set()
+    for key in sorted(parents):
+        for r, fn in nodes[key]["defs"]:
+            rel = r["rel"]
+            if rel.startswith(INTERPROC_EXEMPT_PREFIXES) \
+                    or rel.startswith(SHARD_MERGE_PREFIXES):
+                continue
+            for name, line, col, decl_line in fn.get("static_refs", []):
+                if (rel, line, col) in seen:
+                    continue
+                seen.add((rel, line, col))
+                steps, root = _chain(key, parents, graph, "shard entry point")
+                steps.append([rel, line, col,
+                              f"static '{name}' (declared at {rel}:{decl_line}) "
+                              "touched here"])
+                emit(rel, line, col, "HIB019",
+                     f"mutable static '{name}' is reachable from shard entry "
+                     f"point '{_node_name(root)}'; even synchronised static "
+                     "state makes shard results depend on interleaving — "
+                     "communicate through the harness merge "
+                     "(src/harness/parallel.h) instead", steps)
+
+    # ---- HIB020: determinism taint into timestamps / seeds / src/sim ----
+    tainted = {}  # key -> witness steps, source first
+    for key in sorted(nodes):
+        for r, fn in nodes[key]["defs"]:
+            if fn.get("det_sources"):
+                d = fn["det_sources"][0]
+                tainted[key] = [[r["rel"], d[1], d[2],
+                                 f"nondeterministic source '{d[0]}' read here"]]
+                break
+    changed = True
+    while changed:
+        changed = False
+        for key in sorted(nodes):
+            if key in tainted:
+                continue
+            for tgt, site in graph["edges"].get(key, []):
+                if tgt in tainted:
+                    tainted[key] = tainted[tgt] + [
+                        [site[0], site[1], site[2],
+                         f"'{_node_name(key)}' takes a tainted value from "
+                         f"'{_node_name(tgt)}' here"]]
+                    changed = True
+                    break
+
+    def first_tainted(r, fn, names):
+        for cname in names:
+            for tgt in resolve(r, fn, cname, None, None):
+                if tgt in tainted:
+                    return cname, tgt
+        return None, None
+
+    seen = set()
+    for key in sorted(nodes):
+        for r, fn in nodes[key]["defs"]:
+            rel = r["rel"]
+            if rel.startswith(INTERPROC_EXEMPT_PREFIXES):
+                continue
+            events = [("assign",) + tuple(a) for a in fn.get("assigns", [])] \
+                + [("sink",) + tuple(s) for s in fn.get("sinks", [])]
+            events.sort(key=lambda e: (e[-2], e[-1], e[0]))
+            local_taint = {}
+            for ev in events:
+                if ev[0] == "assign":
+                    _, lhs, rhs_calls, rhs_ids, line, col = ev
+                    cname, tgt = first_tainted(r, fn, rhs_calls)
+                    if tgt is not None:
+                        local_taint[lhs] = tainted[tgt] + [
+                            [rel, line, col,
+                             f"'{lhs}' derives from tainted call "
+                             f"'{cname}(...)' here"]]
+                        continue
+                    for rid in rhs_ids:
+                        if rid in local_taint:
+                            local_taint[lhs] = local_taint[rid] + [
+                                [rel, line, col,
+                                 f"'{lhs}' derives from tainted '{rid}' here"]]
+                            break
+                else:
+                    _, skind, sname, arg_ids, arg_calls, line, col = ev
+                    if (rel, line, col, skind) in seen:
+                        continue
+                    witness = None
+                    via = None
+                    cname, tgt = first_tainted(r, fn, arg_calls)
+                    if tgt is not None:
+                        witness = tainted[tgt]
+                        via = f"call '{cname}(...)'"
+                    else:
+                        for aid in arg_ids:
+                            if aid in local_taint:
+                                witness = local_taint[aid]
+                                via = f"'{aid}'"
+                                break
+                    if witness is None:
+                        continue
+                    seen.add((rel, line, col, skind))
+                    if skind == "schedule":
+                        msg = (f"tainted value reaches event scheduling via "
+                               f"{via} in '{sname}(...)'; event timestamps "
+                               "must derive from SimTime only")
+                    elif skind == "seedassign":
+                        msg = (f"seed '{sname}' is assigned a tainted value "
+                               f"via {via}; seeds must come from the "
+                               "experiment spec")
+                    else:
+                        msg = (f"tainted value reaches '{sname}(...)' via "
+                               f"{via}; seeds must come from the experiment "
+                               "spec")
+                    emit(rel, line, col, "HIB020", msg,
+                         witness + [[rel, line, col, "sink here"]])
+
+            # The src/sim blanket sink: any call to a tainted function from
+            # the simulator core is a determinism leak even without a
+            # recognised timestamp/seed shape.
+            if rel.startswith("src/sim/"):
+                for cname, recv, qual, line, col in fn.get("calls", []):
+                    for tgt in resolve(r, fn, cname, recv, qual):
+                        if tgt in tainted and (rel, line, col, "sim") not in seen:
+                            seen.add((rel, line, col, "sim"))
+                            emit(rel, line, col, "HIB020",
+                                 f"'{cname}(...)' returns a wall-clock/"
+                                 "randomness-derived value inside src/sim; "
+                                 "the simulator core must be replayable",
+                                 tainted[tgt] + [[rel, line, col, "sink here"]])
+                            break
+
+
 # ============================ suppression filtering =========================
 
 def apply_suppressions(results):
@@ -1369,18 +2158,20 @@ def apply_suppressions(results):
         sups = r["suppressions"]
         by_line = {}
         for s in sups:
+            s["used"] = False  # results may come from the cache, reset state
             by_line.setdefault(s["target_line"], []).append(s)
-        for line, col, rule, msg, fix in r["findings"]:
+        for line, col, rule, msg, fix, flow in \
+                list(r["findings"]) + list(r.get("xfindings", [])):
             suppressed = False
             for s in by_line.get(line, []):
-                if s["rules"] == "*" or rule in s["rules"]:
+                if rule in s["rules"]:
                     s["used"] = True
                     suppressed = True
             if not suppressed:
-                final.append(Finding(rel, line, rule, msg, col, fix))
+                final.append(Finding(rel, line, rule, msg, col, fix, flow))
         for s in sups:
             if not s["used"]:
-                rules = "all rules" if s["rules"] == "*" else ", ".join(sorted(s["rules"]))
+                rules = ", ".join(sorted(s["rules"]))
                 final.append(Finding(
                     rel, s["decl_line"], "HIB099",
                     f"unused suppression ({rules}): nothing on the target line "
@@ -1401,20 +2192,36 @@ def write_sarif(path, findings, files_scanned):
             "fullDescription": {"text": desc},
             "defaultConfiguration": {"level": "error"},
         })
+    def location(path, line, col, message=None):
+        loc = {
+            "physicalLocation": {
+                "artifactLocation": {"uri": path, "uriBaseId": "%SRCROOT%"},
+                "region": {"startLine": max(1, line),
+                           "startColumn": max(1, col)},
+            }
+        }
+        if message is not None:
+            loc["message"] = {"text": message}
+        return loc
+
     results = []
     for f in findings:
-        results.append({
+        res = {
             "ruleId": f.rule,
             "level": "error",
             "message": {"text": f.message},
-            "locations": [{
-                "physicalLocation": {
-                    "artifactLocation": {"uri": f.path, "uriBaseId": "%SRCROOT%"},
-                    "region": {"startLine": max(1, f.line),
-                               "startColumn": max(1, f.col)},
-                }
-            }],
-        })
+            "locations": [location(f.path, f.line, f.col)],
+        }
+        if f.flow:
+            res["codeFlows"] = [{
+                "threadFlows": [{
+                    "locations": [
+                        {"location": location(step[0], step[1], step[2], step[3])}
+                        for step in f.flow
+                    ]
+                }]
+            }]
+        results.append(res)
     doc = {
         "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
         "version": "2.1.0",
@@ -1422,7 +2229,7 @@ def write_sarif(path, findings, files_scanned):
             "tool": {
                 "driver": {
                     "name": "simlint",
-                    "version": "2.0.0",
+                    "version": SIMLINT_VERSION,
                     "informationUri":
                         "https://github.com/hibernator-sim/hibernator"
                         "#verification--static-analysis",
@@ -1540,25 +2347,182 @@ def gather_files(paths):
     return files
 
 
-def run_analysis(files, jobs):
-    if jobs > 1 and len(files) > 8:
+# --- incremental cache ------------------------------------------------------
+# Per-file analysis results keyed by content hash + engine version.  Only the
+# pure per-file model is cached (findings, suppressions, declarations, facts);
+# cross-file and interprocedural conclusions (xfindings) are recomputed every
+# run, so a cached file still picks up verdict changes caused by *other*
+# files changing.
+
+DEFAULT_CACHE = os.path.join(REPO_ROOT, ".simlint-cache.json")
+
+
+def load_cache(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            cache = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return {"version": SIMLINT_VERSION, "files": {}}
+    if cache.get("version") != SIMLINT_VERSION:
+        return {"version": SIMLINT_VERSION, "files": {}}
+    cache.setdefault("files", {})
+    return cache
+
+
+def save_cache(path, cache):
+    # Prune entries whose file no longer exists (tmp fixtures, renames).
+    cache["files"] = {
+        rel: entry for rel, entry in cache["files"].items()
+        if os.path.exists(os.path.join(REPO_ROOT, rel)) or os.path.exists(rel)
+    }
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(cache, fh, separators=(",", ":"))
+        os.replace(tmp, path)
+    except OSError:
+        pass  # caching is best-effort; never fail the lint over it
+
+
+def run_analysis(files, jobs, cache_path=None):
+    cache = load_cache(cache_path) if cache_path else None
+    hashes = {}
+    todo = []
+    results_by_path = {}
+    for path in files:
+        try:
+            with open(path, "rb") as fh:
+                digest = hashlib.sha256(fh.read()).hexdigest()
+        except OSError:
+            digest = None
+        hashes[path] = digest
+        rel = rel_path(path)
+        entry = cache["files"].get(rel) if (cache and digest) else None
+        if entry and entry.get("hash") == digest:
+            results_by_path[path] = entry["result"]
+        else:
+            todo.append(path)
+
+    if jobs > 1 and len(todo) > 8:
         try:
             with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
-                results = list(pool.map(analyze_file, files, chunksize=4))
+                fresh = list(pool.map(analyze_file, todo, chunksize=4))
         except (OSError, concurrent.futures.process.BrokenProcessPool):
-            results = [analyze_file(p) for p in files]
+            fresh = [analyze_file(p) for p in todo]
     else:
-        results = [analyze_file(p) for p in files]
+        fresh = [analyze_file(p) for p in todo]
+    for path, res in zip(todo, fresh):
+        results_by_path[path] = res
+
+    results = [results_by_path[p] for p in files]
+    if cache is not None:
+        for path in todo:
+            digest = hashes.get(path)
+            res = results_by_path[path]
+            if digest and not res.get("error"):
+                cache["files"][res["rel"]] = {"hash": digest, "result": res}
+        save_cache(cache_path, cache)
+
+    for r in results:
+        r["xfindings"] = []
     index = build_index(results)
     cross_file_checks(results, index)
+    interprocedural_checks(results, index)
     return apply_suppressions(results)
+
+
+# --- --explain ---------------------------------------------------------------
+
+EXPLAIN = {
+    "HIB017": (
+        "The dispatch hot path (src/array, src/sim) is allocation-free by "
+        "design: requests live in SlotPool slots, scratch state in SmallVector "
+        "inline storage.  A make_shared or new expression there reintroduces "
+        "per-request heap traffic — the exact regression the pooling work "
+        "removed.  HIB017 is the fast syntactic tier: it only sees the "
+        "allocation's own file.  Its interprocedural big sibling is HIB018.",
+        "bad_hot_alloc.cc"),
+    "HIB018": (
+        "A hot-path function calling an allocating helper in another file is "
+        "invisible to the syntactic HIB017.  HIB018 closes that gap: it walks "
+        "the cross-TU call graph from the dispatch roots "
+        "(ArrayController::Submit, Disk::Submit, EventQueue::FireNext) and "
+        "flags every reachable allocation — new, make_shared/make_unique, and "
+        "push_back growth of a std::vector member no reserve() ever sizes.  "
+        "Each finding carries the full call chain as its witness.",
+        "interproc/alloc_helper.cc"),
+    "HIB019": (
+        "RunAll / FleetSimulator shards must produce bit-identical results "
+        "regardless of worker count or scheduling.  Any mutable static or "
+        "singleton state reachable from a shard entry point breaks that: even "
+        "an atomic counter makes results depend on thread interleaving.  "
+        "Shards may only communicate through the deterministic merge in "
+        "src/harness/parallel.h; HIB019 walks the call graph from the shard "
+        "entry points and flags every touch of static state outside it.",
+        "interproc/shard_static.cc"),
+    "HIB020": (
+        "HIB013 flags a wall-clock or randomness *source* in the file that "
+        "reads it, but the damage happens where the value lands: an event "
+        "timestamp, a PRNG seed, or anything inside src/sim.  HIB020 tracks "
+        "taint through returns and locals across translation units and "
+        "reports the source-to-sink path, so a time() hidden behind two "
+        "helpers still cannot reach ScheduleAt.",
+        "interproc/taint_sink.cc"),
+    "HIB021": (
+        "SlotPool generations mean a released handle may refer to a "
+        "recycled slot: Get() after Release() is a use-after-free with extra "
+        "steps.  The reentrant-Submit ordering contract requires Release to "
+        "be the last touch — completion hooks run after the slot is given "
+        "back.  HIB021 does intra-function def-use on PoolHandle lvalues and "
+        "flags any use lexically after Release(handle) on the same path "
+        "(reassignment or leaving the releasing scope clears the state).",
+        "bad_handle_reuse.cc"),
+}
+
+
+def explain_rule(rule):
+    rule = rule.upper()
+    if rule not in RULES:
+        print(f"simlint: unknown rule {rule}", file=sys.stderr)
+        return 2
+    name, desc = RULES[rule]
+    print(f"{rule} ({name}): {desc}\n")
+    rationale, fixture = EXPLAIN.get(rule, (None, None))
+    if rationale:
+        print(rationale + "\n")
+    if fixture is None:
+        # The v2 rules' fixtures are named after the rule slug.
+        fixture = f"bad_{name.replace('-', '_')}.cc"
+        fixtures_dir = os.path.join(REPO_ROOT, "tools", "simlint_fixtures")
+        if not os.path.exists(os.path.join(fixtures_dir, fixture)):
+            cands = [c for c in sorted(os.listdir(fixtures_dir))
+                     if name.split("-")[-1] in c]
+            if not cands:
+                print("(no minimal repro registered for this rule)")
+                return 0
+            fixture = cands[0]
+    path = os.path.join(REPO_ROOT, "tools", "simlint_fixtures", fixture)
+    try:
+        with open(path, encoding="utf-8") as fh:
+            repro = fh.read()
+    except OSError:
+        print(f"(fixture {fixture} not found)")
+        return 0
+    print(f"Minimal repro (tools/simlint_fixtures/{fixture}):\n")
+    for ln in repro.rstrip("\n").splitlines():
+        print(f"    {ln}")
+    return 0
 
 
 def main(argv):
     parser = argparse.ArgumentParser(prog="simlint", add_help=True,
-                                     description="Hibernator repo lint (token engine)")
+                                     description="Hibernator repo lint "
+                                                 "(interprocedural token engine)")
     parser.add_argument("paths", nargs="*", help="files or directories to scan")
     parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--explain", metavar="HIBxxx",
+                        help="print a rule's rationale and its fixture's "
+                             "minimal repro, then exit")
     parser.add_argument("--sarif", metavar="FILE",
                         help="write findings as SARIF 2.1.0 to FILE")
     parser.add_argument("--fix", action="store_true",
@@ -1566,6 +2530,11 @@ def main(argv):
                              "to-seconds conversions), then report the rest")
     parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
                         help="parallel worker processes (default: cpu count)")
+    parser.add_argument("--cache", metavar="FILE", default=DEFAULT_CACHE,
+                        help="incremental cache file "
+                             "(default: <repo>/.simlint-cache.json)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the incremental cache")
     try:
         args = parser.parse_args(argv[1:])
     except SystemExit as e:
@@ -1575,25 +2544,28 @@ def main(argv):
         for rule, (name, description) in sorted(RULES.items()):
             print(f"{rule}  {name:<20} {description}")
         return 0
+    if args.explain:
+        return explain_rule(args.explain)
 
     paths = args.paths
     if not paths:
         os.chdir(REPO_ROOT)
         paths = DEFAULT_PATHS
     files = gather_files(paths)
-    findings = run_analysis(files, max(1, args.jobs))
+    cache_path = None if args.no_cache else args.cache
+    findings = run_analysis(files, max(1, args.jobs), cache_path)
 
     if args.fix:
         num_fixed, fixed_keys = apply_fixes(findings)
         if num_fixed:
             print(f"simlint: fixed {num_fixed} finding(s); re-checking", file=sys.stderr)
-            findings = run_analysis(files, max(1, args.jobs))
+            findings = run_analysis(files, max(1, args.jobs), cache_path)
         else:
             print("simlint: nothing fixable", file=sys.stderr)
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
     for finding in findings:
-        print(finding)
+        print(finding.render())
     if args.sarif:
         write_sarif(args.sarif, findings, len(files))
     if findings:

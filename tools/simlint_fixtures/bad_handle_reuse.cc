@@ -1,0 +1,40 @@
+// Known-bad fixture: HIB021 — pool-handle use-after-release.  Release bumps
+// the slot generation, so any later use of the same handle is at best a
+// CHECK failure and at worst an ABA alias of the slot's next tenant.
+namespace fixture {
+
+struct PoolHandle {
+  unsigned index = 0;
+  unsigned generation = 0;
+};
+
+struct FakePool {
+  PoolHandle Acquire();
+  int Get(PoolHandle h);
+  void Release(PoolHandle h);
+};
+
+int Drive(FakePool& pool) {
+  PoolHandle h = pool.Acquire();
+  int value = pool.Get(h);
+  pool.Release(h);
+  return value + pool.Get(h);  // finding: handle used after Release
+}
+
+int SafeBranch(FakePool& pool, bool cancel) {
+  PoolHandle h = pool.Acquire();
+  if (cancel) {
+    pool.Release(h);  // release confined to this branch...
+    return 0;
+  }
+  return pool.Get(h);  // ...so this use is fine
+}
+
+int Reacquire(FakePool& pool) {
+  PoolHandle h = pool.Acquire();
+  pool.Release(h);
+  h = pool.Acquire();  // reassignment makes the handle fresh again
+  return pool.Get(h);
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Interproc fixture: an allocating helper one file away from the hot path.
+// Nothing here is syntactically hot, so HIB017 stays quiet; both findings
+// exist only because hot_submit.cc's ArrayController::Submit reaches this
+// method through the call graph (HIB018).
+#include <vector>
+
+namespace fixture {
+
+class Planner {
+ public:
+  int PlanTargets(int request) {
+    targets_.push_back(request);  // finding: unreserved member growth, hot-reachable
+    int* scratch = new int(request);  // finding: new expression, hot-reachable
+    int planned = *scratch;
+    delete scratch;
+    return planned;
+  }
+
+ private:
+  std::vector<int> targets_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Interproc fixture: the hot-path root.  ArrayController::Submit is itself
+// allocation-free — the violations live in Planner::PlanTargets over in
+// alloc_helper.cc, which HIB017's per-file syntactic scan can never see.
+// HIB018 walks the call graph from Submit and reports them with the call
+// chain as witness.
+namespace fixture {
+
+class Planner;
+
+class ArrayController {
+ public:
+  int Submit(int request) {
+    Planner planner;
+    return planner.PlanTargets(request);
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Interproc fixture: the shard entry point.  RunExperiment fans work out to
+// CounterSink::Count (shard_static.cc), which bumps file-scope static state.
+// Per-file checks pass — the static is an atomic, so HIB006's torn-write
+// heuristic has nothing to say — but shards racing on it break bit-identical
+// replay, which is exactly what HIB019 exists to catch.
+namespace fixture {
+
+class CounterSink;
+
+int RunExperiment(CounterSink& sink, int shards) {
+  int total = 0;
+  for (int i = 0; i < shards; ++i) {
+    total += sink.Count(i);
+  }
+  return total;
+}
+
+}  // namespace fixture

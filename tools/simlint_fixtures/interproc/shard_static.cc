@@ -1,0 +1,18 @@
+// Interproc fixture: mutable static state reachable from a shard entry point.
+// Atomic, so it never tears — but shard execution order still leaks into the
+// value, which is a determinism race, not a memory race (HIB019).
+#include <atomic>
+
+namespace fixture {
+
+static std::atomic<int> g_hits{0};
+
+class CounterSink {
+ public:
+  int Count(int shard) {
+    g_hits += shard;  // finding: shard-reachable mutable static
+    return g_hits.load();
+  }
+};
+
+}  // namespace fixture

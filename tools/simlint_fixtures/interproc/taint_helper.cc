@@ -1,0 +1,12 @@
+// Interproc fixture: a nondeterminism source behind a helper.  The wall-clock
+// read is flagged per-file (HIB013); the interesting part is that the return
+// value taints every caller, which HIB020 tracks into sinks in taint_sink.cc.
+#include <ctime>
+
+namespace fixture {
+
+long NowTicks() {
+  return static_cast<long>(time(nullptr));  // finding: wall clock (HIB013)
+}
+
+}  // namespace fixture

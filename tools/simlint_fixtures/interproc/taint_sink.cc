@@ -1,0 +1,24 @@
+// Interproc fixture: HIB013-source-derived values reaching determinism sinks.
+// NowTicks (taint_helper.cc) returns a wall-clock read; routing it into an
+// event timestamp or a seed makes every run unrepeatable (HIB020).
+namespace fixture {
+
+class EventQueue;
+
+class Replayer {
+ public:
+  void Configure(EventQueue& q);
+
+ private:
+  long seed_ = 0;
+};
+
+long NowTicks();
+
+void Replayer::Configure(EventQueue& q) {
+  long t = NowTicks();
+  q.ScheduleAt(t, 1);  // finding: tainted value becomes an event timestamp
+  seed_ = t;  // finding: tainted value becomes a seed
+}
+
+}  // namespace fixture

@@ -1,15 +1,19 @@
 #!/usr/bin/env python3
-"""Self-test for tools/simlint.py (the v2 token engine).
+"""Self-test for tools/simlint.py (the v3 interprocedural engine).
 
 Covers:
   * every known-bad fixture trips *exactly* its expected rule(s);
   * the clean fixtures (clean.h, tokenizer_torture.h) produce nothing —
     tokenizer_torture.h packs raw strings containing `//`, multi-line block
     comments, `#if 0` regions, digit separators, and UTF-8 literals;
+  * the interproc fixture directory trips HIB018/HIB019/HIB020 with the exact
+    cross-file witness chains (call path / taint path) in the text output;
   * the advertised rule set and the fixture set stay in sync;
   * suppression semantics: NOLINT silences the rule, a stale NOLINT is HIB099,
     clang-tidy NOLINTs are ignored;
-  * SARIF output is structurally sound;
+  * SARIF output is structurally sound and interproc findings carry codeFlows;
+  * the incremental cache returns identical findings warm and invalidates on
+    file edits;
   * --fix repairs HIB001 guards and HIB009 conversions and is idempotent.
 
 Run from anywhere; registered in ctest as `simlint_selftest`.
@@ -46,19 +50,59 @@ EXPECTED = {
     "bad_uninit_member.cc": ["HIB015"],
     "bad_catch.cc": ["HIB016"],
     "bad_hot_alloc.cc": ["HIB017", "HIB017"],
+    "bad_handle_reuse.cc": ["HIB021"],
     "unused_suppression.cc": ["HIB099"],
     "fixable_hand_conversion.cc": ["HIB009"],
 }
 CLEAN = ["clean.h", "tokenizer_torture.h"]
 
+# The interproc fixtures only make sense scanned together: the roots
+# (hot_submit.cc, shard_entry.cc) are clean in isolation and the helpers are
+# only findings because the roots reach them.  (file, line, rule) in output
+# order for a whole-directory scan.
+INTERPROC_DIR = os.path.join(FIXTURES, "interproc")
+INTERPROC_EXPECTED = [
+    ("alloc_helper.cc", 12, "HIB018"),
+    ("alloc_helper.cc", 13, "HIB018"),
+    ("shard_static.cc", 13, "HIB019"),
+    ("taint_helper.cc", 9, "HIB013"),
+    ("taint_sink.cc", 20, "HIB020"),
+    ("taint_sink.cc", 21, "HIB020"),
+]
+
+# finding line -> exact ordered witness-chain note substrings.
+INTERPROC_CHAINS = {
+    ("alloc_helper.cc", 13): [
+        "hot_submit.cc:12: dispatch root 'ArrayController::Submit' defined here",
+        "hot_submit.cc:14: 'ArrayController::Submit' calls 'Planner::PlanTargets' here",
+        "alloc_helper.cc:13: allocation here",
+    ],
+    ("shard_static.cc", 13): [
+        "shard_entry.cc:10: shard entry point 'RunExperiment' defined here",
+        "shard_entry.cc:13: 'RunExperiment' calls 'CounterSink::Count' here",
+        "shard_static.cc:13: static 'g_hits'",
+    ],
+    ("taint_sink.cc", 20): [
+        "taint_helper.cc:9: nondeterministic source 'time()' read here",
+        "taint_sink.cc:19: 't' derives from tainted call 'NowTicks(...)' here",
+        "taint_sink.cc:20: sink here",
+    ],
+}
+
 FINDING_RE = re.compile(r"^(\S+):(\d+): \[(HIB\d+)\] ")
+NOTE_RE = re.compile(r"^    note: (.*)$")
 
 
-def run_simlint(*argv):
-    proc = subprocess.run([sys.executable, SIMLINT, *argv],
-                          capture_output=True, text=True)
+def run_simlint(*argv, raw=False, no_cache=True):
+    cmd = [sys.executable, SIMLINT]
+    if no_cache:
+        cmd.append("--no-cache")
+    proc = subprocess.run(cmd + list(argv), capture_output=True, text=True)
     findings = [FINDING_RE.match(line) for line in proc.stdout.splitlines()]
-    return proc.returncode, [m.group(3) for m in findings if m]
+    rules = [m.group(3) for m in findings if m]
+    if raw:
+        return proc.returncode, rules, proc.stdout
+    return proc.returncode, rules
 
 
 def check_fixtures(failures):
@@ -74,12 +118,62 @@ def check_fixtures(failures):
             failures.append(f"{name}: expected clean exit, got code={code} rules={rules}")
 
 
+def check_interproc(failures):
+    # One whole-directory scan: the cross-TU rules need all six files modelled
+    # together before reachability exists at all.
+    code, _, stdout = run_simlint(INTERPROC_DIR, raw=True)
+    if code == 0:
+        failures.append("interproc: expected nonzero exit for the fixture dir")
+
+    lines = stdout.splitlines()
+    got = []
+    notes = {}  # (file, line) of finding -> list of note texts
+    current = None
+    for line in lines:
+        m = FINDING_RE.match(line)
+        if m:
+            current = (os.path.basename(m.group(1)), int(m.group(2)))
+            got.append((current[0], current[1], m.group(3)))
+            notes.setdefault(current, [])
+            continue
+        n = NOTE_RE.match(line)
+        if n and current is not None:
+            notes[current].append(n.group(1))
+        elif current is not None and line.strip():
+            current = None
+    if got != INTERPROC_EXPECTED:
+        failures.append(f"interproc: expected {INTERPROC_EXPECTED}, got {got}")
+        return
+
+    # Witness chains must spell out the whole path, root first.  The HIB018
+    # chain in particular is the acceptance case HIB017 cannot see: the root
+    # lives in hot_submit.cc, the allocation in alloc_helper.cc.
+    for key, want in INTERPROC_CHAINS.items():
+        have = notes.get(key, [])
+        if len(have) != len(want):
+            failures.append(f"interproc {key}: expected {len(want)} witness "
+                            f"steps, got {len(have)}: {have}")
+            continue
+        for step, (w, h) in enumerate(zip(want, have)):
+            if w not in h:
+                failures.append(f"interproc {key} step {step}: "
+                                f"expected {w!r} in {h!r}")
+
+    # Scanned alone, the helper files are exactly as invisible as they are to
+    # HIB017: per-file analysis of alloc_helper.cc must not produce HIB018.
+    code, rules = run_simlint(os.path.join(INTERPROC_DIR, "alloc_helper.cc"))
+    if "HIB018" in rules:
+        failures.append("interproc: HIB018 fired without the hot-path root "
+                        f"in scope (per-file rules: {rules})")
+
+
 def check_rule_sync(failures):
     # Every advertised rule must have a fixture proving it still fires.
     listing = subprocess.run([sys.executable, SIMLINT, "--list-rules"],
                              capture_output=True, text=True).stdout
     advertised = set(re.findall(r"^(HIB\d+)", listing, flags=re.M))
     covered = set(r for rules in EXPECTED.values() for r in rules)
+    covered |= set(rule for _, _, rule in INTERPROC_EXPECTED)
     if advertised != covered:
         failures.append(f"rules without fixtures: {sorted(advertised - covered)}; "
                         f"fixtures for unknown rules: {sorted(covered - advertised)}")
@@ -161,6 +255,89 @@ def check_sarif(failures):
             failures.append(f"sarif: missing structure: {err!r}")
 
 
+def check_codeflows(failures):
+    # Interproc findings must export their witness chains as SARIF codeFlows
+    # so code scanning UIs can render the path.
+    with tempfile.TemporaryDirectory(dir=HERE) as tmp:
+        out = os.path.join(tmp, "out.sarif")
+        subprocess.run([sys.executable, SIMLINT, "--no-cache", "--sarif", out,
+                        INTERPROC_DIR], capture_output=True, text=True)
+        try:
+            with open(out, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            failures.append(f"codeflows: unreadable sarif: {err}")
+            return
+        try:
+            results = doc["runs"][0]["results"]
+            flows = [r for r in results if r.get("codeFlows")]
+            if not flows:
+                failures.append("codeflows: no result carries codeFlows")
+                return
+            hib018 = [r for r in flows if r["ruleId"] == "HIB018"]
+            if not hib018:
+                failures.append("codeflows: no HIB018 result carries codeFlows")
+                return
+            locs = hib018[0]["codeFlows"][0]["threadFlows"][0]["locations"]
+            if len(locs) < 2:
+                failures.append(f"codeflows: chain too short ({len(locs)} steps)")
+            uris = []
+            for step in locs:
+                loc = step["location"]
+                phys = loc["physicalLocation"]
+                uri = phys["artifactLocation"]["uri"]
+                uris.append(uri)
+                if phys["region"]["startLine"] < 1:
+                    failures.append("codeflows: non-positive startLine in step")
+                if not loc["message"]["text"]:
+                    failures.append("codeflows: step without a message")
+            # Root-first ordering across files: the chain starts at the hot
+            # root and ends at the allocation.
+            if not uris[0].endswith("hot_submit.cc"):
+                failures.append(f"codeflows: chain starts at {uris[0]}, "
+                                "expected hot_submit.cc")
+            if not uris[-1].endswith("alloc_helper.cc"):
+                failures.append(f"codeflows: chain ends at {uris[-1]}, "
+                                "expected alloc_helper.cc")
+        except (KeyError, IndexError) as err:
+            failures.append(f"codeflows: missing structure: {err!r}")
+
+
+def check_cache(failures):
+    # Warm runs must serve identical findings from the cache; an edit to the
+    # file must invalidate its entry (content-hash keying).
+    with tempfile.TemporaryDirectory(dir=HERE) as tmp:
+        cache = os.path.join(tmp, "cache.json")
+        path = os.path.join(tmp, "churn.cc")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('#include <cassert>\n'
+                     'void F(bool ok) { assert(ok); }\n')
+
+        code, rules = run_simlint("--cache", cache, path, no_cache=False)
+        if code == 0 or rules != ["HIB005"]:
+            failures.append(f"cache cold: expected [HIB005], got {rules}")
+        try:
+            with open(cache, encoding="utf-8") as fh:
+                doc = json.load(fh)
+            if "version" not in doc or "files" not in doc:
+                failures.append(f"cache: missing version/files keys: {sorted(doc)}")
+        except (OSError, json.JSONDecodeError) as err:
+            failures.append(f"cache: not written or unreadable: {err}")
+            return
+
+        code, rules = run_simlint("--cache", cache, path, no_cache=False)
+        if code == 0 or rules != ["HIB005"]:
+            failures.append(f"cache warm: expected [HIB005], got {rules}")
+
+        # Fix the file: a stale cache hit would keep reporting HIB005.
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('void F(bool ok) { (void)ok; }\n')
+        code, rules = run_simlint("--cache", cache, path, no_cache=False)
+        if code != 0 or rules:
+            failures.append(f"cache stale: served old findings after edit: "
+                            f"code={code} rules={rules}")
+
+
 def check_fix(failures):
     # --fix must repair the fixable fixtures inside the repo tree (the guard
     # check derives the expected macro from the repo-relative path) and must
@@ -189,9 +366,12 @@ def check_fix(failures):
 def main():
     failures = []
     check_fixtures(failures)
+    check_interproc(failures)
     check_rule_sync(failures)
     check_suppressions(failures)
     check_sarif(failures)
+    check_codeflows(failures)
+    check_cache(failures)
     check_fix(failures)
 
     if failures:
@@ -199,8 +379,9 @@ def main():
             print(f"FAIL {failure}")
         return 1
     print(f"ok: {len(EXPECTED)} bad fixtures tripped exactly their rules; "
-          f"{len(CLEAN)} clean fixtures clean; suppressions, SARIF, and --fix "
-          "behave")
+          f"{len(INTERPROC_EXPECTED)} interproc findings with witness chains; "
+          f"{len(CLEAN)} clean fixtures clean; suppressions, SARIF codeFlows, "
+          "the incremental cache, and --fix behave")
     return 0
 
 
