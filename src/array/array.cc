@@ -95,13 +95,13 @@ void ArrayController::Submit(const TraceRecord& record, std::function<void(Durat
   if (!record.is_write && cache_.Lookup(record.lba, record.count)) {
     ++stats_.cache_hits;
     HIB_COUNTER_INC(obs_cache_hits_);
-    PoolHandle h = AcquireContext(record, std::move(done));
-    RequestContext& ctx = request_pool_.Get(h);
+    PoolHandle hit = AcquireContext(record, std::move(done));
+    RequestContext& ctx = request_pool_.Get(hit);
     ctx.pending = 1;
     ctx.cache_hit = true;
-    sim_->ScheduleIn(params_.cache_hit_ms, [this, h] {
-      if (--request_pool_.Get(h).pending == 0) {
-        FinishLogical(h);
+    sim_->ScheduleIn(params_.cache_hit_ms, [this, hit] {
+      if (--request_pool_.Get(hit).pending == 0) {
+        FinishLogical(hit);
       }
     });
     return;

@@ -38,6 +38,7 @@
 #include "src/trace/trace.h"
 #include "src/util/small_vector.h"
 #include "src/util/stats.h"
+#include "src/util/thread_annotations.h"
 
 namespace hib {
 
@@ -99,7 +100,9 @@ struct ArrayStats {
   }
 };
 
-class ArrayController {
+// Shard-local: one controller per shard universe, single-threaded within it.
+// Escaping its address (or the Simulator's) past the shard run is an HIB022.
+class HIB_SHARD_LOCAL ArrayController {
  public:
   ArrayController(Simulator* sim, ArrayParams params);
 
@@ -226,15 +229,20 @@ class ArrayController {
   };
 
   PoolHandle AcquireContext(const TraceRecord& record, std::function<void(Duration)> done);
-  void IssueRead(PoolHandle ctx, int disk_id, SectorAddr sector, SectorCount count);
-  void IssueWritePhase(PoolHandle ctx);
-  void FinishLogical(PoolHandle ctx);
+  // HIB_REQUIRES_LIVE: callers must hold a live (unreleased) handle — either
+  // freshly acquired or checked with IsLive() after a completion callback
+  // (simlint HIB024 propagates the obligation up the call graph; the
+  // annotation argument must name the parameter as the definitions spell it).
+  void IssueRead(PoolHandle h, int disk_id, SectorAddr sector, SectorCount count)
+      HIB_REQUIRES_LIVE(h);
+  void IssueWritePhase(PoolHandle h) HIB_REQUIRES_LIVE(h);
+  void FinishLogical(PoolHandle h) HIB_REQUIRES_LIVE(h);
   void PumpMigrations();
   void StartMigration(std::int64_t extent, int target_group);
-  void DoMigrationWrites(PoolHandle mig);
+  void DoMigrationWrites(PoolHandle mig) HIB_REQUIRES_LIVE(mig);
   // Reads the stripe unit degraded: one read per surviving group disk.
-  void IssueDegradedRead(PoolHandle ctx, int group, int failed_disk, SectorAddr sector,
-                         SectorCount count);
+  void IssueDegradedRead(PoolHandle h, int group, int failed_disk, SectorAddr sector,
+                         SectorCount count) HIB_REQUIRES_LIVE(h);
   void RebuildNextExtent(int disk_id);
   void WriteRebuildShare(int disk_id);
   void FinishRebuild(int disk_id);

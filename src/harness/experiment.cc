@@ -203,7 +203,11 @@ Duration MeasureBaseResponseMs(WorkloadSource& workload, const ArrayParams& arra
     if (probe_ms > Duration{} && r.time > probe_ms) {
       return;
     }
-    sim.ScheduleAt(r.time, [&, r] {
+    // Pull-driven injection: sim/array/schedule_next live in this frame, and
+    // RunUntil below drains the queue before the frame returns, so the by-ref
+    // captures outlive every event.  schedule_next must be by-ref (it names
+    // itself); r is copied.
+    sim.ScheduleAt(r.time, [&, r] {  // NOLINT(HIB023)
       array.Submit(r);
       schedule_next();
     });

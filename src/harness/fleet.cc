@@ -72,7 +72,8 @@ FleetSimulator::FleetSimulator(FleetSpec spec) : spec_(spec) {
   }
 }
 
-FleetResult FleetSimulator::Run(int max_threads) const {
+FleetResult FleetSimulator::Run(int max_threads) const
+    HIB_EXCLUDES_CONTEXT(kShardContext) {
   FleetResult fleet;
   fleet.arrays = spec_.num_arrays;
   fleet.disks = spec_.TotalDisks();

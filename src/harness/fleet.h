@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/harness/parallel.h"
+#include "src/util/thread_annotations.h"
 
 namespace hib {
 
@@ -73,11 +74,15 @@ class FleetSimulator {
   const std::vector<ExperimentSpec>& specs() const { return specs_; }
 
   // Runs every shard (max_threads <= 0: DefaultParallelism) and aggregates.
-  // Bit-identical for any thread count.
-  FleetResult Run(int max_threads = 0) const;
+  // Bit-identical for any thread count.  Merge-side: must not run inside a
+  // shard (no nested fleets within a shard universe).
+  FleetResult Run(int max_threads = 0) const HIB_EXCLUDES_CONTEXT(kShardContext);
 
  private:
   FleetSpec spec_;
+  // Built once in the constructor, read-only afterwards: shards receive
+  // const references into this vector, so mutating it during Run() would be
+  // a cross-shard data race.
   std::vector<ExperimentSpec> specs_;
 };
 

@@ -9,6 +9,29 @@
 
 namespace hib {
 
+namespace {
+
+// Runs one claimed spec inside the shard context: the universe constructed
+// here (policy, workload, Simulator) is shard-owned — its address must never
+// escape the worker (simlint HIB022), and clang's capability analysis checks
+// that only shard-context code is called from here.
+ExperimentResult RunOneShard(const ExperimentSpec& spec)
+    HIB_THREAD_CONTEXT(kShardContext) {
+  HIB_CHECK(static_cast<bool>(spec.make_policy))
+      << "ExperimentSpec '" << spec.name << "' has no policy factory";
+  HIB_CHECK(static_cast<bool>(spec.make_workload))
+      << "ExperimentSpec '" << spec.name << "' has no workload factory";
+  std::unique_ptr<PowerPolicy> policy = spec.make_policy();
+  std::unique_ptr<WorkloadSource> workload = spec.make_workload(spec.array);
+  ExperimentResult result = RunExperiment(*workload, *policy, spec.array, spec.options);
+  if (spec.post_run) {
+    spec.post_run(*policy, result);
+  }
+  return result;
+}
+
+}  // namespace
+
 int DefaultParallelism() {
   if (const char* env = std::getenv("HIB_JOBS")) {
     int jobs = std::atoi(env);
@@ -21,7 +44,7 @@ int DefaultParallelism() {
 }
 
 std::vector<ExperimentResult> RunAll(const std::vector<ExperimentSpec>& specs,
-                                     int max_threads) {
+                                     int max_threads) HIB_EXCLUDES_CONTEXT(kShardContext) {
   std::vector<ExperimentResult> results(specs.size());
   if (specs.empty()) {
     return results;
@@ -35,22 +58,15 @@ std::vector<ExperimentResult> RunAll(const std::vector<ExperimentSpec>& specs,
   // spec index.  Results land in spec order no matter which thread ran what.
   std::atomic<std::size_t> next{0};
   auto worker = [&specs, &results, &next] {
+    // Every worker thread runs shards back to back; the context scope marks
+    // the whole claim loop as shard-side for the capability analysis.
+    ThreadContextScope shard_scope(kShardContext);
     for (;;) {
       std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= specs.size()) {
         return;
       }
-      const ExperimentSpec& spec = specs[i];
-      HIB_CHECK(static_cast<bool>(spec.make_policy))
-          << "ExperimentSpec '" << spec.name << "' has no policy factory";
-      HIB_CHECK(static_cast<bool>(spec.make_workload))
-          << "ExperimentSpec '" << spec.name << "' has no workload factory";
-      std::unique_ptr<PowerPolicy> policy = spec.make_policy();
-      std::unique_ptr<WorkloadSource> workload = spec.make_workload(spec.array);
-      results[i] = RunExperiment(*workload, *policy, spec.array, spec.options);
-      if (spec.post_run) {
-        spec.post_run(*policy, results[i]);
-      }
+      results[i] = RunOneShard(specs[i]);
     }
   };
 
@@ -69,7 +85,8 @@ std::vector<ExperimentResult> RunAll(const std::vector<ExperimentSpec>& specs,
   return results;
 }
 
-MetricsSnapshot MergeMetrics(const std::vector<ExperimentResult>& results) {
+MetricsSnapshot MergeMetrics(const std::vector<ExperimentResult>& results)
+    HIB_EXCLUDES_CONTEXT(kShardContext) {
   MetricsSnapshot merged;
   for (const ExperimentResult& result : results) {
     merged.MergeFrom(result.metrics);

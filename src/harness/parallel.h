@@ -18,6 +18,7 @@
 
 #include "src/harness/experiment.h"
 #include "src/harness/schemes.h"
+#include "src/util/thread_annotations.h"
 
 namespace hib {
 
@@ -43,14 +44,19 @@ int DefaultParallelism();
 
 // Runs every spec (each in its own thread, up to the thread cap) and returns
 // results in spec order.  Bit-identical to calling RunExperiment sequentially.
+// Excludes the shard context: shard universes must not nest (a spec's
+// callbacks launching another RunAll would break the bit-identical merge).
 std::vector<ExperimentResult> RunAll(const std::vector<ExperimentSpec>& specs,
-                                     int max_threads = 0);
+                                     int max_threads = 0)
+    HIB_EXCLUDES_CONTEXT(kShardContext);
 
 // Folds every shard's metrics snapshot into one, in spec order.  Because
 // RunAll's results are bit-identical to a sequential run and land in spec
 // order, this merge is deterministic regardless of thread count or
-// scheduling (tests/obs_test.cc pins this).
-MetricsSnapshot MergeMetrics(const std::vector<ExperimentResult>& results);
+// scheduling (tests/obs_test.cc pins this).  Merge-side only: it must run
+// after every shard has joined, never inside one.
+MetricsSnapshot MergeMetrics(const std::vector<ExperimentResult>& results)
+    HIB_EXCLUDES_CONTEXT(kShardContext);
 
 // Convenience: the scheme-comparison spec used by the paper benches.
 ExperimentSpec SpecForScheme(const SchemeConfig& config, const ArrayParams& base_array,

@@ -153,7 +153,8 @@ void MergeSeries(std::vector<Point>* mine, const std::vector<Point>& other, Comb
 
 }  // namespace
 
-void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
+void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other)
+    HIB_EXCLUDES_CONTEXT(kShardContext) {
   MergeSeries(&counters, other.counters,
               [](CounterPoint* mine, const CounterPoint& theirs) { mine->count += theirs.count; });
   MergeSeries(&gauges, other.gauges, [](GaugePoint* mine, const GaugePoint& theirs) {

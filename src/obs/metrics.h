@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "src/util/thread_annotations.h"
+
 namespace hib {
 
 class Counter {
@@ -118,11 +120,13 @@ struct MetricsSnapshot {
   // in `other` replaces this snapshot's value (last shard in merge order
   // wins).  Histograms with the same name must share a shape.  The parallel
   // harness merges shards in spec order, so the result is independent of
-  // thread scheduling.
-  void MergeFrom(const MetricsSnapshot& other);
+  // thread scheduling.  Merge-side only: never called from inside a shard.
+  void MergeFrom(const MetricsSnapshot& other) HIB_EXCLUDES_CONTEXT(kShardContext);
 };
 
-class MetricsRegistry {
+// Shard-local: one registry per Simulator; instruments it hands out are
+// bumped only by that shard's components.
+class HIB_SHARD_LOCAL MetricsRegistry {
  public:
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/util/thread_annotations.h"
 #include "src/util/units.h"
 
 namespace hib {
@@ -61,7 +62,8 @@ struct TraceEvent {
   const char* name = "";
 };
 
-class Tracer {
+// Shard-local: one ring per Simulator; never shared across shards.
+class HIB_SHARD_LOCAL Tracer {
  public:
   static constexpr std::size_t kDefaultCapacity = 1u << 20;
 

@@ -14,6 +14,7 @@
 #include "src/obs/obs.h"
 #include "src/sim/event_queue.h"
 #include "src/util/check.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/units.h"
 
 #if HIB_VALIDATE
@@ -24,7 +25,10 @@
 
 namespace hib {
 
-class Simulator {
+// Shard-local: a Simulator is one shard's universe.  Its address must never
+// be stored anywhere that outlives the shard run or is reachable from
+// another shard (simlint HIB022).
+class HIB_SHARD_LOCAL Simulator {
  public:
   Simulator() = default;
   Simulator(const Simulator&) = delete;

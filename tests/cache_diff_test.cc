@@ -186,6 +186,70 @@ TEST(CacheDiffTest, MultiLineSpansExactOrder) {
                   /*seed=*/5);
 }
 
+TEST(CacheDiffTest, CompactionMidMultiLineInsert) {
+  // Forces Compact() to run *between* the lines of one multi-line Insert:
+  // fill to capacity, tombstone every line, then insert a 3-line span.  The
+  // first line's InsertFresh sees tombstones over the 1/4-table threshold and
+  // rebuilds the table (walking the recency list, which at that moment holds
+  // only that first line); lines two and three of the same call must land
+  // correctly in the rebuilt table.  capacity 8 / 16-sector lines -> 16
+  // slots, so the threshold is 4 and 7+ graves trigger deterministically,
+  // whether or not the probe path happened to recycle one.
+  LruCache flat(8, 16);
+  ReferenceLruCache ref(8, 16);
+  for (std::int64_t line = 0; line < 8; ++line) {
+    flat.Insert(line * 16, 16);
+    ref.Insert(line * 16, 16);
+  }
+  flat.Invalidate(0, 8 * 16);
+  ref.Invalidate(0, 8 * 16);
+  ASSERT_EQ(flat.size(), 0u);
+
+  flat.Insert(8 * 16, 3 * 16);  // lines 8,9,10: compaction fires after line 8
+  ref.Insert(8 * 16, 3 * 16);
+  ASSERT_EQ(flat.size(), ref.size());
+  for (std::int64_t line = 0; line < 12; ++line) {
+    ASSERT_EQ(flat.Lookup(line * 16, 16), ref.Lookup(line * 16, 16)) << "line " << line;
+  }
+  ASSERT_EQ(flat.hits(), ref.hits());
+  ASSERT_EQ(flat.misses(), ref.misses());
+}
+
+TEST(CacheDiffTest, EraseReinsertSameKeyRecyclesTombstone) {
+  // Invalidate-then-reinsert of the *same* line must recycle the grave the
+  // erase left on that line's own probe path.  If it did not, this loop
+  // would fill the never-growing table with tombstones and FindSlot's probe
+  // would stop terminating — so surviving 10k churns with exact reference
+  // agreement is the behavioral pin on grave reuse.  A bystander line rides
+  // along to prove churn does not perturb its residency or the LRU order.
+  LruCache flat(8, 16);
+  ReferenceLruCache ref(8, 16);
+  flat.Insert(7 * 16, 16);  // bystander
+  ref.Insert(7 * 16, 16);
+  for (int i = 0; i < 10000; ++i) {
+    flat.Invalidate(0, 16);
+    ref.Invalidate(0, 16);
+    flat.Insert(0, 16);
+    ref.Insert(0, 16);
+    ASSERT_EQ(flat.size(), ref.size()) << "op " << i;
+  }
+  ASSERT_TRUE(flat.Lookup(0, 16));
+  ASSERT_TRUE(ref.Lookup(0, 16));
+  ASSERT_TRUE(flat.Lookup(7 * 16, 16));
+  ASSERT_TRUE(ref.Lookup(7 * 16, 16));
+  // The bystander was just touched: filling the remaining capacity must
+  // evict line 0 first in both implementations (recency order survived).
+  for (std::int64_t line = 1; line < 8; ++line) {
+    flat.Insert(line * 16, 16);
+    ref.Insert(line * 16, 16);
+  }
+  for (std::int64_t line = 0; line < 8; ++line) {
+    ASSERT_EQ(flat.Lookup(line * 16, 16), ref.Lookup(line * 16, 16)) << "line " << line;
+  }
+  ASSERT_EQ(flat.hits(), ref.hits());
+  ASSERT_EQ(flat.misses(), ref.misses());
+}
+
 TEST(CacheDiffTest, ZeroCapacityAgrees) {
   LruCache flat(0, 64);
   ReferenceLruCache ref(0, 64);

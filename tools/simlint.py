@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""simlint v3: interprocedural dataflow lint for the Hibernator simulator.
+"""simlint v4: shard-escape & contract analysis for the Hibernator simulator.
 
 The v1 engine matched regexes against raw lines; v2 tokenizes the C++
 (comment-, string-, raw-string- and preprocessor-aware), builds a per-file
@@ -23,6 +23,17 @@ memoized in an on-disk cache keyed by content hash + engine version, so warm
 runs skip tokenizing/parsing entirely (the call graph and the
 interprocedural rules are recomputed every run: they are whole-program
 facts and are cheap next to parsing).
+
+v4 teaches the engine the annotation vocabulary from
+src/util/thread_annotations.h (HIB_SHARD_LOCAL, HIB_THREAD_CONTEXT(...),
+HIB_GUARDED_BY(...), HIB_REQUIRES_LIVE(handle)) — the same spellings clang's
+-Wthread-safety enforces when the build sets -DHIB_THREAD_SAFETY=ON, so the
+contracts are checked twice: structurally here on every compiler, and by the
+compiler itself under clang.  On top of the annotations and the v3 call
+graph, v4 runs a field-sensitive escape analysis (HIB022), generalises the
+callback-lifetime check across function boundaries (HIB023), propagates
+declared contracts caller-by-caller with root-first witness chains (HIB024),
+and pins the layering DAG the include graph must respect (HIB025).
 
 Style / hygiene rules (ported from v1):
 
@@ -122,6 +133,40 @@ report a full witness chain for every finding):
                          reassignment).  Pins the reentrant-Submit ordering
                          contract: Release must be the last touch.
 
+Shard-escape & contract rules (new in v4 — annotation-driven):
+
+  HIB022 shard-escape    The address of shard-owned state (a HIB_SHARD_LOCAL
+                         class, or one of the known shard-universe types)
+                         stored into anything that outlives the shard run:
+                         directly into a mutable static, or — field-
+                         sensitively — into a member of a class that has a
+                         static-duration instance anywhere in the program.
+                         Only code reachable from the shard entry points is
+                         in scope; the witness chain walks root -> store ->
+                         escaping owner.
+  HIB023 callback-lifetime  A closure handed to Schedule/ScheduleAt/
+                         ScheduleIn that (a) captures a local or parameter by
+                         reference — the frame dies before the event queue
+                         drains — or (b) captures a PoolHandle by value whose
+                         slot is released after the call returns but before
+                         the event can fire (directly, or via a callee that
+                         releases its handle parameter — the interprocedural
+                         generalisation of HIB021).
+  HIB024 contract-propagation  A call to a function annotated
+                         HIB_THREAD_CONTEXT(ctx) from a caller that neither
+                         carries the same annotation nor establishes the
+                         context (ThreadContextScope / ctx.Acquire()), or a
+                         call passing a PoolHandle to a HIB_REQUIRES_LIVE
+                         callee when the caller did not acquire the handle,
+                         IsLive-check it, or declare HIB_REQUIRES_LIVE on its
+                         own signature.  Witness chains are root-first.
+  HIB025 layering        An #include that violates the layer DAG
+                         util <- obs/trace <- sim <- disk <- queueing <-
+                         array <- policy <- hibernator <- harness.  Upward
+                         (or sideways-undeclared) includes are how shard
+                         state leaks across subsystem boundaries in the
+                         first place.
+
 Meta:
 
   HIB099 unused-suppression  A suppression comment whose rule never fired on
@@ -158,7 +203,7 @@ import os
 import re
 import sys
 
-SIMLINT_VERSION = "3.0.0"
+SIMLINT_VERSION = "4.0.0"
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_PATHS = ["src", "tests", "bench", "examples"]
@@ -205,6 +250,18 @@ RULES = {
     "HIB021": ("handle-use-after-release",
                "PoolHandle used on a path after Release(handle); Release must be "
                "the last touch of a handle"),
+    "HIB022": ("shard-escape",
+               "address of shard-owned state stored somewhere that outlives the "
+               "shard run (static, or member of a statically-held class)"),
+    "HIB023": ("callback-lifetime",
+               "scheduled callback captures by reference, or captures a pool "
+               "handle whose slot is released before the event queue drains"),
+    "HIB024": ("contract-propagation",
+               "call into a HIB_THREAD_CONTEXT / HIB_REQUIRES_LIVE contract the "
+               "caller neither declares nor establishes"),
+    "HIB025": ("layering",
+               "#include that violates the layer DAG (util <- obs/trace <- sim "
+               "<- disk <- queueing <- array <- policy <- hibernator <- harness)"),
     "HIB099": ("unused-suppression", "suppression comment that suppresses nothing"),
 }
 
@@ -250,6 +307,44 @@ SEED_NAME_RE = re.compile(r"(?i)seed")
 # differ run to run).
 INT_CAST_TYPES = {"uintptr_t", "intptr_t", "size_t", "uint64_t", "int64_t",
                   "uint32_t", "int32_t", "long", "unsigned", "int"}
+
+# --- annotation & layering configuration (v4) -------------------------------
+# The annotation vocabulary from src/util/thread_annotations.h.  The parser
+# strips these from declarations (recording them as function/class facts);
+# the set also keeps them from being misread as declarator names.
+ANNOTATION_MACROS = {
+    "HIB_CAPABILITY", "HIB_THREAD_CONTEXT", "HIB_EXCLUDES_CONTEXT",
+    "HIB_GUARDED_BY", "HIB_ACQUIRE_CONTEXT", "HIB_RELEASE_CONTEXT",
+    "HIB_SCOPED_CONTEXT", "HIB_NO_THREAD_SAFETY_ANALYSIS",
+    "HIB_SHARD_LOCAL", "HIB_REQUIRES_LIVE",
+}
+# Types that are one shard's universe even without a HIB_SHARD_LOCAL marker
+# (the marker on the real classes is the source of truth; this set keeps the
+# rule meaningful on files analysed in isolation, fixtures included).
+SHARD_OWNED_TYPES = {"Simulator", "EventQueue", "ArrayController", "SlotPool",
+                     "MetricsRegistry", "Tracer", "Observability", "Disk"}
+# Container calls that store their &-argument with the container's lifetime.
+CONTAINER_STORE_CALLS = {"push_back", "emplace_back", "insert", "emplace",
+                         "push", "assign"}
+# HIB025: allowed *direct* include targets per src/<layer>/ (transitive
+# closure of util <- obs/trace <- sim <- disk <- queueing <- array <- policy
+# <- hibernator <- harness; same-layer includes are always fine).
+LAYER_DAG = {
+    "util": (),
+    "obs": ("util",),
+    "trace": ("util",),
+    "sim": ("util", "obs"),
+    "disk": ("util", "obs", "trace", "sim"),
+    "queueing": ("util", "obs", "trace", "sim", "disk"),
+    "array": ("util", "obs", "trace", "sim", "disk", "queueing"),
+    "policy": ("util", "obs", "trace", "sim", "disk", "queueing", "array"),
+    "hibernator": ("util", "obs", "trace", "sim", "disk", "queueing", "array",
+                   "policy"),
+    "harness": ("util", "obs", "trace", "sim", "disk", "queueing", "array",
+                "policy", "hibernator"),
+}
+# Layering fixtures mirror the src/<layer>/ shape one directory down.
+LAYERING_FIXTURE_PREFIX = "tools/simlint_fixtures/layering/"
 
 UNIT_FN_NAME_RE = re.compile(r"(?i:power|energy|latency|duration|response)|(?:Time|Ms)$")
 DIMENSIONLESS_NAME_RE = re.compile(r"(?i:scale|ratio|fraction|factor|util|count|scv|rho)")
@@ -528,6 +623,42 @@ def _find_matching_close(toks, i):
     return n - 1
 
 
+def _strip_annotation_tokens(toks):
+    """Removes HIB_* annotation macros (and their argument lists) from a
+    statement's tokens.  Returns (kept_tokens, annotations) where each
+    annotation is [macro_name, [argument identifiers]] — `kShardContext` for
+    HIB_THREAD_CONTEXT(kShardContext), the handle name for
+    HIB_REQUIRES_LIVE(h)."""
+    kept = []
+    annotations = []
+    i = 0
+    n = len(toks)
+    while i < n:
+        if toks[i][0] == "id" and toks[i][1] in ANNOTATION_MACROS:
+            macro = toks[i][1]
+            args = []
+            i += 1
+            if i < n and toks[i][1] == "(":
+                depth = 0
+                while i < n:
+                    t = toks[i][1]
+                    if t == "(":
+                        depth += 1
+                    elif t == ")":
+                        depth -= 1
+                        if depth == 0:
+                            i += 1
+                            break
+                    elif toks[i][0] == "id":
+                        args.append(t)
+                    i += 1
+            annotations.append([macro, args])
+            continue
+        kept.append(toks[i])
+        i += 1
+    return kept, annotations
+
+
 class Parser:
     """Heuristic single-pass structural parser: classes, members, functions,
     local declarations.  Not a C++ front end — just enough shape recovery for
@@ -630,6 +761,12 @@ class Parser:
             if self.toks[j][1] == "[":
                 j = _find_matching_close(self.toks, j) + 1
                 continue
+            if self.toks[j][0] == "id" and self.toks[j][1] in ANNOTATION_MACROS:
+                # `class HIB_SHARD_LOCAL Simulator {` / `class HIB_CAPABILITY(x) C {`
+                j += 1
+                if j < end and self.toks[j][1] == "(":
+                    j = _find_matching_close(self.toks, j) + 1
+                continue
             if self.toks[j][0] == "id" and self.toks[j][1] not in ("final", "alignas"):
                 j += 1
                 # after the name: {, : bases, or something else
@@ -648,7 +785,15 @@ class Parser:
         bases = []
         in_bases = False
         adepth = 0
+        shard_local = False
         while j < end and toks[j][1] not in ("{", ";"):
+            if toks[j][0] == "id" and toks[j][1] in ANNOTATION_MACROS:
+                if toks[j][1] == "HIB_SHARD_LOCAL":
+                    shard_local = True
+                j += 1
+                if j < end and toks[j][1] == "(":
+                    j = _find_matching_close(toks, j) + 1
+                continue
             if toks[j][1] == ":" and toks[j + 1][1] != ":" and not in_bases:
                 in_bases = True
                 j += 1
@@ -675,7 +820,7 @@ class Parser:
             return end
         close = _find_matching_close(toks, j)
         cls = {"name": name, "line": toks[i][2], "has_real_ctor": False,
-               "members": [], "bases": bases}
+               "members": [], "bases": bases, "shard_local": shard_local}
         self.model.classes.append(cls)
         if name:
             self.model.context_classes.append(name)
@@ -778,6 +923,13 @@ class Parser:
         if not toks:
             return
 
+        # Strip thread-safety / shard annotations; they are recorded as facts
+        # on the declaration, and leaving them in would make the declarator
+        # scans below misname the function after its trailing macro.
+        toks, annotations = _strip_annotation_tokens(toks)
+        if not toks:
+            return
+
         texts = [t[1] for t in toks]
         line = toks[0][2]
 
@@ -804,7 +956,7 @@ class Parser:
                         fn = {"name": class_name, "line": t[2], "ret": [],
                               "params": [], "method_class": class_name,
                               "has_body": has_body, "is_virtual": False,
-                              "is_ctor": True}
+                              "is_ctor": True, "annotations": annotations}
                         self.model.functions.append(fn)
                         return fn
                     break
@@ -820,13 +972,14 @@ class Parser:
                 fn = {"name": toks[k][1], "line": toks[k][2], "ret": [],
                       "params": [], "method_class": toks[k][1],
                       "has_body": has_body, "is_virtual": False,
-                      "is_ctor": True}
+                      "is_ctor": True, "annotations": annotations}
                 self.model.functions.append(fn)
                 return fn
 
         # Function (decl or def): declarator ends with (...) [cv].
         fn = self._try_function(toks, has_body)
         if fn is not None:
+            fn["annotations"] = annotations
             if fn["method_class"] is None and class_name:
                 fn["method_class"] = class_name  # in-class method definition
             self.model.functions.append(fn)
@@ -1076,6 +1229,7 @@ def analyze_file(path):
         "accums": [],         # (line, col, ident)
         "functions": [],      # call-graph nodes with per-body facts (v3)
         "reserved": [],       # member names some .reserve() call touches
+        "static_decls": [],   # mutable static-duration declarations (v4)
         "error": None,
     }
     try:
@@ -1098,6 +1252,7 @@ def analyze_file(path):
         check_include_guard(rel, text, directives, add)
 
     check_directives(rel, is_header, directives, add)
+    check_layering(rel, directives, add)
 
     model = Parser(tokens, rel).parse()
     out["classes"] = model.classes
@@ -1147,17 +1302,27 @@ def extract_function_facts(rel, tokens, model, directives, out, add):
     """Walks every function body once, recording the facts the
     interprocedural rules consume:
 
-      calls        [name, recv, qual, line, col]  (recv: `x.F()`; qual: `X::F()`)
+      calls        [name, recv, qual, line, col, arg_ids]
+                                                  (recv: `x.F()`; qual: `X::F()`)
       allocs       ["new"|"make"|"growth", detail, line, col]
       det_sources  [desc, line, col]              (HIB013-class sources)
       static_refs  [name, line, col, decl_line]   (mutable statics only)
       sinks        ["schedule", callee, arg_ids, arg_calls, line, col]
       assigns      [lhs, rhs_calls, rhs_ids, line, col]  (in body order)
+      addr_stores  [dest_chain, src, line, col]   (`a.b = &x` / `c.push_back(&x)`;
+                                                   dest_chain is ["a","b"] / ["c"])
+      sched_lambdas [sink, val_ids, ref_ids, ref_all, has_this, line, col,
+                     end_line]                    (closures handed to Schedule*)
+      releases     [handle, line, col]            (Release(h) sites)
+      live_checks  [handle, line, col]            (IsLive(h) sites)
+      ctx_establish bool                          (ThreadContextScope /
+                                                   <ctx>.Acquire() in the body)
 
     Function-like #define macros become pseudo-nodes whose calls are the
     identifiers applied in the replacement text (so HIB_LOG(...) has edges to
     LogMessage and GlobalLogLevel).  Also runs HIB021 (handle use after
-    release), which is purely intra-function.
+    release) and the by-reference-capture half of HIB023, which are purely
+    intra-function.
     """
     n = len(tokens)
 
@@ -1187,6 +1352,11 @@ def extract_function_facts(rel, tokens, model, directives, out, add):
         fn.setdefault("static_refs", [])
         fn.setdefault("sinks", [])
         fn.setdefault("assigns", [])
+        fn.setdefault("addr_stores", [])
+        fn.setdefault("sched_lambdas", [])
+        fn.setdefault("releases", [])
+        fn.setdefault("live_checks", [])
+        fn.setdefault("ctx_establish", False)
 
     file_static_names = {d["name"]: d for d in mutable_statics
                          if not any(f["body_lines"][0] <= d["line"] <= f["body_lines"][1]
@@ -1206,20 +1376,31 @@ def extract_function_facts(rel, tokens, model, directives, out, add):
         out["functions"].append({
             "name": m.group(1), "method_class": None, "line": line,
             "is_virtual": False, "is_macro": True, "has_body": True,
-            "params": [], "calls": [[c, None, None, line, 1] for c in callees],
+            "params": [], "calls": [[c, None, None, line, 1, []] for c in callees],
             "allocs": [], "det_sources": [], "static_refs": [], "sinks": [],
-            "assigns": []})
+            "assigns": [], "addr_stores": [], "sched_lambdas": [],
+            "releases": [], "live_checks": [], "ctx_establish": False,
+            "annotations": []})
 
     lib = not rel.startswith(DETERMINISM_EXEMPT_PREFIXES)
-
-    def handle_type(name):
-        t = model.locals.get(name) or ""
-        return "PoolHandle" in t
+    interproc_scoped = not rel.startswith(INTERPROC_EXEMPT_PREFIXES)
 
     for fn, b0, b1 in bodies:
         calls, allocs, det, statics, sinks, assigns = \
             fn["calls"], fn["allocs"], fn["det_sources"], fn["static_refs"], \
             fn["sinks"], fn["assigns"]
+        addr_stores, sched_lambdas, releases_fact, live_checks = \
+            fn["addr_stores"], fn["sched_lambdas"], fn["releases"], \
+            fn["live_checks"]
+        param_types = {}
+        for p in fn.get("params", []):
+            if len(p) >= 2 and p[1]:
+                param_types[p[1]] = \
+                    p[0] if isinstance(p[0], str) else " ".join(p[0])
+
+        def is_handle_name(name, _pt=param_types):
+            t = _pt.get(name) or model.locals.get(name) or ""
+            return "PoolHandle" in t
         local_static_names = {d["name"]: d for d in mutable_statics
                               if fn["body_lines"][0] <= d["line"] <= fn["body_lines"][1]}
         depth = 0
@@ -1245,10 +1426,25 @@ def extract_function_facts(rel, tokens, model, directives, out, add):
                         and not any(s[0] == text for s in statics):
                     statics.append([text, line, col, sd["line"]])
 
+                # ThreadContextScope (or <ctx>.Acquire()) establishes the
+                # shard context for this function's body (HIB024).
+                if text == "ThreadContextScope":
+                    fn["ctx_establish"] = True
+
                 # Reassignment revives a released handle; record assigns for
                 # the intra-function taint step.
                 if nxt == "=" and text not in CXX_KEYWORDS:
                     released.pop(text, None)
+                    # `lhs = &x` / `a.b = &x`: an address store (HIB022).  The
+                    # destination chain walks back over member accesses.
+                    if tk(i + 2)[1] == "&" and tk(i + 3)[0] == "id" \
+                            and tk(i + 3)[1] not in CXX_KEYWORDS:
+                        chain = [text]
+                        k = i - 1
+                        while tk(k)[1] in (".", "->") and tk(k - 1)[0] == "id":
+                            chain.insert(0, tk(k - 1)[1])
+                            k -= 2
+                        addr_stores.append([chain, tk(i + 3)[1], line, col])
                     rhs_calls, rhs_ids = [], []
                     j = i + 2
                     d2 = 0
@@ -1302,7 +1498,6 @@ def extract_function_facts(rel, tokens, model, directives, out, add):
                         recv = tk(i - 2)[1]
                     elif prv == "::" and tk(i - 2)[0] == "id":
                         qual = tk(i - 2)[1]
-                    calls.append([text, recv, qual, line, col])
 
                     close = _find_matching_close(tokens, callpos)
                     arg_ids, arg_calls = [], []
@@ -1318,6 +1513,27 @@ def extract_function_facts(rel, tokens, model, directives, out, add):
                                 arg_calls.append(t2)
                             elif d2 == 0:
                                 arg_ids.append(t2)
+                    calls.append([text, recv, qual, line, col, arg_ids])
+
+                    # `container.push_back(&x)`: the address now lives as long
+                    # as the container (HIB022's field-sensitive store).
+                    if text in CONTAINER_STORE_CALLS and recv:
+                        for j in range(callpos + 1, close):
+                            if tokens[j][1] == "&" and tk(j + 1)[0] == "id" \
+                                    and tk(j - 1)[1] in ("(", ","):
+                                chain = [recv]
+                                k = i - 2  # the receiver token
+                                while tk(k - 1)[1] in (".", "->") \
+                                        and tk(k - 2)[0] == "id":
+                                    chain.insert(0, tk(k - 2)[1])
+                                    k -= 2
+                                addr_stores.append(
+                                    [chain, tk(j + 1)[1], line, col])
+                                break
+
+                    # `<ctx>.Acquire()` establishes the context (HIB024).
+                    if text == "Acquire" and recv and "Context" in recv:
+                        fn["ctx_establish"] = True
 
                     if text == "reserve" and recv:
                         out["reserved"].append(recv)
@@ -1328,8 +1544,54 @@ def extract_function_facts(rel, tokens, model, directives, out, add):
                     elif text in SCHEDULE_SINKS:
                         sinks.append(["schedule", text, arg_ids, arg_calls,
                                       line, col])
+                        # Closure argument: record its captures (HIB023).
+                        lb = next((j for j in range(callpos + 1, close)
+                                   if tokens[j][1] == "["
+                                   and tk(j - 1)[1] in ("(", ",")), None)
+                        if lb is not None:
+                            rb = _find_matching_close(tokens, lb)
+                            val_ids, ref_ids = [], []
+                            ref_all = has_this = False
+                            k = lb + 1
+                            while k < rb:
+                                t2 = tokens[k][1]
+                                if t2 == "&":
+                                    if k + 1 < rb and tokens[k + 1][0] == "id" \
+                                            and tokens[k + 1][1] != "this":
+                                        ref_ids.append(tokens[k + 1][1])
+                                        k += 2
+                                        while k < rb and tokens[k][1] != ",":
+                                            k += 1
+                                        continue
+                                    ref_all = True
+                                elif t2 == "this":
+                                    has_this = True
+                                elif tokens[k][0] == "id":
+                                    val_ids.append(t2)
+                                    k += 1
+                                    while k < rb and tokens[k][1] != ",":
+                                        k += 1
+                                    continue
+                                k += 1
+                            end_line = tokens[close][2]
+                            sched_lambdas.append(
+                                [text, val_ids, ref_ids, ref_all, has_this,
+                                 line, col, end_line])
+                            if (ref_all or ref_ids) and interproc_scoped:
+                                what = (f"'&{ref_ids[0]}'" if ref_ids
+                                        else "'[&]' (everything)")
+                                add(line, col, "HIB023",
+                                    f"callback handed to '{text}' captures "
+                                    f"{what} by reference; the enclosing frame "
+                                    "is gone before the event queue drains — "
+                                    "capture by value (handles are 8 bytes) "
+                                    "or move ownership into the closure")
+                    elif text == "IsLive" and arg_ids:
+                        for a in arg_ids:
+                            if is_handle_name(a):
+                                live_checks.append([a, line, col])
                     elif text == "Release" and len(arg_ids) == 1 \
-                            and handle_type(arg_ids[0]):
+                            and is_handle_name(arg_ids[0]):
                         h = arg_ids[0]
                         hidx = next((j for j in range(callpos + 1, close)
                                      if tokens[j][1] == h), -1)
@@ -1344,6 +1606,7 @@ def extract_function_facts(rel, tokens, model, directives, out, add):
                                           [rel, line, col,
                                            f"'{h}' released again here"]])
                         released[h] = [depth, line, col, hidx]
+                        releases_fact.append([h, line, col])
 
                     # Seed-flavoured setter calls count as seed sinks too
                     # (SetSeed(t), Reseed(t), ...).
@@ -1387,8 +1650,20 @@ def extract_function_facts(rel, tokens, model, directives, out, add):
             "calls": fn.get("calls", []), "allocs": fn.get("allocs", []),
             "det_sources": fn.get("det_sources", []),
             "static_refs": fn.get("static_refs", []),
-            "sinks": fn.get("sinks", []), "assigns": fn.get("assigns", [])})
+            "sinks": fn.get("sinks", []), "assigns": fn.get("assigns", []),
+            "addr_stores": fn.get("addr_stores", []),
+            "sched_lambdas": fn.get("sched_lambdas", []),
+            "releases": fn.get("releases", []),
+            "live_checks": fn.get("live_checks", []),
+            "ctx_establish": bool(fn.get("ctx_establish")),
+            "annotations": fn.get("annotations", [])})
     out["reserved"] = sorted(set(out["reserved"]))
+    # Mutable static declarations, for HIB022's "does anything hold this class
+    # statically" step (file-scope only; locals never outlive their frame...
+    # except local statics, which do, so both are published).
+    out["static_decls"] = [
+        {"name": d["name"], "line": d["line"], "type": d["type"]}
+        for d in mutable_statics]
 
 
 def check_include_guard(rel, text, directives, add):
@@ -1421,6 +1696,34 @@ def check_directives(rel, is_header, directives, add):
             add(line, 1, "HIB002",
                 "headers must not include <iostream>; stream through "
                 "src/util/log.h instead")
+
+
+def check_layering(rel, directives, add):
+    """HIB025: #include edges between src/<layer>/ dirs must follow the DAG.
+    Purely per-file (directive-shaped), so it caches with the file."""
+    if rel.startswith("src/"):
+        layer = rel.split("/")[1]
+    elif rel.startswith(LAYERING_FIXTURE_PREFIX):
+        layer = rel[len(LAYERING_FIXTURE_PREFIX):].split("/")[0]
+    else:
+        return
+    allowed = LAYER_DAG.get(layer)
+    if allowed is None:
+        return  # unknown layer: no contract declared yet
+    for name, rest, line in directives:
+        if name != "include":
+            continue
+        m = re.match(r'"src/([A-Za-z0-9_]+)/', rest.strip())
+        if not m:
+            continue
+        target = m.group(1)
+        if target == layer or target in allowed or target not in LAYER_DAG:
+            continue
+        add(line, 1, "HIB025",
+            f"src/{layer}/ must not include src/{target}/; the layer DAG is "
+            "util <- obs/trace <- sim <- disk <- queueing <- array <- policy "
+            "<- hibernator <- harness — pass the dependency down as data or "
+            "an interface the lower layer owns")
 
 
 def check_static_mutable(rel, model, add):
@@ -1916,7 +2219,7 @@ def build_call_graph(results, index):
         elist = []
         for r, fn in nodes[key]["defs"]:
             for call in fn.get("calls", []):
-                name, recv, qual, line, col = call
+                name, recv, qual, line, col = call[:5]
                 for tgt in resolve(r, fn, name, recv, qual):
                     elist.append((tgt, (r["rel"], line, col, name)))
         edges[key] = elist
@@ -2134,7 +2437,8 @@ def interprocedural_checks(results, index):
             # the simulator core is a determinism leak even without a
             # recognised timestamp/seed shape.
             if rel.startswith("src/sim/"):
-                for cname, recv, qual, line, col in fn.get("calls", []):
+                for call in fn.get("calls", []):
+                    cname, recv, qual, line, col = call[:5]
                     for tgt in resolve(r, fn, cname, recv, qual):
                         if tgt in tainted and (rel, line, col, "sim") not in seen:
                             seen.add((rel, line, col, "sim"))
@@ -2145,10 +2449,306 @@ def interprocedural_checks(results, index):
                                  tainted[tgt] + [[rel, line, col, "sink here"]])
                             break
 
+    # ================== v4: shard escape & declared contracts ==============
+    aliases = index["aliases"]
+
+    def words(tstr):
+        return re.findall(r"[A-Za-z_]\w*", tstr or "")
+
+    # Shard-owned types: the baked-in universe set plus every class that
+    # carries HIB_SHARD_LOCAL.
+    shard_types = set(SHARD_OWNED_TYPES)
+    statics_types = []  # (rel, line, name, type_str) for every mutable static
+    for r in results:
+        for cls in r["classes"]:
+            if cls.get("shard_local") and cls.get("name"):
+                shard_types.add(cls["name"])
+        for d in r.get("static_decls", []):
+            statics_types.append((r["rel"], d["line"], d["name"], d["type"]))
+
+    def value_type(r, fn, name):
+        for p in fn.get("params", []):
+            if len(p) >= 2 and p[1] == name:
+                return resolve_alias(p[0], aliases)
+        return resolve_alias(resolve_type(name, r, index), aliases)
+
+    def shard_owned(tstr):
+        return any(w in shard_types for w in words(tstr))
+
+    def is_handle_in(r, fn, name):
+        for p in fn.get("params", []):
+            if len(p) >= 2 and p[1] == name:
+                return "PoolHandle" in (p[0] or "")
+        return "PoolHandle" in (r["locals"].get(name) or "")
+
+    # Annotation union per node: the header declaration and the out-of-line
+    # definition may carry different subsets; either one binds the contract.
+    node_ann = {}
+    for key in sorted(nodes):
+        anns = []
+        for r, fn in nodes[key]["defs"]:
+            anns.extend(fn.get("annotations", []))
+        if anns:
+            node_ann[key] = anns
+
+    def ann_of(key, macro):
+        return [a for a in node_ann.get(key, []) if a[0] == macro]
+
+    # ---- HIB022: shard-owned state escaping the shard run ----
+    parents = _reach(SHARD_ROOTS, graph)
+    member_stores = {}  # (owner_class, field) -> first store site
+    seen = set()
+    for key in sorted(parents):
+        for r, fn in nodes[key]["defs"]:
+            rel = r["rel"]
+            if rel.startswith(INTERPROC_EXEMPT_PREFIXES):
+                continue
+            static_names = {s[0] for s in fn.get("static_refs", [])}
+            mc = key[0]
+            members = index["class_members"].get(mc, {}) if mc else {}
+            for chain, src, line, col in fn.get("addr_stores", []):
+                t = mc if src == "this" else value_type(r, fn, src)
+                if not shard_owned(t):
+                    continue
+                base = chain[0]
+                if base in static_names:
+                    if (rel, line, col) in seen:
+                        continue
+                    seen.add((rel, line, col))
+                    steps, root = _chain(key, parents, graph,
+                                         "shard entry point")
+                    steps.append([rel, line, col,
+                                  f"address of shard-owned '{src}' stored "
+                                  f"into static '{'.'.join(chain)}' here"])
+                    emit(rel, line, col, "HIB022",
+                         f"address of shard-owned '{src}' escapes into static "
+                         f"'{'.'.join(chain)}' (reachable from shard entry "
+                         f"point '{_node_name(root)}'); shard state must die "
+                         "with the shard run — communicate through the "
+                         "harness merge instead", steps)
+                elif mc and (base == "this" or base in members):
+                    member_stores.setdefault(
+                        (mc, chain[-1]), (key, rel, chain, src, line, col))
+
+    # Field-sensitive second step: a member store only escapes if some
+    # static-duration object keeps the owning class alive across shard runs.
+    for (owner, field), (key, rel, chain, src, line, col) \
+            in sorted(member_stores.items()):
+        if (rel, line, col) in seen:
+            continue
+        holder = next(((srel, sline, sname, stype)
+                       for srel, sline, sname, stype in sorted(statics_types)
+                       if owner in words(stype)), None)
+        if holder is None:
+            continue
+        seen.add((rel, line, col))
+        srel, sline, sname, _stype = holder
+        steps, root = _chain(key, parents, graph, "shard entry point")
+        steps.append([rel, line, col,
+                      f"address of shard-owned '{src}' stored into member "
+                      f"'{owner}::{field}' here"])
+        steps.append([srel, sline, 1,
+                      f"static '{sname}' keeps a '{owner}' alive across "
+                      "shard runs"])
+        emit(rel, line, col, "HIB022",
+             f"address of shard-owned '{src}' escapes via member "
+             f"'{owner}::{field}': static '{sname}' ({srel}:{sline}) holds a "
+             f"'{owner}' that outlives the shard run — shard state must die "
+             "with its shard", steps)
+
+    # ---- HIB023(b): pool slot released before the scheduled event fires ----
+    # Fixpoint: which functions release one of their own handle parameters
+    # (directly, or by forwarding it to a releasing callee)?
+    releases_params = set()
+    changed = True
+    while changed:
+        changed = False
+        for key in sorted(nodes):
+            if key in releases_params:
+                continue
+            for r, fn in nodes[key]["defs"]:
+                pnames = {p[1] for p in fn.get("params", [])
+                          if len(p) >= 2 and p[1]}
+                if any(h in pnames for h, _, _ in fn.get("releases", [])):
+                    releases_params.add(key)
+                    changed = True
+                    break
+                hit = False
+                for call in fn.get("calls", []):
+                    args = call[5] if len(call) > 5 else []
+                    if not any(a in pnames for a in args):
+                        continue
+                    for tgt in resolve(r, fn, call[0], call[1], call[2]):
+                        if tgt in releases_params and tgt != key:
+                            releases_params.add(key)
+                            changed = hit = True
+                            break
+                    if hit:
+                        break
+                if hit:
+                    break
+
+    def release_site(key):
+        for r, fn in nodes[key]["defs"]:
+            if fn.get("releases"):
+                _h, line, col = fn["releases"][0]
+                return (r["rel"], line, col)
+        for r, fn in nodes[key]["defs"]:
+            return (r["rel"], fn["line"], 1)
+        return None
+
+    for ckey in sorted(nodes):
+        for r, fn in nodes[ckey]["defs"]:
+            rel = r["rel"]
+            if rel.startswith(INTERPROC_EXEMPT_PREFIXES):
+                continue
+            for sname, val_ids, _refs, _refall, _this, sline, scol, end_line \
+                    in fn.get("sched_lambdas", []):
+                for h in [v for v in val_ids if is_handle_in(r, fn, v)]:
+                    fired = False
+                    for rh, rline, rcol in fn.get("releases", []):
+                        if rh == h and rline > end_line:
+                            emit(rel, rline, rcol, "HIB023",
+                                 f"pool handle '{h}' is captured by a "
+                                 f"callback scheduled at {rel}:{sline}, but "
+                                 "its slot is released here before the event "
+                                 "can fire — the generation bump leaves the "
+                                 "capture stale; release inside the callback, "
+                                 "after its last use",
+                                 [[rel, sline, scol,
+                                   f"callback capturing '{h}' scheduled here"],
+                                  [rel, rline, rcol,
+                                   f"'{h}' released here, before the queue "
+                                   "drains"]])
+                            fired = True
+                            break
+                    if fired:
+                        continue
+                    for call in fn.get("calls", []):
+                        cname, recv, qual, cline, ccol = call[:5]
+                        args = call[5] if len(call) > 5 else []
+                        if cline <= end_line or h not in args \
+                                or cname == "Release":
+                            continue
+                        tgt = next((t for t
+                                    in resolve(r, fn, cname, recv, qual)
+                                    if t in releases_params), None)
+                        if tgt is None:
+                            continue
+                        steps = [[rel, sline, scol,
+                                  f"callback capturing '{h}' scheduled here"],
+                                 [rel, cline, ccol,
+                                  f"'{h}' passed to '{_node_name(tgt)}' here"]]
+                        site = release_site(tgt)
+                        if site:
+                            steps.append([site[0], site[1], site[2],
+                                          f"'{_node_name(tgt)}' releases its "
+                                          "handle parameter here"])
+                        emit(rel, cline, ccol, "HIB023",
+                             f"pool handle '{h}' is captured by a callback "
+                             f"scheduled at {rel}:{sline}, then passed to "
+                             f"'{_node_name(tgt)}', which releases its handle "
+                             "parameter — the slot dies before the event "
+                             "fires; release inside the callback instead",
+                             steps)
+                        break
+
+    # ---- HIB024: declared contracts must hold at every call site ----
+    def establishes_ctx(key):
+        if ann_of(key, "HIB_THREAD_CONTEXT"):
+            return True  # annotated callers carry the contract outward
+        return any(fn.get("ctx_establish")
+                   for _r, fn in nodes[key]["defs"])
+
+    seen = set()
+    for ckey in sorted(nodes):
+        if establishes_ctx(ckey):
+            continue
+        for tgt, site in graph["edges"].get(ckey, []):
+            req = ann_of(tgt, "HIB_THREAD_CONTEXT")
+            if not req:
+                continue
+            srel, sline, scol, _scallee = site
+            if srel.startswith(INTERPROC_EXEMPT_PREFIXES) \
+                    or (srel, sline, scol) in seen:
+                continue
+            seen.add((srel, sline, scol))
+            ctx = req[0][1][0] if req[0][1] else "the shard context"
+            if ckey in parents:
+                steps, _root = _chain(ckey, parents, graph,
+                                      "shard entry point")
+            else:
+                cr, cfn = nodes[ckey]["defs"][0]
+                steps = [[cr["rel"], cfn["line"], 1,
+                          f"caller '{_node_name(ckey)}' defined here (no "
+                          "HIB_THREAD_CONTEXT, no ThreadContextScope)"]]
+            dr, dfn = nodes[tgt]["defs"][0]
+            steps.append([srel, sline, scol,
+                          f"'{_node_name(ckey)}' calls '{_node_name(tgt)}' "
+                          "here without establishing the context"])
+            steps.append([dr["rel"], dfn["line"], 1,
+                          f"'{_node_name(tgt)}' declares "
+                          f"HIB_THREAD_CONTEXT({ctx}) here"])
+            emit(srel, sline, scol, "HIB024",
+                 f"'{_node_name(tgt)}' requires thread context '{ctx}', but "
+                 f"caller '{_node_name(ckey)}' neither declares the same "
+                 "contract nor establishes it (ThreadContextScope / "
+                 ".Acquire()) before the call", steps)
+
+    for ckey in sorted(nodes):
+        own_live = {arg for a in ann_of(ckey, "HIB_REQUIRES_LIVE")
+                    for arg in a[1]}
+        for r, fn in nodes[ckey]["defs"]:
+            rel = r["rel"]
+            if rel.startswith(INTERPROC_EXEMPT_PREFIXES):
+                continue
+            acquired = set()
+            for lhs, rhs_calls, _rhs_ids, _al, _ac in fn.get("assigns", []):
+                if any(c.startswith("Acquire") for c in rhs_calls):
+                    acquired.add(lhs)
+            checked = {lc[0] for lc in fn.get("live_checks", [])}
+            for call in fn.get("calls", []):
+                cname, recv, qual, cline, ccol = call[:5]
+                args = call[5] if len(call) > 5 else []
+                if not args:
+                    continue
+                tgt = next((t for t in resolve(r, fn, cname, recv, qual)
+                            if ann_of(t, "HIB_REQUIRES_LIVE")), None)
+                if tgt is None:
+                    continue
+                for h in args:
+                    if not is_handle_in(r, fn, h) or h in acquired \
+                            or h in checked or h in own_live:
+                        continue
+                    if (rel, cline, ccol) in seen:
+                        continue
+                    seen.add((rel, cline, ccol))
+                    dr, dfn = nodes[tgt]["defs"][0]
+                    emit(rel, cline, ccol, "HIB024",
+                         f"'{_node_name(tgt)}' declares HIB_REQUIRES_LIVE on "
+                         f"its handle parameter, but caller "
+                         f"'{_node_name(ckey)}' passes '{h}' without "
+                         "acquiring it, IsLive-checking it, or declaring "
+                         "HIB_REQUIRES_LIVE on its own signature",
+                         [[rel, cline, ccol,
+                           f"'{h}' passed to '{_node_name(tgt)}' here"],
+                          [dr["rel"], dfn["line"], 1,
+                           f"'{_node_name(tgt)}' declares HIB_REQUIRES_LIVE "
+                           "here"]])
+                    break
+
 
 # ============================ suppression filtering =========================
 
-def apply_suppressions(results):
+# Rules whose findings need the whole call graph in scope.  A scan of a file
+# subset (--partial, used by tools/precommit.sh) cannot prove that a NOLINT
+# for one of these is stale: the root that makes it fire may simply not be in
+# the scanned set.
+INTERPROC_RULES = frozenset(
+    {"HIB018", "HIB019", "HIB020", "HIB022", "HIB023", "HIB024"})
+
+
+def apply_suppressions(results, partial=False):
     final = []
     for r in results:
         rel = r["rel"]
@@ -2160,6 +2760,13 @@ def apply_suppressions(results):
         for s in sups:
             s["used"] = False  # results may come from the cache, reset state
             by_line.setdefault(s["target_line"], []).append(s)
+        # v4: when the interprocedural HIB018 confirms an allocation the
+        # syntactic HIB017 also flagged, only the HIB018 finding survives —
+        # it carries the witness chain, and two findings on one line are
+        # noise.  (Suppressions are still matched first, so a NOLINT(HIB017)
+        # on such a line stays "used" rather than going stale.)
+        hib018_lines = {f[0] for f in r.get("xfindings", [])
+                        if f[2] == "HIB018"}
         for line, col, rule, msg, fix, flow in \
                 list(r["findings"]) + list(r.get("xfindings", [])):
             suppressed = False
@@ -2167,10 +2774,14 @@ def apply_suppressions(results):
                 if rule in s["rules"]:
                     s["used"] = True
                     suppressed = True
+            if rule == "HIB017" and line in hib018_lines:
+                continue  # subsumed by the interprocedural tier
             if not suppressed:
                 final.append(Finding(rel, line, rule, msg, col, fix, flow))
         for s in sups:
             if not s["used"]:
+                if partial and set(s["rules"]) & INTERPROC_RULES:
+                    continue  # the proving root may be outside the scanned set
                 rules = ", ".join(sorted(s["rules"]))
                 final.append(Finding(
                     rel, s["decl_line"], "HIB099",
@@ -2384,7 +2995,7 @@ def save_cache(path, cache):
         pass  # caching is best-effort; never fail the lint over it
 
 
-def run_analysis(files, jobs, cache_path=None):
+def run_analysis(files, jobs, cache_path=None, partial=False):
     cache = load_cache(cache_path) if cache_path else None
     hashes = {}
     todo = []
@@ -2428,7 +3039,7 @@ def run_analysis(files, jobs, cache_path=None):
     index = build_index(results)
     cross_file_checks(results, index)
     interprocedural_checks(results, index)
-    return apply_suppressions(results)
+    return apply_suppressions(results, partial=partial)
 
 
 # --- --explain ---------------------------------------------------------------
@@ -2477,6 +3088,48 @@ EXPLAIN = {
         "flags any use lexically after Release(handle) on the same path "
         "(reassignment or leaving the releasing scope clears the state).",
         "bad_handle_reuse.cc"),
+    "HIB022": (
+        "A Simulator (and everything inside it — EventQueue, SlotPool, "
+        "MetricsRegistry, Tracer) is one shard's universe: it is built, run "
+        "and destroyed inside one RunAll / FleetSimulator worker slot.  The "
+        "moment its address is stored anywhere that outlives the run — a "
+        "mutable static directly, or (field-sensitively) a member of a class "
+        "some static keeps alive — the next shard, or the merge thread, can "
+        "reach freed or foreign-shard state.  HIB022 tracks address-of "
+        "stores in shard-reachable code; HIB_SHARD_LOCAL on a class opts it "
+        "into the shard-owned set.",
+        "bad_shard_escape.cc"),
+    "HIB023": (
+        "The event queue outlives every stack frame that schedules into it.  "
+        "A closure that captures a local or parameter by reference therefore "
+        "dangles by construction; and a closure that captures a PoolHandle "
+        "by value is only safe while the slot stays live — releasing the "
+        "slot after scheduling (directly, or through a callee that releases "
+        "its handle parameter: the interprocedural step HIB021 cannot see) "
+        "leaves the callback holding a stale generation.  The sanctioned "
+        "shape is [this, h] by value with Release as the last statement "
+        "*inside* the callback.",
+        "bad_callback_lifetime.cc"),
+    "HIB024": (
+        "HIB_THREAD_CONTEXT(ctx) and HIB_REQUIRES_LIVE(handle) are contracts "
+        "clang's -Wthread-safety enforces under -DHIB_THREAD_SAFETY=ON — but "
+        "only under clang.  HIB024 makes them portable: every caller of a "
+        "context-requiring function must declare the same context or "
+        "establish it (ThreadContextScope / .Acquire()), and every caller of "
+        "a HIB_REQUIRES_LIVE function must have acquired the handle, "
+        "IsLive-checked it, or declared the same contract on its own "
+        "signature.  Findings carry root-first witness chains: entry point "
+        "-> call path -> unguarded call -> contract declaration.",
+        "bad_contract.cc"),
+    "HIB025": (
+        "The repo's layer DAG — util <- obs/trace <- sim <- disk <- "
+        "queueing <- array <- policy <- hibernator <- harness — is what "
+        "keeps shard-owned state (HIB022) and contracts (HIB024) auditable: "
+        "a lower layer reaching up can smuggle references across subsystem "
+        "boundaries no local analysis will see.  HIB025 checks every "
+        '#include "src/<layer>/..." edge against the DAG; it is per-file and '
+        "cached, so it costs nothing warm.",
+        "layering/disk/bad_layering.cc"),
 }
 
 
@@ -2535,6 +3188,11 @@ def main(argv):
                              "(default: <repo>/.simlint-cache.json)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the incremental cache")
+    parser.add_argument("--partial", action="store_true",
+                        help="the paths are a subset of the tree (pre-commit "
+                             "hook): skip HIB099 staleness for suppressions "
+                             "of cross-file rules, whose proving root may be "
+                             "out of scope")
     try:
         args = parser.parse_args(argv[1:])
     except SystemExit as e:
@@ -2553,13 +3211,14 @@ def main(argv):
         paths = DEFAULT_PATHS
     files = gather_files(paths)
     cache_path = None if args.no_cache else args.cache
-    findings = run_analysis(files, max(1, args.jobs), cache_path)
+    findings = run_analysis(files, max(1, args.jobs), cache_path, args.partial)
 
     if args.fix:
         num_fixed, fixed_keys = apply_fixes(findings)
         if num_fixed:
             print(f"simlint: fixed {num_fixed} finding(s); re-checking", file=sys.stderr)
-            findings = run_analysis(files, max(1, args.jobs), cache_path)
+            findings = run_analysis(files, max(1, args.jobs), cache_path,
+                                    args.partial)
         else:
             print("simlint: nothing fixable", file=sys.stderr)
 

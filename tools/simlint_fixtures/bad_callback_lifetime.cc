@@ -1,0 +1,48 @@
+// HIB023: a Schedule* closure must own its captures until the event fires.
+//
+// Three violations: a by-reference capture (dangles by construction), a
+// value-captured PoolHandle released before the queue drains, and the same
+// release routed through a helper that releases its handle parameter (the
+// interprocedural case HIB021 cannot see).
+struct PoolHandle {
+  unsigned index = 0;
+  unsigned generation = 0;
+};
+
+class SlotPool {
+ public:
+  PoolHandle Acquire();
+  void Release(PoolHandle h);
+};
+
+class Simulator {
+ public:
+  template <typename F>
+  void ScheduleIn(double delay, F cb);
+};
+
+class Controller {
+ public:
+  void ByRef(int count) {
+    sim_.ScheduleIn(1.0, [&count] { ++count; });
+  }
+
+  void ReleasedEarly() {
+    PoolHandle h = pool_.Acquire();
+    sim_.ScheduleIn(2.0, [this, h] { Touch(h); });
+    pool_.Release(h);
+  }
+
+  void ReleasedViaHelper() {
+    PoolHandle h = pool_.Acquire();
+    sim_.ScheduleIn(3.0, [this, h] { Touch(h); });
+    Finish(h);
+  }
+
+ private:
+  void Touch(PoolHandle h);
+  void Finish(PoolHandle h) { pool_.Release(h); }
+
+  Simulator sim_;
+  SlotPool pool_;
+};

@@ -1,0 +1,22 @@
+// HIB024: declared contracts must hold at every call site.  Engine::Step
+// requires the shard context and Engine::Touch requires a live handle; the
+// caller neither declares the same contracts nor establishes them.
+#include "src/util/thread_annotations.h"
+
+struct PoolHandle {
+  unsigned index = 0;
+  unsigned generation = 0;
+};
+
+class Engine {
+ public:
+  void Step() HIB_THREAD_CONTEXT(kShardContext);
+  void Touch(PoolHandle h) HIB_REQUIRES_LIVE(h);
+};
+
+void Caller() {
+  Engine e;
+  e.Step();  // no HIB_THREAD_CONTEXT on Caller, no ThreadContextScope
+  PoolHandle h;
+  e.Touch(h);  // h was never acquired, IsLive-checked, or declared live
+}

@@ -1,0 +1,30 @@
+// HIB022: shard-owned state escaping the shard run — both ways.
+//
+// The direct form pushes the address of a stack-local Simulator into a
+// static container; the field-sensitive form stashes it in a member of a
+// class that a static holder keeps alive across shard runs.  Either way a
+// later shard (or the merge thread) can reach freed state.
+#include <vector>
+
+class Simulator {
+ public:
+  void Step() {}
+};
+
+class Registry {
+ public:
+  void Track(Simulator& s) { sim_ = &s; }
+
+ private:
+  Simulator* sim_ = nullptr;
+};
+
+static std::vector<Simulator*> g_live_sims;  // NOLINT(HIB006)
+static Registry g_registry;                  // NOLINT(HIB006)
+
+void RunExperiment() {
+  Simulator sim;
+  g_live_sims.push_back(&sim);  // NOLINT(HIB019)
+  g_registry.Track(sim);        // NOLINT(HIB019)
+  sim.Step();
+}

@@ -1,0 +1,39 @@
+// Clean HIB023: the sanctioned shapes.  Value captures (handles are 8
+// bytes), and Release as the last statement *inside* the callback — the
+// slot stays live until the event has fired.
+struct PoolHandle {
+  unsigned index = 0;
+  unsigned generation = 0;
+};
+
+class SlotPool {
+ public:
+  PoolHandle Acquire();
+  void Release(PoolHandle h);
+  void Use(PoolHandle h);
+};
+
+class Simulator {
+ public:
+  template <typename F>
+  void ScheduleIn(double delay, F cb);
+};
+
+class Controller {
+ public:
+  void Ok() {
+    PoolHandle h = pool_.Acquire();
+    sim_.ScheduleIn(1.0, [this, h] {
+      pool_.Use(h);
+      pool_.Release(h);
+    });
+  }
+
+  void ValueCapture(int n) {
+    sim_.ScheduleIn(2.0, [n] { (void)n; });
+  }
+
+ private:
+  Simulator sim_;
+  SlotPool pool_;
+};

@@ -1,0 +1,38 @@
+// Clean HIB024: every sanctioned way to satisfy a declared contract.
+//   - declare the same contract, pushing the obligation to *our* callers;
+//   - establish the context with ThreadContextScope;
+//   - acquire the handle in this frame, or IsLive-check it first.
+#include "src/util/thread_annotations.h"
+
+struct PoolHandle {
+  unsigned index = 0;
+  unsigned generation = 0;
+};
+
+class SlotPool {
+ public:
+  PoolHandle Acquire();
+  bool IsLive(PoolHandle h) const;
+  void Release(PoolHandle h) HIB_REQUIRES_LIVE(h);
+};
+
+class Engine {
+ public:
+  void Step() HIB_THREAD_CONTEXT(kShardContext);
+  void Touch(PoolHandle h) HIB_REQUIRES_LIVE(h);
+};
+
+void InsideShard(Engine& e) HIB_THREAD_CONTEXT(kShardContext) {
+  e.Step();  // same contract declared: our callers carry the obligation
+}
+
+void Establishes(SlotPool& pool) {
+  hib::ThreadContextScope scope(hib::kShardContext);
+  Engine e;
+  e.Step();
+  PoolHandle h = pool.Acquire();
+  if (pool.IsLive(h)) {
+    e.Touch(h);
+  }
+  pool.Release(h);
+}

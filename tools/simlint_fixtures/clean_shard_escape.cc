@@ -1,0 +1,27 @@
+// Clean HIB022: addresses of shard-owned state may flow freely between
+// shard-local objects — only static-duration escape outlives the shard run.
+#include <vector>
+
+class Simulator {
+ public:
+  void Step() {}
+};
+
+class Probe {
+ public:
+  void Attach(Simulator& s) { sim_ = &s; }
+
+ private:
+  Simulator* sim_ = nullptr;
+};
+
+void RunExperiment() {
+  Simulator sim;
+  Simulator* current = &sim;  // stack-to-stack: dies with the frame
+  current->Step();
+  std::vector<Simulator*> batch;  // local container: same lifetime
+  batch.push_back(&sim);
+  Probe probe;  // Probe is stack-held; no static keeps one alive
+  probe.Attach(sim);
+  (void)batch;
+}

@@ -1,0 +1,12 @@
+// HIB018 subsumes HIB017: one allocation on a hot dispatch path must yield
+// exactly one finding — the interprocedural one, which carries the witness
+// chain.  Two findings on the same line are noise.
+#include <memory>
+
+class ArrayController {
+ public:
+  void Submit() {
+    auto ctx = std::make_shared<int>(7);
+    (void)ctx;
+  }
+};

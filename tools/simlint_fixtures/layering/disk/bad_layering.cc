@@ -1,0 +1,6 @@
+// HIB025: the disk layer may depend downward (util, obs, trace, sim) but
+// never upward — policy decides *about* disks, disks know nothing of policy.
+#include "src/policy/policy.h"
+#include "src/sim/simulator.h"
+
+int DiskLocalHelper() { return 1; }

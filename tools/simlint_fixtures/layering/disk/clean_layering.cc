@@ -1,0 +1,5 @@
+// Clean HIB025: disk reaching down the DAG (sim, util) is the design.
+#include "src/sim/simulator.h"
+#include "src/util/units.h"
+
+int DiskCleanHelper() { return 2; }

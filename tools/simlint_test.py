@@ -1,11 +1,18 @@
 #!/usr/bin/env python3
-"""Self-test for tools/simlint.py (the v3 interprocedural engine).
+"""Self-test for tools/simlint.py (the v4 shard-escape & contract engine).
 
 Covers:
-  * every known-bad fixture trips *exactly* its expected rule(s);
-  * the clean fixtures (clean.h, tokenizer_torture.h) produce nothing —
+  * every known-bad fixture trips *exactly* its expected rule(s), including
+    the v4 set: HIB022 shard-escape (direct and field-sensitive), HIB023
+    callback-lifetime (by-ref capture, early release, release-via-helper),
+    HIB024 contract propagation, HIB025 layering;
+  * the clean fixtures produce nothing — each v4 rule has a clean twin
+    exercising the sanctioned shapes next to the violation, and
     tokenizer_torture.h packs raw strings containing `//`, multi-line block
     comments, `#if 0` regions, digit separators, and UTF-8 literals;
+  * the v4 witness chains are root-first (shard entry point / caller def
+    first, contract declaration or escape site last);
+  * HIB018 subsumes a same-line HIB017: one allocation, one finding;
   * the interproc fixture directory trips HIB018/HIB019/HIB020 with the exact
     cross-file witness chains (call path / taint path) in the text output;
   * the advertised rule set and the fixture set stay in sync;
@@ -51,10 +58,39 @@ EXPECTED = {
     "bad_catch.cc": ["HIB016"],
     "bad_hot_alloc.cc": ["HIB017", "HIB017"],
     "bad_handle_reuse.cc": ["HIB021"],
+    "bad_shard_escape.cc": ["HIB022", "HIB022"],
+    "bad_callback_lifetime.cc": ["HIB023", "HIB023", "HIB023"],
+    "bad_contract.cc": ["HIB024", "HIB024"],
+    "layering/disk/bad_layering.cc": ["HIB025"],
+    # One hot-path allocation, one finding: the HIB018 witness chain
+    # subsumes the syntactic HIB017 on the same line.
+    "dedupe_subsumed.cc": ["HIB018"],
     "unused_suppression.cc": ["HIB099"],
     "fixable_hand_conversion.cc": ["HIB009"],
 }
-CLEAN = ["clean.h", "tokenizer_torture.h"]
+CLEAN = ["clean.h", "tokenizer_torture.h", "clean_shard_escape.cc",
+         "clean_callback_lifetime.cc", "clean_contract.cc",
+         "layering/disk/clean_layering.cc"]
+
+# Per-file v4 witness chains: (fixture, line) -> ordered note substrings.
+V4_CHAINS = {
+    ("bad_shard_escape.cc", 16): [
+        "shard entry point 'RunExperiment' defined here",
+        "'RunExperiment' calls 'Registry::Track' here",
+        "address of shard-owned 's' stored into member 'Registry::sim_'",
+        "static 'g_registry' keeps a 'Registry' alive across shard runs",
+    ],
+    ("bad_callback_lifetime.cc", 39): [
+        "callback capturing 'h' scheduled here",
+        "'h' passed to 'Controller::Finish' here",
+        "'Controller::Finish' releases its handle parameter here",
+    ],
+    ("bad_contract.cc", 19): [
+        "caller 'Caller' defined here",
+        "'Caller' calls 'Engine::Step' here without establishing the context",
+        "'Engine::Step' declares HIB_THREAD_CONTEXT(kShardContext) here",
+    ],
+}
 
 # The interproc fixtures only make sense scanned together: the roots
 # (hot_submit.cc, shard_entry.cc) are clean in isolation and the helpers are
@@ -165,6 +201,35 @@ def check_interproc(failures):
     if "HIB018" in rules:
         failures.append("interproc: HIB018 fired without the hot-path root "
                         f"in scope (per-file rules: {rules})")
+
+
+def check_v4_chains(failures):
+    # The v4 rules carry root-first witness chains even in per-file scans
+    # (the roots and the violations live in one fixture file).
+    for (name, want_line), want in sorted(V4_CHAINS.items()):
+        _code, _rules, stdout = run_simlint(os.path.join(FIXTURES, name),
+                                            raw=True)
+        notes = []
+        collecting = False
+        for line in stdout.splitlines():
+            m = FINDING_RE.match(line)
+            if m:
+                collecting = int(m.group(2)) == want_line
+                continue
+            n = NOTE_RE.match(line)
+            if n and collecting:
+                notes.append(n.group(1))
+            elif line.strip():
+                collecting = False
+        if len(notes) != len(want):
+            failures.append(f"v4 chain {name}:{want_line}: expected "
+                            f"{len(want)} witness steps, got {len(notes)}: "
+                            f"{notes}")
+            continue
+        for step, (w, h) in enumerate(zip(want, notes)):
+            if w not in h:
+                failures.append(f"v4 chain {name}:{want_line} step {step}: "
+                                f"expected {w!r} in {h!r}")
 
 
 def check_rule_sync(failures):
@@ -367,6 +432,7 @@ def main():
     failures = []
     check_fixtures(failures)
     check_interproc(failures)
+    check_v4_chains(failures)
     check_rule_sync(failures)
     check_suppressions(failures)
     check_sarif(failures)
