@@ -1,0 +1,131 @@
+// Trace pipeline throughput: ASCII parse vs compiled-binary replay.
+//
+// The trace compiler exists so fleet-scale replays stop paying strtod on
+// every record (ROADMAP item 2).  This bench pins that claim with numbers:
+//
+//   1. generate an OLTP slice and export it as SPC ASCII,
+//   2. compile the ASCII to the HIBT binary format   -> compile MB/s,
+//   3. replay the ASCII through SpcTraceReader       -> ascii events/s,
+//   4. replay the binary through CompiledTraceReader -> events/s (gated).
+//
+// BENCH_trace_replay.json's events_per_sec is the *binary* replay rate; the
+// CI baseline (tools/bench_baselines/) gates it at 10% like the fleet and
+// OLTP benches.  replay_speedup_vs_ascii is the headline ratio — the
+// acceptance floor for the trace-compiler PR was 10x.
+#include <sstream>
+
+#include "bench/bench_common.h"
+#include "src/trace/format.h"
+#include "src/trace/spc_reader.h"
+#include "src/trace/spc_writer.h"
+
+namespace hib {
+namespace {
+
+constexpr SectorAddr kSpaceSectors = SectorAddr{1} << 24;  // 8 GiB
+
+std::int64_t Drain(WorkloadSource& source) {
+  TraceRecord r;
+  std::int64_t n = 0;
+  while (source.Next(&r)) {
+    ++n;
+  }
+  return n;
+}
+
+int Run() {
+  PrintHeader("TRACE-REPLAY", "trace compiler throughput: ASCII parse vs compiled replay");
+
+  OltpWorkloadParams wp;
+  wp.address_space_sectors = kSpaceSectors;
+  wp.duration_ms = BenchDurationMs(Hours(6.0));
+  wp.peak_iops = 400.0;
+  wp.trough_iops = 150.0;
+  wp.seed = 20260808;
+  OltpWorkload generated(wp);
+
+  std::ostringstream ascii_out;
+  const std::int64_t records = ExportSpcTrace(generated, ascii_out);
+  const std::string ascii = ascii_out.str();
+  const double ascii_mb = static_cast<double>(ascii.size()) / 1e6;
+  std::printf("workload: %lld records, %.1f MB ASCII (%.1f simulated hours)\n",
+              static_cast<long long>(records), ascii_mb, ToSeconds(wp.duration_ms) / 3600.0);
+
+  WallTimer total;
+
+  // --- compile ---------------------------------------------------------------
+  std::string binary;
+  double compile_seconds = 0.0;
+  {
+    // max_asus=1 keeps the reader's ASU slicing an identity map, so the
+    // compiled trace carries exactly the records the ASCII reader yields.
+    auto reader = SpcTraceReader::FromString(ascii, kSpaceSectors, 1, TimeOrderPolicy::kAccept);
+    TraceCompileOptions options;
+    options.address_space_sectors = kSpaceSectors;
+    WallTimer t;
+    TraceCompileResult result = CompileTrace(*reader, &binary, options);
+    compile_seconds = t.Seconds();
+    if (!result.ok) {
+      std::fprintf(stderr, "trace compile failed: %s\n", result.error.c_str());
+      return 1;
+    }
+  }
+  const double compile_mb_per_sec = compile_seconds > 0.0 ? ascii_mb / compile_seconds : 0.0;
+  std::printf("compile:  %.2f s  (%.1f MB/s ASCII in, %.1f MB binary out)\n", compile_seconds,
+              compile_mb_per_sec, static_cast<double>(binary.size()) / 1e6);
+
+  // --- ASCII replay ----------------------------------------------------------
+  std::int64_t ascii_records = 0;
+  double ascii_seconds = 0.0;
+  {
+    auto reader = SpcTraceReader::FromString(ascii, kSpaceSectors, 1);
+    WallTimer t;
+    ascii_records = Drain(*reader);
+    ascii_seconds = t.Seconds();
+  }
+  const double ascii_events_per_sec =
+      ascii_seconds > 0.0 ? static_cast<double>(ascii_records) / ascii_seconds : 0.0;
+  std::printf("ascii:    %.2f s  (%.2fM events/s)\n", ascii_seconds, ascii_events_per_sec / 1e6);
+
+  // --- binary replay ---------------------------------------------------------
+  // Repeat until the measurement is long enough to trust (the binary cursor
+  // is memory-speed, so one pass over a smoke-sized trace is microseconds).
+  const std::int64_t binary_bytes = static_cast<std::int64_t>(binary.size());
+  auto compiled = CompiledTraceReader::FromBuffer(std::move(binary));
+  if (!compiled->ok()) {
+    std::fprintf(stderr, "compiled trace rejected: %s\n", compiled->error().c_str());
+    return 1;
+  }
+  std::int64_t replayed = 0;
+  int passes = 0;
+  WallTimer replay_timer;
+  do {
+    compiled->Reset();
+    replayed += Drain(*compiled);
+    ++passes;
+  } while (replay_timer.Seconds() < 0.5 || passes < 3);
+  const double replay_seconds = replay_timer.Seconds();
+  const double events_per_sec =
+      replay_seconds > 0.0 ? static_cast<double>(replayed) / replay_seconds : 0.0;
+  const double speedup = ascii_events_per_sec > 0.0 ? events_per_sec / ascii_events_per_sec : 0.0;
+  std::printf("binary:   %.2f s over %d passes  (%.2fM events/s, %.1fx ASCII)\n", replay_seconds,
+              passes, events_per_sec / 1e6, speedup);
+
+  JsonObject payload = BenchPayload("trace_replay", total.Seconds(),
+                                    static_cast<std::uint64_t>(replayed));
+  payload.Set("events_per_sec", events_per_sec)
+      .Set("records", JsonValue::Int(records))
+      .Set("replay_passes", JsonValue::Int(passes))
+      .Set("ascii_bytes", JsonValue::Int(static_cast<std::int64_t>(ascii.size())))
+      .Set("binary_bytes", JsonValue::Int(binary_bytes))
+      .Set("compile_mb_per_sec", compile_mb_per_sec)
+      .Set("ascii_events_per_sec", ascii_events_per_sec)
+      .Set("replay_speedup_vs_ascii", speedup);
+  WriteBenchJson("trace_replay", payload);
+  return 0;
+}
+
+}  // namespace
+}  // namespace hib
+
+int main() { return hib::Run(); }

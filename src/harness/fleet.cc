@@ -4,7 +4,9 @@
 #include <string>
 #include <utility>
 
+#include "src/trace/morph.h"
 #include "src/trace/synthetic.h"
+#include "src/trace/zoo.h"
 #include "src/util/check.h"
 #include "src/util/random.h"
 
@@ -40,30 +42,67 @@ FleetSimulator::FleetSimulator(FleetSpec spec) : spec_(spec) {
     SchemeConfig cfg = spec_.scheme;
     es.make_policy = [cfg] { return MakePolicy(cfg); };
     Duration duration = spec_.duration_ms;
-    if (spec_.workload == FleetSpec::Workload::kOltp) {
-      es.make_workload = [peak, trough, duration, phase,
-                          workload_seed](const ArrayParams& p) -> std::unique_ptr<WorkloadSource> {
-        OltpWorkloadParams wp;
-        wp.address_space_sectors = p.DataSectors();
-        wp.duration_ms = duration;
-        wp.peak_iops = peak;
-        wp.trough_iops = trough;
-        wp.phase_ms = phase;
-        wp.seed = workload_seed;
-        return std::make_unique<OltpWorkload>(wp);
-      };
-    } else {
-      es.make_workload = [peak, trough, duration, phase,
-                          workload_seed](const ArrayParams& p) -> std::unique_ptr<WorkloadSource> {
-        CelloWorkloadParams wp;
-        wp.address_space_sectors = p.DataSectors();
-        wp.duration_ms = duration;
-        wp.peak_iops = peak;
-        wp.trough_iops = trough;
-        wp.phase_ms = phase;
-        wp.seed = workload_seed;
-        return std::make_unique<CelloWorkload>(wp);
-      };
+    switch (spec_.workload) {
+      case FleetSpec::Workload::kOltp:
+        es.make_workload = [peak, trough, duration, phase, workload_seed](
+                               const ArrayParams& p) -> std::unique_ptr<WorkloadSource> {
+          OltpWorkloadParams wp;
+          wp.address_space_sectors = p.DataSectors();
+          wp.duration_ms = duration;
+          wp.peak_iops = peak;
+          wp.trough_iops = trough;
+          wp.phase_ms = phase;
+          wp.seed = workload_seed;
+          return std::make_unique<OltpWorkload>(wp);
+        };
+        break;
+      case FleetSpec::Workload::kCello:
+        es.make_workload = [peak, trough, duration, phase, workload_seed](
+                               const ArrayParams& p) -> std::unique_ptr<WorkloadSource> {
+          CelloWorkloadParams wp;
+          wp.address_space_sectors = p.DataSectors();
+          wp.duration_ms = duration;
+          wp.peak_iops = peak;
+          wp.trough_iops = trough;
+          wp.phase_ms = phase;
+          wp.seed = workload_seed;
+          return std::make_unique<CelloWorkload>(wp);
+        };
+        break;
+      case FleetSpec::Workload::kMlTraining:
+        // The zoo generators have no built-in diurnal phase knob; the fleet
+        // staggers them with a PhaseSpliceMorph instead, which is exactly
+        // what the morpher is for.
+        es.make_workload = [peak, duration, phase, workload_seed](
+                               const ArrayParams& p) -> std::unique_ptr<WorkloadSource> {
+          MlTrainingWorkloadParams wp;
+          wp.address_space_sectors = p.DataSectors();
+          wp.duration_ms = duration;
+          wp.read_iops = peak;
+          wp.seed = workload_seed;
+          auto source = std::make_unique<MlTrainingWorkload>(wp);
+          if (phase > Duration{}) {
+            return std::make_unique<PhaseSpliceMorph>(std::move(source), phase, duration);
+          }
+          return source;
+        };
+        break;
+      case FleetSpec::Workload::kBackupScan:
+        es.make_workload = [peak, trough, duration, phase, workload_seed](
+                               const ArrayParams& p) -> std::unique_ptr<WorkloadSource> {
+          BackupScanWorkloadParams wp;
+          wp.address_space_sectors = p.DataSectors();
+          wp.duration_ms = duration;
+          wp.scan_iops = peak;
+          wp.background_iops = trough;
+          wp.seed = workload_seed;
+          auto source = std::make_unique<BackupScanWorkload>(wp);
+          if (phase > Duration{}) {
+            return std::make_unique<PhaseSpliceMorph>(std::move(source), phase, duration);
+          }
+          return source;
+        };
+        break;
     }
     // Pre-size each shard's event queue from its own peak rate so no shard
     // grows the queue mid-run.

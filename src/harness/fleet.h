@@ -34,7 +34,10 @@ struct FleetSpec {
   SchemeConfig scheme;
   ArrayParams base_array;
 
-  enum class Workload { kOltp, kCello };
+  // kMlTraining and kBackupScan come from the zoo (src/trace/zoo.h):
+  // peak_iops maps to the dataloader read rate / in-window scan rate, and
+  // trough_iops to the backup generator's out-of-window verify rate.
+  enum class Workload { kOltp, kCello, kMlTraining, kBackupScan };
   Workload workload = Workload::kOltp;
   double peak_iops = 300.0;
   double trough_iops = 90.0;

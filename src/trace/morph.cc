@@ -1,0 +1,183 @@
+#include "src/trace/morph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/trace/synthetic.h"
+#include "src/util/check.h"
+
+namespace hib {
+
+// --------------------------------------------------------------- rate x N ---
+
+RateScaleMorph::RateScaleMorph(std::unique_ptr<WorkloadSource> inner, int factor)
+    : inner_(std::move(inner)), factor_(factor) {
+  HIB_CHECK(inner_ != nullptr);
+  HIB_CHECK_GE(factor_, 1);
+}
+
+bool RateScaleMorph::Next(TraceRecord* out) {
+  if (!primed_) {
+    primed_ = true;
+    have_cur_ = inner_->Next(&cur_);
+    have_next_ = have_cur_ && inner_->Next(&next_);
+    replica_ = 0;
+  }
+  if (!have_cur_) {
+    return false;
+  }
+  if (replica_ == factor_) {
+    if (!have_next_) {
+      have_cur_ = false;
+      return false;
+    }
+    cur_ = next_;
+    have_next_ = inner_->Next(&next_);
+    replica_ = 0;
+  }
+  *out = cur_;
+  if (replica_ > 0) {
+    // Spread replicas evenly across the gap to the next inner arrival so the
+    // instantaneous rate scales by `factor` instead of arriving as bursts of
+    // `factor` simultaneous requests.  The last inner record has no gap, so
+    // its replicas land on its own timestamp.
+    if (have_next_) {
+      const Duration gap = next_.time - cur_.time;
+      out->time = cur_.time + gap * (static_cast<double>(replica_) / static_cast<double>(factor_));
+    }
+    // Each replica is a distinct "user": rotate its addresses by an evenly
+    // spaced, chunk-aligned offset within the same address space.
+    const SectorAddr space = inner_->AddressSpaceSectors();
+    const SectorCount count = std::clamp<SectorCount>(cur_.count, 1, space);
+    SectorAddr rotation =
+        (space * static_cast<SectorAddr>(replica_) / static_cast<SectorAddr>(factor_)) / 2048 *
+        2048;
+    SectorAddr lba = (cur_.lba + rotation) % space;
+    out->lba = std::min(lba, space - count);
+    out->count = count;
+  }
+  ++replica_;
+  return true;
+}
+
+void RateScaleMorph::Reset() {
+  inner_->Reset();
+  primed_ = false;
+  have_cur_ = false;
+  have_next_ = false;
+  replica_ = 0;
+}
+
+// -------------------------------------------------------------- LBA remap ---
+
+LbaRemapMorph::LbaRemapMorph(std::unique_ptr<WorkloadSource> inner,
+                             SectorAddr target_space_sectors, SectorCount chunk_sectors)
+    : inner_(std::move(inner)),
+      target_space_sectors_(target_space_sectors),
+      chunk_sectors_(chunk_sectors) {
+  HIB_CHECK(inner_ != nullptr);
+  HIB_CHECK_GT(target_space_sectors_, 0);
+  HIB_CHECK_GT(chunk_sectors_, 0);
+}
+
+bool LbaRemapMorph::Next(TraceRecord* out) {
+  if (!inner_->Next(out)) {
+    return false;
+  }
+  const SectorCount count = std::clamp<SectorCount>(out->count, 1, target_space_sectors_);
+  const std::int64_t target_chunks = std::max<std::int64_t>(1, target_space_sectors_ / chunk_sectors_);
+  const std::int64_t chunk = out->lba / chunk_sectors_;
+  const SectorAddr offset = out->lba % chunk_sectors_;
+  const std::int64_t mapped = ScrambleRank(chunk % target_chunks, target_chunks);
+  SectorAddr lba = mapped * chunk_sectors_ + offset;
+  out->lba = std::clamp<SectorAddr>(lba, 0, target_space_sectors_ - count);
+  out->count = count;
+  return true;
+}
+
+// ----------------------------------------------------------- phase splice ---
+
+PhaseSpliceMorph::PhaseSpliceMorph(std::unique_ptr<WorkloadSource> inner, Duration shift,
+                                   Duration period)
+    : inner_(std::move(inner)), period_(period) {
+  HIB_CHECK(inner_ != nullptr);
+  if (!(period_ > Duration{})) {
+    period_ = inner_->DurationHint();
+  }
+  HIB_CHECK(period_ > Duration{})
+      << "PhaseSpliceMorph needs an explicit period when the source has no duration hint";
+  double s = std::fmod(shift.value(), period_.value());
+  if (s < 0.0) {
+    s += period_.value();
+  }
+  split_ = period_ - Ms(s);
+}
+
+bool PhaseSpliceMorph::Next(TraceRecord* out) {
+  TraceRecord r;
+  // Pass 1: the tail segment t in [split, period) plays first, shifted to 0.
+  while (in_tail_pass_) {
+    if (!inner_->Next(&r)) {
+      in_tail_pass_ = false;
+      inner_->Reset();
+      break;
+    }
+    if (r.time < split_ || r.time >= period_) {
+      continue;  // head segment (second pass) or beyond the period (dropped)
+    }
+    *out = r;
+    out->time = r.time - split_;
+    HIB_DCHECK(!emitted_any_ || out->time >= last_out_);
+    last_out_ = out->time;
+    emitted_any_ = true;
+    return true;
+  }
+  // Pass 2: the head segment t in [0, split) follows, shifted by the
+  // complement.  Sources are time-sorted, so the first record at or past the
+  // split ends the pass.
+  while (inner_->Next(&r)) {
+    if (r.time >= split_) {
+      return false;
+    }
+    *out = r;
+    out->time = r.time + (period_ - split_);
+    HIB_DCHECK(!emitted_any_ || out->time >= last_out_);
+    last_out_ = out->time;
+    emitted_any_ = true;
+    return true;
+  }
+  return false;
+}
+
+void PhaseSpliceMorph::Reset() {
+  inner_->Reset();
+  in_tail_pass_ = true;
+  last_out_ = SimTime{};
+  emitted_any_ = false;
+}
+
+// ---------------------------------------------------------------- sampler ---
+
+SampleMorph::SampleMorph(std::unique_ptr<WorkloadSource> inner, double keep_fraction,
+                         std::uint64_t seed)
+    : inner_(std::move(inner)), keep_fraction_(keep_fraction), seed_(seed), rng_(seed) {
+  HIB_CHECK(inner_ != nullptr);
+  HIB_CHECK(keep_fraction_ >= 0.0 && keep_fraction_ <= 1.0);
+}
+
+bool SampleMorph::Next(TraceRecord* out) {
+  while (inner_->Next(out)) {
+    if (rng_.NextDouble() < keep_fraction_) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SampleMorph::Reset() {
+  inner_->Reset();
+  rng_ = Pcg32(seed_);
+}
+
+}  // namespace hib

@@ -1,0 +1,130 @@
+// Trace morphers: composable WorkloadSource wrappers that reshape an existing
+// trace (compiled, ASCII, or synthetic) without re-collecting it.  The paper's
+// questions are mostly counterfactuals — "what if this array had 10x the
+// users", "what if the US trace ran in the Singapore timezone" — and a morph
+// stack answers them against the *real* request structure instead of a
+// synthetic stand-in:
+//
+//   auto w = std::make_unique<RateScaleMorph>(
+//       std::make_unique<LbaRemapMorph>(CompiledTraceReader::Open(path),
+//                                       bigger_array.DataSectors()),
+//       /*factor=*/10);
+//
+// Composition rules (see DESIGN.md "Trace pipeline"):
+//   * Every morpher preserves the WorkloadSource contract: nondecreasing
+//     timestamps, LBAs within AddressSpaceSectors(), deterministic replay
+//     after Reset().
+//   * Remap before rate-scale when doing both (scale replicates LBAs into
+//     the *target* space).
+//   * PhaseSpliceMorph drops records at or beyond its period — put it last
+//     if an inner morpher could stretch the trace.
+#ifndef HIBERNATOR_SRC_TRACE_MORPH_H_
+#define HIBERNATOR_SRC_TRACE_MORPH_H_
+
+#include <memory>
+
+#include "src/trace/trace.h"
+#include "src/util/random.h"
+
+namespace hib {
+
+// Multiplies the arrival rate by an integer factor: every inner record is
+// emitted `factor` times, spread evenly across the gap to the next inner
+// arrival (so the rate scales smoothly instead of arriving in lockstep
+// bursts), with each replica's LBA shifted by a per-replica deterministic
+// offset — factor distinct "users" running the same application.  Record
+// count is exactly factor x inner, and ordering is preserved.
+class RateScaleMorph : public WorkloadSource {
+ public:
+  RateScaleMorph(std::unique_ptr<WorkloadSource> inner, int factor);
+
+  bool Next(TraceRecord* out) override;
+  void Reset() override;
+  SectorAddr AddressSpaceSectors() const override { return inner_->AddressSpaceSectors(); }
+  Duration DurationHint() const override { return inner_->DurationHint(); }
+  double PeakIopsHint() const override {
+    return inner_->PeakIopsHint() * static_cast<double>(factor_);
+  }
+
+ private:
+  std::unique_ptr<WorkloadSource> inner_;
+  int factor_;
+  TraceRecord cur_;
+  TraceRecord next_;
+  bool have_cur_ = false;
+  bool have_next_ = false;
+  bool primed_ = false;
+  int replica_ = 0;
+};
+
+// Remaps LBAs onto a (typically larger) target address space, preserving
+// within-chunk sequentiality: the 1 MB locality chunk index is spread over
+// the target's chunks with the same bijective multiplicative scramble the
+// synthetic generators use, and the offset within the chunk is kept.  Every
+// emitted record satisfies 0 <= lba and lba + count <= target space.
+class LbaRemapMorph : public WorkloadSource {
+ public:
+  LbaRemapMorph(std::unique_ptr<WorkloadSource> inner, SectorAddr target_space_sectors,
+                SectorCount chunk_sectors = 2048);
+
+  bool Next(TraceRecord* out) override;
+  void Reset() override { inner_->Reset(); }
+  SectorAddr AddressSpaceSectors() const override { return target_space_sectors_; }
+  Duration DurationHint() const override { return inner_->DurationHint(); }
+  double PeakIopsHint() const override { return inner_->PeakIopsHint(); }
+
+ private:
+  std::unique_ptr<WorkloadSource> inner_;
+  SectorAddr target_space_sectors_;
+  SectorCount chunk_sectors_;
+};
+
+// Rotates the diurnal phase: record times become (t + shift) mod period, so
+// a daytime-peaked trace can stand in for an array on the other side of the
+// planet while keeping its exact request structure.  Implemented as two
+// sorted passes over the inner source (tail first, then head), so the output
+// stays nondecreasing.  Records at t >= period are dropped.
+class PhaseSpliceMorph : public WorkloadSource {
+ public:
+  // period <= 0 means "use inner->DurationHint()".
+  PhaseSpliceMorph(std::unique_ptr<WorkloadSource> inner, Duration shift,
+                   Duration period = Duration{});
+
+  bool Next(TraceRecord* out) override;
+  void Reset() override;
+  SectorAddr AddressSpaceSectors() const override { return inner_->AddressSpaceSectors(); }
+  Duration DurationHint() const override { return period_; }
+  double PeakIopsHint() const override { return inner_->PeakIopsHint(); }
+
+ private:
+  std::unique_ptr<WorkloadSource> inner_;
+  Duration period_;
+  Duration split_;  // inner records at t >= split_ are emitted first
+  bool in_tail_pass_ = true;
+  SimTime last_out_;
+  bool emitted_any_ = false;
+};
+
+// Keeps each record independently with probability `keep_fraction` (seeded,
+// deterministic): thins a trace for quick experiments while preserving its
+// temporal and spatial shape.
+class SampleMorph : public WorkloadSource {
+ public:
+  SampleMorph(std::unique_ptr<WorkloadSource> inner, double keep_fraction, std::uint64_t seed);
+
+  bool Next(TraceRecord* out) override;
+  void Reset() override;
+  SectorAddr AddressSpaceSectors() const override { return inner_->AddressSpaceSectors(); }
+  Duration DurationHint() const override { return inner_->DurationHint(); }
+  double PeakIopsHint() const override { return inner_->PeakIopsHint() * keep_fraction_; }
+
+ private:
+  std::unique_ptr<WorkloadSource> inner_;
+  double keep_fraction_;
+  std::uint64_t seed_;
+  Pcg32 rng_;
+};
+
+}  // namespace hib
+
+#endif  // HIBERNATOR_SRC_TRACE_MORPH_H_

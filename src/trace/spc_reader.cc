@@ -3,24 +3,31 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "src/util/check.h"
+#include "src/util/log.h"
+
 namespace hib {
 
-SpcTraceReader::SpcTraceReader(SectorAddr address_space_sectors, int max_asus)
+SpcTraceReader::SpcTraceReader(SectorAddr address_space_sectors, int max_asus,
+                               TimeOrderPolicy time_order)
     : address_space_sectors_(address_space_sectors),
       max_asus_(std::max(1, max_asus)),
-      asu_slice_sectors_(address_space_sectors / std::max(1, max_asus)) {}
+      asu_slice_sectors_(address_space_sectors / std::max(1, max_asus)),
+      time_order_(time_order) {}
 
-SpcTraceReader::SpcTraceReader(std::string path, SectorAddr address_space_sectors, int max_asus)
-    : SpcTraceReader(address_space_sectors, max_asus) {
+SpcTraceReader::SpcTraceReader(std::string path, SectorAddr address_space_sectors, int max_asus,
+                               TimeOrderPolicy time_order)
+    : SpcTraceReader(address_space_sectors, max_asus, time_order) {
   path_ = std::move(path);
   OpenStream();
 }
 
 std::unique_ptr<SpcTraceReader> SpcTraceReader::FromString(std::string contents,
                                                            SectorAddr address_space_sectors,
-                                                           int max_asus) {
+                                                           int max_asus,
+                                                           TimeOrderPolicy time_order) {
   auto reader = std::unique_ptr<SpcTraceReader>(
-      new SpcTraceReader(address_space_sectors, max_asus));
+      new SpcTraceReader(address_space_sectors, max_asus, time_order));
   reader->memory_buffer_ = std::move(contents);
   reader->OpenStream();
   return reader;
@@ -84,7 +91,7 @@ bool SpcTraceReader::ParseLine(const std::string& line, TraceRecord* out) {
   out->lba = std::min(base + offset, address_space_sectors_ - count);
   out->count = count;
   out->is_write = (op == "w" || op == "W");
-  out->time = std::max(Seconds(ts), last_time_);  // enforce nondecreasing
+  out->time = Seconds(ts);
   out->stream = static_cast<int>(asu);
   return true;
 }
@@ -95,6 +102,7 @@ bool SpcTraceReader::Next(TraceRecord* out) {
   }
   std::string line;
   while (std::getline(*stream_, line)) {
+    ++line_number_;
     // CRLF traces (SPC files often come from Windows tooling): getline stops
     // at '\n' and leaves the '\r' on the line — strip it so it neither turns
     // a blank line into a "parse error" nor rides into the last field.
@@ -105,15 +113,37 @@ bool SpcTraceReader::Next(TraceRecord* out) {
     if (line.find_first_not_of(" \t") == std::string::npos || line[0] == '#') {
       continue;
     }
-    if (ParseLine(line, out)) {
-      last_time_ = out->time;
-      return true;
+    if (!ParseLine(line, out)) {
+      ++parse_errors_;
+      continue;
     }
-    ++parse_errors_;
+    if (time_order_ != TimeOrderPolicy::kAccept && out->time < last_time_) {
+      // SPC traces are sorted by definition; a backwards timestamp means the
+      // file is damaged, not that the clock should be repaired for it.
+      HIB_CHECK(time_order_ != TimeOrderPolicy::kAbort)
+          << "non-monotonic SPC timestamp at line " << line_number_ << ": " << out->time
+          << " after " << last_time_;
+      ++time_order_errors_;
+      if (time_order_errors_ == 1) {
+        HIB_LOG(kWarning) << "SPC trace: rejecting non-monotonic record at line " << line_number_
+                          << " (" << out->time << " after " << last_time_ << ")";
+      }
+      continue;
+    }
+    if (time_order_ != TimeOrderPolicy::kAccept) {
+      last_time_ = out->time;
+    }
+    return true;
   }
   return false;
 }
 
-void SpcTraceReader::Reset() { OpenStream(); }
+void SpcTraceReader::Reset() {
+  OpenStream();
+  line_number_ = 0;
+  // The monotonicity check restarts with the stream, so its error count does
+  // too; parse_errors_ stays cumulative across passes.
+  time_order_errors_ = 0;
+}
 
 }  // namespace hib

@@ -28,16 +28,28 @@
 
 namespace hib {
 
+// What to do with a record whose timestamp runs backwards.  SPC traces are
+// sorted by definition, so a backwards timestamp means the file is damaged
+// or was concatenated wrong — silently repairing it (the old clamp behavior)
+// would hide exactly the corruption the trace compiler needs surfaced.
+enum class TimeOrderPolicy {
+  kReject,  // drop the record, count it in time_order_errors(), keep going
+  kAbort,   // HIB_CHECK-fail with the offending timestamps (strict tools)
+  kAccept,  // pass records through unordered (the trace compiler sorts)
+};
+
 class SpcTraceReader : public WorkloadSource {
  public:
   // Reads from a file on disk.  `asu_slice_sectors` is the address-space
   // slice reserved per ASU; LBAs beyond a slice wrap within it.
-  SpcTraceReader(std::string path, SectorAddr address_space_sectors, int max_asus = 8);
+  SpcTraceReader(std::string path, SectorAddr address_space_sectors, int max_asus = 8,
+                 TimeOrderPolicy time_order = TimeOrderPolicy::kReject);
 
   // Reads from an in-memory string (tests).
   static std::unique_ptr<SpcTraceReader> FromString(std::string contents,
                                                     SectorAddr address_space_sectors,
-                                                    int max_asus = 8);
+                                                    int max_asus = 8,
+                                                    TimeOrderPolicy time_order = TimeOrderPolicy::kReject);
 
   bool Next(TraceRecord* out) override;
   void Reset() override;
@@ -46,8 +58,12 @@ class SpcTraceReader : public WorkloadSource {
   // Number of malformed lines skipped so far.
   std::int64_t parse_errors() const { return parse_errors_; }
 
+  // Number of records rejected for non-monotonic timestamps (kReject only).
+  // Cleared by Reset(): the monotonicity check restarts with the stream.
+  std::int64_t time_order_errors() const { return time_order_errors_; }
+
  private:
-  SpcTraceReader(SectorAddr address_space_sectors, int max_asus);
+  SpcTraceReader(SectorAddr address_space_sectors, int max_asus, TimeOrderPolicy time_order);
   void OpenStream();
   bool ParseLine(const std::string& line, TraceRecord* out);
 
@@ -57,7 +73,10 @@ class SpcTraceReader : public WorkloadSource {
   SectorAddr address_space_sectors_;
   int max_asus_;
   SectorAddr asu_slice_sectors_;
+  TimeOrderPolicy time_order_;
   std::int64_t parse_errors_ = 0;
+  std::int64_t time_order_errors_ = 0;
+  std::int64_t line_number_ = 0;
   SimTime last_time_;
 };
 

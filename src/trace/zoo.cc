@@ -1,0 +1,185 @@
+#include "src/trace/zoo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace hib {
+
+// ------------------------------------------------------------ ML training ---
+
+MlTrainingWorkload::MlTrainingWorkload(MlTrainingWorkloadParams params)
+    : params_(params), rng_(params.seed) {
+  HIB_CHECK_GT(params_.address_space_sectors, 0);
+  HIB_CHECK_GE(params_.shards, 1);
+  HIB_CHECK(params_.epoch_ms > Duration{});
+  HIB_CHECK(params_.checkpoint_gap_ms > Duration{});
+  HIB_CHECK_GT(params_.read_iops, 0.0);
+  Reset();
+}
+
+void MlTrainingWorkload::ShuffleShards() {
+  shard_order_.resize(static_cast<std::size_t>(params_.shards));
+  for (int i = 0; i < params_.shards; ++i) {
+    shard_order_[static_cast<std::size_t>(i)] = i;
+  }
+  for (int i = params_.shards - 1; i > 0; --i) {
+    std::int64_t j = rng_.NextInRange(0, i);
+    std::swap(shard_order_[static_cast<std::size_t>(i)], shard_order_[static_cast<std::size_t>(j)]);
+  }
+}
+
+double MlTrainingWorkload::PeakIopsHint() const {
+  // The checkpoint burst is the densest stretch: one write per gap.
+  return std::max(params_.read_iops, kMsPerSecond / params_.checkpoint_gap_ms.value());
+}
+
+bool MlTrainingWorkload::Next(TraceRecord* out) {
+  const SectorAddr space = params_.address_space_sectors;
+  // Checkpoints land sequentially in the top 1/16 of the space.
+  const SectorAddr ckpt_base = space - space / 16;
+
+  if (checkpoint_remaining_ > 0) {
+    now_ += params_.checkpoint_gap_ms;
+    if (now_ >= params_.duration_ms) {
+      return false;
+    }
+    const SectorCount count = std::clamp<SectorCount>(params_.checkpoint_sectors, 1, space);
+    if (checkpoint_lba_ > space - count) {
+      checkpoint_lba_ = std::min(ckpt_base, space - count);
+    }
+    out->time = now_;
+    out->lba = checkpoint_lba_;
+    out->count = count;
+    out->is_write = true;
+    out->stream = 1;
+    checkpoint_lba_ += count;
+    --checkpoint_remaining_;
+    return true;
+  }
+
+  now_ += Seconds(rng_.NextExponential(1.0 / params_.read_iops));
+  if (now_ >= params_.duration_ms) {
+    return false;
+  }
+  if (now_ >= params_.epoch_ms * static_cast<double>(epoch_ + 1)) {
+    // Epoch boundary: reshuffle the shard order and start the checkpoint
+    // burst, whose first write goes out right now.
+    ++epoch_;
+    reads_this_epoch_ = 0;
+    shard_pos_ = 0;
+    ShuffleShards();
+    checkpoint_remaining_ = std::max(0, params_.checkpoint_writes);
+    checkpoint_lba_ = std::min(ckpt_base, space - 1);
+    if (checkpoint_remaining_ > 0) {
+      const SectorCount count = std::clamp<SectorCount>(params_.checkpoint_sectors, 1, space);
+      out->time = now_;
+      out->lba = std::min(checkpoint_lba_, space - count);
+      out->count = count;
+      out->is_write = true;
+      out->stream = 1;
+      checkpoint_lba_ = out->lba + count;
+      --checkpoint_remaining_;
+      return true;
+    }
+  }
+
+  // Dataloader read: sequential within the active shard, shards visited in
+  // this epoch's shuffled order.
+  const std::int64_t reads_per_epoch = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(params_.read_iops * ToSeconds(params_.epoch_ms)));
+  const std::int64_t reads_per_shard =
+      std::max<std::int64_t>(1, reads_per_epoch / params_.shards);
+  const std::size_t shard_idx =
+      static_cast<std::size_t>((reads_this_epoch_ / reads_per_shard) %
+                               static_cast<std::int64_t>(params_.shards));
+  const int shard = shard_order_[shard_idx];
+  const SectorAddr slice = std::max<SectorAddr>(1, space / params_.shards);
+  const SectorCount count = std::clamp<SectorCount>(params_.read_sectors, 1, space);
+  if (shard_pos_ + count > slice) {
+    shard_pos_ = 0;  // wrap within the shard
+  }
+  out->time = now_;
+  out->lba = std::min<SectorAddr>(shard * slice + shard_pos_, space - count);
+  out->count = count;
+  out->is_write = false;
+  out->stream = 0;
+  shard_pos_ += count;
+  ++reads_this_epoch_;
+  return true;
+}
+
+void MlTrainingWorkload::Reset() {
+  rng_ = Pcg32(params_.seed);
+  now_ = SimTime{};
+  epoch_ = 0;
+  reads_this_epoch_ = 0;
+  shard_pos_ = 0;
+  checkpoint_remaining_ = 0;
+  checkpoint_lba_ = 0;
+  ShuffleShards();
+}
+
+// ------------------------------------------------------------ backup scan ---
+
+BackupScanWorkload::BackupScanWorkload(BackupScanWorkloadParams params)
+    : params_(params), rng_(params.seed) {
+  HIB_CHECK_GT(params_.address_space_sectors, 0);
+  HIB_CHECK(params_.day_ms > Duration{});
+  HIB_CHECK(params_.window_ms > Duration{});
+  HIB_CHECK(params_.window_start_ms + params_.window_ms <= params_.day_ms)
+      << "the scan window must fit within one day";
+  HIB_CHECK_GT(params_.scan_iops, 0.0);
+  Reset();
+}
+
+bool BackupScanWorkload::InWindow(SimTime t) const {
+  const double tod = std::fmod(t.value(), params_.day_ms.value());
+  return tod >= params_.window_start_ms.value() &&
+         tod < params_.window_start_ms.value() + params_.window_ms.value();
+}
+
+double BackupScanWorkload::PeakIopsHint() const {
+  return std::max(params_.scan_iops, params_.background_iops);
+}
+
+bool BackupScanWorkload::Next(TraceRecord* out) {
+  const SectorAddr space = params_.address_space_sectors;
+  const double rate =
+      std::max(1e-6, InWindow(now_) ? params_.scan_iops : params_.background_iops);
+  now_ += Seconds(rng_.NextExponential(1.0 / rate));
+  if (now_ >= params_.duration_ms) {
+    return false;
+  }
+  if (InWindow(now_)) {
+    // Sequential full-array scan, wrapping over the space night after night.
+    const SectorCount count = std::clamp<SectorCount>(params_.scan_sectors, 1, space);
+    if (scan_pos_ > space - count) {
+      scan_pos_ = 0;
+    }
+    out->time = now_;
+    out->lba = scan_pos_;
+    out->count = count;
+    out->is_write = false;
+    out->stream = 2;
+    scan_pos_ += count;
+    return true;
+  }
+  // Sparse verify read at a uniformly random address.
+  const SectorCount count = std::clamp<SectorCount>(params_.background_sectors, 1, space);
+  out->time = now_;
+  out->lba = rng_.NextInRange(0, space - count);
+  out->count = count;
+  out->is_write = false;
+  out->stream = 3;
+  return true;
+}
+
+void BackupScanWorkload::Reset() {
+  rng_ = Pcg32(params_.seed);
+  now_ = SimTime{};
+  scan_pos_ = 0;
+}
+
+}  // namespace hib

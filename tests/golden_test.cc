@@ -31,7 +31,10 @@
 
 #include "src/harness/parallel.h"
 #include "src/harness/schemes.h"
+#include "src/trace/format.h"
+#include "src/trace/morph.h"
 #include "src/trace/synthetic.h"
+#include "src/util/check.h"
 
 namespace hib {
 namespace {
@@ -80,6 +83,30 @@ std::unique_ptr<WorkloadSource> MakeGoldenCello(const ArrayParams& array) {
   wp.trough_iops = 4.0;
   wp.seed = 373737;
   return std::make_unique<CelloWorkload>(wp);
+}
+
+// The compiled-trace golden: a small OLTP slice compiled to the binary
+// format ONCE (function-local static, shared by all six scheme runs), then
+// remapped onto each scheme's data space.  Pins the whole trace pipeline —
+// compiler, checksummed replay cursor, LBA remap morph — to the same 1e-9
+// bar as the generator-driven cases.
+std::unique_ptr<WorkloadSource> MakeGoldenTrace(const ArrayParams& array) {
+  static const std::string compiled = [] {
+    OltpWorkloadParams wp;
+    wp.address_space_sectors = 1 << 22;  // 2 GB source space, remapped below
+    wp.duration_ms = Hours(1.0);
+    wp.peak_iops = 90.0;
+    wp.trough_iops = 25.0;
+    wp.seed = 616161;
+    OltpWorkload source(wp);
+    std::string bytes;
+    TraceCompileResult result = CompileTrace(source, &bytes);
+    HIB_CHECK(result.ok) << result.error;
+    return bytes;
+  }();
+  auto reader = CompiledTraceReader::FromBuffer(compiled);
+  HIB_CHECK(reader->ok()) << reader->error();
+  return std::make_unique<LbaRemapMorph>(std::move(reader), array.DataSectors());
 }
 
 // Runs the comparison and flattens it to "<scheme>.<metric>" -> value.
@@ -170,6 +197,8 @@ void CheckAgainstGolden(const std::string& workload,
 TEST(Golden, OltpSchemeComparison) { CheckAgainstGolden("oltp", MakeGoldenOltp); }
 
 TEST(Golden, CelloSchemeComparison) { CheckAgainstGolden("cello", MakeGoldenCello); }
+
+TEST(Golden, CompiledTraceSchemeComparison) { CheckAgainstGolden("trace", MakeGoldenTrace); }
 
 }  // namespace
 }  // namespace hib

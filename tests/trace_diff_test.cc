@@ -1,0 +1,136 @@
+// Differential replay: the SAME ASCII trace driven through RunExperiment via
+// (a) the SpcTraceReader ASCII path and (b) the compile-to-HIBT-then-replay
+// path must produce identical results.  Timestamps are stored as bit images
+// in the binary format, so nothing is rounded in between — the acceptance
+// bound is 1e-12 relative, and in practice the match is 0 ulp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "src/harness/experiment.h"
+#include "src/harness/schemes.h"
+#include "src/trace/format.h"
+#include "src/trace/spc_reader.h"
+#include "src/trace/spc_writer.h"
+#include "src/trace/synthetic.h"
+
+namespace hib {
+namespace {
+
+// Small but policy-active: 8 disks, 40 simulated minutes of OLTP.
+ArrayParams DiffArray() {
+  ArrayParams array;
+  array.num_disks = 8;
+  array.group_width = 4;
+  array.disk = MakeUltrastar36Z15MultiSpeed(5);
+  array.cache_lines = 512;
+  array.seed = 777;
+  return array;
+}
+
+// The shared ASCII ground truth, exported once from a fixed-seed generator.
+const std::string& DiffAscii() {
+  static const std::string ascii = [] {
+    OltpWorkloadParams wp;
+    wp.address_space_sectors = DiffArray().DataSectors();
+    wp.duration_ms = Minutes(40.0);
+    wp.peak_iops = 80.0;
+    wp.trough_iops = 30.0;
+    wp.seed = 20260808;
+    OltpWorkload source(wp);
+    std::ostringstream out;
+    ExportSpcTrace(source, out);
+    return out.str();
+  }();
+  return ascii;
+}
+
+// Pins DurationHint so both paths get the same replay horizon: a file reader
+// cannot know its duration without a scan, so the harness would otherwise
+// discover the ASCII path's end in one-hour slices while the compiled path
+// runs exactly stats().last_time + drain.  The request streams are what this
+// test compares; the horizon must be held equal.
+class WithDurationHint : public WorkloadSource {
+ public:
+  WithDurationHint(std::unique_ptr<WorkloadSource> inner, Duration hint)
+      : inner_(std::move(inner)), hint_(hint) {}
+
+  bool Next(TraceRecord* out) override { return inner_->Next(out); }
+  void Reset() override { inner_->Reset(); }
+  SectorAddr AddressSpaceSectors() const override { return inner_->AddressSpaceSectors(); }
+  Duration DurationHint() const override { return hint_; }
+
+ private:
+  std::unique_ptr<WorkloadSource> inner_;
+  Duration hint_;
+};
+
+void ExpectSame(const char* what, double a, double b) {
+  const double scale = std::max({std::abs(a), std::abs(b), 1e-300});
+  EXPECT_LE(std::abs(a - b) / scale, 1e-12)
+      << what << ": ascii " << a << " vs compiled " << b;
+}
+
+void RunDifferential(Scheme scheme) {
+  const SectorAddr space = DiffArray().DataSectors();
+  const Duration horizon = Minutes(40.0);
+
+  SchemeConfig cfg;
+  cfg.scheme = scheme;
+  cfg.goal_ms = Ms(25.0);
+  cfg.epoch_ms = Minutes(10.0);
+  const ArrayParams array = ArrayFor(cfg, DiffArray());
+
+  // Path A: parse the ASCII on the fly (max_asus=1 keeps the ASU map an
+  // identity, so both paths see the very same request stream).
+  auto ascii_reader = SpcTraceReader::FromString(DiffAscii(), space, 1);
+  SpcTraceReader* ascii_raw = ascii_reader.get();
+  WithDurationHint ascii_source(std::move(ascii_reader), horizon);
+  auto policy_a = MakePolicy(cfg);
+  ExperimentResult ascii_result = RunExperiment(ascii_source, *policy_a, array);
+  EXPECT_EQ(ascii_raw->time_order_errors(), 0) << "exported trace must be sorted";
+  EXPECT_EQ(ascii_raw->parse_errors(), 0);
+
+  // Path B: compile to the binary format, replay through the O(1) cursor.
+  auto compile_reader = SpcTraceReader::FromString(DiffAscii(), space, 1, TimeOrderPolicy::kAccept);
+  std::string binary;
+  TraceCompileOptions options;
+  options.address_space_sectors = space;
+  TraceCompileResult compiled = CompileTrace(*compile_reader, &binary, options);
+  ASSERT_TRUE(compiled.ok) << compiled.error;
+  ASSERT_GT(compiled.records, 1000);
+  auto binary_reader = CompiledTraceReader::FromBuffer(std::move(binary));
+  ASSERT_TRUE(binary_reader->ok()) << binary_reader->error();
+  CompiledTraceReader* binary_raw = binary_reader.get();
+  WithDurationHint binary_source(std::move(binary_reader), horizon);
+  auto policy_b = MakePolicy(cfg);
+  ExperimentResult binary_result = RunExperiment(binary_source, *policy_b, array);
+  EXPECT_TRUE(binary_raw->ok()) << binary_raw->error();
+
+  EXPECT_EQ(ascii_result.requests, binary_result.requests);
+  ExpectSame("energy_j", ascii_result.energy_total.value(), binary_result.energy_total.value());
+  ExpectSame("mean_response_ms", ascii_result.mean_response_ms.value(),
+             binary_result.mean_response_ms.value());
+  ExpectSame("p95_response_ms", ascii_result.p95_response_ms.value(),
+             binary_result.p95_response_ms.value());
+  ExpectSame("p99_response_ms", ascii_result.p99_response_ms.value(),
+             binary_result.p99_response_ms.value());
+  EXPECT_EQ(ascii_result.spin_ups, binary_result.spin_ups);
+  EXPECT_EQ(ascii_result.spin_downs, binary_result.spin_downs);
+  EXPECT_EQ(ascii_result.rpm_changes, binary_result.rpm_changes);
+  EXPECT_EQ(ascii_result.migrations, binary_result.migrations);
+}
+
+TEST(TraceDifferential, BaselineMatchesAtFullPrecision) { RunDifferential(Scheme::kBase); }
+
+TEST(TraceDifferential, HibernatorMatchesAtFullPrecision) {
+  RunDifferential(Scheme::kHibernator);
+}
+
+TEST(TraceDifferential, MaidMatchesAtFullPrecision) { RunDifferential(Scheme::kMaid); }
+
+}  // namespace
+}  // namespace hib

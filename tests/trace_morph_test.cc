@@ -1,0 +1,338 @@
+// Property tests for the trace morphers (src/trace/morph.h) and the workload
+// zoo extensions (src/trace/zoo.h).  Every morpher must preserve the
+// WorkloadSource contract — nondecreasing timestamps, LBAs inside
+// AddressSpaceSectors(), deterministic replay after Reset() — and each has
+// its own headline property: rate-x-N multiplies the record count by exactly
+// N, LBA remap never leaves the target space (checked over a million random
+// records), phase splice is a permutation, sampling is seed-deterministic.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "src/trace/morph.h"
+#include "src/trace/synthetic.h"
+#include "src/trace/zoo.h"
+#include "src/util/random.h"
+
+namespace hib {
+namespace {
+
+constexpr SectorAddr kSpace = 1 << 20;  // 512 MB logical space
+
+std::vector<TraceRecord> Drain(WorkloadSource& source) {
+  std::vector<TraceRecord> records;
+  TraceRecord r;
+  while (source.Next(&r)) {
+    records.push_back(r);
+  }
+  return records;
+}
+
+void ExpectContract(const std::vector<TraceRecord>& records, SectorAddr space) {
+  SimTime last;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const TraceRecord& r = records[i];
+    ASSERT_GE(r.time, last) << "timestamps regressed at record " << i;
+    ASSERT_GE(r.lba, 0) << "record " << i;
+    ASSERT_GE(r.count, 1) << "record " << i;
+    ASSERT_LE(r.lba + r.count, space) << "record " << i;
+    last = r.time;
+  }
+}
+
+std::unique_ptr<WorkloadSource> SmallOltp(std::uint64_t seed = 4242) {
+  OltpWorkloadParams p;
+  p.address_space_sectors = kSpace;
+  p.duration_ms = Minutes(30.0);
+  p.peak_iops = 40.0;
+  p.trough_iops = 10.0;
+  p.seed = seed;
+  return std::make_unique<OltpWorkload>(p);
+}
+
+// In-memory source for targeted inputs (WorkloadSource contract: the caller
+// provides records in nondecreasing time order).
+class VectorSource : public WorkloadSource {
+ public:
+  VectorSource(std::vector<TraceRecord> records, SectorAddr space)
+      : records_(std::move(records)), space_(space) {}
+
+  bool Next(TraceRecord* out) override {
+    if (pos_ >= records_.size()) {
+      return false;
+    }
+    *out = records_[pos_++];
+    return true;
+  }
+  void Reset() override { pos_ = 0; }
+  SectorAddr AddressSpaceSectors() const override { return space_; }
+
+ private:
+  std::vector<TraceRecord> records_;
+  SectorAddr space_;
+  std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------- rate scale ---
+
+TEST(RateScaleMorph, MultipliesCountExactlyAndKeepsOrdering) {
+  const std::size_t base_count = Drain(*SmallOltp()).size();
+  ASSERT_GT(base_count, 100u);
+
+  for (int factor : {1, 2, 3, 7}) {
+    RateScaleMorph morph(SmallOltp(), factor);
+    std::vector<TraceRecord> scaled = Drain(morph);
+    // The headline property: count x N with no slack at all.
+    EXPECT_EQ(scaled.size(), base_count * static_cast<std::size_t>(factor))
+        << "factor " << factor;
+    ExpectContract(scaled, morph.AddressSpaceSectors());
+  }
+}
+
+TEST(RateScaleMorph, ScalesPeakIopsHintAndIsDeterministic) {
+  RateScaleMorph morph(SmallOltp(), 4);
+  EXPECT_DOUBLE_EQ(morph.PeakIopsHint(), SmallOltp()->PeakIopsHint() * 4.0);
+
+  std::vector<TraceRecord> first = Drain(morph);
+  morph.Reset();
+  std::vector<TraceRecord> second = Drain(morph);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ASSERT_EQ(first[i].lba, second[i].lba) << "record " << i;
+    ASSERT_EQ(first[i].time, second[i].time) << "record " << i;
+  }
+}
+
+TEST(RateScaleMorph, ReplicasArriveWithinTheSourceGap) {
+  // Two inner records 10 ms apart: the factor-4 replicas of the first must
+  // land inside [t, t + 10ms), not bunch up or spill past the next arrival.
+  std::vector<TraceRecord> inner(2);
+  inner[0].time = Ms(100.0);
+  inner[1].time = Ms(110.0);
+  inner[0].lba = inner[1].lba = 0;
+  inner[0].count = inner[1].count = 8;
+  RateScaleMorph morph(std::make_unique<VectorSource>(inner, kSpace), 4);
+  std::vector<TraceRecord> out = Drain(morph);
+  ASSERT_EQ(out.size(), 8u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GE(out[static_cast<std::size_t>(i)].time, Ms(100.0));
+    EXPECT_LT(out[static_cast<std::size_t>(i)].time, Ms(110.0));
+  }
+  EXPECT_EQ(out[0].time, Ms(100.0));  // replica 0 is the verbatim record
+}
+
+// --------------------------------------------------------------- lba remap ---
+
+TEST(LbaRemapMorph, MillionRandomRecordsStayInsideTheTargetSpace) {
+  // 1M records with adversarial LBAs (boundary-hugging, max-count, random),
+  // remapped both UP to a larger array and DOWN to a smaller one: every
+  // output must satisfy 0 <= lba && lba + count <= target.
+  Pcg32 rng(555);
+  std::vector<TraceRecord> records;
+  records.reserve(1000000);
+  SimTime t;
+  for (int i = 0; i < 1000000; ++i) {
+    TraceRecord r;
+    t = t + Ms(0.01);
+    r.time = t;
+    r.count = 1 + static_cast<SectorCount>(rng.NextBounded(4096));
+    switch (rng.NextBounded(4)) {
+      case 0:  // hug the top boundary
+        r.lba = kSpace - r.count;
+        break;
+      case 1:  // hug the bottom
+        r.lba = 0;
+        break;
+      default:
+        r.lba = rng.NextInRange(0, kSpace - r.count);
+        break;
+    }
+    records.push_back(r);
+  }
+
+  for (SectorAddr target : {kSpace * 8, kSpace, kSpace / 4 + 123}) {
+    LbaRemapMorph morph(std::make_unique<VectorSource>(records, kSpace), target);
+    EXPECT_EQ(morph.AddressSpaceSectors(), target);
+    TraceRecord r;
+    std::int64_t n = 0;
+    while (morph.Next(&r)) {
+      ++n;
+      ASSERT_GE(r.lba, 0) << "target " << target << " record " << n;
+      ASSERT_GE(r.count, 1) << "target " << target << " record " << n;
+      ASSERT_LE(r.lba + r.count, target) << "target " << target << " record " << n;
+    }
+    EXPECT_EQ(n, 1000000) << "remap must not drop records";
+  }
+}
+
+TEST(LbaRemapMorph, PreservesWithinChunkSequentiality) {
+  // Two 4 KB requests 8 sectors apart inside one 1 MB chunk must stay exactly
+  // 8 sectors apart after the chunk is relocated.
+  std::vector<TraceRecord> inner(2);
+  inner[0].time = Ms(1.0);
+  inner[1].time = Ms(2.0);
+  inner[0].lba = 4096;
+  inner[1].lba = 4104;
+  inner[0].count = inner[1].count = 8;
+  LbaRemapMorph morph(std::make_unique<VectorSource>(inner, kSpace), kSpace * 4);
+  std::vector<TraceRecord> out = Drain(morph);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].lba - out[0].lba, 8);
+}
+
+// ------------------------------------------------------------ phase splice ---
+
+TEST(PhaseSpliceMorph, IsAPermutationWithTheExpectedShift) {
+  const Duration period = Minutes(30.0);
+  const Duration shift = Minutes(10.0);
+  std::vector<TraceRecord> inner_records = Drain(*SmallOltp());
+  ASSERT_GT(inner_records.size(), 100u);
+
+  PhaseSpliceMorph morph(SmallOltp(), shift, period);
+  std::vector<TraceRecord> out = Drain(morph);
+  ExpectContract(out, morph.AddressSpaceSectors());
+  EXPECT_EQ(morph.DurationHint(), period);
+
+  // The generator never emits at t >= its duration (== period here), so the
+  // splice drops nothing: same multiset of requests, times shifted mod period.
+  ASSERT_EQ(out.size(), inner_records.size());
+  std::vector<std::tuple<std::int64_t, std::int64_t, bool>> a, b;
+  a.reserve(out.size());
+  b.reserve(out.size());
+  for (const TraceRecord& r : inner_records) {
+    a.emplace_back(r.lba, static_cast<std::int64_t>(r.count), r.is_write);
+  }
+  for (const TraceRecord& r : out) {
+    b.emplace_back(r.lba, static_cast<std::int64_t>(r.count), r.is_write);
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  for (const TraceRecord& r : out) {
+    EXPECT_LT(r.time, period);
+  }
+}
+
+TEST(PhaseSpliceMorph, ShiftsTailRecordsToTheFront) {
+  // Records at 5, 15, 25 minutes, shifted by 10: splice point at 20 min, so
+  // the 25-minute record leads (at 5 min) and the rest follow shifted +10.
+  std::vector<TraceRecord> inner(3);
+  inner[0].time = Minutes(5.0);
+  inner[1].time = Minutes(15.0);
+  inner[2].time = Minutes(25.0);
+  for (std::size_t i = 0; i < inner.size(); ++i) {
+    inner[i].lba = static_cast<SectorAddr>(100 * (i + 1));
+    inner[i].count = 8;
+  }
+  PhaseSpliceMorph morph(std::make_unique<VectorSource>(inner, kSpace), Minutes(10.0),
+                         Minutes(30.0));
+  std::vector<TraceRecord> out = Drain(morph);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].lba, 300);
+  EXPECT_EQ(out[0].time, Minutes(5.0));
+  EXPECT_EQ(out[1].lba, 100);
+  EXPECT_EQ(out[1].time, Minutes(15.0));
+  EXPECT_EQ(out[2].lba, 200);
+  EXPECT_EQ(out[2].time, Minutes(25.0));
+}
+
+TEST(PhaseSpliceMorph, ResetReplaysIdentically) {
+  PhaseSpliceMorph morph(SmallOltp(), Hours(0.2));
+  std::vector<TraceRecord> first = Drain(morph);
+  morph.Reset();
+  std::vector<TraceRecord> second = Drain(morph);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ASSERT_EQ(first[i].time, second[i].time) << "record " << i;
+    ASSERT_EQ(first[i].lba, second[i].lba) << "record " << i;
+  }
+}
+
+// ----------------------------------------------------------------- sample ---
+
+TEST(SampleMorph, EdgeFractionsAndDeterminism) {
+  const std::size_t base_count = Drain(*SmallOltp()).size();
+
+  SampleMorph none(SmallOltp(), 0.0, 9);
+  EXPECT_EQ(Drain(none).size(), 0u);
+
+  SampleMorph all(SmallOltp(), 1.0, 9);
+  EXPECT_EQ(Drain(all).size(), base_count);
+
+  SampleMorph half(SmallOltp(), 0.5, 9);
+  std::vector<TraceRecord> first = Drain(half);
+  // Loose binomial bounds: the point is "roughly half", not the exact count.
+  EXPECT_GT(first.size(), base_count / 3);
+  EXPECT_LT(first.size(), base_count * 2 / 3);
+  ExpectContract(first, half.AddressSpaceSectors());
+
+  half.Reset();
+  std::vector<TraceRecord> second = Drain(half);
+  ASSERT_EQ(first.size(), second.size()) << "Reset must re-seed the sampler";
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ASSERT_EQ(first[i].lba, second[i].lba) << "record " << i;
+    ASSERT_EQ(first[i].time, second[i].time) << "record " << i;
+  }
+}
+
+// -------------------------------------------------------------------- zoo ---
+
+TEST(MlTrainingWorkload, ContractAndCheckpointBursts) {
+  MlTrainingWorkloadParams p;
+  p.address_space_sectors = kSpace;
+  p.duration_ms = Hours(1.0);
+  p.read_iops = 50.0;
+  p.epoch_ms = Minutes(10.0);
+  MlTrainingWorkload workload(p);
+  std::vector<TraceRecord> records = Drain(workload);
+  ASSERT_GT(records.size(), 1000u);
+  ExpectContract(records, kSpace);
+
+  std::int64_t reads = 0, writes = 0;
+  for (const TraceRecord& r : records) {
+    (r.is_write ? writes : reads) += 1;
+    if (r.is_write) {
+      // Checkpoints write into the reserved top 1/16th of the space.
+      EXPECT_GE(r.lba, kSpace - kSpace / 16);
+    }
+    EXPECT_LT(r.time, p.duration_ms);
+  }
+  // Read storm with checkpoint punctuation: ~6 epochs x 64 writes each.
+  EXPECT_GT(reads, writes * 4);
+  EXPECT_GE(writes, 5 * 64);
+
+  workload.Reset();
+  std::vector<TraceRecord> again = Drain(workload);
+  ASSERT_EQ(records.size(), again.size());
+  EXPECT_EQ(records.front().lba, again.front().lba);
+  EXPECT_EQ(records.back().lba, again.back().lba);
+}
+
+TEST(BackupScanWorkload, WindowedScanDominatesAndContractHolds) {
+  BackupScanWorkloadParams p;
+  p.address_space_sectors = kSpace;
+  p.duration_ms = Hours(8.0);
+  p.day_ms = Hours(8.0);
+  p.window_start_ms = Hours(1.0);
+  p.window_ms = Hours(2.0);
+  p.scan_iops = 40.0;
+  p.background_iops = 1.0;
+  BackupScanWorkload workload(p);
+  std::vector<TraceRecord> records = Drain(workload);
+  ASSERT_GT(records.size(), 1000u);
+  ExpectContract(records, kSpace);
+
+  std::int64_t in_window = 0, outside = 0;
+  for (const TraceRecord& r : records) {
+    EXPECT_FALSE(r.is_write);  // scrubs and verifies only read
+    (workload.InWindow(r.time) ? in_window : outside) += 1;
+  }
+  // 2 of 8 hours at 40x the rate: the window must dominate the record count.
+  EXPECT_GT(in_window, outside * 5);
+  EXPECT_GT(outside, 0);
+}
+
+}  // namespace
+}  // namespace hib

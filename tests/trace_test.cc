@@ -354,15 +354,42 @@ TEST(SpcReader, AsuSlicesSeparateAddressRanges) {
   EXPECT_EQ(b.lba - a.lba, kSpace / 4);
 }
 
-TEST(SpcReader, EnforcesNondecreasingTime) {
+TEST(SpcReader, RejectsBackwardsTime) {
   std::string trace =
       "0,0,4096,r,5.0\n"
-      "0,0,4096,r,1.0\n";  // goes back in time
+      "0,0,4096,r,1.0\n";  // goes back in time: rejected, not emitted
   auto reader = SpcTraceReader::FromString(trace, kSpace, 4);
   TraceRecord a, b;
   ASSERT_TRUE(reader->Next(&a));
+  EXPECT_DOUBLE_EQ(a.time.value(), 5000.0);
+  EXPECT_FALSE(reader->Next(&b));
+  EXPECT_EQ(reader->time_order_errors(), 1);
+  EXPECT_EQ(reader->parse_errors(), 0);  // well-formed line, wrong order
+}
+
+TEST(SpcReaderDeathTest, AbortPolicyDiesOnBackwardsTime) {
+  std::string trace =
+      "0,0,4096,r,5.0\n"
+      "0,0,4096,r,1.0\n";
+  auto reader = SpcTraceReader::FromString(trace, kSpace, 4, TimeOrderPolicy::kAbort);
+  TraceRecord rec;
+  ASSERT_TRUE(reader->Next(&rec));
+  EXPECT_DEATH(reader->Next(&rec), "non-monotonic SPC timestamp at line 2");
+}
+
+TEST(SpcReader, AcceptPolicyPassesBackwardsTimeThrough) {
+  // kAccept is for consumers that sort anyway (the trace compiler): the raw
+  // timestamps come through untouched and nothing is counted as an error.
+  std::string trace =
+      "0,0,4096,r,5.0\n"
+      "0,0,4096,r,1.0\n";
+  auto reader = SpcTraceReader::FromString(trace, kSpace, 4, TimeOrderPolicy::kAccept);
+  TraceRecord a, b;
+  ASSERT_TRUE(reader->Next(&a));
   ASSERT_TRUE(reader->Next(&b));
-  EXPECT_GE(b.time, a.time);
+  EXPECT_DOUBLE_EQ(a.time.value(), 5000.0);
+  EXPECT_DOUBLE_EQ(b.time.value(), 1000.0);
+  EXPECT_EQ(reader->time_order_errors(), 0);
 }
 
 TEST(SpcReader, ResetRestarts) {
@@ -427,22 +454,28 @@ TEST(SpcReader, MissingFieldCountsAsErrorAndSkips) {
   EXPECT_EQ(reader->parse_errors(), 2);
 }
 
-TEST(SpcReader, OutOfOrderTimestampsClampAndResetClears) {
+TEST(SpcReader, OutOfOrderRecordIsDroppedAndResetClearsTheCount) {
   std::string trace =
       "0,0,4096,r,5.0\n"
-      "0,0,4096,r,1.0\n"   // back in time: clamped to 5.0
+      "0,0,4096,r,1.0\n"   // back in time: dropped and counted
       "0,0,4096,r,6.0\n";  // forward again: taken as-is
   auto reader = SpcTraceReader::FromString(trace, kSpace, 4);
-  TraceRecord a, b, c;
+  TraceRecord a, b;
   ASSERT_TRUE(reader->Next(&a));
   ASSERT_TRUE(reader->Next(&b));
-  ASSERT_TRUE(reader->Next(&c));
-  EXPECT_DOUBLE_EQ(b.time.value(), a.time.value());
-  EXPECT_DOUBLE_EQ(c.time.value(), 6000.0);
-  // Reset clears the clamp: the first record's own timestamp comes back.
+  EXPECT_DOUBLE_EQ(a.time.value(), 5000.0);
+  EXPECT_DOUBLE_EQ(b.time.value(), 6000.0);
+  EXPECT_FALSE(reader->Next(&b));
+  EXPECT_EQ(reader->time_order_errors(), 1);
+  // Reset clears the high-water mark and the error count; the same record is
+  // rejected again on the second pass.
   reader->Reset();
+  EXPECT_EQ(reader->time_order_errors(), 0);
   ASSERT_TRUE(reader->Next(&a));
   EXPECT_DOUBLE_EQ(a.time.value(), 5000.0);
+  ASSERT_TRUE(reader->Next(&b));
+  EXPECT_DOUBLE_EQ(b.time.value(), 6000.0);
+  EXPECT_EQ(reader->time_order_errors(), 1);
 }
 
 TEST(SpcReader, LbaStaysInsideSpace) {

@@ -167,6 +167,16 @@ Shard-escape & contract rules (new in v4 — annotation-driven):
                          state leaks across subsystem boundaries in the
                          first place.
 
+Serialization rules (new in v4.1 — the trace pipeline's compiled binary
+format is checksummed and validated in exactly one place):
+
+  HIB026 raw-deser       `fread()` or `reinterpret_cast` in src/ outside the
+                         trace format layer (src/trace/format.*).  Raw
+                         pointer-cast deserialization bypasses the bounds,
+                         checksum and monotonicity validation the
+                         CompiledTraceReader does; parse bytes there, or use
+                         std::bit_cast / std::memcpy for local type punning.
+
 Meta:
 
   HIB099 unused-suppression  A suppression comment whose rule never fired on
@@ -203,7 +213,7 @@ import os
 import re
 import sys
 
-SIMLINT_VERSION = "4.0.0"
+SIMLINT_VERSION = "4.1.0"
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_PATHS = ["src", "tests", "bench", "examples"]
@@ -262,6 +272,9 @@ RULES = {
     "HIB025": ("layering",
                "#include that violates the layer DAG (util <- obs/trace <- sim "
                "<- disk <- queueing <- array <- policy <- hibernator <- harness)"),
+    "HIB026": ("raw-deser",
+               "fread / reinterpret_cast deserialization outside the trace "
+               "format layer (src/trace/format.*)"),
     "HIB099": ("unused-suppression", "suppression comment that suppresses nothing"),
 }
 
@@ -286,6 +299,12 @@ HOT_ALLOC_PREFIXES = ("src/array/", "src/sim/", "tools/simlint_fixtures/")
 # The interprocedural fixtures exercise HIB018+ via the call graph; keep the
 # syntactic HIB017 tier out of them so each fixture trips exactly its rule.
 HIB017_EXEMPT_PREFIXES = ("tools/simlint_fixtures/interproc/",)
+# Binary deserialization lives in exactly one place: the checksummed trace
+# format layer.  Everywhere else in src/, fread-and-pointer-cast parsing
+# bypasses the validation CompiledTraceReader does.  The fixtures dir is in
+# scope so the rule's own fixture fires.
+RAW_DESER_PREFIXES = ("src/", "tools/simlint_fixtures/")
+RAW_DESER_EXEMPT_PREFIXES = ("src/trace/format", "tools/simlint_fixtures/interproc/")
 
 # --- interprocedural rule configuration (v3) --------------------------------
 # Dispatch roots for HIB018: per-request entry points whose transitive callees
@@ -1779,6 +1798,8 @@ def token_checks(rel, tokens, add, out):
     conv_ok = rel.startswith(HAND_CONVERSION_EXEMPT_PREFIXES)
     hot_alloc = rel.startswith(HOT_ALLOC_PREFIXES) \
         and not rel.startswith(HIB017_EXEMPT_PREFIXES)
+    raw_deser = rel.startswith(RAW_DESER_PREFIXES) \
+        and not rel.startswith(RAW_DESER_EXEMPT_PREFIXES)
 
     def tk(i):
         return tokens[i] if 0 <= i < n else ("", "", 0, 0)
@@ -1831,6 +1852,23 @@ def token_checks(rel, tokens, add, out):
                         "new expression in a per-request layer; the hot path "
                         "is allocation-free — use SlotPool / SmallVector, or "
                         "NOLINT(HIB017) a justified setup-time allocation")
+
+            # HIB026: raw binary deserialization outside the trace format
+            # layer.  fread-into-struct and pointer-cast parsing skip the
+            # bounds/checksum validation CompiledTraceReader centralises.
+            if raw_deser:
+                if text == "fread" and nxt == "(" and prv not in (".", "->") \
+                        and (prv != "::" or prv2 == "std"):
+                    add(line, col, "HIB026",
+                        "raw fread deserialization; binary trace parsing "
+                        "belongs in src/trace/format.* where bounds and "
+                        "checksums are validated")
+                elif text == "reinterpret_cast":
+                    add(line, col, "HIB026",
+                        "reinterpret_cast deserialization bypasses the "
+                        "format layer's validation; use std::bit_cast / "
+                        "std::memcpy for local type punning, or parse via "
+                        "src/trace/format.*")
 
             # HIB004: double/float with a unit-suffixed name.
             if prv in ("double", "float") and UNITS_DECL_NAME_RE.search(text) \
@@ -3130,6 +3168,16 @@ EXPLAIN = {
         '#include "src/<layer>/..." edge against the DAG; it is per-file and '
         "cached, so it costs nothing warm.",
         "layering/disk/bad_layering.cc"),
+    "HIB026": (
+        "The compiled trace format (HIBT) is validated in exactly one place: "
+        "src/trace/format.* checks magic, version, four FNV-1a checksums, "
+        "block bounds and timestamp monotonicity before any byte becomes a "
+        "record.  An fread-into-struct or reinterpret_cast parse anywhere "
+        "else reads attacker-shaped bytes with none of those guarantees — "
+        "and silently forks the format definition the differential tests "
+        "pin.  std::bit_cast and std::memcpy stay legal for local type "
+        "punning; whole-file parsing goes through CompiledTraceReader.",
+        "bad_raw_deser.cc"),
 }
 
 

@@ -1,0 +1,25 @@
+// Known-bad fixture: HIB026 — raw binary deserialization outside the trace
+// format layer.  fread-into-struct and reinterpret_cast parsing skip the
+// magic/version/checksum/bounds validation CompiledTraceReader centralises.
+#include <cstdint>
+#include <cstdio>
+
+namespace fixture {
+
+struct RecordImage {
+  std::int64_t lba = 0;
+  std::uint32_t sectors = 0;
+  std::uint32_t flags = 0;
+};
+
+RecordImage ReadUnchecked(std::FILE* file) {
+  RecordImage image;
+  std::fread(&image, sizeof(image), 1, file);  // finding: unchecked fread parse
+  return image;
+}
+
+const RecordImage* CastUnchecked(const std::uint8_t* bytes) {
+  return reinterpret_cast<const RecordImage*>(bytes);  // finding: pointer-cast parse
+}
+
+}  // namespace fixture

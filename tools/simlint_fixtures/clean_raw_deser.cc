@@ -1,0 +1,21 @@
+// Clean twin for HIB026: the sanctioned byte-handling shapes right next to
+// the violation.  std::bit_cast and std::memcpy are local, size-checked type
+// punning; whole-file parsing belongs behind the validated
+// CompiledTraceReader path, never a raw cast of the buffer.
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace fixture {
+
+inline std::uint64_t BitsOfSample(double sample) {
+  return std::bit_cast<std::uint64_t>(sample);
+}
+
+inline std::uint32_t SectorsAt(const unsigned char* bytes) {
+  std::uint32_t sectors = 0;
+  std::memcpy(&sectors, bytes, sizeof(sectors));
+  return sectors;
+}
+
+}  // namespace fixture

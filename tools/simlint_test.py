@@ -61,6 +61,7 @@ EXPECTED = {
     "bad_shard_escape.cc": ["HIB022", "HIB022"],
     "bad_callback_lifetime.cc": ["HIB023", "HIB023", "HIB023"],
     "bad_contract.cc": ["HIB024", "HIB024"],
+    "bad_raw_deser.cc": ["HIB026", "HIB026"],
     "layering/disk/bad_layering.cc": ["HIB025"],
     # One hot-path allocation, one finding: the HIB018 witness chain
     # subsumes the syntactic HIB017 on the same line.
@@ -70,7 +71,7 @@ EXPECTED = {
 }
 CLEAN = ["clean.h", "tokenizer_torture.h", "clean_shard_escape.cc",
          "clean_callback_lifetime.cc", "clean_contract.cc",
-         "layering/disk/clean_layering.cc"]
+         "clean_raw_deser.cc", "layering/disk/clean_layering.cc"]
 
 # Per-file v4 witness chains: (fixture, line) -> ordered note substrings.
 V4_CHAINS = {

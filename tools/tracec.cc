@@ -1,0 +1,299 @@
+// tracec — the trace compiler CLI.  Compiles SPC-1-style ASCII traces into
+// the HIBT binary format (src/trace/format.h), generates compiled traces
+// straight from the workload zoo, morphs existing compiled traces, and dumps
+// trace summaries.  See README "Trace pipeline" for a quickstart.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/trace/format.h"
+#include "src/trace/morph.h"
+#include "src/trace/spc_reader.h"
+#include "src/trace/synthetic.h"
+#include "src/trace/zoo.h"
+#include "src/util/units.h"
+
+namespace {
+
+using namespace hib;  // NOLINT(google-build-using-namespace) — single-file tool
+
+int Usage() {
+  std::cerr
+      << "usage:\n"
+      << "  tracec compile <in.spc> <out.hibt> --space SECTORS [--asus N] [--block RECORDS]\n"
+      << "  tracec info <trace.hibt>\n"
+      << "  tracec gen <oltp|cello|mltrain|backup|constant> <out.hibt>\n"
+      << "             [--hours H] [--space SECTORS] [--iops X] [--seed N]\n"
+      << "  tracec morph <in.hibt> <out.hibt> [--rate-x N] [--remap SECTORS]\n"
+      << "             [--phase-hours H] [--sample FRACTION] [--seed N]\n";
+  return 2;
+}
+
+// Minimal --flag VALUE parser over the arguments after the positional ones.
+struct Flags {
+  std::vector<std::pair<std::string, std::string>> values;
+
+  bool Has(const std::string& name) const {
+    for (const auto& kv : values) {
+      if (kv.first == name) {
+        return true;
+      }
+    }
+    return false;
+  }
+  double Get(const std::string& name, double fallback) const {
+    for (const auto& kv : values) {
+      if (kv.first == name) {
+        return std::strtod(kv.second.c_str(), nullptr);
+      }
+    }
+    return fallback;
+  }
+  std::int64_t GetInt(const std::string& name, std::int64_t fallback) const {
+    for (const auto& kv : values) {
+      if (kv.first == name) {
+        return std::strtoll(kv.second.c_str(), nullptr, 10);
+      }
+    }
+    return fallback;
+  }
+};
+
+bool ParseFlags(int argc, char** argv, int start, Flags* flags) {
+  for (int i = start; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || i + 1 >= argc) {
+      std::cerr << "tracec: bad or valueless flag '" << arg << "'\n";
+      return false;
+    }
+    flags->values.emplace_back(arg.substr(2), argv[++i]);
+  }
+  return true;
+}
+
+void PrintStats(const TraceStats& stats, SectorAddr space, std::int64_t bytes) {
+  std::cout << "records:        " << stats.records << "\n"
+            << "reads/writes:   " << stats.reads << " / " << stats.writes << "\n"
+            << "duration:       " << ToSeconds(stats.last_time) / 3600.0 << " h\n"
+            << "peak iops:      " << stats.peak_iops << "\n"
+            << "mean iops:      " << stats.mean_iops << "\n"
+            << "address space:  " << space << " sectors ("
+            << static_cast<double>(space) * kSectorBytes / (1 << 30) << " GiB)\n";
+  if (bytes > 0) {
+    std::cout << "compiled size:  " << bytes << " bytes\n";
+  }
+}
+
+int Compile(int argc, char** argv) {
+  if (argc < 4) {
+    return Usage();
+  }
+  Flags flags;
+  if (!ParseFlags(argc, argv, 4, &flags)) {
+    return 2;
+  }
+  const SectorAddr space = flags.GetInt("space", 0);
+  if (space <= 0) {
+    std::cerr << "tracec compile: --space SECTORS is required\n";
+    return 2;
+  }
+  const int asus = static_cast<int>(flags.GetInt("asus", 8));
+  // The compiler sorts, so out-of-order ASCII records are an input quirk
+  // here, not an error.
+  SpcTraceReader reader(argv[2], space, asus, TimeOrderPolicy::kAccept);
+  TraceCompileOptions options;
+  options.address_space_sectors = space;
+  options.records_per_block = flags.GetInt("block", options.records_per_block);
+  TraceCompileResult result = CompileTraceToFile(reader, argv[3], options);
+  if (!result.ok) {
+    std::cerr << "tracec compile: " << result.error << "\n";
+    return 1;
+  }
+  if (result.records == 0 && reader.parse_errors() > 0) {
+    std::cerr << "tracec compile: no parseable records in " << argv[2] << "\n";
+    return 1;
+  }
+  if (reader.parse_errors() > 0) {
+    std::cerr << "warning: skipped " << reader.parse_errors() << " malformed lines\n";
+  }
+  PrintStats(result.stats, space, result.bytes);
+  return 0;
+}
+
+int Info(int argc, char** argv) {
+  if (argc != 3) {
+    return Usage();
+  }
+  auto reader = CompiledTraceReader::Open(argv[2]);
+  if (!reader->ok()) {
+    std::cerr << "tracec info: " << reader->error() << "\n";
+    return 1;
+  }
+  PrintStats(reader->stats(), reader->AddressSpaceSectors(), 0);
+  return 0;
+}
+
+int Gen(int argc, char** argv) {
+  if (argc < 4) {
+    return Usage();
+  }
+  Flags flags;
+  if (!ParseFlags(argc, argv, 4, &flags)) {
+    return 2;
+  }
+  const std::string kind = argv[2];
+  const Duration hours = Hours(flags.Get("hours", 24.0));
+  const SectorAddr space = flags.GetInt("space", std::int64_t{1} << 24);  // 8 GiB default
+  const double iops = flags.Get("iops", 0.0);
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+
+  std::unique_ptr<WorkloadSource> source;
+  if (kind == "oltp") {
+    OltpWorkloadParams p;
+    p.address_space_sectors = space;
+    p.duration_ms = hours;
+    if (iops > 0.0) {
+      p.peak_iops = iops;
+      p.trough_iops = iops * 0.3;
+    }
+    p.seed = seed;
+    source = std::make_unique<OltpWorkload>(p);
+  } else if (kind == "cello") {
+    CelloWorkloadParams p;
+    p.address_space_sectors = space;
+    p.duration_ms = hours;
+    if (iops > 0.0) {
+      p.peak_iops = iops;
+      p.trough_iops = iops * 0.05;
+    }
+    p.seed = seed;
+    source = std::make_unique<CelloWorkload>(p);
+  } else if (kind == "mltrain") {
+    MlTrainingWorkloadParams p;
+    p.address_space_sectors = space;
+    p.duration_ms = hours;
+    if (iops > 0.0) {
+      p.read_iops = iops;
+    }
+    p.seed = seed;
+    source = std::make_unique<MlTrainingWorkload>(p);
+  } else if (kind == "backup") {
+    BackupScanWorkloadParams p;
+    p.address_space_sectors = space;
+    p.duration_ms = hours;
+    if (iops > 0.0) {
+      p.scan_iops = iops;
+    }
+    p.seed = seed;
+    source = std::make_unique<BackupScanWorkload>(p);
+  } else if (kind == "constant") {
+    ConstantWorkloadParams p;
+    p.address_space_sectors = space;
+    p.duration_ms = hours;
+    if (iops > 0.0) {
+      p.iops = iops;
+    }
+    p.seed = seed;
+    source = std::make_unique<ConstantWorkload>(p);
+  } else {
+    std::cerr << "tracec gen: unknown workload '" << kind << "'\n";
+    return 2;
+  }
+
+  TraceCompileResult result = CompileTraceToFile(*source, argv[3]);
+  if (!result.ok) {
+    std::cerr << "tracec gen: " << result.error << "\n";
+    return 1;
+  }
+  PrintStats(result.stats, space, result.bytes);
+  return 0;
+}
+
+int Morph(int argc, char** argv) {
+  if (argc < 4) {
+    return Usage();
+  }
+  Flags flags;
+  if (!ParseFlags(argc, argv, 4, &flags)) {
+    return 2;
+  }
+  auto compiled = CompiledTraceReader::Open(argv[2]);
+  if (!compiled->ok()) {
+    std::cerr << "tracec morph: " << compiled->error() << "\n";
+    return 1;
+  }
+  // Block checksums verify lazily during replay, so a damaged block only
+  // surfaces while draining; keep a handle to re-check after the compile.
+  CompiledTraceReader* input = compiled.get();
+  std::unique_ptr<WorkloadSource> source = std::move(compiled);
+  // Stack order matters: remap first (into the target space), then scale
+  // (replicas spread over that space), then phase, then sample.
+  if (flags.Has("remap")) {
+    const SectorAddr target = flags.GetInt("remap", 0);
+    if (target <= 0) {
+      std::cerr << "tracec morph: --remap needs a positive sector count\n";
+      return 2;
+    }
+    source = std::make_unique<LbaRemapMorph>(std::move(source), target);
+  }
+  if (flags.Has("rate-x")) {
+    const int factor = static_cast<int>(flags.GetInt("rate-x", 1));
+    if (factor < 1) {
+      std::cerr << "tracec morph: --rate-x needs a factor >= 1\n";
+      return 2;
+    }
+    source = std::make_unique<RateScaleMorph>(std::move(source), factor);
+  }
+  if (flags.Has("phase-hours")) {
+    source = std::make_unique<PhaseSpliceMorph>(std::move(source),
+                                                Hours(flags.Get("phase-hours", 0.0)));
+  }
+  if (flags.Has("sample")) {
+    const double fraction = flags.Get("sample", 1.0);
+    if (fraction < 0.0 || fraction > 1.0) {
+      std::cerr << "tracec morph: --sample needs a fraction in [0, 1]\n";
+      return 2;
+    }
+    source = std::make_unique<SampleMorph>(std::move(source), fraction,
+                                           static_cast<std::uint64_t>(flags.GetInt("seed", 1)));
+  }
+  TraceCompileResult result = CompileTraceToFile(*source, argv[3]);
+  if (!result.ok) {
+    std::cerr << "tracec morph: " << result.error << "\n";
+    return 1;
+  }
+  if (!input->ok()) {
+    std::cerr << "tracec morph: input damaged mid-replay (" << input->error()
+              << "); removing truncated " << argv[3] << "\n";
+    std::remove(argv[3]);
+    return 1;
+  }
+  PrintStats(result.stats, source->AddressSpaceSectors(), result.bytes);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  if (command == "compile") {
+    return Compile(argc, argv);
+  }
+  if (command == "info") {
+    return Info(argc, argv);
+  }
+  if (command == "gen") {
+    return Gen(argc, argv);
+  }
+  if (command == "morph") {
+    return Morph(argc, argv);
+  }
+  return Usage();
+}
